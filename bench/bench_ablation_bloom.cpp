@@ -1,0 +1,53 @@
+// Ablation (DESIGN.md §6): Bloom filter bits-per-signature versus measured
+// false-positive rate and memory — the §IV-C memory/accuracy trade-off the
+// paper motivates for resource-constrained ICS traffic monitors.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bloom/bloom_filter.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace mlad;
+  const bench::Scale scale = bench::scale_from_env();
+  bench::print_header("Ablation — Bloom filter sizing", scale);
+
+  // A synthetic signature population comparable to the gas-pipeline
+  // database (hundreds of distinct 64-bit keys).
+  const std::size_t n = 1000;
+  std::vector<std::uint64_t> members;
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    members.push_back(static_cast<std::uint64_t>(rng.uniform_int(
+        0, std::numeric_limits<std::int64_t>::max())));
+  }
+
+  TablePrinter table({"target FPR", "bits", "bits/key", "k hashes",
+                      "measured FPR", "estimated FPR", "memory"});
+  for (const double target : {0.1, 0.03, 0.01, 1e-3, 1e-4, 1e-6}) {
+    bloom::BloomFilter bf = bloom::BloomFilter::with_capacity(n, target);
+    for (std::uint64_t key : members) bf.insert(key);
+    std::size_t fp = 0;
+    const std::size_t probes = 200000;
+    for (std::size_t i = 0; i < probes; ++i) {
+      const auto key = static_cast<std::uint64_t>(rng.uniform_int(
+          0, std::numeric_limits<std::int64_t>::max()));
+      fp += bf.contains(key) ? 1 : 0;
+    }
+    char target_str[32];
+    std::snprintf(target_str, sizeof(target_str), "%g", target);
+    table.add_row(
+        {target_str, std::to_string(bf.bit_count()),
+         fixed(static_cast<double>(bf.bit_count()) / n, 1),
+         std::to_string(bf.hash_count()),
+         fixed(static_cast<double>(fp) / static_cast<double>(probes), 6),
+         fixed(bf.estimated_fpr(), 6),
+         std::to_string(bf.memory_bytes()) + " B"});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\n(no false negatives by construction — verified in the test "
+              "suite; the paper stores 613 signatures in a filter that is a "
+              "negligible share of its 684 KB model budget)\n");
+  return 0;
+}

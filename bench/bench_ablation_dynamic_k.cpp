@@ -1,0 +1,60 @@
+// Ablation (paper §VIII-D / §IX future work): fixed k versus the dynamic-k
+// feedback controller (detect/dynamic_k.hpp) on the same test stream.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "detect/dynamic_k.hpp"
+
+int main() {
+  using namespace mlad;
+  const bench::Scale scale = bench::scale_from_env();
+  bench::print_header("Ablation — fixed k vs dynamic k", scale);
+
+  const ics::SimulationResult capture = bench::make_capture(scale);
+  const detect::PipelineConfig cfg = bench::pipeline_config(scale);
+  const detect::TrainedFramework fw =
+      detect::train_framework(capture.packages, cfg);
+  const auto rows = ics::to_raw_rows(fw.split.test);
+
+  TablePrinter table({"policy", "precision", "recall", "accuracy", "F1",
+                      "final k", "adjustments"});
+
+  // Fixed-k rows.
+  for (const std::size_t k :
+       {std::size_t{1}, fw.detector->chosen_k(), std::size_t{8}}) {
+    detect::Confusion c;
+    auto stream = fw.detector->make_stream();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto v = fw.detector->classify_and_consume(stream, rows[i], k);
+      c.record(fw.split.test[i].is_attack(), v.anomaly);
+    }
+    table.add_row({"fixed k=" + std::to_string(k) +
+                       (k == fw.detector->chosen_k() ? " (chosen)" : ""),
+                   fixed(c.precision(), 3), fixed(c.recall(), 3),
+                   fixed(c.accuracy(), 3), fixed(c.f1(), 3),
+                   std::to_string(k), "-"});
+  }
+
+  // Dynamic-k rows with two budgets.
+  for (const double target : {0.05, 0.02}) {
+    detect::DynamicKConfig dk;
+    dk.target_rate = target;
+    dk.k_max = 10;
+    detect::DynamicKMonitor monitor(*fw.detector, dk);
+    detect::Confusion c;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto v = monitor.classify_and_consume(rows[i]);
+      c.record(fw.split.test[i].is_attack(), v.anomaly);
+    }
+    table.add_row({"dynamic θ=" + fixed(target, 2), fixed(c.precision(), 3),
+                   fixed(c.recall(), 3), fixed(c.accuracy(), 3),
+                   fixed(c.f1(), 3), std::to_string(monitor.current_k()),
+                   std::to_string(monitor.adjustments())});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\n(the paper leaves dynamic k as future work; this controller "
+              "walks k inside [1,10] to hold the LSTM stage's alarm rate "
+              "near the θ budget)\n");
+  return 0;
+}

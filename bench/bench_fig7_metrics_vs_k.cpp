@@ -1,0 +1,41 @@
+// Figure 7 reproduction: precision / recall / accuracy / F1 of the combined
+// framework on the test set as a function of k, trained with and without
+// probabilistic noise. The paper's headline observation: the k chosen from
+// anomaly-free validation data (k = 4) lands on the best F1.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "detect/pipeline.hpp"
+
+int main() {
+  using namespace mlad;
+  const bench::Scale scale = bench::scale_from_env();
+  bench::print_header("Figure 7 — metrics vs k, ±probabilistic noise", scale);
+
+  const ics::SimulationResult capture = bench::make_capture(scale);
+
+  for (const bool noise : {true, false}) {
+    detect::PipelineConfig cfg = bench::pipeline_config(scale);
+    cfg.combined.timeseries.noise.enabled = noise;
+    const detect::TrainedFramework fw =
+        detect::train_framework(capture.packages, cfg);
+
+    std::printf("\n--- trained %s probabilistic noise (auto-chosen k=%zu) ---\n",
+                noise ? "WITH" : "WITHOUT", fw.detector->chosen_k());
+    TablePrinter table({"k", "precision", "recall", "accuracy", "F1"});
+    for (std::size_t k = 1; k <= 8; ++k) {
+      fw.detector->timeseries_level().set_k(k);
+      const detect::EvaluationResult res =
+          detect::evaluate_framework(*fw.detector, fw.split.test);
+      table.add_row({std::to_string(k), fixed(res.confusion.precision(), 3),
+                     fixed(res.confusion.recall(), 3),
+                     fixed(res.confusion.accuracy(), 3),
+                     fixed(res.confusion.f1(), 3)});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+  std::printf("\n(paper at k=4 with noise: P=0.94 R=0.78 Acc=0.92 F1=0.85; "
+              "noise training mainly lifts precision at small k)\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the §VIII-A2 operational numbers:
+// per-classification latency of each stage (the paper reports ~0.03 ms for
+// the full two-level classification) plus the underlying primitives.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bloom/bloom_filter.hpp"
+#include "common/rng.hpp"
+#include "detect/pipeline.hpp"
+#include "ics/crc16.hpp"
+#include "ics/dataset.hpp"
+#include "ics/modbus.hpp"
+#include "ics/simulator.hpp"
+#include "signature/kmeans.hpp"
+
+namespace {
+
+using namespace mlad;
+
+// ---- shared state built once --------------------------------------------
+
+struct Fixture {
+  ics::SimulationResult capture;
+  detect::TrainedFramework framework;
+  std::vector<sig::RawRow> test_rows;
+
+  Fixture() {
+    ics::SimulatorConfig sim_cfg;
+    sim_cfg.cycles = 3000;
+    sim_cfg.seed = 77;
+    ics::GasPipelineSimulator sim(sim_cfg);
+    capture = sim.run();
+
+    detect::PipelineConfig cfg;
+    cfg.combined.timeseries.hidden_dims = {48};
+    cfg.combined.timeseries.epochs = 4;
+    cfg.seed = 5;
+    framework = detect::train_framework(capture.packages, cfg);
+    test_rows = ics::to_raw_rows(framework.split.test);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+// ---- primitives -----------------------------------------------------------
+
+void BM_Crc16(benchmark::State& state) {
+  std::vector<std::uint8_t> frame(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ics::crc16_modbus(frame));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc16)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ModbusRoundTrip(benchmark::State& state) {
+  ics::ModbusFrame f;
+  f.address = 4;
+  f.function = 0x10;
+  f.registers = {1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    const auto bytes = ics::encode_frame(f);
+    benchmark::DoNotOptimize(ics::decode_frame(bytes, false));
+  }
+}
+BENCHMARK(BM_ModbusRoundTrip);
+
+void BM_BloomInsert(benchmark::State& state) {
+  bloom::BloomFilter bf = bloom::BloomFilter::with_capacity(100000, 1e-4);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    bf.insert(key++);
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomLookup(benchmark::State& state) {
+  bloom::BloomFilter bf = bloom::BloomFilter::with_capacity(1000, 1e-4);
+  for (std::uint64_t k = 0; k < 613; ++k) bf.insert(k * 2654435761ull);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.contains(key++));
+  }
+}
+BENCHMARK(BM_BloomLookup);
+
+void BM_KmeansFit(benchmark::State& state) {
+  Rng data_rng(1);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back({data_rng.normal(i % 4 * 5.0, 0.3)});
+  }
+  for (auto _ : state) {
+    Rng rng(2);
+    sig::KmeansConfig cfg;
+    cfg.clusters = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(sig::kmeans_fit(points, cfg, rng));
+  }
+}
+BENCHMARK(BM_KmeansFit)->Arg(2)->Arg(8)->Arg(32);
+
+// ---- detector stages -------------------------------------------------------
+
+void BM_SignatureGeneration(benchmark::State& state) {
+  const auto& f = fixture();
+  const auto& disc = f.framework.detector->package_level().discretizer();
+  const sig::SignatureGenerator gen(disc.cardinalities());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto row = disc.transform(f.test_rows[i % f.test_rows.size()]);
+    benchmark::DoNotOptimize(gen.pack(row));
+    ++i;
+  }
+}
+BENCHMARK(BM_SignatureGeneration);
+
+void BM_PackageLevelClassify(benchmark::State& state) {
+  const auto& f = fixture();
+  const auto& pkg = f.framework.detector->package_level();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.classify(f.test_rows[i % f.test_rows.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PackageLevelClassify);
+
+void BM_CombinedClassify(benchmark::State& state) {
+  // The paper's headline ~0.03 ms/classification includes the LSTM step.
+  const auto& f = fixture();
+  auto stream = f.framework.detector->make_stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.framework.detector->classify_and_consume(
+        stream, f.test_rows[i % f.test_rows.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CombinedClassify);
+
+void BM_LstmTrainStep(benchmark::State& state) {
+  auto& f = fixture();
+  auto& ts = f.framework.detector->timeseries_level();
+  const auto& disc = f.framework.detector->package_level().discretizer();
+  // One BPTT window over real (anomaly-free) training traffic.
+  const auto rows = ics::fragment_rows(f.framework.split.train_fragments.at(0));
+  std::vector<detect::DiscreteFragment> frag = {disc.transform_all(
+      std::span(rows).subspan(0, std::min<std::size_t>(rows.size(), 49)))};
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts.train(frag, rng));
+  }
+  state.SetLabel("48-step window x " +
+                 std::to_string(ts.config().epochs) + " epochs");
+}
+BENCHMARK(BM_LstmTrainStep);
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Full gas-pipeline IDS walkthrough — the paper's experiment end to end,
+// with every intermediate artifact printed: dataset census, discretization
+// strategy, signature database, Bloom filter geometry, LSTM training curve,
+// the chosen k, and the final per-attack scorecard.
+//
+// Usage: gas_pipeline_ids [cycles] [epochs]    (defaults 6000, 10)
+//        gas_pipeline_ids --arff capture.arff  (use a real ARFF capture)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/arff.hpp"
+#include "common/table.hpp"
+#include "detect/pipeline.hpp"
+#include "ics/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlad;
+
+  // ---- capture -------------------------------------------------------------
+  std::vector<ics::Package> packages;
+  if (argc >= 3 && std::strcmp(argv[1], "--arff") == 0) {
+    packages = ics::from_arff(read_arff_file(argv[2]));
+    std::printf("loaded %zu packages from %s\n", packages.size(), argv[2]);
+  } else {
+    ics::SimulatorConfig sim_cfg;
+    sim_cfg.cycles = argc > 1 ? std::stoul(argv[1]) : 6000;
+    sim_cfg.seed = 1234;
+    ics::GasPipelineSimulator simulator(sim_cfg);
+    auto capture = simulator.run();
+    std::printf("simulated %zu packages over %.0f s of traffic\n",
+                capture.packages.size(), capture.duration_seconds);
+    TablePrinter census({"type", "packages"});
+    for (std::size_t i = 0; i < ics::kAttackTypeCount; ++i) {
+      census.add_row({std::string(ics::attack_name(
+                          static_cast<ics::AttackType>(i))),
+                      std::to_string(capture.census[i])});
+    }
+    std::printf("%s", census.str().c_str());
+    packages = std::move(capture.packages);
+  }
+
+  // ---- training ------------------------------------------------------------
+  detect::PipelineConfig cfg;
+  cfg.combined.timeseries.hidden_dims = {64};
+  cfg.combined.timeseries.epochs = argc > 2 && std::strcmp(argv[1], "--arff")
+                                       ? std::stoul(argv[2])
+                                       : 10;
+  const detect::TrainedFramework fw = detect::train_framework(packages, cfg);
+
+  std::printf("\nsplit: %zu train / %zu validation / %zu test packages\n",
+              fw.split.train_size(), fw.split.validation_size(),
+              fw.split.test.size());
+
+  const auto& pkg = fw.detector->package_level();
+  std::printf("\ndiscretization strategy (Table III analogue):\n");
+  TablePrinter strat({"feature", "kind", "values (+OOR)"});
+  for (std::size_t i = 0; i < pkg.discretizer().feature_count(); ++i) {
+    const auto& f = pkg.discretizer().feature(i);
+    const char* kind = f.spec.kind == sig::FeatureKind::kDiscrete ? "discrete"
+                       : f.spec.kind == sig::FeatureKind::kKmeans ? "k-means"
+                                                                  : "interval";
+    strat.add_row({f.spec.name, kind, std::to_string(f.cardinality)});
+  }
+  std::printf("%s", strat.str().c_str());
+
+  std::printf("\nsignature database: %zu unique signatures "
+              "(paper: 613); Bloom filter: %llu bits, %u hashes, %llu B\n",
+              pkg.database().size(),
+              static_cast<unsigned long long>(pkg.bloom().bit_count()),
+              pkg.bloom().hash_count(),
+              static_cast<unsigned long long>(pkg.bloom().memory_bytes()));
+  std::printf("package-level validation error: %.4f (θ=0.03 in the paper)\n",
+              fw.detector->package_validation_error());
+
+  std::printf("\nLSTM training loss by epoch:");
+  for (double l : fw.detector->training_losses()) std::printf(" %.3f", l);
+  std::printf("\nchosen k = %zu (paper: 4)\n", fw.detector->chosen_k());
+
+  // ---- evaluation ------------------------------------------------------------
+  const detect::EvaluationResult result =
+      detect::evaluate_framework(*fw.detector, fw.split.test);
+  std::printf("\ntest scorecard: %s\n",
+              detect::to_string(result.confusion).c_str());
+  TablePrinter per_attack({"attack", "packages", "detected ratio"});
+  for (const ics::AttackType type : ics::kMaliciousTypes) {
+    const auto idx = static_cast<std::size_t>(type);
+    if (result.per_attack.total[idx] == 0) continue;
+    per_attack.add_row({std::string(ics::attack_name(type)),
+                        std::to_string(result.per_attack.total[idx]),
+                        fixed(result.per_attack.ratio(type), 2)});
+  }
+  std::printf("%s", per_attack.str().c_str());
+  std::printf("\nlatency: %.1f µs/package — model footprint %zu KB "
+              "(paper: ~30 µs, 684 KB)\n",
+              result.avg_classify_us, fw.detector->memory_bytes() / 1024);
+  return 0;
+}

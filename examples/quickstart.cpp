@@ -1,0 +1,49 @@
+// Quickstart: the 60-second tour of the public API.
+//
+//   1. simulate a small gas-pipeline capture (or load your own ARFF),
+//   2. split it 6:2:2 with anomaly-free train/validation,
+//   3. train the combined Bloom-filter + stacked-LSTM detector,
+//   4. stream the test traffic through it and print the scorecard.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "detect/pipeline.hpp"
+#include "ics/simulator.hpp"
+
+int main() {
+  using namespace mlad;
+
+  // 1. A labeled capture. For real data use ics::from_arff(read_arff_file(…)).
+  ics::SimulatorConfig sim_cfg;
+  sim_cfg.cycles = 4000;  // ≈16k packages
+  sim_cfg.seed = 42;
+  ics::GasPipelineSimulator simulator(sim_cfg);
+  const ics::SimulationResult capture = simulator.run();
+  std::printf("capture: %zu packages (%zu attacks)\n", capture.packages.size(),
+              capture.packages.size() - capture.census[0]);
+
+  // 2 + 3. Split and train. Defaults follow the paper: Table III
+  // discretization, probabilistic-noise training, k chosen on validation.
+  detect::PipelineConfig cfg;
+  cfg.combined.timeseries.hidden_dims = {48};  // paper uses {256, 256}
+  cfg.combined.timeseries.epochs = 8;          // paper uses 50
+  const detect::TrainedFramework fw =
+      detect::train_framework(capture.packages, cfg);
+  std::printf("trained in %.1fs — |S|=%zu signatures, k=%zu, "
+              "package-level validation error=%.3f\n",
+              fw.train_seconds,
+              fw.detector->package_level().database().size(),
+              fw.detector->chosen_k(),
+              fw.detector->package_validation_error());
+
+  // 4. Score the held-out stream.
+  const detect::EvaluationResult result =
+      detect::evaluate_framework(*fw.detector, fw.split.test);
+  std::printf("test: %s  (%.1f µs/package, %zu KB model)\n",
+              detect::to_string(result.confusion).c_str(),
+              result.avg_classify_us, fw.detector->memory_bytes() / 1024);
+  std::printf("alarms: %zu from the Bloom stage, %zu from the LSTM stage\n",
+              result.package_level_alarms, result.timeseries_level_alarms);
+  return 0;
+}

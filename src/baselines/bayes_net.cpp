@@ -1,0 +1,154 @@
+#include "baselines/bayes_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mlad::baselines {
+namespace {
+
+/// Pairwise mutual information from joint counts.
+double mutual_information(const std::vector<std::size_t>& joint,
+                          std::size_t card_a, std::size_t card_b,
+                          std::size_t n) {
+  std::vector<double> pa(card_a, 0.0);
+  std::vector<double> pb(card_b, 0.0);
+  for (std::size_t a = 0; a < card_a; ++a) {
+    for (std::size_t b = 0; b < card_b; ++b) {
+      const double p = static_cast<double>(joint[a * card_b + b]) /
+                       static_cast<double>(n);
+      pa[a] += p;
+      pb[b] += p;
+    }
+  }
+  double mi = 0.0;
+  for (std::size_t a = 0; a < card_a; ++a) {
+    for (std::size_t b = 0; b < card_b; ++b) {
+      const double p = static_cast<double>(joint[a * card_b + b]) /
+                       static_cast<double>(n);
+      if (p > 0.0 && pa[a] > 0.0 && pb[b] > 0.0) {
+        mi += p * std::log(p / (pa[a] * pb[b]));
+      }
+    }
+  }
+  return mi;
+}
+
+}  // namespace
+
+void BayesNet::fit(std::span<const WindowSample> train,
+                   std::span<const WindowSample> calibration,
+                   double acceptable_fpr) {
+  if (train.empty()) throw std::invalid_argument("BayesNet::fit: no samples");
+  const std::size_t vars = train[0].discrete.size();
+  const std::size_t n = train.size();
+
+  // Per-variable cardinality: max observed id + 2 (headroom for unseen ids
+  // at scoring time, which fall into a smoothed-only cell).
+  cardinality_.assign(vars, 1);
+  for (const auto& w : train) {
+    for (std::size_t v = 0; v < vars; ++v) {
+      cardinality_[v] = std::max<std::size_t>(cardinality_[v],
+                                              std::size_t{w.discrete[v]} + 2);
+    }
+  }
+
+  // Prim's algorithm over mutual information (dense graph).
+  parent_.assign(vars, 0);
+  std::vector<bool> in_tree(vars, false);
+  std::vector<double> best_gain(vars, -1.0);
+  std::vector<std::size_t> best_link(vars, 0);
+  in_tree[0] = true;
+  parent_[0] = 0;
+
+  // Cache joint counts lazily per considered edge.
+  auto edge_mi = [&](std::size_t a, std::size_t b) {
+    std::vector<std::size_t> joint(cardinality_[a] * cardinality_[b], 0);
+    for (const auto& w : train) {
+      const std::size_t va = std::min<std::size_t>(w.discrete[a],
+                                                   cardinality_[a] - 1);
+      const std::size_t vb = std::min<std::size_t>(w.discrete[b],
+                                                   cardinality_[b] - 1);
+      ++joint[va * cardinality_[b] + vb];
+    }
+    return mutual_information(joint, cardinality_[a], cardinality_[b], n);
+  };
+
+  std::vector<std::size_t> frontier = {0};
+  for (std::size_t added = 1; added < vars; ++added) {
+    // Refresh gains against the most recently added vertex.
+    const std::size_t last = frontier.back();
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (in_tree[v]) continue;
+      const double mi = edge_mi(last, v);
+      if (mi > best_gain[v]) {
+        best_gain[v] = mi;
+        best_link[v] = last;
+      }
+    }
+    // Pick the best outside vertex.
+    double best = -std::numeric_limits<double>::max();
+    std::size_t pick = 0;
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (!in_tree[v] && best_gain[v] > best) {
+        best = best_gain[v];
+        pick = v;
+      }
+    }
+    in_tree[pick] = true;
+    parent_[pick] = best_link[pick];
+    frontier.push_back(pick);
+  }
+
+  // CPTs with Laplace smoothing. Root (v==parent_[v]) gets a marginal.
+  cpt_.assign(vars, {});
+  for (std::size_t v = 0; v < vars; ++v) {
+    const std::size_t p = parent_[v];
+    const std::size_t pc = v == p ? 1 : cardinality_[p];
+    const std::size_t vc = cardinality_[v];
+    std::vector<double> counts(pc * vc, alpha_);
+    for (const auto& w : train) {
+      const std::size_t vv = std::min<std::size_t>(w.discrete[v], vc - 1);
+      const std::size_t pv =
+          v == p ? 0 : std::min<std::size_t>(w.discrete[p], pc - 1);
+      counts[pv * vc + vv] += 1.0;
+    }
+    // Normalize per parent value and take logs.
+    for (std::size_t pv = 0; pv < pc; ++pv) {
+      double total = 0.0;
+      for (std::size_t vv = 0; vv < vc; ++vv) total += counts[pv * vc + vv];
+      for (std::size_t vv = 0; vv < vc; ++vv) {
+        counts[pv * vc + vv] = std::log(counts[pv * vc + vv] / total);
+      }
+    }
+    cpt_[v] = std::move(counts);
+  }
+
+  // Threshold calibration on anomaly-free windows.
+  std::vector<double> scores;
+  scores.reserve(calibration.size());
+  for (const auto& w : calibration) scores.push_back(score(w));
+  threshold_ = calibrate_threshold(std::move(scores), acceptable_fpr);
+}
+
+double BayesNet::score(const WindowSample& window) const {
+  if (cpt_.empty()) throw std::logic_error("BayesNet::score before fit");
+  double nll = 0.0;
+  for (std::size_t v = 0; v < cpt_.size(); ++v) {
+    const std::size_t p = parent_[v];
+    const std::size_t vc = cardinality_[v];
+    const std::size_t vv = std::min<std::size_t>(window.discrete[v], vc - 1);
+    const std::size_t pv =
+        v == p ? 0
+               : std::min<std::size_t>(window.discrete[p], cardinality_[p] - 1);
+    nll -= cpt_[v][pv * vc + vv];
+  }
+  return nll;
+}
+
+bool BayesNet::is_anomalous(const WindowSample& window) const {
+  return score(window) > threshold_;
+}
+
+}  // namespace mlad::baselines

@@ -1,0 +1,44 @@
+// Bayesian-network baseline ("BN" rows of Tables IV/V).
+//
+// Structure is learned from data with the information-theoretic approach
+// the paper cites ([53]): we build the Chow–Liu maximum-spanning tree over
+// pairwise mutual information of the window's discrete variables, fit the
+// conditional probability tables with Laplace smoothing, and flag windows
+// whose negative log-likelihood exceeds a threshold calibrated on
+// anomaly-free validation windows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/window.hpp"
+
+namespace mlad::baselines {
+
+class BayesNet final : public WindowDetector {
+ public:
+  /// `alpha` is the Laplace smoothing pseudo-count.
+  explicit BayesNet(double alpha = 1.0) : alpha_(alpha) {}
+
+  void fit(std::span<const WindowSample> train,
+           std::span<const WindowSample> calibration,
+           double acceptable_fpr) override;
+
+  /// Negative log-likelihood of the window under the tree model.
+  double score(const WindowSample& window) const override;
+  bool is_anomalous(const WindowSample& window) const override;
+  const char* name() const override { return "BN"; }
+
+  /// Learned tree edges as (child, parent); the root's parent is itself.
+  const std::vector<std::size_t>& parents() const { return parent_; }
+
+ private:
+  double alpha_;
+  std::vector<std::size_t> cardinality_;  ///< per variable (+1 headroom id)
+  std::vector<std::size_t> parent_;       ///< parent_[v]; root: parent_[v]==v
+  /// cpt_[v][parent_value * cardinality_[v] + value] = log P(value | parent).
+  std::vector<std::vector<double>> cpt_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace mlad::baselines

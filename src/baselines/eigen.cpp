@@ -1,0 +1,109 @@
+#include "baselines/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mlad::baselines {
+
+SymmetricEigen jacobi_eigen(std::vector<double> a, std::size_t n, double eps,
+                            std::size_t max_sweeps) {
+  if (a.size() != n * n) throw std::invalid_argument("jacobi_eigen: not square");
+  // v starts as identity; columns accumulate the rotations.
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diagonal_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    }
+    return std::sqrt(s);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() < eps) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of `a`.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate rotation into eigenvector columns.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+
+  SymmetricEigen out;
+  out.eigenvalues.reserve(n);
+  out.eigenvectors.reserve(n);
+  for (std::size_t idx : order) {
+    out.eigenvalues.push_back(a[idx * n + idx]);
+    std::vector<double> vec(n);
+    for (std::size_t k = 0; k < n; ++k) vec[k] = v[k * n + idx];
+    out.eigenvectors.push_back(std::move(vec));
+  }
+  return out;
+}
+
+std::vector<double> covariance_matrix(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("covariance_matrix: no rows");
+  const std::size_t n = rows[0].size();
+  std::vector<double> mean(n, 0.0);
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < n; ++i) mean[i] += r[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(rows.size());
+  std::vector<double> cov(n * n, 0.0);
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double di = r[i] - mean[i];
+      for (std::size_t j = i; j < n; ++j) {
+        cov[i * n + j] += di * (r[j] - mean[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(rows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      cov[i * n + j] /= denom;
+      cov[j * n + i] = cov[i * n + j];
+    }
+  }
+  return cov;
+}
+
+}  // namespace mlad::baselines

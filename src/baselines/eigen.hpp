@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition by the cyclic Jacobi method — enough linear
+// algebra for the PCA-SVD baseline (covariance matrices of window features
+// are ≤ ~70×70, where Jacobi is simple, robust and deterministic).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mlad::baselines {
+
+/// Dense symmetric matrix in row-major order.
+struct SymmetricEigen {
+  std::vector<double> eigenvalues;            ///< descending
+  std::vector<std::vector<double>> eigenvectors;  ///< [i] ↔ eigenvalues[i]
+};
+
+/// Decompose a symmetric matrix given as flattened row-major `a` (n×n).
+/// Throws on non-square input. Off-diagonal tolerance `eps` terminates the
+/// sweep loop.
+SymmetricEigen jacobi_eigen(std::vector<double> a, std::size_t n,
+                            double eps = 1e-10, std::size_t max_sweeps = 64);
+
+/// Covariance matrix (flattened row-major) of centered data rows.
+std::vector<double> covariance_matrix(
+    const std::vector<std::vector<double>>& rows);
+
+}  // namespace mlad::baselines

@@ -1,0 +1,121 @@
+#include "baselines/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mlad::baselines {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+double log_sum_exp2(std::span<const double> xs) {
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+}  // namespace
+
+void Gmm::fit(std::span<const WindowSample> train,
+              std::span<const WindowSample> calibration,
+              double acceptable_fpr) {
+  if (train.empty()) throw std::invalid_argument("Gmm::fit: no samples");
+  std::vector<std::vector<double>> numeric;
+  numeric.reserve(train.size());
+  for (const auto& w : train) numeric.push_back(w.numeric);
+  scaler_ = StandardScaler::fit(numeric);
+  const std::vector<std::vector<double>> x = scaler_.transform_all(numeric);
+
+  const std::size_t n = x.size();
+  const std::size_t dim = x[0].size();
+  const std::size_t k = std::min(config_.components, n);
+
+  // Init: random distinct points as means, unit variances, uniform weights.
+  Rng rng(config_.seed);
+  weights_.assign(k, 1.0 / static_cast<double>(k));
+  means_.clear();
+  for (std::size_t c = 0; c < k; ++c) means_.push_back(x[rng.index(n)]);
+  variances_.assign(k, std::vector<double>(dim, 1.0));
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k));
+  std::vector<double> logp(k);
+  em_trajectory_.clear();
+  double prev_ll = -std::numeric_limits<double>::max();
+
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    // E step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        double lp = std::log(weights_[c]);
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double var = variances_[c][d];
+          const double diff = x[i][d] - means_[c][d];
+          lp += -0.5 * (kLog2Pi + std::log(var) + diff * diff / var);
+        }
+        logp[c] = lp;
+      }
+      const double lse = log_sum_exp2(logp);
+      ll += lse;
+      for (std::size_t c = 0; c < k; ++c) resp[i][c] = std::exp(logp[c] - lse);
+    }
+    em_trajectory_.push_back(ll / static_cast<double>(n));
+
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) nc += resp[i][c];
+      nc = std::max(nc, 1e-9);
+      weights_[c] = nc / static_cast<double>(n);
+      for (std::size_t d = 0; d < dim; ++d) {
+        double mu = 0.0;
+        for (std::size_t i = 0; i < n; ++i) mu += resp[i][c] * x[i][d];
+        mu /= nc;
+        double var = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double diff = x[i][d] - mu;
+          var += resp[i][c] * diff * diff;
+        }
+        means_[c][d] = mu;
+        variances_[c][d] = std::max(var / nc, config_.min_variance);
+      }
+    }
+
+    if (em_trajectory_.back() - prev_ll < config_.tolerance && it > 0) break;
+    prev_ll = em_trajectory_.back();
+  }
+
+  std::vector<double> scores;
+  scores.reserve(calibration.size());
+  for (const auto& w : calibration) scores.push_back(score(w));
+  threshold_ = calibrate_threshold(std::move(scores), acceptable_fpr);
+}
+
+double Gmm::log_density(std::span<const double> x) const {
+  std::vector<double> logp(weights_.size());
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    double lp = std::log(weights_[c]);
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const double var = variances_[c][d];
+      const double diff = x[d] - means_[c][d];
+      lp += -0.5 * (kLog2Pi + std::log(var) + diff * diff / var);
+    }
+    logp[c] = lp;
+  }
+  return log_sum_exp2(logp);
+}
+
+double Gmm::score(const WindowSample& window) const {
+  if (weights_.empty()) throw std::logic_error("Gmm::score before fit");
+  return -log_density(scaler_.transform(window.numeric));
+}
+
+bool Gmm::is_anomalous(const WindowSample& window) const {
+  return score(window) > threshold_;
+}
+
+}  // namespace mlad::baselines

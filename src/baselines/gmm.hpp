@@ -1,0 +1,56 @@
+// Gaussian Mixture Model baseline ("GMM" rows of Tables IV/V).
+//
+// The paper takes its GMM numbers from Shirazi et al. [52], where the model
+// is trained *unsupervised on contaminated data* (anomalies present but
+// unlabeled). We reproduce that protocol: diagonal-covariance EM fitted on
+// whatever windows are passed (the Table-IV bench passes the raw,
+// attack-containing training slice), scored by negative log-likelihood.
+#pragma once
+
+#include <vector>
+
+#include "baselines/scaler.hpp"
+#include "baselines/window.hpp"
+#include "common/rng.hpp"
+
+namespace mlad::baselines {
+
+struct GmmConfig {
+  std::size_t components = 8;
+  std::size_t max_iterations = 60;
+  double tolerance = 1e-4;      ///< stop when mean log-likelihood stalls
+  double min_variance = 1e-4;   ///< variance floor (numerical safety)
+  std::uint64_t seed = 23;
+};
+
+class Gmm final : public WindowDetector {
+ public:
+  explicit Gmm(const GmmConfig& config = {}) : config_(config) {}
+
+  void fit(std::span<const WindowSample> train,
+           std::span<const WindowSample> calibration,
+           double acceptable_fpr) override;
+
+  /// Negative log-likelihood under the mixture.
+  double score(const WindowSample& window) const override;
+  bool is_anomalous(const WindowSample& window) const override;
+  const char* name() const override { return "GMM"; }
+
+  std::size_t components() const { return weights_.size(); }
+  /// Mean train log-likelihood trajectory (one entry per EM iteration) —
+  /// exposed so tests can assert EM monotonicity.
+  const std::vector<double>& em_trajectory() const { return em_trajectory_; }
+
+ private:
+  double log_density(std::span<const double> x) const;
+
+  GmmConfig config_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  std::vector<std::vector<double>> means_;
+  std::vector<std::vector<double>> variances_;
+  std::vector<double> em_trajectory_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace mlad::baselines

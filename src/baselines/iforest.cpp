@@ -1,0 +1,115 @@
+#include "baselines/iforest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlad::baselines {
+
+double average_path_length(std::size_t n) {
+  if (n < 2) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double harmonic = std::log(nd - 1.0) + 0.5772156649015329;
+  return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+std::unique_ptr<IsolationForest::Node> IsolationForest::build(
+    std::vector<std::vector<double>>& points, std::size_t depth,
+    std::size_t height_limit, Rng& rng) {
+  auto node = std::make_unique<Node>();
+  node->size = points.size();
+  if (points.size() <= 1 || depth >= height_limit) return node;
+
+  const std::size_t dim = points[0].size();
+  // Pick a feature with spread; give up after a few tries (constant region).
+  int feature = -1;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto f = static_cast<int>(rng.index(dim));
+    lo = points[0][f];
+    hi = points[0][f];
+    for (const auto& p : points) {
+      lo = std::min(lo, p[f]);
+      hi = std::max(hi, p[f]);
+    }
+    if (hi > lo) {
+      feature = f;
+      break;
+    }
+  }
+  if (feature < 0) return node;  // all tried features constant → leaf
+
+  node->feature = feature;
+  node->split = rng.uniform(lo, hi);
+
+  std::vector<std::vector<double>> left;
+  std::vector<std::vector<double>> right;
+  for (auto& p : points) {
+    (p[feature] < node->split ? left : right).push_back(std::move(p));
+  }
+  points.clear();
+  if (left.empty() || right.empty()) {
+    // Degenerate split (can happen at the boundary); treat as leaf.
+    node->feature = -1;
+    return node;
+  }
+  node->left = build(left, depth + 1, height_limit, rng);
+  node->right = build(right, depth + 1, height_limit, rng);
+  return node;
+}
+
+void IsolationForest::fit(std::span<const WindowSample> train,
+                          std::span<const WindowSample> calibration,
+                          double acceptable_fpr) {
+  if (train.empty()) throw std::invalid_argument("IsolationForest::fit: no samples");
+  Rng rng(config_.seed);
+  const std::size_t psi = std::min(config_.subsample, train.size());
+  c_psi_ = std::max(average_path_length(psi), 1e-9);
+  const auto height_limit =
+      static_cast<std::size_t>(std::ceil(std::log2(std::max<double>(2.0, psi))));
+
+  forest_.clear();
+  forest_.reserve(config_.trees);
+  for (std::size_t t = 0; t < config_.trees; ++t) {
+    std::vector<std::vector<double>> sample;
+    sample.reserve(psi);
+    for (std::size_t i = 0; i < psi; ++i) {
+      sample.push_back(train[rng.index(train.size())].numeric);
+    }
+    forest_.push_back(build(sample, 0, height_limit, rng));
+  }
+
+  std::vector<double> scores;
+  scores.reserve(calibration.size());
+  for (const auto& w : calibration) scores.push_back(score(w));
+  threshold_ = calibrate_threshold(std::move(scores), acceptable_fpr);
+}
+
+double IsolationForest::path_length(const Node* node, std::span<const double> x,
+                                    double depth) const {
+  if (node->feature < 0) {
+    return depth + average_path_length(node->size);
+  }
+  const Node* next =
+      x[static_cast<std::size_t>(node->feature)] < node->split
+          ? node->left.get()
+          : node->right.get();
+  return path_length(next, x, depth + 1.0);
+}
+
+double IsolationForest::score(const WindowSample& window) const {
+  if (forest_.empty()) throw std::logic_error("IsolationForest::score before fit");
+  double total = 0.0;
+  for (const auto& tree : forest_) {
+    total += path_length(tree.get(), window.numeric, 0.0);
+  }
+  const double mean = total / static_cast<double>(forest_.size());
+  return std::pow(2.0, -mean / c_psi_);
+}
+
+bool IsolationForest::is_anomalous(const WindowSample& window) const {
+  return score(window) > threshold_;
+}
+
+}  // namespace mlad::baselines

@@ -1,0 +1,58 @@
+// Isolation Forest baseline ("IF" rows of Tables IV/V), after Liu, Ting &
+// Zhou [55]: an ensemble of random isolation trees built on subsamples;
+// anomalies isolate in few splits, so short average path lengths score high.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/window.hpp"
+#include "common/rng.hpp"
+
+namespace mlad::baselines {
+
+struct IsolationForestConfig {
+  std::size_t trees = 100;
+  std::size_t subsample = 256;
+  std::uint64_t seed = 17;
+};
+
+class IsolationForest final : public WindowDetector {
+ public:
+  explicit IsolationForest(const IsolationForestConfig& config = {})
+      : config_(config) {}
+
+  void fit(std::span<const WindowSample> train,
+           std::span<const WindowSample> calibration,
+           double acceptable_fpr) override;
+
+  /// The standard anomaly score s(x) = 2^(−E[h(x)] / c(ψ)) ∈ (0, 1).
+  double score(const WindowSample& window) const override;
+  bool is_anomalous(const WindowSample& window) const override;
+  const char* name() const override { return "IF"; }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 marks a leaf
+    double split = 0.0;
+    std::size_t size = 0;   ///< leaf: samples that landed here
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> build(std::vector<std::vector<double>>& points,
+                              std::size_t depth, std::size_t height_limit,
+                              Rng& rng);
+  double path_length(const Node* node, std::span<const double> x,
+                     double depth) const;
+
+  IsolationForestConfig config_;
+  std::vector<std::unique_ptr<Node>> forest_;
+  double c_psi_ = 1.0;  ///< average unsuccessful-BST-search normalizer
+  double threshold_ = 0.0;
+};
+
+/// c(n): average path length of unsuccessful BST search over n points.
+double average_path_length(std::size_t n);
+
+}  // namespace mlad::baselines

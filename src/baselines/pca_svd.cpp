@@ -1,0 +1,66 @@
+#include "baselines/pca_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/eigen.hpp"
+
+namespace mlad::baselines {
+
+void PcaSvd::fit(std::span<const WindowSample> train,
+                 std::span<const WindowSample> calibration,
+                 double acceptable_fpr) {
+  if (train.empty()) throw std::invalid_argument("PcaSvd::fit: no samples");
+  std::vector<std::vector<double>> numeric;
+  numeric.reserve(train.size());
+  for (const auto& w : train) numeric.push_back(w.numeric);
+  scaler_ = StandardScaler::fit(numeric);
+  const std::vector<std::vector<double>> x = scaler_.transform_all(numeric);
+
+  const std::size_t dim = x[0].size();
+  const SymmetricEigen eig = jacobi_eigen(covariance_matrix(x), dim);
+
+  double total_var = 0.0;
+  for (double v : eig.eigenvalues) total_var += std::max(v, 0.0);
+  components_.clear();
+  double captured = 0.0;
+  for (std::size_t i = 0; i < eig.eigenvalues.size(); ++i) {
+    if (config_.max_components > 0 &&
+        components_.size() >= config_.max_components) {
+      break;
+    }
+    if (total_var > 0.0 && captured / total_var >= config_.explained_variance &&
+        !components_.empty()) {
+      break;
+    }
+    components_.push_back(eig.eigenvectors[i]);
+    captured += std::max(eig.eigenvalues[i], 0.0);
+  }
+
+  std::vector<double> scores;
+  scores.reserve(calibration.size());
+  for (const auto& w : calibration) scores.push_back(score(w));
+  threshold_ = calibrate_threshold(std::move(scores), acceptable_fpr);
+}
+
+double PcaSvd::score(const WindowSample& window) const {
+  if (components_.empty()) throw std::logic_error("PcaSvd::score before fit");
+  const std::vector<double> z = scaler_.transform(window.numeric);
+  // Residual² = ||z||² − ||Uz||² for orthonormal rows U.
+  double norm2 = 0.0;
+  for (double v : z) norm2 += v * v;
+  double proj2 = 0.0;
+  for (const auto& comp : components_) {
+    double dot = 0.0;
+    for (std::size_t d = 0; d < z.size(); ++d) dot += comp[d] * z[d];
+    proj2 += dot * dot;
+  }
+  return std::max(0.0, norm2 - proj2);
+}
+
+bool PcaSvd::is_anomalous(const WindowSample& window) const {
+  return score(window) > threshold_;
+}
+
+}  // namespace mlad::baselines

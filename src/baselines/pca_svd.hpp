@@ -1,0 +1,44 @@
+// PCA-SVD baseline ("PCA-SVD" rows of Tables IV/V), following the protocol
+// of Shirazi et al. [52]: principal components of the (contaminated,
+// unlabeled) training windows are extracted from the covariance spectrum;
+// a window's anomaly score is its reconstruction error after projecting
+// onto the retained subspace.
+#pragma once
+
+#include <vector>
+
+#include "baselines/scaler.hpp"
+#include "baselines/window.hpp"
+
+namespace mlad::baselines {
+
+struct PcaSvdConfig {
+  /// Retain the smallest component count explaining this variance fraction.
+  double explained_variance = 0.90;
+  /// Hard cap on retained components (0 = no cap).
+  std::size_t max_components = 0;
+};
+
+class PcaSvd final : public WindowDetector {
+ public:
+  explicit PcaSvd(const PcaSvdConfig& config = {}) : config_(config) {}
+
+  void fit(std::span<const WindowSample> train,
+           std::span<const WindowSample> calibration,
+           double acceptable_fpr) override;
+
+  /// Squared reconstruction error in the standardized space.
+  double score(const WindowSample& window) const override;
+  bool is_anomalous(const WindowSample& window) const override;
+  const char* name() const override { return "PCA-SVD"; }
+
+  std::size_t retained_components() const { return components_.size(); }
+
+ private:
+  PcaSvdConfig config_;
+  StandardScaler scaler_;
+  std::vector<std::vector<double>> components_;  ///< orthonormal rows
+  double threshold_ = 0.0;
+};
+
+}  // namespace mlad::baselines

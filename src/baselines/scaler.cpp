@@ -1,0 +1,53 @@
+#include "baselines/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mlad::baselines {
+
+StandardScaler StandardScaler::fit(
+    std::span<const std::vector<double>> rows) {
+  if (rows.empty()) throw std::invalid_argument("StandardScaler: no rows");
+  const std::size_t dim = rows[0].size();
+  StandardScaler s;
+  s.mean_.assign(dim, 0.0);
+  s.stddev_.assign(dim, 0.0);
+  for (const auto& r : rows) {
+    if (r.size() != dim) throw std::invalid_argument("StandardScaler: ragged rows");
+    for (std::size_t d = 0; d < dim; ++d) s.mean_[d] += r[d];
+  }
+  for (double& m : s.mean_) m /= static_cast<double>(rows.size());
+  for (const auto& r : rows) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = r[d] - s.mean_[d];
+      s.stddev_[d] += diff * diff;
+    }
+  }
+  for (double& v : s.stddev_) {
+    v = std::sqrt(v / static_cast<double>(rows.size()));
+    if (v < 1e-12) v = 1.0;  // constant dimension: identity scaling
+  }
+  return s;
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> row) const {
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler::transform: dim mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    out[d] = (row[d] - mean_[d]) / stddev_[d];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform_all(
+    std::span<const std::vector<double>> rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(transform(r));
+  return out;
+}
+
+}  // namespace mlad::baselines

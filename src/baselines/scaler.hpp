@@ -1,0 +1,29 @@
+// Per-dimension standardization used by the numeric baselines: z-scores
+// computed on training data, applied everywhere (constant dimensions pass
+// through untouched so attacks on otherwise-constant channels still show).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlad::baselines {
+
+class StandardScaler {
+ public:
+  /// Fit mean/stddev per dimension. All rows must share a dimension.
+  static StandardScaler fit(std::span<const std::vector<double>> rows);
+
+  std::vector<double> transform(std::span<const double> row) const;
+  std::vector<std::vector<double>> transform_all(
+      std::span<const std::vector<double>> rows) const;
+
+  std::size_t dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace mlad::baselines

@@ -1,0 +1,122 @@
+#include "baselines/svdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "signature/kmeans.hpp"  // squared_distance
+
+namespace mlad::baselines {
+namespace {
+
+/// Project onto the intersection of the simplex {Σα = 1} and the box
+/// [0, C]^n (alternating projections; converges fast for this geometry).
+void project_box_simplex(std::vector<double>& alpha, double c) {
+  for (int pass = 0; pass < 50; ++pass) {
+    // Box first.
+    for (double& a : alpha) a = std::clamp(a, 0.0, c);
+    double sum = 0.0;
+    for (double a : alpha) sum += a;
+    const double shift = (1.0 - sum) / static_cast<double>(alpha.size());
+    if (std::abs(1.0 - sum) < 1e-9) return;
+    for (double& a : alpha) a += shift;
+  }
+  // Final clamp + renormalize to stay feasible even if not fully converged.
+  double sum = 0.0;
+  for (double& a : alpha) {
+    a = std::clamp(a, 0.0, c);
+    sum += a;
+  }
+  if (sum > 0.0) {
+    for (double& a : alpha) a /= sum;
+  }
+}
+
+}  // namespace
+
+double Svdd::kernel(std::span<const double> a, std::span<const double> b) const {
+  return std::exp(-gamma_ * sig::squared_distance(a, b));
+}
+
+void Svdd::fit(std::span<const WindowSample> train,
+               std::span<const WindowSample> calibration,
+               double acceptable_fpr) {
+  if (train.empty()) throw std::invalid_argument("Svdd::fit: no samples");
+  std::vector<std::vector<double>> numeric;
+  numeric.reserve(train.size());
+  for (const auto& w : train) numeric.push_back(w.numeric);
+  scaler_ = StandardScaler::fit(numeric);
+
+  // Subsample for the dual problem.
+  Rng rng(config_.seed);
+  std::vector<std::size_t> idx(train.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const std::size_t m = std::min(config_.max_train, train.size());
+  support_.clear();
+  support_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    support_.push_back(scaler_.transform(numeric[idx[i]]));
+  }
+  gamma_ = config_.gamma > 0.0
+               ? config_.gamma
+               : 1.0 / static_cast<double>(support_[0].size());
+
+  // The box must admit a feasible point: C ≥ 1/m.
+  const double c = std::max(config_.c, 1.0 / static_cast<double>(m) + 1e-9);
+
+  // Precompute the kernel matrix (m ≤ ~1200 → ≤ 1.5M doubles).
+  std::vector<double> k(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      const double v = kernel(support_[i], support_[j]);
+      k[i * m + j] = v;
+      k[j * m + i] = v;
+    }
+  }
+
+  alpha_.assign(m, 1.0 / static_cast<double>(m));
+  std::vector<double> grad(m);
+  for (std::size_t it = 0; it < config_.iterations; ++it) {
+    // grad = 2Kα
+    for (std::size_t i = 0; i < m; ++i) {
+      double g = 0.0;
+      const double* row = k.data() + i * m;
+      for (std::size_t j = 0; j < m; ++j) g += row[j] * alpha_[j];
+      grad[i] = 2.0 * g;
+    }
+    const double step = config_.learning_rate / static_cast<double>(it + 1);
+    for (std::size_t i = 0; i < m; ++i) alpha_[i] -= step * grad[i];
+    project_box_simplex(alpha_, c);
+  }
+
+  // Threshold from anomaly-free calibration scores.
+  std::vector<double> scores;
+  scores.reserve(calibration.size());
+  for (const auto& w : calibration) scores.push_back(score(w));
+  threshold_ = calibrate_threshold(std::move(scores), acceptable_fpr);
+}
+
+double Svdd::score(const WindowSample& window) const {
+  if (support_.empty()) throw std::logic_error("Svdd::score before fit");
+  const std::vector<double> z = scaler_.transform(window.numeric);
+  // ||φ(z) − center||² = 1 − 2Σαᵢk(xᵢ,z) + const; report the variable part.
+  double s = 0.0;
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    if (alpha_[i] <= 1e-12) continue;
+    s += alpha_[i] * kernel(support_[i], z);
+  }
+  return 1.0 - 2.0 * s;
+}
+
+bool Svdd::is_anomalous(const WindowSample& window) const {
+  return score(window) > threshold_;
+}
+
+std::size_t Svdd::support_vector_count() const {
+  std::size_t n = 0;
+  for (double a : alpha_) n += a > 1e-12 ? 1 : 0;
+  return n;
+}
+
+}  // namespace mlad::baselines

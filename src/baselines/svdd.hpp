@@ -1,0 +1,53 @@
+// Support Vector Data Description baseline ("SVDD" rows of Tables IV/V),
+// after Tax & Duin [54]: the smallest hypersphere in Gaussian-kernel feature
+// space enclosing the normal data. We solve the dual
+//     min_α  αᵀKα   s.t.  0 ≤ αᵢ ≤ C,  Σαᵢ = 1        (K(i,i) = 1 for RBF)
+// by projected gradient descent on a training subsample, and score test
+// windows by their kernel-space distance to the learned center.
+#pragma once
+
+#include <vector>
+
+#include "baselines/scaler.hpp"
+#include "baselines/window.hpp"
+#include "common/rng.hpp"
+
+namespace mlad::baselines {
+
+struct SvddConfig {
+  double c = 0.05;               ///< box constraint (outlier fraction bound)
+  double gamma = 0.0;            ///< RBF width; 0 → 1/dim heuristic
+  std::size_t max_train = 1200;  ///< dual subsample size
+  std::size_t iterations = 300;  ///< projected-gradient steps
+  double learning_rate = 0.5;
+  std::uint64_t seed = 99;
+};
+
+class Svdd final : public WindowDetector {
+ public:
+  explicit Svdd(const SvddConfig& config = {}) : config_(config) {}
+
+  void fit(std::span<const WindowSample> train,
+           std::span<const WindowSample> calibration,
+           double acceptable_fpr) override;
+
+  /// Squared kernel-space distance to the sphere center (up to the constant
+  /// αᵀKα term, which cancels in thresholding).
+  double score(const WindowSample& window) const override;
+  bool is_anomalous(const WindowSample& window) const override;
+  const char* name() const override { return "SVDD"; }
+
+  std::size_t support_vector_count() const;
+
+ private:
+  double kernel(std::span<const double> a, std::span<const double> b) const;
+
+  SvddConfig config_;
+  StandardScaler scaler_;
+  double gamma_ = 1.0;
+  std::vector<std::vector<double>> support_;  ///< scaled training subsample
+  std::vector<double> alpha_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace mlad::baselines

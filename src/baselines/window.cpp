@@ -1,0 +1,61 @@
+#include "baselines/window.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+WindowSample build_window(std::span<const ics::Package> packages,
+                          std::span<const sig::RawRow> rows, std::size_t start,
+                          const sig::Discretizer& discretizer) {
+  WindowSample w;
+  for (std::size_t j = 0; j < kWindowPackages; ++j) {
+    const sig::RawRow& raw = rows[start + j];
+    w.numeric.insert(w.numeric.end(), raw.begin(), raw.end());
+    const sig::DiscreteRow d = discretizer.transform(raw);
+    w.discrete.insert(w.discrete.end(), d.begin(), d.end());
+    const ics::Package& p = packages[start + j];
+    if (w.label == ics::AttackType::kNormal && p.is_attack()) {
+      w.label = p.label;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<WindowSample> make_windows(std::span<const ics::Package> packages,
+                                       const sig::Discretizer& discretizer,
+                                       std::size_t stride) {
+  std::vector<WindowSample> out;
+  if (packages.size() < kWindowPackages || stride == 0) return out;
+  const std::vector<sig::RawRow> rows = ics::to_raw_rows(packages);
+  out.reserve((packages.size() - kWindowPackages) / stride + 1);
+  for (std::size_t start = 0; start + kWindowPackages <= packages.size();
+       start += stride) {
+    out.push_back(build_window(packages, rows, start, discretizer));
+  }
+  return out;
+}
+
+std::vector<WindowSample> make_fragment_windows(
+    std::span<const ics::PackageFragment> fragments,
+    const sig::Discretizer& discretizer, std::size_t stride) {
+  std::vector<WindowSample> out;
+  for (const auto& f : fragments) {
+    auto w = make_windows(f, discretizer, stride);
+    out.insert(out.end(), std::make_move_iterator(w.begin()),
+               std::make_move_iterator(w.end()));
+  }
+  return out;
+}
+
+double calibrate_threshold(std::vector<double> scores, double fpr) {
+  if (scores.empty()) return 0.0;
+  fpr = std::clamp(fpr, 0.0, 1.0);
+  return quantile(std::move(scores), 1.0 - fpr);
+}
+
+}  // namespace mlad::baselines

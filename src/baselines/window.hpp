@@ -1,0 +1,70 @@
+// Command/response-cycle windowing shared by every baseline model.
+//
+// §VIII-C: "we combine four consecutive packages, representing a complete
+// command response cycle in the gas pipeline dataset, as a single data
+// sample for training and testing". Each window carries both the numeric
+// concatenation (for SVDD / IF / GMM / PCA-SVD) and the discretized
+// concatenation (for the window Bloom filter and the Bayesian network).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ics/attack.hpp"
+#include "ics/dataset.hpp"
+#include "ics/features.hpp"
+#include "signature/discretizer.hpp"
+
+namespace mlad::baselines {
+
+inline constexpr std::size_t kWindowPackages = 4;
+
+struct WindowSample {
+  std::vector<double> numeric;    ///< concatenated raw rows (4 × 17)
+  sig::DiscreteRow discrete;      ///< concatenated discrete rows (4 × o)
+  ics::AttackType label = ics::AttackType::kNormal;
+
+  bool is_attack() const { return label != ics::AttackType::kNormal; }
+};
+
+/// Slide a 4-package window over a package stream with the given stride
+/// (default 1: overlapping windows, so every cycle alignment appears in
+/// training — injected packets shift the live stream's phase arbitrarily).
+/// A window is labeled by its first attack package (Normal if none). The
+/// discretizer must already be fitted (on the training split).
+std::vector<WindowSample> make_windows(std::span<const ics::Package> packages,
+                                       const sig::Discretizer& discretizer,
+                                       std::size_t stride = 1);
+
+/// Windows over anomaly-free fragments (training/validation material).
+std::vector<WindowSample> make_fragment_windows(
+    std::span<const ics::PackageFragment> fragments,
+    const sig::Discretizer& discretizer, std::size_t stride = 1);
+
+/// Abstract one-class window detector: fit on normal windows, score
+/// anything. Higher scores mean "more anomalous".
+class WindowDetector {
+ public:
+  virtual ~WindowDetector() = default;
+
+  /// Fit on normal-only training windows; `calibration` (also anomaly-free)
+  /// sets the detection threshold at the given acceptable FPR.
+  virtual void fit(std::span<const WindowSample> train,
+                   std::span<const WindowSample> calibration,
+                   double acceptable_fpr) = 0;
+
+  /// Anomaly score (monotone in suspicion; scale is model-specific).
+  virtual double score(const WindowSample& window) const = 0;
+
+  /// Thresholded decision.
+  virtual bool is_anomalous(const WindowSample& window) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Threshold for a target FPR from calibration scores: the empirical
+/// (1 - fpr) quantile, so ~fpr of normal windows score above it.
+double calibrate_threshold(std::vector<double> scores, double fpr);
+
+}  // namespace mlad::baselines

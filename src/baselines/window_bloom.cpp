@@ -1,0 +1,37 @@
+#include "baselines/window_bloom.hpp"
+
+#include <string>
+#include <unordered_set>
+
+namespace mlad::baselines {
+
+std::string WindowBloom::window_signature(const WindowSample& window) {
+  std::string s;
+  s.reserve(window.discrete.size() * 3);
+  for (std::size_t i = 0; i < window.discrete.size(); ++i) {
+    if (i) s += ':';
+    s += std::to_string(window.discrete[i]);
+  }
+  return s;
+}
+
+void WindowBloom::fit(std::span<const WindowSample> train,
+                      std::span<const WindowSample> /*calibration*/,
+                      double /*acceptable_fpr*/) {
+  // Count distinct signatures first so the filter is sized correctly.
+  std::unordered_set<std::string> unique;
+  for (const auto& w : train) unique.insert(window_signature(w));
+  bloom_ = bloom::BloomFilter::with_capacity(
+      std::max<std::size_t>(unique.size(), 1), bloom_fpr_);
+  for (const auto& s : unique) bloom_->insert(s);
+}
+
+double WindowBloom::score(const WindowSample& window) const {
+  return bloom_->contains(window_signature(window)) ? 0.0 : 1.0;
+}
+
+bool WindowBloom::is_anomalous(const WindowSample& window) const {
+  return score(window) > 0.5;
+}
+
+}  // namespace mlad::baselines

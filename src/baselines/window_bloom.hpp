@@ -1,0 +1,38 @@
+// Window Bloom-filter baseline ("BF" rows of Tables IV/V).
+//
+// The same signature idea as the package-level detector, but over whole
+// 4-package command/response cycles: the window's concatenated discrete
+// vector is serialized to a string signature and stored in a Bloom filter.
+// (The 4× concatenation overflows the 64-bit mixed-radix packing, so this
+// detector uses the paper's string form of g(·).)
+#pragma once
+
+#include <optional>
+
+#include "baselines/window.hpp"
+#include "bloom/bloom_filter.hpp"
+
+namespace mlad::baselines {
+
+class WindowBloom final : public WindowDetector {
+ public:
+  explicit WindowBloom(double bloom_fpr = 1e-4) : bloom_fpr_(bloom_fpr) {}
+
+  void fit(std::span<const WindowSample> train,
+           std::span<const WindowSample> calibration,
+           double acceptable_fpr) override;
+
+  double score(const WindowSample& window) const override;
+  bool is_anomalous(const WindowSample& window) const override;
+  const char* name() const override { return "BF"; }
+
+  const bloom::BloomFilter& bloom() const { return *bloom_; }
+
+ private:
+  static std::string window_signature(const WindowSample& window);
+
+  double bloom_fpr_;
+  std::optional<bloom::BloomFilter> bloom_;
+};
+
+}  // namespace mlad::baselines

@@ -1,0 +1,145 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mlad::bloom {
+
+BloomParams BloomParams::optimal(std::uint64_t expected_items,
+                                 double target_fpr) {
+  if (expected_items == 0) expected_items = 1;
+  if (target_fpr <= 0.0 || target_fpr >= 1.0) {
+    throw std::invalid_argument("BloomParams: target_fpr must be in (0,1)");
+  }
+  const double ln2 = std::log(2.0);
+  const double m = std::ceil(-static_cast<double>(expected_items) *
+                             std::log(target_fpr) / (ln2 * ln2));
+  const double k =
+      std::round(m / static_cast<double>(expected_items) * ln2);
+  BloomParams p;
+  p.bits = static_cast<std::uint64_t>(std::max(m, 64.0));
+  p.hashes = static_cast<std::uint32_t>(std::max(k, 1.0));
+  return p;
+}
+
+BloomFilter::BloomFilter(std::uint64_t bits, std::uint32_t hashes)
+    : bits_(bits), hashes_(hashes), words_((bits + 63) / 64, 0) {
+  if (bits == 0 || hashes == 0) {
+    throw std::invalid_argument("BloomFilter: bits and hashes must be > 0");
+  }
+}
+
+BloomFilter BloomFilter::with_capacity(std::uint64_t expected_items,
+                                       double target_fpr) {
+  const BloomParams p = BloomParams::optimal(expected_items, target_fpr);
+  return BloomFilter(p.bits, p.hashes);
+}
+
+void BloomFilter::set_bit(std::uint64_t pos) {
+  words_[pos >> 6] |= (1ull << (pos & 63));
+}
+
+bool BloomFilter::get_bit(std::uint64_t pos) const {
+  return (words_[pos >> 6] >> (pos & 63)) & 1ull;
+}
+
+void BloomFilter::insert(std::string_view key) {
+  const HashPair hp = base_hashes(key);
+  for (std::uint32_t i = 0; i < hashes_; ++i) set_bit(nth_hash(hp, i, bits_));
+  ++inserted_;
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  const HashPair hp = base_hashes(key);
+  for (std::uint32_t i = 0; i < hashes_; ++i) set_bit(nth_hash(hp, i, bits_));
+  ++inserted_;
+}
+
+bool BloomFilter::contains(std::string_view key) const {
+  const HashPair hp = base_hashes(key);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    if (!get_bit(nth_hash(hp, i, bits_))) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::contains(std::uint64_t key) const {
+  const HashPair hp = base_hashes(key);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    if (!get_bit(nth_hash(hp, i, bits_))) return false;
+  }
+  return true;
+}
+
+std::uint64_t BloomFilter::popcount() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+  return n;
+}
+
+double BloomFilter::estimated_fpr() const {
+  const double fill =
+      static_cast<double>(popcount()) / static_cast<double>(bits_);
+  return std::pow(fill, static_cast<double>(hashes_));
+}
+
+double BloomFilter::estimated_cardinality() const {
+  const double set = static_cast<double>(popcount());
+  const double m = static_cast<double>(bits_);
+  const double k = static_cast<double>(hashes_);
+  if (set >= m) return m;  // saturated
+  return -(m / k) * std::log(1.0 - set / m);
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  if (bits_ != other.bits_ || hashes_ != other.hashes_) {
+    throw std::invalid_argument("BloomFilter::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  inserted_ += other.inserted_;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+void BloomFilter::save(std::ostream& out) const {
+  const char magic[8] = {'M', 'L', 'A', 'D', 'B', 'F', '0', '1'};
+  out.write(magic, sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&bits_), sizeof(bits_));
+  out.write(reinterpret_cast<const char*>(&hashes_), sizeof(hashes_));
+  out.write(reinterpret_cast<const char*>(&inserted_), sizeof(inserted_));
+  out.write(reinterpret_cast<const char*>(words_.data()),
+            static_cast<std::streamsize>(words_.size() * sizeof(std::uint64_t)));
+  if (!out) throw std::runtime_error("BloomFilter::save: write failure");
+}
+
+BloomFilter BloomFilter::load(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  const char expect[8] = {'M', 'L', 'A', 'D', 'B', 'F', '0', '1'};
+  if (!in || std::memcmp(magic, expect, sizeof(expect)) != 0) {
+    throw std::runtime_error("BloomFilter::load: bad magic");
+  }
+  std::uint64_t bits = 0;
+  std::uint32_t hashes = 0;
+  std::uint64_t inserted = 0;
+  in.read(reinterpret_cast<char*>(&bits), sizeof(bits));
+  in.read(reinterpret_cast<char*>(&hashes), sizeof(hashes));
+  in.read(reinterpret_cast<char*>(&inserted), sizeof(inserted));
+  if (!in) throw std::runtime_error("BloomFilter::load: truncated header");
+  BloomFilter bf(bits, hashes);
+  bf.inserted_ = inserted;
+  in.read(reinterpret_cast<char*>(bf.words_.data()),
+          static_cast<std::streamsize>(bf.words_.size() * sizeof(std::uint64_t)));
+  if (!in) throw std::runtime_error("BloomFilter::load: truncated bit array");
+  return bf;
+}
+
+}  // namespace mlad::bloom

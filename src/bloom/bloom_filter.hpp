@@ -1,0 +1,78 @@
+// Bloom filter (§IV-C): an m-bit vector plus k derived hash functions used
+// as the package-level signature store. Lookups can raise false positives
+// but never false negatives — the property the package-level detector's
+// "signature ∉ B ⇒ anomaly" rule relies on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "bloom/hashing.hpp"
+
+namespace mlad::bloom {
+
+/// Sizing for a target capacity and false-positive rate.
+struct BloomParams {
+  std::uint64_t bits = 0;    ///< m
+  std::uint32_t hashes = 0;  ///< k
+
+  /// Optimal m = ceil(-n ln p / ln²2), k = round(m/n · ln 2), clamped ≥ 1.
+  static BloomParams optimal(std::uint64_t expected_items, double target_fpr);
+};
+
+class BloomFilter {
+ public:
+  /// Construct with explicit m (bits) and k (hash count).
+  BloomFilter(std::uint64_t bits, std::uint32_t hashes);
+  /// Construct from capacity/FPR targets.
+  static BloomFilter with_capacity(std::uint64_t expected_items,
+                                   double target_fpr);
+
+  void insert(std::string_view key);
+  void insert(std::uint64_t key);
+  bool contains(std::string_view key) const;
+  bool contains(std::uint64_t key) const;
+
+  std::uint64_t bit_count() const { return bits_; }
+  std::uint32_t hash_count() const { return hashes_; }
+  std::uint64_t inserted() const { return inserted_; }
+
+  /// Number of set bits.
+  std::uint64_t popcount() const;
+
+  /// Expected FPR given the current fill: (set_bits / m)^k.
+  double estimated_fpr() const;
+
+  /// Estimated distinct insertions from the fill ratio
+  /// (−m/k · ln(1 − set/m)), the standard cardinality estimator.
+  double estimated_cardinality() const;
+
+  /// Byte footprint of the bit array (the paper reports 684 KB for the
+  /// whole two-level model).
+  std::uint64_t memory_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  /// In-place union with a filter of identical geometry. Throws otherwise.
+  void merge(const BloomFilter& other);
+
+  void clear();
+
+  /// Binary round trip.
+  void save(std::ostream& out) const;
+  static BloomFilter load(std::istream& in);
+
+  bool operator==(const BloomFilter& other) const = default;
+
+ private:
+  void set_bit(std::uint64_t pos);
+  bool get_bit(std::uint64_t pos) const;
+  void apply_hashes(const HashPair& hp, bool insert_mode, bool& all_set);
+
+  std::uint64_t bits_;
+  std::uint32_t hashes_;
+  std::uint64_t inserted_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mlad::bloom

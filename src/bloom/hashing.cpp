@@ -1,0 +1,40 @@
+#include "bloom/hashing.hpp"
+
+namespace mlad::bloom {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+HashPair base_hashes(std::string_view bytes) {
+  const std::uint64_t h1 = fnv1a64(bytes);
+  // Derive the second hash by re-mixing; distinct constant stream ensures
+  // independence in practice (verified by the FPR property tests).
+  const std::uint64_t h2 = splitmix64(h1 ^ 0xc3a5c85c97cb3127ull);
+  return {h1, h2};
+}
+
+HashPair base_hashes(std::uint64_t key) {
+  const std::uint64_t h1 = splitmix64(key);
+  const std::uint64_t h2 = splitmix64(key ^ 0x9ae16a3b2f90404full);
+  return {h1, h2};
+}
+
+std::uint64_t nth_hash(const HashPair& hp, std::uint64_t i, std::uint64_t m) {
+  const std::uint64_t odd_h2 = hp.h2 | 1ull;
+  return (hp.h1 + i * odd_h2) % m;
+}
+
+}  // namespace mlad::bloom

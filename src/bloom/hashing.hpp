@@ -1,0 +1,38 @@
+// Hash functions for the Bloom filter (§IV-C).
+//
+// The paper requires "k different predefined hash functions"; we derive them
+// with the Kirsch–Mitzenmacher double-hashing construction
+//   h_i(e) = h1(e) + i · h2(e)  (mod m)
+// which provably preserves the Bloom filter's asymptotic false-positive
+// behaviour while needing only two independent base hashes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mlad::bloom {
+
+/// FNV-1a 64-bit over raw bytes.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// splitmix64 finalizer — used both as the second base hash and as a cheap
+/// integer mixer for numeric signatures.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// A pair of independent base hashes for double hashing.
+struct HashPair {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+/// Base hashes of a byte string.
+HashPair base_hashes(std::string_view bytes);
+
+/// Base hashes of a pre-hashed 64-bit key (e.g. packed signatures).
+HashPair base_hashes(std::uint64_t key);
+
+/// i-th derived hash, reduced mod `m`. h2 is forced odd so the probe
+/// sequence cycles through all positions when m is a power of two.
+std::uint64_t nth_hash(const HashPair& hp, std::uint64_t i, std::uint64_t m);
+
+}  // namespace mlad::bloom

@@ -1,0 +1,219 @@
+#include "common/arff.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace mlad {
+namespace {
+
+// Parse "@attribute name {a,b,c}" or "@attribute name numeric" etc.
+ArffAttribute parse_attribute(std::string_view rest, std::size_t line_no) {
+  rest = trim(rest);
+  if (rest.empty()) {
+    throw std::runtime_error("ARFF line " + std::to_string(line_no) +
+                             ": empty @attribute declaration");
+  }
+  ArffAttribute attr;
+  // Attribute name: possibly quoted.
+  std::size_t pos = 0;
+  if (rest[0] == '\'' || rest[0] == '"') {
+    const char quote = rest[0];
+    const std::size_t close = rest.find(quote, 1);
+    if (close == std::string_view::npos) {
+      throw std::runtime_error("ARFF line " + std::to_string(line_no) +
+                               ": unterminated quoted attribute name");
+    }
+    attr.name = std::string(rest.substr(1, close - 1));
+    pos = close + 1;
+  } else {
+    const std::size_t ws = rest.find_first_of(" \t");
+    if (ws == std::string_view::npos) {
+      throw std::runtime_error("ARFF line " + std::to_string(line_no) +
+                               ": @attribute missing type");
+    }
+    attr.name = std::string(rest.substr(0, ws));
+    pos = ws;
+  }
+  std::string_view type_part = trim(rest.substr(pos));
+  if (type_part.empty()) {
+    throw std::runtime_error("ARFF line " + std::to_string(line_no) +
+                             ": @attribute missing type");
+  }
+  if (type_part.front() == '{') {
+    if (type_part.back() != '}') {
+      throw std::runtime_error("ARFF line " + std::to_string(line_no) +
+                               ": unterminated nominal specification");
+    }
+    attr.type = ArffType::kNominal;
+    const auto inner = type_part.substr(1, type_part.size() - 2);
+    for (const auto& v : split(inner, ',')) {
+      std::string_view t = trim(v);
+      if (!t.empty() && (t.front() == '\'' || t.front() == '"') &&
+          t.size() >= 2 && t.back() == t.front()) {
+        t = t.substr(1, t.size() - 2);
+      }
+      attr.nominal_values.emplace_back(t);
+    }
+  } else if (istarts_with(type_part, "numeric") ||
+             istarts_with(type_part, "real") ||
+             istarts_with(type_part, "integer")) {
+    attr.type = ArffType::kNumeric;
+  } else if (istarts_with(type_part, "string")) {
+    attr.type = ArffType::kString;
+  } else {
+    // Date and relational attributes are not used by the gas-pipeline data;
+    // treat anything else as string so parsing still succeeds.
+    attr.type = ArffType::kString;
+  }
+  return attr;
+}
+
+ArffValue parse_value(std::string_view raw, const ArffAttribute& attr,
+                      std::size_t line_no) {
+  std::string_view t = trim(raw);
+  ArffValue v;
+  if (t == "?") return v;  // missing
+  if (!t.empty() && (t.front() == '\'' || t.front() == '"') && t.size() >= 2 &&
+      t.back() == t.front()) {
+    t = t.substr(1, t.size() - 2);
+  }
+  if (attr.type == ArffType::kNumeric) {
+    const auto d = parse_double(t);
+    if (!d) {
+      throw std::runtime_error("ARFF line " + std::to_string(line_no) +
+                               ": bad numeric value '" + std::string(t) +
+                               "' for attribute " + attr.name);
+    }
+    v.number = *d;
+  } else {
+    v.symbol = std::string(t);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<std::size_t> ArffDocument::attribute_index(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < attributes.size(); ++i) {
+    if (iequals(attributes[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> ArffDocument::numeric_column(std::size_t index,
+                                                 double fill) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    const ArffValue& v = row.at(index);
+    out.push_back(v.number ? *v.number : fill);
+  }
+  return out;
+}
+
+ArffDocument read_arff(std::istream& in) {
+  ArffDocument doc;
+  std::string line;
+  bool in_data = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '%') continue;
+    if (!in_data) {
+      if (istarts_with(sv, "@relation")) {
+        doc.relation = std::string(trim(sv.substr(9)));
+      } else if (istarts_with(sv, "@attribute")) {
+        doc.attributes.push_back(parse_attribute(sv.substr(10), line_no));
+      } else if (istarts_with(sv, "@data")) {
+        in_data = true;
+      } else {
+        throw std::runtime_error("ARFF line " + std::to_string(line_no) +
+                                 ": unexpected header line");
+      }
+      continue;
+    }
+    const CsvRow fields = parse_csv_line(sv);
+    if (fields.size() != doc.attributes.size()) {
+      throw std::runtime_error(
+          "ARFF line " + std::to_string(line_no) + ": expected " +
+          std::to_string(doc.attributes.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<ArffValue> row;
+    row.reserve(fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      row.push_back(parse_value(fields[i], doc.attributes[i], line_no));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  if (doc.attributes.empty()) {
+    throw std::runtime_error("ARFF: no @attribute declarations found");
+  }
+  return doc;
+}
+
+ArffDocument read_arff_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_arff_file: cannot open " + path);
+  return read_arff(in);
+}
+
+void write_arff(std::ostream& out, const ArffDocument& doc) {
+  out << "@relation " << (doc.relation.empty() ? "dataset" : doc.relation)
+      << "\n\n";
+  for (const auto& attr : doc.attributes) {
+    out << "@attribute " << attr.name << ' ';
+    switch (attr.type) {
+      case ArffType::kNumeric:
+        out << "numeric";
+        break;
+      case ArffType::kString:
+        out << "string";
+        break;
+      case ArffType::kNominal: {
+        out << '{';
+        for (std::size_t i = 0; i < attr.nominal_values.size(); ++i) {
+          if (i) out << ',';
+          out << attr.nominal_values[i];
+        }
+        out << '}';
+        break;
+      }
+    }
+    out << '\n';
+  }
+  out << "\n@data\n";
+  std::ostringstream cell;
+  for (const auto& row : doc.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      const ArffValue& v = row[i];
+      if (v.missing()) {
+        out << '?';
+      } else if (v.number) {
+        cell.str("");
+        cell << *v.number;
+        out << cell.str();
+      } else {
+        out << csv_escape(*v.symbol);
+      }
+    }
+    out << '\n';
+  }
+}
+
+void write_arff_file(const std::string& path, const ArffDocument& doc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_arff_file: cannot open " + path);
+  write_arff(out, doc);
+}
+
+}  // namespace mlad

@@ -1,0 +1,60 @@
+// ARFF (Attribute-Relation File Format) reader/writer.
+//
+// The gas-pipeline dataset the paper evaluates on [Morris et al. 2015] is
+// distributed as ARFF. We implement enough of the format to load that file
+// unchanged (numeric + nominal attributes, '?' missing values, % comments)
+// and to write our simulator's output in the same shape, so the real dataset
+// and the synthetic one are interchangeable everywhere downstream.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mlad {
+
+/// Declared type of an ARFF attribute.
+enum class ArffType { kNumeric, kNominal, kString };
+
+/// One @attribute declaration.
+struct ArffAttribute {
+  std::string name;
+  ArffType type = ArffType::kNumeric;
+  std::vector<std::string> nominal_values;  ///< populated for kNominal
+};
+
+/// A single data cell. Missing values ('?') are nullopt.
+struct ArffValue {
+  std::optional<double> number;       ///< set for numeric attributes
+  std::optional<std::string> symbol;  ///< set for nominal/string attributes
+
+  bool missing() const { return !number && !symbol; }
+};
+
+/// Parsed ARFF document.
+struct ArffDocument {
+  std::string relation;
+  std::vector<ArffAttribute> attributes;
+  std::vector<std::vector<ArffValue>> rows;
+
+  /// Index of an attribute by (case-insensitive) name, or nullopt.
+  std::optional<std::size_t> attribute_index(const std::string& name) const;
+
+  /// Extract a numeric column; missing values become `fill`.
+  std::vector<double> numeric_column(std::size_t index, double fill = 0.0) const;
+};
+
+/// Parse from a stream. Throws std::runtime_error on malformed input.
+ArffDocument read_arff(std::istream& in);
+
+/// Parse from a file. Throws std::runtime_error if unopenable/malformed.
+ArffDocument read_arff_file(const std::string& path);
+
+/// Serialize to a stream.
+void write_arff(std::ostream& out, const ArffDocument& doc);
+
+/// Serialize to a file. Throws std::runtime_error if unopenable.
+void write_arff_file(const std::string& path, const ArffDocument& doc);
+
+}  // namespace mlad

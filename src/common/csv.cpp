@@ -1,0 +1,84 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mlad {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // ignore CR of CRLF
+    } else {
+      field += c;
+    }
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::vector<CsvRow> read_csv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(parse_csv_line(line));
+  }
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in);
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv_line(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(row[i]);
+  }
+  return out;
+}
+
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows) {
+  for (const auto& row : rows) out << to_csv_line(row) << '\n';
+}
+
+}  // namespace mlad

@@ -1,0 +1,35 @@
+// Minimal CSV reader/writer (RFC-4180-ish: quoted fields, embedded commas).
+//
+// Used for exporting experiment series (bench output consumed by plotting
+// scripts) and for loading auxiliary data files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlad {
+
+/// One parsed CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Parse a single CSV line honoring double-quote escaping.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Read all rows from a stream; blank lines are skipped.
+std::vector<CsvRow> read_csv(std::istream& in);
+
+/// Read all rows from a file. Throws std::runtime_error if unopenable.
+std::vector<CsvRow> read_csv_file(const std::string& path);
+
+/// Escape a field per RFC 4180 when needed.
+std::string csv_escape(std::string_view field);
+
+/// Serialize one row.
+std::string to_csv_line(const CsvRow& row);
+
+/// Append rows to a stream.
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows);
+
+}  // namespace mlad

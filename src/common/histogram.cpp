@@ -1,0 +1,82 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlad {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) hi_ = lo + 1.0;  // degenerate range: single-point data
+  bin_width_ = (hi_ - lo_) / static_cast<double>(bins);
+}
+
+Histogram Histogram::fit(std::span<const double> xs, std::size_t bins) {
+  if (xs.empty()) return Histogram(0.0, 1.0, bins);
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  Histogram h(*mn, *mx, bins);
+  h.add_all(xs);
+  return h;
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const auto b = static_cast<std::size_t>((x - lo_) / bin_width_);
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+std::vector<std::size_t> Histogram::top_bins(std::size_t n) const {
+  std::vector<std::size_t> idx(counts_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return counts_[a] > counts_[b];
+  });
+  idx.resize(std::min(n, idx.size()));
+  return idx;
+}
+
+std::string Histogram::ascii(std::size_t rows, std::size_t width) const {
+  std::ostringstream out;
+  if (total_ == 0) return "(empty histogram)\n";
+  // Re-bucket into at most `rows` display rows.
+  const std::size_t group = std::max<std::size_t>(1, counts_.size() / rows);
+  std::size_t max_count = 0;
+  std::vector<std::pair<double, std::size_t>> rowdata;
+  for (std::size_t start = 0; start < counts_.size(); start += group) {
+    std::size_t c = 0;
+    const std::size_t end = std::min(start + group, counts_.size());
+    for (std::size_t i = start; i < end; ++i) c += counts_[i];
+    const double center = (bin_center(start) + bin_center(end - 1)) / 2.0;
+    rowdata.emplace_back(center, c);
+    max_count = std::max(max_count, c);
+  }
+  for (const auto& [center, c] : rowdata) {
+    const auto bar =
+        max_count == 0 ? 0 : (c * width) / max_count;
+    out << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%12.4f", center);
+    out << buf << " | " << std::string(bar, '#') << ' ' << c << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mlad

@@ -1,0 +1,53 @@
+// Fixed-width histogram used for Figure 4 (feature value distributions)
+// and for diagnostics throughout the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mlad {
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets.
+///
+/// Values outside the range are clamped into the first/last bucket so that
+/// every observation is counted (the paper's Fig. 4 plots full feature
+/// distributions with 200 bins).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Build a histogram spanning exactly the min/max of `xs`.
+  static Histogram fit(std::span<const double> xs, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Center value of a bucket.
+  double bin_center(std::size_t bin) const;
+  /// Index of the bucket a value falls into.
+  std::size_t bin_of(double x) const;
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+  /// Indices of the `n` most populated buckets, descending by count.
+  std::vector<std::size_t> top_bins(std::size_t n) const;
+
+  /// Render an ASCII bar chart (one row per non-empty bucket group) for
+  /// experiment logs; `width` is the maximum bar length in characters.
+  std::string ascii(std::size_t rows = 20, std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mlad

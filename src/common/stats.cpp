@@ -1,0 +1,71 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlad {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(xs.size());
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("pearson: need at least 2 points");
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  }
+  cov /= static_cast<double>(xs.size());
+  return cov / (sx.stddev * sy.stddev);
+}
+
+double entropy_from_counts(std::span<const std::size_t> counts) {
+  double total = 0.0;
+  for (std::size_t c : counts) total += static_cast<double>(c);
+  if (total == 0.0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace mlad

@@ -1,0 +1,33 @@
+// Small descriptive-statistics helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mlad {
+
+/// Summary of a univariate sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One-pass summary of `xs` (population variance). Empty input yields zeros.
+Summary summarize(std::span<const double> xs);
+
+/// Sample quantile with linear interpolation, q in [0,1]. Throws on empty.
+double quantile(std::vector<double> xs, double q);
+
+/// Pearson correlation of two equal-length samples. Throws on size mismatch
+/// or length < 2; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Shannon entropy (nats) of a discrete distribution given by counts.
+double entropy_from_counts(std::span<const std::size_t> counts);
+
+}  // namespace mlad

@@ -1,0 +1,35 @@
+// String helpers used by the CSV/ARFF parsers and signature generation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlad {
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercased copy (ASCII).
+std::string to_lower(std::string_view s);
+
+/// Parse a double, returning nullopt on malformed input.
+std::optional<double> parse_double(std::string_view s);
+
+/// Parse a non-negative integer, returning nullopt on malformed input.
+std::optional<long long> parse_int(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-insensitive).
+bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace mlad

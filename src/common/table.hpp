@@ -1,0 +1,60 @@
+// Fixed-width ASCII table printer for the experiment harnesses, so each
+// bench binary reproduces the paper's tables as readable console output.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mlad {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Render with column alignment and a header separator.
+  std::string str() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        out += "| " + cell + std::string(widths[i] - cell.size(), ' ') + ' ';
+      }
+      out += "|\n";
+    };
+    emit(header_);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out += "|-" + std::string(widths[i], '-') + '-';
+    }
+    out += "|\n";
+    for (const auto& r : rows_) emit(r);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (helper for table cells).
+inline std::string fixed(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace mlad

@@ -1,0 +1,98 @@
+#include "detect/combined.hpp"
+
+namespace mlad::detect {
+namespace {
+
+std::vector<sig::RawRow> flatten(
+    std::span<const std::vector<sig::RawRow>> fragments) {
+  std::vector<sig::RawRow> rows;
+  std::size_t total = 0;
+  for (const auto& f : fragments) total += f.size();
+  rows.reserve(total);
+  for (const auto& f : fragments) rows.insert(rows.end(), f.begin(), f.end());
+  return rows;
+}
+
+}  // namespace
+
+CombinedDetector::CombinedDetector(
+    std::span<const std::vector<sig::RawRow>> train_fragments,
+    std::span<const std::vector<sig::RawRow>> validation_fragments,
+    std::span<const sig::FeatureSpec> specs, const CombinedConfig& config,
+    Rng& rng, std::span<const std::vector<sig::RawRow>> signature_only_train,
+    std::span<const std::vector<sig::RawRow>> signature_only_validation) {
+  std::vector<sig::RawRow> train_rows = flatten(train_fragments);
+  {
+    const std::vector<sig::RawRow> extra = flatten(signature_only_train);
+    train_rows.insert(train_rows.end(), extra.begin(), extra.end());
+  }
+  package_ = std::make_unique<PackageLevelDetector>(train_rows, specs, rng,
+                                                    config.package);
+
+  std::vector<sig::RawRow> validation_rows = flatten(validation_fragments);
+  {
+    const std::vector<sig::RawRow> extra = flatten(signature_only_validation);
+    validation_rows.insert(validation_rows.end(), extra.begin(), extra.end());
+  }
+  package_validation_error_ = package_->validation_error(validation_rows);
+
+  // Discretize the fragments once for LSTM training / validation.
+  auto discretize = [&](std::span<const std::vector<sig::RawRow>> frags) {
+    std::vector<DiscreteFragment> out;
+    out.reserve(frags.size());
+    for (const auto& f : frags) {
+      out.push_back(package_->discretizer().transform_all(f));
+    }
+    return out;
+  };
+  const std::vector<DiscreteFragment> train_disc = discretize(train_fragments);
+  const std::vector<DiscreteFragment> val_disc = discretize(validation_fragments);
+
+  timeseries_ = std::make_unique<TimeSeriesDetector>(
+      package_->database(), package_->discretizer().cardinalities(),
+      config.timeseries, rng);
+  training_losses_ = timeseries_->train(train_disc, rng);
+  timeseries_->choose_k(val_disc);
+}
+
+CombinedDetector::CombinedDetector(
+    std::unique_ptr<PackageLevelDetector> package,
+    std::unique_ptr<TimeSeriesDetector> timeseries)
+    : package_(std::move(package)), timeseries_(std::move(timeseries)) {
+  if (!package_ || !timeseries_) {
+    throw std::invalid_argument("CombinedDetector: null component");
+  }
+}
+
+CombinedDetector::Stream CombinedDetector::make_stream() const {
+  Stream s;
+  s.ts = timeseries_->make_stream();
+  return s;
+}
+
+CombinedVerdict CombinedDetector::classify_and_consume(
+    Stream& stream, std::span<const double> raw) const {
+  return classify_and_consume(stream, raw, timeseries_->k());
+}
+
+CombinedVerdict CombinedDetector::classify_and_consume(Stream& stream,
+                                                       std::span<const double> raw,
+                                                       std::size_t k) const {
+  CombinedVerdict verdict;
+  const PackageVerdict pkg = package_->classify(raw);
+  if (pkg.anomaly) {
+    // Bloom miss: anomalous without consulting the LSTM (Fig. 3).
+    verdict.package_level = true;
+    verdict.anomaly = true;
+  } else {
+    verdict.timeseries_level =
+        timeseries_->is_anomalous(stream.ts, pkg.signature_id, k);
+    verdict.anomaly = verdict.timeseries_level;
+  }
+  // All packages, normal or anomalous, extend the time-series input; the
+  // noisy bit carries the verdict forward.
+  timeseries_->consume(stream.ts, pkg.discrete, verdict.anomaly);
+  return verdict;
+}
+
+}  // namespace mlad::detect

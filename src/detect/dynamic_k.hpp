@@ -1,0 +1,63 @@
+// Dynamic-k extension (§VIII-D / §IX future work): "allow the value of k
+// for time-series level anomaly detection to be adjusted dynamically during
+// the detection phase".
+//
+// Mechanism: a small feedback controller around the combined detector. The
+// validation top-k error that fixed k was chosen against is an *expected
+// alarm-rate budget*; at run time the controller tracks the EWMA of the
+// time-series stage's alarm rate and walks k up when the stage fires far
+// above budget (likely noise-driven false alarms) and back down when it is
+// far below (headroom to be more sensitive). k stays inside [k_min, k_max]
+// and adaptation freezes while the package level is firing, since Bloom
+// alarms indicate genuinely foreign traffic rather than top-k borderline
+// noise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "detect/combined.hpp"
+
+namespace mlad::detect {
+
+struct DynamicKConfig {
+  std::size_t k_min = 1;
+  std::size_t k_max = 10;
+  /// Budget for the time-series stage's alarm rate on normal traffic —
+  /// typically the θ used to choose the static k.
+  double target_rate = 0.05;
+  /// EWMA smoothing factor for the observed alarm rate.
+  double ewma_alpha = 0.02;
+  /// Hysteresis band: adjust only when the EWMA leaves
+  /// [target/band_factor, target*band_factor].
+  double band_factor = 2.0;
+  /// Minimum packages between adjustments (settling time).
+  std::size_t cooldown = 50;
+};
+
+/// Per-stream adaptive monitor. Wraps a CombinedDetector stream and owns
+/// the evolving k.
+class DynamicKMonitor {
+ public:
+  DynamicKMonitor(const CombinedDetector& detector,
+                  const DynamicKConfig& config);
+
+  /// Classify one package with the current k, then adapt.
+  CombinedVerdict classify_and_consume(std::span<const double> raw);
+
+  std::size_t current_k() const { return k_; }
+  double alarm_rate_ewma() const { return ewma_; }
+  /// Number of k adjustments made so far (up + down).
+  std::size_t adjustments() const { return adjustments_; }
+
+ private:
+  const CombinedDetector* detector_;
+  DynamicKConfig config_;
+  CombinedDetector::Stream stream_;
+  std::size_t k_;
+  double ewma_;
+  std::size_t since_adjust_ = 0;
+  std::size_t adjustments_ = 0;
+};
+
+}  // namespace mlad::detect

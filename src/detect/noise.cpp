@@ -1,0 +1,57 @@
+#include "detect/noise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlad::detect {
+
+double corruption_probability(double lambda, std::size_t count) {
+  if (lambda <= 0.0) return 0.0;
+  return lambda / (lambda + static_cast<double>(count));
+}
+
+std::size_t corrupt_row(sig::DiscreteRow& row,
+                        std::span<const std::size_t> cardinalities,
+                        std::size_t max_corrupted, Rng& rng) {
+  if (row.empty()) return 0;
+  max_corrupted = std::clamp<std::size_t>(max_corrupted, 1, row.size());
+  const auto d = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(max_corrupted)));
+
+  // Choose d distinct feature positions.
+  std::vector<std::size_t> positions(row.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  rng.shuffle(positions);
+
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < positions.size() && changed < d; ++i) {
+    const std::size_t f = positions[i];
+    const std::size_t card = cardinalities[f];
+    if (card < 2) continue;  // cannot change a single-valued feature
+    // Draw a *different* value: sample in [0, card-2] and skip the current.
+    auto v = static_cast<std::uint16_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(card) - 2));
+    if (v >= row[f]) ++v;
+    row[f] = v;
+    ++changed;
+  }
+  return changed;
+}
+
+bool maybe_corrupt(sig::DiscreteRow& row,
+                   std::span<const std::size_t> cardinalities,
+                   const sig::SignatureDatabase& db, const NoiseConfig& config,
+                   Rng& rng) {
+  if (!config.enabled) return false;
+  const auto id = db.id_of(row);
+  // Unknown signatures (possible only for inputs outside the training set)
+  // count as frequency zero — maximally likely to be treated as noise.
+  const std::size_t count = id ? db.count(*id) : 0;
+  if (!rng.bernoulli(corruption_probability(config.lambda, count))) {
+    return false;
+  }
+  corrupt_row(row, cardinalities, config.max_corrupted_features, rng);
+  return true;
+}
+
+}  // namespace mlad::detect

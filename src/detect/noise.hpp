@@ -1,0 +1,53 @@
+// Probabilistic-noise training augmentation (§V-A-3).
+//
+// When a package feeds the time-series input during training, with
+// probability p = λ/(λ + #(s(x(t)))) its discretized vector is corrupted:
+// d ~ U[1, l] randomly chosen features are changed to different values, and
+// the extra feature c(t)_{o+1} — the "noisy bit" — is set to 1. Signatures
+// that are rare in training are corrupted more often, mimicking anomalies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/rng.hpp"
+#include "signature/discretizer.hpp"
+#include "signature/signature_db.hpp"
+
+namespace mlad::detect {
+
+struct NoiseConfig {
+  bool enabled = true;
+  /// λ — expected anomaly frequency scale. The paper uses 10 for its
+  /// attack-dense dataset and recommends much smaller values in production.
+  double lambda = 10.0;
+  /// l — upper bound (inclusive) on how many features one corruption
+  /// touches; must be < number of features.
+  std::size_t max_corrupted_features = 3;
+  /// When a corruption fires, probability that the noisy package is
+  /// *inserted* as an extra step (target = the upcoming real signature,
+  /// mimicking an injected attack packet that does not advance the real
+  /// process) rather than replacing the step in place. Injection attacks
+  /// add packets, so the model must learn insertion-invariance.
+  double insertion_fraction = 0.5;
+};
+
+/// Corruption probability for a signature seen `count` times in training.
+double corruption_probability(double lambda, std::size_t count);
+
+/// Corrupt `row` in place: d ~ U[1, max_corrupted] distinct features are
+/// reassigned to a *different* value uniformly drawn from that feature's
+/// range (out-of-range id included). Returns the number of changed features.
+std::size_t corrupt_row(sig::DiscreteRow& row,
+                        std::span<const std::size_t> cardinalities,
+                        std::size_t max_corrupted, Rng& rng);
+
+/// Apply the §V-A-3 schedule to one package: decides whether to corrupt
+/// based on the signature's training count; returns true (and corrupts)
+/// when noise was applied — the caller then sets the noisy bit.
+bool maybe_corrupt(sig::DiscreteRow& row,
+                   std::span<const std::size_t> cardinalities,
+                   const sig::SignatureDatabase& db, const NoiseConfig& config,
+                   Rng& rng);
+
+}  // namespace mlad::detect

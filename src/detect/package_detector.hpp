@@ -1,0 +1,66 @@
+// Package (content) level anomaly detector (§IV): discretize x(t) → c(t),
+// generate the signature s(x(t)), and test membership in the Bloom filter
+// that stores the anomaly-free signature database.
+//
+//   F_p(x(t)) = 1  iff  s(x(t)) ∉ B
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "bloom/bloom_filter.hpp"
+#include "common/rng.hpp"
+#include "signature/discretizer.hpp"
+#include "signature/signature_db.hpp"
+
+namespace mlad::detect {
+
+struct PackageDetectorConfig {
+  /// FPR budget of the Bloom filter itself, *on top of* the discretization
+  /// validation error (kept tiny so the filter never dominates).
+  double bloom_fpr = 1e-4;
+};
+
+/// Result of classifying one package at the content level.
+struct PackageVerdict {
+  bool anomaly = false;
+  sig::DiscreteRow discrete;                ///< c(t)
+  std::optional<std::size_t> signature_id;  ///< dense id when in the database
+};
+
+class PackageLevelDetector {
+ public:
+  /// Fit discretizer on `train_rows` with `specs`, build the signature
+  /// database and its Bloom filter.
+  PackageLevelDetector(std::span<const sig::RawRow> train_rows,
+                       std::span<const sig::FeatureSpec> specs, Rng& rng,
+                       const PackageDetectorConfig& config = {});
+
+  /// Reassemble from persisted components (deserialization path).
+  PackageLevelDetector(sig::Discretizer discretizer,
+                       sig::SignatureDatabase database,
+                       bloom::BloomFilter bloom);
+
+  /// Classify one raw package feature vector.
+  PackageVerdict classify(std::span<const double> raw) const;
+
+  /// Validation error = estimated package-level FPR (§IV-B): fraction of
+  /// (anomaly-free) rows whose signature misses the database.
+  double validation_error(std::span<const sig::RawRow> rows) const;
+
+  const sig::Discretizer& discretizer() const { return discretizer_; }
+  const sig::SignatureDatabase& database() const { return database_; }
+  const bloom::BloomFilter& bloom() const { return bloom_; }
+
+  /// Bloom bit-array + discretizer footprint (paper §VIII-A2 reports the
+  /// combined model at 684 KB).
+  std::size_t memory_bytes() const;
+
+ private:
+  sig::Discretizer discretizer_;
+  sig::SignatureDatabase database_;
+  bloom::BloomFilter bloom_;
+};
+
+}  // namespace mlad::detect

@@ -1,0 +1,57 @@
+#include "detect/pipeline.hpp"
+
+#include "common/stopwatch.hpp"
+#include "ics/features.hpp"
+
+namespace mlad::detect {
+
+std::vector<std::vector<sig::RawRow>> fragment_raw_rows(
+    std::span<const ics::PackageFragment> fragments) {
+  std::vector<std::vector<sig::RawRow>> out;
+  out.reserve(fragments.size());
+  for (const auto& f : fragments) out.push_back(ics::fragment_rows(f));
+  return out;
+}
+
+TrainedFramework train_framework(std::span<const ics::Package> capture,
+                                 const PipelineConfig& config) {
+  TrainedFramework tf;
+  tf.split = ics::split_dataset(capture, config.split);
+
+  const auto train_rows = fragment_raw_rows(tf.split.train_fragments);
+  const auto val_rows = fragment_raw_rows(tf.split.validation_fragments);
+  const std::vector<sig::FeatureSpec> specs =
+      config.specs.empty() ? ics::default_feature_specs() : config.specs;
+
+  const auto train_short = fragment_raw_rows(tf.split.train_short_fragments);
+  const auto val_short = fragment_raw_rows(tf.split.validation_short_fragments);
+
+  Rng rng(config.seed);
+  Stopwatch sw;
+  tf.detector = std::make_unique<CombinedDetector>(
+      train_rows, val_rows, specs, config.combined, rng, train_short,
+      val_short);
+  tf.train_seconds = sw.elapsed_seconds();
+  return tf;
+}
+
+EvaluationResult evaluate_framework(const CombinedDetector& detector,
+                                    std::span<const ics::Package> test) {
+  EvaluationResult result;
+  const std::vector<sig::RawRow> rows = ics::to_raw_rows(test);
+  CombinedDetector::Stream stream = detector.make_stream();
+  Stopwatch sw;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const CombinedVerdict v = detector.classify_and_consume(stream, rows[i]);
+    result.confusion.record(test[i].is_attack(), v.anomaly);
+    result.per_attack.record(test[i].label, v.anomaly);
+    if (v.package_level) ++result.package_level_alarms;
+    if (v.timeseries_level) ++result.timeseries_level_alarms;
+  }
+  if (!test.empty()) {
+    result.avg_classify_us = sw.elapsed_us() / static_cast<double>(test.size());
+  }
+  return result;
+}
+
+}  // namespace mlad::detect

@@ -1,0 +1,203 @@
+#include "detect/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace mlad::detect {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'A', 'D', 'F', 'W', '0', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("load_framework: truncated stream");
+  return v;
+}
+
+void write_f64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+double read_f64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("load_framework: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  if (n > (1u << 20)) throw std::runtime_error("load_framework: string too big");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("load_framework: truncated string");
+  return s;
+}
+
+void write_doubles(std::ostream& out, const std::vector<double>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  std::vector<double> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in) throw std::runtime_error("load_framework: truncated doubles");
+  return v;
+}
+
+void write_feature(std::ostream& out, const sig::FittedFeature& f) {
+  write_string(out, f.spec.name);
+  write_u64(out, static_cast<std::uint64_t>(f.spec.kind));
+  write_u64(out, f.spec.source_columns.size());
+  for (std::size_t c : f.spec.source_columns) write_u64(out, c);
+  write_u64(out, f.spec.bins);
+  write_u64(out, f.cardinality);
+  write_doubles(out, f.observed_values);
+  write_u64(out, f.kmeans.has_value() ? 1 : 0);
+  if (f.kmeans) {
+    write_u64(out, f.kmeans->centroids.size());
+    for (const auto& c : f.kmeans->centroids) write_doubles(out, c);
+    write_doubles(out, f.kmeans->max_radius);
+  }
+  write_f64(out, f.lo);
+  write_f64(out, f.hi);
+}
+
+sig::FittedFeature read_feature(std::istream& in) {
+  sig::FittedFeature f;
+  f.spec.name = read_string(in);
+  f.spec.kind = static_cast<sig::FeatureKind>(read_u64(in));
+  const std::uint64_t n_cols = read_u64(in);
+  for (std::uint64_t i = 0; i < n_cols; ++i) {
+    f.spec.source_columns.push_back(read_u64(in));
+  }
+  f.spec.bins = read_u64(in);
+  f.cardinality = read_u64(in);
+  f.observed_values = read_doubles(in);
+  if (read_u64(in) != 0) {
+    sig::KmeansResult km;
+    const std::uint64_t n_centroids = read_u64(in);
+    for (std::uint64_t i = 0; i < n_centroids; ++i) {
+      km.centroids.push_back(read_doubles(in));
+    }
+    km.max_radius = read_doubles(in);
+    f.kmeans = std::move(km);
+  }
+  f.lo = read_f64(in);
+  f.hi = read_f64(in);
+  return f;
+}
+
+}  // namespace
+
+void save_framework(std::ostream& out, const CombinedDetector& detector) {
+  out.write(kMagic, sizeof(kMagic));
+
+  // Section 1: discretizer.
+  const sig::Discretizer& disc = detector.package_level().discretizer();
+  write_u64(out, disc.feature_count());
+  for (std::size_t i = 0; i < disc.feature_count(); ++i) {
+    write_feature(out, disc.feature(i));
+  }
+
+  // Section 2: signature database.
+  const sig::SignatureDatabase& db = detector.package_level().database();
+  const auto& cards = db.generator().cardinalities();
+  write_u64(out, cards.size());
+  for (std::size_t c : cards) write_u64(out, c);
+  write_u64(out, db.size());
+  for (std::size_t id = 0; id < db.size(); ++id) {
+    write_u64(out, db.key_of(id));
+    write_u64(out, db.count(id));
+  }
+
+  // Section 3: Bloom filter.
+  detector.package_level().bloom().save(out);
+
+  // Section 4: LSTM model + k.
+  nn::save_model(out, detector.timeseries_level().model());
+  write_u64(out, detector.timeseries_level().k());
+
+  if (!out) throw std::runtime_error("save_framework: write failure");
+}
+
+void save_framework_file(const std::string& path,
+                         const CombinedDetector& detector) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_framework_file: cannot open " + path);
+  save_framework(out, detector);
+}
+
+std::unique_ptr<CombinedDetector> load_framework(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_framework: bad magic");
+  }
+
+  // Section 1: discretizer.
+  const std::uint64_t n_features = read_u64(in);
+  std::vector<sig::FittedFeature> features;
+  for (std::uint64_t i = 0; i < n_features; ++i) {
+    features.push_back(read_feature(in));
+  }
+  sig::Discretizer disc = sig::Discretizer::from_features(std::move(features));
+
+  // Section 2: signature database.
+  const std::uint64_t n_cards = read_u64(in);
+  std::vector<std::size_t> cards;
+  for (std::uint64_t i = 0; i < n_cards; ++i) cards.push_back(read_u64(in));
+  const std::uint64_t n_sigs = read_u64(in);
+  std::vector<std::uint64_t> keys;
+  std::vector<std::size_t> counts;
+  for (std::uint64_t i = 0; i < n_sigs; ++i) {
+    keys.push_back(read_u64(in));
+    counts.push_back(read_u64(in));
+  }
+  sig::SignatureDatabase db = sig::SignatureDatabase::from_parts(
+      sig::SignatureGenerator(cards), std::move(keys), std::move(counts));
+
+  // Section 3: Bloom filter.
+  bloom::BloomFilter bf = bloom::BloomFilter::load(in);
+
+  // Section 4: LSTM + k.
+  nn::SequenceModel model = nn::load_model(in);
+  const std::size_t k = read_u64(in);
+
+  auto package = std::make_unique<PackageLevelDetector>(
+      std::move(disc), std::move(db), std::move(bf));
+  TimeSeriesConfig ts_cfg;
+  ts_cfg.hidden_dims = model.config().hidden_dims;
+  auto timeseries = std::make_unique<TimeSeriesDetector>(
+      package->database(), package->discretizer().cardinalities(), ts_cfg,
+      std::move(model), k);
+  return std::make_unique<CombinedDetector>(std::move(package),
+                                            std::move(timeseries));
+}
+
+std::unique_ptr<CombinedDetector> load_framework_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_framework_file: cannot open " + path);
+  return load_framework(in);
+}
+
+}  // namespace mlad::detect

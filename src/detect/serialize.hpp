@@ -1,0 +1,25 @@
+// Whole-framework persistence: train the two-level detector offline (the
+// paper trains "in a standalone, non-operational ICS mode") and ship the
+// compact artifact — discretizer, signature database, Bloom filter and LSTM
+// — to the network-traffic monitor, where it is loaded read-only.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "detect/combined.hpp"
+
+namespace mlad::detect {
+
+/// Write the full combined detector (versioned, little-endian binary).
+void save_framework(std::ostream& out, const CombinedDetector& detector);
+void save_framework_file(const std::string& path,
+                         const CombinedDetector& detector);
+
+/// Rebuild a detector from a stream. Throws std::runtime_error on bad
+/// magic, truncation, or internally inconsistent sections.
+std::unique_ptr<CombinedDetector> load_framework(std::istream& in);
+std::unique_ptr<CombinedDetector> load_framework_file(const std::string& path);
+
+}  // namespace mlad::detect

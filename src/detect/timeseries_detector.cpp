@@ -1,0 +1,200 @@
+#include "detect/timeseries_detector.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/softmax.hpp"
+
+namespace mlad::detect {
+namespace {
+
+nn::SequenceModelConfig model_config(const sig::SignatureDatabase& db,
+                                     std::span<const std::size_t> cards,
+                                     const TimeSeriesConfig& config) {
+  nn::SequenceModelConfig mc;
+  std::size_t one_hot = 0;
+  for (std::size_t c : cards) one_hot += c;
+  mc.input_dim = one_hot + 1;  // +1: the noisy bit c(t)_{o+1}
+  mc.num_classes = db.size();
+  mc.hidden_dims = config.hidden_dims;
+  return mc;
+}
+
+}  // namespace
+
+TimeSeriesDetector::TimeSeriesDetector(const sig::SignatureDatabase& db,
+                                       std::vector<std::size_t> cardinalities,
+                                       const TimeSeriesConfig& config,
+                                       Rng& rng)
+    : db_(&db),
+      cardinalities_(std::move(cardinalities)),
+      config_(config),
+      model_(model_config(db, cardinalities_, config)) {
+  model_.init_params(rng);
+}
+
+TimeSeriesDetector::TimeSeriesDetector(const sig::SignatureDatabase& db,
+                                       std::vector<std::size_t> cardinalities,
+                                       const TimeSeriesConfig& config,
+                                       nn::SequenceModel model, std::size_t k)
+    : db_(&db),
+      cardinalities_(std::move(cardinalities)),
+      config_(config),
+      model_(std::move(model)),
+      k_(k) {
+  std::size_t one_hot = 1;  // the noisy bit
+  for (std::size_t c : cardinalities_) one_hot += c;
+  if (model_.input_dim() != one_hot || model_.num_classes() != db.size()) {
+    throw std::invalid_argument(
+        "TimeSeriesDetector: model shape does not match database/schema");
+  }
+}
+
+nn::Fragment TimeSeriesDetector::encode_fragment(const DiscreteFragment& frag,
+                                                 bool with_noise,
+                                                 Rng* rng) const {
+  nn::Fragment out;
+  if (frag.size() < 2) return out;
+  out.inputs.reserve(frag.size() - 1);
+  out.targets.reserve(frag.size() - 1);
+  std::vector<float> x;
+  for (std::size_t t = 0; t + 1 < frag.size(); ++t) {
+    // Target: the TRUE signature of the next package (never corrupted).
+    const auto id = db_->id_of(frag[t + 1]);
+    if (!id) {
+      throw std::invalid_argument(
+          "TimeSeriesDetector: training fragment contains a signature "
+          "missing from the database");
+    }
+
+    sig::DiscreteRow row = frag[t];
+    bool noisy = false;
+    bool insert = false;
+    if (with_noise && rng != nullptr) {
+      noisy = maybe_corrupt(row, cardinalities_, *db_, config_.noise, *rng);
+      insert = noisy && rng->bernoulli(config_.noise.insertion_fraction);
+    }
+
+    if (insert) {
+      // Insertion mode: the clean package first (phase advances as usual)…
+      sig::one_hot_encode(frag[t], cardinalities_, /*extra_bits=*/1, x);
+      out.inputs.push_back(x);
+      out.targets.push_back(*id);
+      // …then the noisy extra packet, after which the SAME real signature
+      // is still due — exactly an injected packet's effect on the stream.
+      sig::one_hot_encode(row, cardinalities_, /*extra_bits=*/1, x);
+      x.back() = 1.0f;
+      out.inputs.push_back(x);
+      out.targets.push_back(*id);
+    } else {
+      sig::one_hot_encode(row, cardinalities_, /*extra_bits=*/1, x);
+      if (noisy) x.back() = 1.0f;
+      out.inputs.push_back(x);
+      out.targets.push_back(*id);
+    }
+  }
+  return out;
+}
+
+std::vector<double> TimeSeriesDetector::train(
+    std::span<const DiscreteFragment> fragments, Rng& rng) {
+  nn::Adam opt(config_.learning_rate);
+  const auto slots = model_.param_slots();
+
+  std::vector<std::size_t> order(fragments.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> epoch_losses;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t fi : order) {
+      // Noise is re-sampled every epoch (fresh corruption draws).
+      const nn::Fragment frag =
+          encode_fragment(fragments[fi], config_.noise.enabled, &rng);
+      if (frag.steps() == 0) continue;
+      const std::size_t truncate =
+          config_.truncate_steps == 0 ? frag.steps() : config_.truncate_steps;
+      for (std::size_t start = 0; start < frag.steps(); start += truncate) {
+        const std::size_t end = std::min(frag.steps(), start + truncate);
+        model_.zero_grads();
+        loss_sum += model_.train_fragment(
+            std::span(frag.inputs.data() + start, end - start),
+            std::span(frag.targets.data() + start, end - start));
+        steps += end - start;
+        nn::clip_global_norm(slots, config_.grad_clip);
+        opt.step(slots);
+      }
+    }
+    epoch_losses.push_back(steps ? loss_sum / static_cast<double>(steps) : 0.0);
+  }
+  return epoch_losses;
+}
+
+double TimeSeriesDetector::top_k_error(
+    std::span<const DiscreteFragment> fragments, std::size_t k) const {
+  // Streamed evaluation rather than encode_fragment: validation fragments
+  // may legitimately contain signatures absent from the training database
+  // (that's exactly the package-level validation error); such targets can
+  // never be inside S(k), so they count as guaranteed misses.
+  std::size_t misses = 0;
+  std::size_t total = 0;
+  std::vector<float> x;
+  std::vector<float> probs;
+  for (const DiscreteFragment& df : fragments) {
+    if (df.size() < 2) continue;
+    nn::SequenceModel::State state = model_.make_state();
+    for (std::size_t t = 0; t + 1 < df.size(); ++t) {
+      sig::one_hot_encode(df[t], cardinalities_, /*extra_bits=*/1, x);
+      model_.predict(state, x, probs);
+      const auto id = db_->id_of(df[t + 1]);
+      if (!id || !nn::in_top_k(probs, *id, k)) ++misses;
+      ++total;
+    }
+  }
+  return total ? static_cast<double>(misses) / static_cast<double>(total) : 0.0;
+}
+
+std::size_t TimeSeriesDetector::choose_k(
+    std::span<const DiscreteFragment> validation) {
+  for (std::size_t k = 1; k <= config_.max_k; ++k) {
+    if (top_k_error(validation, k) < config_.theta) {
+      k_ = k;
+      return k_;
+    }
+  }
+  k_ = config_.max_k;
+  return k_;
+}
+
+TimeSeriesDetector::Stream TimeSeriesDetector::make_stream() const {
+  Stream s;
+  s.model_state = model_.make_state();
+  return s;
+}
+
+bool TimeSeriesDetector::is_anomalous(
+    const Stream& stream, std::optional<std::size_t> signature_id) const {
+  return is_anomalous(stream, signature_id, k_);
+}
+
+bool TimeSeriesDetector::is_anomalous(const Stream& stream,
+                                      std::optional<std::size_t> signature_id,
+                                      std::size_t k) const {
+  if (!stream.has_prediction) return false;  // no history yet
+  if (!signature_id) return true;            // not even in the database
+  return !nn::in_top_k(stream.predicted, *signature_id, k);
+}
+
+void TimeSeriesDetector::consume(Stream& stream, const sig::DiscreteRow& row,
+                                 bool flagged_anomalous) const {
+  std::vector<float> x;
+  sig::one_hot_encode(row, cardinalities_, /*extra_bits=*/1, x);
+  if (flagged_anomalous) x.back() = 1.0f;
+  model_.predict(stream.model_state, x, stream.predicted);
+  stream.has_prediction = true;
+}
+
+}  // namespace mlad::detect

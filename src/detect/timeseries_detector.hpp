@@ -1,0 +1,120 @@
+// Time-series level anomaly detector (§V): a stacked LSTM softmax classifier
+// predicts the signature of the next package from the discretized history;
+// a package whose true signature falls outside the predicted top-k set is
+// anomalous:
+//
+//   F_t(x(t) | c(t-1), c(t-2), …) = 1  iff  s(x(t)) ∉ S(k)
+//
+// Training runs on anomaly-free fragments with optional probabilistic-noise
+// augmentation (§V-A-3); k is chosen as the minimal value whose validation
+// top-k error stays below the acceptable false-positive threshold θ (§V-B).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/noise.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequence_model.hpp"
+#include "nn/trainer.hpp"
+#include "signature/discretizer.hpp"
+#include "signature/signature_db.hpp"
+
+namespace mlad::detect {
+
+/// One anomaly-free fragment in discretized form.
+using DiscreteFragment = std::vector<sig::DiscreteRow>;
+
+struct TimeSeriesConfig {
+  /// Stacked layer widths. Paper: {256, 256}; benches default smaller so the
+  /// full harness stays CPU-friendly (MLAD_SCALE=paper restores 256).
+  std::vector<std::size_t> hidden_dims = {64, 64};
+  std::size_t epochs = 12;             ///< paper: 50
+  double learning_rate = 3e-3;
+  double grad_clip = 5.0;
+  std::size_t truncate_steps = 64;     ///< BPTT window
+  NoiseConfig noise;                   ///< §V-A-3 augmentation
+  double theta = 0.05;                 ///< acceptable FPR for choosing k
+  std::size_t max_k = 10;              ///< search bound for k
+};
+
+class TimeSeriesDetector {
+ public:
+  /// `db` must outlive the detector (owned by the enclosing framework).
+  TimeSeriesDetector(const sig::SignatureDatabase& db,
+                     std::vector<std::size_t> cardinalities,
+                     const TimeSeriesConfig& config, Rng& rng);
+
+  /// Reassemble around an already-trained model (deserialization path).
+  TimeSeriesDetector(const sig::SignatureDatabase& db,
+                     std::vector<std::size_t> cardinalities,
+                     const TimeSeriesConfig& config, nn::SequenceModel model,
+                     std::size_t k);
+
+  TimeSeriesDetector(const TimeSeriesDetector&) = delete;
+  TimeSeriesDetector& operator=(const TimeSeriesDetector&) = delete;
+  TimeSeriesDetector(TimeSeriesDetector&&) = default;
+
+  /// Train on anomaly-free fragments; returns mean per-step loss by epoch.
+  std::vector<double> train(std::span<const DiscreteFragment> fragments,
+                            Rng& rng);
+
+  /// Paper §V-B top-k error on (anomaly-free) fragments.
+  double top_k_error(std::span<const DiscreteFragment> fragments,
+                     std::size_t k) const;
+
+  /// Choose and store the minimal k with err_k < θ on validation data.
+  std::size_t choose_k(std::span<const DiscreteFragment> validation);
+
+  std::size_t k() const { return k_; }
+  void set_k(std::size_t k) { k_ = k; }
+
+  // ---- Streaming detection --------------------------------------------
+
+  /// Rolling detection state over one package stream.
+  struct Stream {
+    nn::SequenceModel::State model_state;
+    std::vector<float> predicted;  ///< Pr(s | history) for the NEXT package
+    bool has_prediction = false;   ///< false until the first package is seen
+  };
+
+  Stream make_stream() const;
+
+  /// Is the package's signature inside the predicted top-k set? Packages
+  /// arriving before any history (has_prediction == false) pass, as do
+  /// none-in-database signatures handled upstream by the Bloom stage.
+  bool is_anomalous(const Stream& stream,
+                    std::optional<std::size_t> signature_id) const;
+
+  /// Same test under an explicit k (dynamic-k extension, §VIII-D).
+  bool is_anomalous(const Stream& stream,
+                    std::optional<std::size_t> signature_id,
+                    std::size_t k) const;
+
+  /// Feed the package into the history (one-hot of c(t) plus the noisy bit
+  /// = `flagged_anomalous`, §V-A-3 detection-phase rule) and refresh the
+  /// prediction for the next package.
+  void consume(Stream& stream, const sig::DiscreteRow& row,
+               bool flagged_anomalous) const;
+
+  const nn::SequenceModel& model() const { return model_; }
+  nn::SequenceModel& model() { return model_; }
+  std::size_t memory_bytes() const { return model_.memory_bytes(); }
+  const TimeSeriesConfig& config() const { return config_; }
+
+ private:
+  /// Encode a fragment into training inputs/targets, optionally noisy.
+  nn::Fragment encode_fragment(const DiscreteFragment& frag, bool with_noise,
+                               Rng* rng) const;
+
+  const sig::SignatureDatabase* db_;
+  std::vector<std::size_t> cardinalities_;
+  TimeSeriesConfig config_;
+  nn::SequenceModel model_;
+  std::size_t k_ = 1;
+};
+
+}  // namespace mlad::detect

@@ -1,0 +1,33 @@
+#include "ics/attack.hpp"
+
+namespace mlad::ics {
+
+std::string_view attack_name(AttackType type) {
+  switch (type) {
+    case AttackType::kNormal: return "Normal";
+    case AttackType::kNmri: return "NMRI";
+    case AttackType::kCmri: return "CMRI";
+    case AttackType::kMsci: return "MSCI";
+    case AttackType::kMpci: return "MPCI";
+    case AttackType::kMfci: return "MFCI";
+    case AttackType::kDos: return "DoS";
+    case AttackType::kRecon: return "Recon";
+  }
+  return "?";
+}
+
+std::string_view attack_description(AttackType type) {
+  switch (type) {
+    case AttackType::kNormal: return "Benign traffic";
+    case AttackType::kNmri: return "Inject random response packets";
+    case AttackType::kCmri: return "Hide the real state of the controlled process";
+    case AttackType::kMsci: return "Inject malicious state commands";
+    case AttackType::kMpci: return "Inject malicious parameter commands";
+    case AttackType::kMfci: return "Inject malicious function code commands";
+    case AttackType::kDos: return "Denial of service targeting communication link";
+    case AttackType::kRecon: return "Pretend of reading from devices";
+  }
+  return "?";
+}
+
+}  // namespace mlad::ics

@@ -1,0 +1,43 @@
+// The seven attack types of Table II and the AutoIt-style attack injector.
+//
+// The dataset's traffic generator "randomly chooses to send legal commands
+// or launch cyber attacks" which "inject, delay, drop and alter network
+// traffic" (§VII). The injector mirrors that: between normal command/response
+// cycles it flips a biased coin and, when attacking, emits a burst of
+// packages of one attack class, tampering with the same fields the original
+// tooling tampered with.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mlad::ics {
+
+/// Table II attack taxonomy. kNormal labels benign traffic.
+enum class AttackType : std::uint8_t {
+  kNormal = 0,
+  kNmri = 1,   ///< Naive Malicious Response Injection: random response packets
+  kCmri = 2,   ///< Complex MRI: hide the real state of the process
+  kMsci = 3,   ///< Malicious State Command Injection
+  kMpci = 4,   ///< Malicious Parameter Command Injection
+  kMfci = 5,   ///< Malicious Function Code Injection
+  kDos = 6,    ///< Denial of service on the communication link
+  kRecon = 7,  ///< Reconnaissance: pretend reading from devices
+};
+
+inline constexpr std::size_t kAttackTypeCount = 8;  ///< including kNormal
+
+/// Table II short name ("NMRI", …); "Normal" for benign.
+std::string_view attack_name(AttackType type);
+
+/// Table II description line.
+std::string_view attack_description(AttackType type);
+
+/// All malicious types, in Table II order (for per-type reporting).
+inline constexpr AttackType kMaliciousTypes[] = {
+    AttackType::kNmri, AttackType::kCmri, AttackType::kMsci,
+    AttackType::kMpci, AttackType::kMfci, AttackType::kDos,
+    AttackType::kRecon,
+};
+
+}  // namespace mlad::ics

@@ -1,0 +1,38 @@
+#include "ics/crc16.hpp"
+
+#include <array>
+
+namespace mlad::ics {
+namespace {
+
+// 256-entry table for the reflected polynomial 0xA001, built at startup.
+constexpr std::array<std::uint16_t, 256> make_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint16_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? static_cast<std::uint16_t>((crc >> 1) ^ 0xA001u)
+                       : static_cast<std::uint16_t>(crc >> 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint16_t crc16_modbus_update(std::uint16_t crc,
+                                  std::span<const std::uint8_t> bytes) {
+  for (std::uint8_t b : bytes) {
+    crc = static_cast<std::uint16_t>((crc >> 8) ^ kTable[(crc ^ b) & 0xFFu]);
+  }
+  return crc;
+}
+
+std::uint16_t crc16_modbus(std::span<const std::uint8_t> bytes) {
+  return crc16_modbus_update(0xFFFFu, bytes);
+}
+
+}  // namespace mlad::ics

@@ -1,0 +1,20 @@
+// CRC-16/MODBUS (poly 0x8005 reflected → 0xA001, init 0xFFFF).
+//
+// The gas-pipeline testbed speaks Modbus RTU; the dataset's `crc rate`
+// feature derives from checksum verification of captured frames, so the
+// simulator computes real CRCs and the codec verifies them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mlad::ics {
+
+/// CRC of a byte buffer.
+std::uint16_t crc16_modbus(std::span<const std::uint8_t> bytes);
+
+/// Incremental variant: continue a CRC with more data (init with 0xFFFF).
+std::uint16_t crc16_modbus_update(std::uint16_t crc,
+                                  std::span<const std::uint8_t> bytes);
+
+}  // namespace mlad::ics

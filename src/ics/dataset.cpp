@@ -1,0 +1,94 @@
+#include "ics/dataset.hpp"
+
+#include <algorithm>
+
+namespace mlad::ics {
+
+std::size_t DatasetSplit::train_size() const {
+  std::size_t n = 0;
+  for (const auto& f : train_fragments) n += f.size();
+  return n;
+}
+
+std::size_t DatasetSplit::validation_size() const {
+  std::size_t n = 0;
+  for (const auto& f : validation_fragments) n += f.size();
+  return n;
+}
+
+FragmentPartition partition_normal_fragments(std::span<const Package> packages,
+                                             std::size_t min_length) {
+  FragmentPartition out;
+  PackageFragment current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    if (current.size() >= min_length) {
+      out.long_fragments.push_back(std::move(current));
+    } else {
+      out.short_fragments.push_back(std::move(current));
+    }
+    current.clear();
+  };
+  for (const Package& p : packages) {
+    if (p.is_attack()) {
+      flush();
+    } else {
+      current.push_back(p);
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<PackageFragment> extract_normal_fragments(
+    std::span<const Package> packages, std::size_t min_length) {
+  return partition_normal_fragments(packages, min_length).long_fragments;
+}
+
+DatasetSplit split_dataset(std::span<const Package> packages,
+                           const SplitConfig& config) {
+  // Derive the interval feature from the capture's raw timestamps BEFORE
+  // removing anomalies — a normal package following an attack packet keeps
+  // the inter-arrival gap it actually had on the wire.
+  std::vector<Package> annotated(packages.begin(), packages.end());
+  annotate_intervals(annotated);
+
+  DatasetSplit split;
+  const auto n = annotated.size();
+  const auto train_end = static_cast<std::size_t>(
+      static_cast<double>(n) * config.train_ratio);
+  const auto val_end = static_cast<std::size_t>(
+      static_cast<double>(n) * (config.train_ratio + config.validation_ratio));
+  const std::span<const Package> all(annotated);
+  FragmentPartition train = partition_normal_fragments(
+      all.subspan(0, train_end), config.min_fragment_length);
+  FragmentPartition val = partition_normal_fragments(
+      all.subspan(train_end, val_end - train_end), config.min_fragment_length);
+  split.train_fragments = std::move(train.long_fragments);
+  split.train_short_fragments = std::move(train.short_fragments);
+  split.validation_fragments = std::move(val.long_fragments);
+  split.validation_short_fragments = std::move(val.short_fragments);
+  split.test.assign(annotated.begin() + static_cast<std::ptrdiff_t>(val_end),
+                    annotated.end());
+  return split;
+}
+
+std::vector<sig::RawRow> fragment_rows(const PackageFragment& fragment) {
+  return to_raw_rows(fragment);
+}
+
+std::vector<sig::RawRow> all_fragment_rows(
+    std::span<const PackageFragment> fragments) {
+  std::vector<sig::RawRow> rows;
+  std::size_t total = 0;
+  for (const auto& f : fragments) total += f.size();
+  rows.reserve(total);
+  for (const auto& f : fragments) {
+    auto fr = fragment_rows(f);
+    rows.insert(rows.end(), std::make_move_iterator(fr.begin()),
+                std::make_move_iterator(fr.end()));
+  }
+  return rows;
+}
+
+}  // namespace mlad::ics

@@ -1,0 +1,69 @@
+// Dataset assembly and the paper's experimental split (§VIII).
+//
+// The capture is split 6:2:2 (train / validation / test) along time.
+// Anomalous packages are removed from train and validation, cutting them
+// into normal-only fragments; fragments shorter than `min_fragment_length`
+// (10 in the paper) are dropped so the time-series detector always has
+// context. The test split keeps all packages, attacks included.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ics/features.hpp"
+#include "ics/simulator.hpp"
+
+namespace mlad::ics {
+
+/// A contiguous run of normal packages (one BPTT / detection unit).
+using PackageFragment = std::vector<Package>;
+
+struct SplitConfig {
+  double train_ratio = 0.6;
+  double validation_ratio = 0.2;  ///< remainder goes to test
+  std::size_t min_fragment_length = 10;  ///< paper §VIII
+};
+
+struct DatasetSplit {
+  /// Fragments long enough for the time-series detector (≥ min length).
+  std::vector<PackageFragment> train_fragments;
+  std::vector<PackageFragment> validation_fragments;
+  /// Normal runs *shorter* than the minimum (e.g. the benign cycles
+  /// interleaved inside attack bursts). Too short for BPTT, but their
+  /// signatures belong in the package-level database — dropping them
+  /// inflates the content-level false-positive rate.
+  std::vector<PackageFragment> train_short_fragments;
+  std::vector<PackageFragment> validation_short_fragments;
+  std::vector<Package> test;  ///< contiguous, labels retained
+
+  /// Total packages per part (long fragments only).
+  std::size_t train_size() const;
+  std::size_t validation_size() const;
+};
+
+/// Cut a contiguous capture into normal-only fragments by removing attack
+/// packages and splitting at the removal points.
+std::vector<PackageFragment> extract_normal_fragments(
+    std::span<const Package> packages, std::size_t min_length);
+
+/// Both halves of the cut: fragments ≥ min_length and the shorter leftovers.
+struct FragmentPartition {
+  std::vector<PackageFragment> long_fragments;
+  std::vector<PackageFragment> short_fragments;
+};
+FragmentPartition partition_normal_fragments(std::span<const Package> packages,
+                                             std::size_t min_length);
+
+/// The paper's 6:2:2 temporal split with anomaly-free train/validation.
+DatasetSplit split_dataset(std::span<const Package> packages,
+                           const SplitConfig& config = {});
+
+/// Raw numeric rows of a fragment (intervals derived inside the fragment).
+std::vector<sig::RawRow> fragment_rows(const PackageFragment& fragment);
+
+/// Raw rows for every fragment, concatenated (for discretizer fitting).
+std::vector<sig::RawRow> all_fragment_rows(
+    std::span<const PackageFragment> fragments);
+
+}  // namespace mlad::ics

@@ -1,0 +1,22 @@
+#include "ics/physics.hpp"
+
+#include <algorithm>
+
+namespace mlad::ics {
+
+void PipelinePlant::step(double pump_duty, bool solenoid_open, double dt) {
+  pump_duty = std::clamp(pump_duty, 0.0, 1.0);
+  const double inflow = config_.pump_gain * pump_duty;
+  const double vent = solenoid_open ? config_.valve_coefficient * pressure_ : 0.0;
+  const double leak = config_.leak_coefficient * pressure_;
+  const double drift = rng_->normal(0.0, config_.process_noise);
+  pressure_ += (inflow - vent - leak) * dt + drift;
+  pressure_ = std::clamp(pressure_, 0.0, config_.max_pressure);
+}
+
+double PipelinePlant::measure() {
+  const double reading = pressure_ + rng_->normal(0.0, config_.sensor_noise);
+  return std::clamp(reading, 0.0, config_.max_pressure);
+}
+
+}  // namespace mlad::ics

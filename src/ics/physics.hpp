@@ -1,0 +1,50 @@
+// Lumped-parameter pressure dynamics of the laboratory gas pipeline:
+// a small airtight pipeline fed by a compressor (pump) and vented through a
+// solenoid-controlled relief valve, with a pressure meter (§VII).
+//
+// The model is a single pressure state with inflow from the compressor,
+// outflow through the relief valve proportional to gauge pressure, a small
+// leak, and measurement noise — enough fidelity that (a) the PID loop
+// produces realistic setpoint-tracking traces and (b) response-injection
+// attacks that freeze or randomize readings are distinguishable from real
+// process noise, which is what the paper's detectors exploit.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace mlad::ics {
+
+struct PlantConfig {
+  double initial_pressure = 0.0;     ///< PSI gauge
+  double max_pressure = 30.0;        ///< relief ceiling (hard physical cap)
+  double pump_gain = 6.0;            ///< PSI/s at full compressor duty
+  double valve_coefficient = 0.35;   ///< fraction of gauge pressure vented /s
+  double leak_coefficient = 0.02;    ///< passive leak /s
+  double process_noise = 0.05;       ///< σ of random pressure drift (PSI)
+  double sensor_noise = 0.08;        ///< σ of measurement noise (PSI)
+};
+
+class PipelinePlant {
+ public:
+  PipelinePlant(const PlantConfig& config, Rng& rng)
+      : config_(config), rng_(&rng), pressure_(config.initial_pressure) {}
+
+  /// Advance the plant by `dt` seconds with the given actuator inputs.
+  /// `pump_duty` ∈ [0,1]; `solenoid_open` vents at the valve coefficient.
+  void step(double pump_duty, bool solenoid_open, double dt);
+
+  /// True (noiseless) pressure — what a CMRI attacker hides.
+  double true_pressure() const { return pressure_; }
+
+  /// Noisy sensor reading — what the slave reports over Modbus.
+  double measure();
+
+  const PlantConfig& config() const { return config_; }
+
+ private:
+  PlantConfig config_;
+  Rng* rng_;
+  double pressure_;
+};
+
+}  // namespace mlad::ics

@@ -1,0 +1,39 @@
+#include "ics/pid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlad::ics {
+
+double PidController::update(double measurement, double dt) {
+  if (dt <= 0.0) dt = 1e-3;
+  double error = setpoint_ - measurement;
+  // Dead band: inside the band the controller holds output at bias only.
+  if (std::abs(error) < params_.dead_band) error = 0.0;
+
+  const double kp = params_.gain;
+  // reset_rate is repeats-per-minute in the testbed's units.
+  const double ki = kp * params_.reset_rate / 60.0;
+  const double kd = kp * params_.rate;
+
+  integral_ += error * dt;
+  // Anti-windup: bound the integral so a long saturation cannot run away.
+  const double i_limit = ki > 0.0 ? 1.0 / ki : 0.0;
+  if (i_limit > 0.0) integral_ = std::clamp(integral_, -i_limit, i_limit);
+
+  double derivative = 0.0;
+  if (has_prev_) derivative = (error - prev_error_) / dt;
+  prev_error_ = error;
+  has_prev_ = true;
+
+  const double u = kp * error + ki * integral_ + kd * derivative;
+  return std::clamp(u, 0.0, 1.0);
+}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+}  // namespace mlad::ics

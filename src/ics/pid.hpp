@@ -1,0 +1,48 @@
+// Discrete-time PID controller.
+//
+// The gas-pipeline testbed "attempts to maintain the air pressure in the
+// pipeline using a proportional integral derivative (PID) control scheme"
+// (§VII). The dataset carries the full PID parameter block (gain, reset
+// rate, dead band, cycle time, rate — Table I), which the simulator also
+// exposes as commanded values on the wire.
+#pragma once
+
+namespace mlad::ics {
+
+/// The five PID parameters of Table I, in engineering units.
+struct PidParams {
+  double gain = 0.0;        ///< proportional gain Kp
+  double reset_rate = 0.0;  ///< integral repeats/min (Ki = Kp * reset_rate)
+  double dead_band = 0.0;   ///< error band with no actuation (PSI)
+  double cycle_time = 0.0;  ///< controller period (seconds)
+  double rate = 0.0;        ///< derivative time (Kd = Kp * rate)
+
+  bool operator==(const PidParams&) const = default;
+};
+
+class PidController {
+ public:
+  explicit PidController(const PidParams& params) : params_(params) {}
+
+  const PidParams& params() const { return params_; }
+  void set_params(const PidParams& params) { params_ = params; }
+  void set_setpoint(double setpoint) { setpoint_ = setpoint; }
+  double setpoint() const { return setpoint_; }
+
+  /// One control step given the measured process variable; returns actuator
+  /// command clamped to [0, 1] (compressor duty). `dt` is seconds since the
+  /// previous step.
+  double update(double measurement, double dt);
+
+  /// Clear integral/derivative history (mode switches reset the loop).
+  void reset();
+
+ private:
+  PidParams params_;
+  double setpoint_ = 0.0;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+}  // namespace mlad::ics

@@ -1,0 +1,470 @@
+#include "ics/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ics/modbus.hpp"
+
+namespace mlad::ics {
+namespace {
+
+/// Encoded wire length of the write-control-block command (7 registers).
+std::uint16_t frame_length(const ModbusFrame& f) {
+  return static_cast<std::uint16_t>(encode_frame(f).size());
+}
+
+}  // namespace
+
+GasPipelineSimulator::GasPipelineSimulator(const SimulatorConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      plant_(config.plant, rng_),
+      pid_(config.pid),
+      device_{config.setpoint_levels.empty() ? 10.0
+                                             : config.setpoint_levels.front(),
+              config.pid},
+      active_(device_),
+      crc_errors_(std::max<std::size_t>(config.crc_window, 1), false) {
+  pid_.set_setpoint(device_.setpoint);
+}
+
+double GasPipelineSimulator::next_crc_rate(bool corrupted) {
+  crc_errors_[crc_pos_] = corrupted;
+  crc_pos_ = (crc_pos_ + 1) % crc_errors_.size();
+  std::size_t errors = 0;
+  for (bool e : crc_errors_) errors += e ? 1 : 0;
+  return static_cast<double>(errors) / static_cast<double>(crc_errors_.size());
+}
+
+void GasPipelineSimulator::advance_plant(double dt) {
+  double duty = 0.0;
+  bool vent = false;
+  switch (active_.mode) {
+    case SystemMode::kAuto:
+      // The controller acts on the last *reported* measurement — a CMRI
+      // attacker that freezes readings therefore corrupts the loop itself.
+      duty = pid_.update(last_measured_, dt);
+      vent = plant_.true_pressure() > pid_.setpoint() + 2.0;
+      break;
+    case SystemMode::kManual:
+      duty = active_.pump ? 1.0 : 0.0;
+      vent = active_.solenoid != 0;
+      break;
+    case SystemMode::kOff:
+      duty = 0.0;
+      vent = false;
+      break;
+  }
+  plant_.step(duty, vent, dt);
+}
+
+void GasPipelineSimulator::operator_actions() {
+  if (manual_cycles_left_ > 0) {
+    --manual_cycles_left_;
+    if (manual_cycles_left_ == 0) {
+      device_.mode = SystemMode::kAuto;
+      device_.pump = 0;
+      device_.solenoid = 0;
+      pid_.reset();
+    }
+    return;
+  }
+  if (!config_.setpoint_levels.empty() &&
+      rng_.bernoulli(config_.setpoint_change_prob)) {
+    // The operator steps through the programmed levels round-robin (the
+    // testbed runs a scripted schedule), with an occasional out-of-order
+    // jump; every level therefore appears in any sizeable capture window.
+    if (rng_.bernoulli(0.2)) {
+      setpoint_index_ = rng_.index(config_.setpoint_levels.size());
+    } else {
+      setpoint_index_ = (setpoint_index_ + 1) % config_.setpoint_levels.size();
+    }
+    device_.setpoint = config_.setpoint_levels[setpoint_index_];
+    pid_.set_setpoint(device_.setpoint);
+  }
+  if (rng_.bernoulli(config_.manual_episode_prob)) {
+    device_.mode = SystemMode::kManual;
+    // Operator tops up or vents depending on where the pressure sits.
+    const bool low = plant_.true_pressure() < device_.setpoint;
+    device_.pump = low ? 1 : 0;
+    device_.solenoid = low ? 0 : 1;
+    manual_cycles_left_ = config_.manual_episode_cycles;
+  }
+}
+
+Package GasPipelineSimulator::make_command(double time,
+                                           const DeviceState& st) const {
+  Package p;
+  p.time = time;
+  p.address = config_.slave_address;
+  p.function = static_cast<std::uint8_t>(FunctionCode::kWriteMultipleRegisters);
+  ModbusFrame f;
+  f.address = p.address;
+  f.function = p.function;
+  f.start_register = 0x0000;
+  f.registers = {static_cast<std::uint16_t>(st.setpoint * 100),
+                 static_cast<std::uint16_t>(st.pid.gain * 100),
+                 static_cast<std::uint16_t>(st.pid.reset_rate * 10),
+                 static_cast<std::uint16_t>(st.pid.dead_band * 100),
+                 static_cast<std::uint16_t>(st.pid.cycle_time * 1000),
+                 static_cast<std::uint16_t>(st.pid.rate * 1000),
+                 static_cast<std::uint16_t>((static_cast<unsigned>(st.mode) << 8) |
+                                            (static_cast<unsigned>(st.scheme) << 4) |
+                                            (st.pump << 1) | st.solenoid)};
+  p.length = frame_length(f);
+  p.setpoint = st.setpoint;
+  p.pid = st.pid;
+  p.system_mode = st.mode;
+  p.control_scheme = st.scheme;
+  p.pump = st.pump;
+  p.solenoid = st.solenoid;
+  p.pressure_measurement = 0.0;
+  p.command_response = 1;
+  return p;
+}
+
+Package GasPipelineSimulator::make_write_ack(double time, const DeviceState& st,
+                                             double pressure) const {
+  Package p;
+  p.time = time;
+  p.address = config_.slave_address;
+  p.function = static_cast<std::uint8_t>(FunctionCode::kWriteMultipleRegisters);
+  ModbusFrame f;
+  f.address = p.address;
+  f.function = p.function;
+  f.is_response = true;
+  f.registers = {0x0000, 0x0007};  // echo: start, quantity written
+  p.length = frame_length(f);
+  p.setpoint = st.setpoint;
+  p.pid = st.pid;
+  p.system_mode = st.mode;
+  p.control_scheme = st.scheme;
+  p.pump = st.pump;
+  p.solenoid = st.solenoid;
+  p.pressure_measurement = pressure;
+  p.command_response = 0;
+  return p;
+}
+
+Package GasPipelineSimulator::make_read_request(double time) const {
+  Package p;
+  p.time = time;
+  p.address = config_.slave_address;
+  p.function = static_cast<std::uint8_t>(FunctionCode::kReadHoldingRegisters);
+  ModbusFrame f;
+  f.address = p.address;
+  f.function = p.function;
+  f.start_register = 0x0010;  // pressure register
+  p.length = frame_length(f);
+  p.setpoint = 0.0;
+  p.pid = PidParams{};
+  p.system_mode = SystemMode::kOff;  // fields not carried by a read request
+  p.control_scheme = ControlScheme::kPump;
+  p.pump = 0;
+  p.solenoid = 0;
+  p.pressure_measurement = 0.0;
+  p.command_response = 1;
+  return p;
+}
+
+Package GasPipelineSimulator::make_read_response(double time,
+                                                 const DeviceState& st,
+                                                 double pressure) const {
+  Package p;
+  p.time = time;
+  p.address = config_.slave_address;
+  p.function = static_cast<std::uint8_t>(FunctionCode::kReadHoldingRegisters);
+  ModbusFrame f;
+  f.address = p.address;
+  f.function = p.function;
+  f.is_response = true;
+  f.registers = {static_cast<std::uint16_t>(
+      std::clamp(pressure, 0.0, 655.0) * 100)};
+  p.length = frame_length(f);
+  p.setpoint = st.setpoint;
+  p.pid = st.pid;
+  p.system_mode = st.mode;
+  p.control_scheme = st.scheme;
+  p.pump = st.pump;
+  p.solenoid = st.solenoid;
+  p.pressure_measurement = pressure;
+  p.command_response = 0;
+  return p;
+}
+
+void GasPipelineSimulator::emit_cycle(SimulationResult& out) {
+  operator_actions();
+
+  auto emit = [&](Package p) {
+    const bool corrupted = rng_.bernoulli(config_.frame_corruption_prob);
+    p.frame_corrupted = corrupted;
+    p.crc_rate = next_crc_rate(corrupted);
+    out.packages.push_back(p);
+    ++out.census[static_cast<std::size_t>(p.label)];
+  };
+
+  auto gap = [&] {
+    return std::max(1e-4, config_.intra_gap +
+                              rng_.normal(0.0, config_.intra_jitter));
+  };
+
+  // 1-2: write control block + ack. The legitimate write re-asserts the
+  // operator's intent, clearing any injected corruption on the slave.
+  emit(make_command(clock_, device_));
+  active_ = device_;
+  pid_.set_setpoint(device_.setpoint);
+  pid_.set_params(device_.pid);
+  clock_ += gap();
+  advance_plant(config_.intra_gap);
+  emit(make_write_ack(clock_, device_, last_measured_));
+  clock_ += gap();
+
+  // 3-4: read pressure + response.
+  emit(make_read_request(clock_));
+  clock_ += gap();
+  advance_plant(config_.intra_gap);
+  double reported = plant_.measure();
+  if (active_attack_ == AttackType::kCmri && attack_packages_left_ > 0) {
+    // CMRI is an in-band man-in-the-middle: the real response is REPLACED
+    // (not supplemented), so the command/response rhythm stays intact and
+    // only the content can betray the attack — the paper's hardest class.
+    Package forged = make_read_response(clock_, device_, reported);
+    if (rng_.bernoulli(config_.cmri_fidelity)) {
+      // High fidelity: hold the frozen, plausible reading.
+      forged.pressure_measurement =
+          std::clamp(cmri_frozen_pressure_ + rng_.normal(0.0, 0.02), 0.0,
+                     config_.plant.max_pressure);
+    } else if (rng_.bernoulli(0.5)) {
+      // Replay from a different operating regime.
+      forged.pressure_measurement = std::clamp(
+          config_.setpoint_levels[rng_.index(config_.setpoint_levels.size())] +
+              rng_.normal(0.0, 2.0),
+          0.0, config_.plant.max_pressure);
+    } else {
+      // Stale-configuration replay: the echoed PID block is out of date.
+      forged.pid.gain *= rng_.uniform(0.4, 2.5);
+      forged.pressure_measurement = std::clamp(
+          cmri_frozen_pressure_ + rng_.normal(0.0, 1.0), 0.0,
+          config_.plant.max_pressure);
+    }
+    forged.label = AttackType::kCmri;
+    last_measured_ = forged.pressure_measurement;
+    emit(forged);
+    if (--attack_packages_left_ == 0) {
+      active_attack_ = AttackType::kNormal;
+    }
+  } else {
+    last_measured_ = reported;
+    emit(make_read_response(clock_, device_, reported));
+  }
+
+  const double rest = std::max(
+      0.02, config_.cycle_interval - 3 * config_.intra_gap +
+                rng_.normal(0.0, config_.cycle_jitter));
+  clock_ += rest;
+  advance_plant(rest);
+}
+
+void GasPipelineSimulator::maybe_start_attack() {
+  if (!config_.attacks_enabled || attack_packages_left_ > 0) return;
+  if (!rng_.bernoulli(config_.attack_start_prob)) return;
+  std::vector<double> weights(config_.attack_mix.begin(),
+                              config_.attack_mix.end());
+  const std::size_t pick = rng_.discrete(weights);
+  active_attack_ = kMaliciousTypes[pick];
+  attack_packages_left_ = static_cast<std::size_t>(rng_.uniform_int(
+      static_cast<std::int64_t>(config_.burst_min_packages),
+      static_cast<std::int64_t>(config_.burst_max_packages)));
+  if (active_attack_ == AttackType::kCmri) {
+    cmri_frozen_pressure_ = last_measured_;
+  }
+}
+
+Package GasPipelineSimulator::forged_base(double time) const {
+  // Start from a plausible read response so forgeries blend with traffic.
+  Package p = make_read_response(time, device_, last_measured_);
+  return p;
+}
+
+Package GasPipelineSimulator::forge_nmri(double time) {
+  Package p = forged_base(time);
+  if (rng_.bernoulli(config_.nmri_fidelity)) {
+    // Plausible random value inside the physical range.
+    p.pressure_measurement = rng_.uniform(0.0, config_.plant.max_pressure);
+  } else {
+    // Naive: anywhere, including impossible readings.
+    p.pressure_measurement = rng_.uniform(0.0, config_.plant.max_pressure * 2.2);
+  }
+  p.label = AttackType::kNmri;
+  return p;
+}
+
+Package GasPipelineSimulator::forge_msci(double time) {
+  Package p = make_command(time, device_);
+  if (rng_.bernoulli(config_.msci_fidelity)) {
+    // State combos that do occur in normal operation, but out of context.
+    const bool low = rng_.bernoulli(0.5);
+    p.system_mode = SystemMode::kManual;
+    p.pump = low ? 1 : 0;
+    p.solenoid = low ? 0 : 1;
+  } else {
+    // Unsafe combos never seen in training (pump+vent, off-with-pump...).
+    p.system_mode = rng_.bernoulli(0.5) ? SystemMode::kOff : SystemMode::kManual;
+    p.pump = 1;
+    p.solenoid = 1;
+  }
+  // The slave obeys the injected command until the next legitimate write.
+  active_.mode = p.system_mode;
+  active_.pump = p.pump;
+  active_.solenoid = p.solenoid;
+  p.label = AttackType::kMsci;
+  return p;
+}
+
+Package GasPipelineSimulator::forge_mpci(double time) {
+  Package p = make_command(time, device_);
+  if (rng_.bernoulli(config_.mpci_fidelity)) {
+    // Subtle: nudge the setpoint to a legal level and lightly perturb PID.
+    p.setpoint =
+        config_.setpoint_levels[rng_.index(config_.setpoint_levels.size())];
+    p.pid.gain *= rng_.uniform(0.9, 1.1);
+  } else {
+    // Blatant random parameters, often outside every learned cluster.
+    p.setpoint = rng_.uniform(0.0, config_.plant.max_pressure * 1.5);
+    p.pid.gain = rng_.uniform(0.0, 10.0);
+    p.pid.reset_rate = rng_.uniform(0.0, 120.0);
+    p.pid.dead_band = rng_.uniform(0.0, 5.0);
+    p.pid.cycle_time = rng_.uniform(0.0, 2.0);
+    p.pid.rate = rng_.uniform(0.0, 1.0);
+  }
+  // Corrupt the slave's active control loop; the next legitimate
+  // control-block write restores the operator's parameters.
+  active_.setpoint = p.setpoint;
+  active_.pid = p.pid;
+  pid_.set_setpoint(p.setpoint);
+  pid_.set_params(p.pid);
+  p.label = AttackType::kMpci;
+  return p;
+}
+
+Package GasPipelineSimulator::forge_mfci(double time) {
+  Package p = make_command(time, device_);
+  static constexpr std::uint8_t kIllegal[] = {0x08, 0x2B, 0x5A, 0x64, 0x7F};
+  p.function = kIllegal[rng_.index(std::size(kIllegal))];
+  p.length = static_cast<std::uint16_t>(p.length + rng_.uniform_int(-2, 6));
+  p.label = AttackType::kMfci;
+  return p;
+}
+
+Package GasPipelineSimulator::forge_dos(double time) {
+  // Flood of read requests; the abnormal feature is the inter-arrival time,
+  // which dataset assembly derives from the timestamps.
+  Package p = make_read_request(time);
+  p.label = AttackType::kDos;
+  return p;
+}
+
+Package GasPipelineSimulator::forge_recon(double time) {
+  Package p = make_read_request(time);
+  // Scan other station addresses / diagnostic registers.
+  const std::uint8_t scan_addresses[] = {1, 2, 3, 5, 6, 7, 8};
+  p.address = scan_addresses[rng_.index(std::size(scan_addresses))];
+  if (rng_.bernoulli(0.4)) {
+    p.function =
+        static_cast<std::uint8_t>(FunctionCode::kReadWriteMultipleRegisters);
+  }
+  p.label = AttackType::kRecon;
+  return p;
+}
+
+void GasPipelineSimulator::emit_attack_burst(SimulationResult& out) {
+  if (attack_packages_left_ == 0) return;
+  // CMRI rewrites responses in-band inside emit_cycle; it never injects
+  // additional packages.
+  if (active_attack_ == AttackType::kCmri) return;
+
+  auto emit = [&](Package p) {
+    const bool corrupted = rng_.bernoulli(config_.frame_corruption_prob);
+    p.frame_corrupted = corrupted;
+    p.crc_rate = next_crc_rate(corrupted);
+    out.packages.push_back(p);
+    ++out.census[static_cast<std::size_t>(p.label)];
+  };
+
+  // Forged packets ride the wire at normal frame pacing — an attacker
+  // matching the link's rhythm — so only their content/sequence betrays
+  // them. DoS is the exception: the whole flood goes out at once at flood
+  // rate, which is exactly its signature.
+  auto forged_gap = [&] {
+    return std::max(1e-4, config_.intra_gap +
+                              rng_.normal(0.0, config_.intra_jitter));
+  };
+  // The script fires its burst quickly (well within one polling slot), so
+  // the attack window overlaps few legitimate packets.
+  const std::size_t n = attack_packages_left_;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dt;
+    Package p;
+    switch (active_attack_) {
+      case AttackType::kNmri:
+        dt = forged_gap();
+        clock_ += dt;
+        p = forge_nmri(clock_);
+        break;
+      case AttackType::kMsci:
+        dt = forged_gap();
+        clock_ += dt;
+        p = forge_msci(clock_);
+        break;
+      case AttackType::kMpci:
+        dt = forged_gap();
+        clock_ += dt;
+        p = forge_mpci(clock_);
+        break;
+      case AttackType::kMfci:
+        dt = forged_gap();
+        clock_ += dt;
+        p = forge_mfci(clock_);
+        break;
+      case AttackType::kDos:
+        dt = rng_.uniform(5e-5, 4e-4);  // flood: far below any normal gap
+        clock_ += dt;
+        p = forge_dos(clock_);
+        break;
+      case AttackType::kRecon:
+        dt = forged_gap();
+        clock_ += dt;
+        p = forge_recon(clock_);
+        break;
+      case AttackType::kCmri:  // handled in-band by emit_cycle
+      case AttackType::kNormal:
+        return;
+    }
+    advance_plant(dt);
+    emit(p);
+    --attack_packages_left_;
+    if (attack_packages_left_ == 0) {
+      active_attack_ = AttackType::kNormal;
+      break;
+    }
+  }
+  // Separate the burst from the next normal cycle (normal frame pacing,
+  // keeping timestamps strictly monotone).
+  clock_ += std::max(1e-4, config_.intra_gap +
+                               rng_.normal(0.0, config_.intra_jitter));
+}
+
+SimulationResult GasPipelineSimulator::run() {
+  SimulationResult out;
+  out.packages.reserve(config_.cycles * 4 + 64);
+  last_measured_ = plant_.measure();
+  for (std::size_t cycle = 0; cycle < config_.cycles; ++cycle) {
+    maybe_start_attack();
+    emit_attack_burst(out);
+    emit_cycle(out);
+  }
+  out.duration_seconds = clock_;
+  return out;
+}
+
+}  // namespace mlad::ics

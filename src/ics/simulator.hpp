@@ -1,0 +1,152 @@
+// Gas-pipeline SCADA traffic simulator.
+//
+// Substitute for the (non-redistributable) Mississippi State gas-pipeline
+// capture [23]: a Modbus RTU master/slave pair around a PID-controlled
+// pipeline plant, plus an AutoIt-style adversary that randomly interleaves
+// attack bursts of the seven Table-II classes with normal traffic.
+//
+// One normal supervisory cycle = 4 packages (the "complete command response
+// cycle" the paper windows its baselines on):
+//   1. master → slave  write control block (setpoint, PID, mode, pump, valve)
+//   2. slave → master  write acknowledgement (echoes device state)
+//   3. master → slave  read pressure request
+//   4. slave → master  read response carrying the pressure measurement
+//
+// Attack fidelity knobs (how often a forged package is indistinguishable at
+// package level) are explicit config so the Table-IV/V benches can hold them
+// fixed while sweeping detector parameters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ics/attack.hpp"
+#include "ics/features.hpp"
+#include "ics/physics.hpp"
+#include "ics/pid.hpp"
+
+namespace mlad::ics {
+
+struct SimulatorConfig {
+  std::uint64_t seed = 42;
+  /// Supervisory cycles to run (4 normal packages each).
+  std::size_t cycles = 20000;
+
+  // -- timing ---------------------------------------------------------------
+  double cycle_interval = 0.25;   ///< seconds between cycle starts
+  double cycle_jitter = 0.015;    ///< σ of inter-cycle jitter
+  double intra_gap = 0.005;       ///< command → response gap
+  double intra_jitter = 0.0008;   ///< σ of intra-cycle jitter
+
+  // -- plant / control ------------------------------------------------------
+  PlantConfig plant;
+  PidParams pid{.gain = 0.8,
+                .reset_rate = 12.0,
+                .dead_band = 0.2,
+                .cycle_time = 0.25,
+                .rate = 0.02};
+  std::uint8_t slave_address = 4;   ///< the only legitimate station
+  std::vector<double> setpoint_levels = {8.0, 12.0, 16.0, 20.0};
+  /// Regime-change rates are high enough that every operating regime
+  /// (setpoint level, manual episodes) appears amply in a 60% training
+  /// prefix — the real capture cycles its regimes many times too.
+  double setpoint_change_prob = 0.012;   ///< per cycle
+  double manual_episode_prob = 0.006;   ///< per cycle: operator goes manual
+  std::size_t manual_episode_cycles = 30;
+
+  // -- channel noise --------------------------------------------------------
+  double frame_corruption_prob = 0.003;  ///< per package (drives crc rate)
+  std::size_t crc_window = 50;           ///< frames per crc-rate window
+
+  // -- adversary ------------------------------------------------------------
+  bool attacks_enabled = true;
+  double attack_start_prob = 0.052;  ///< per cycle, when idle (≈22% attack share)
+  std::size_t burst_min_packages = 6;
+  std::size_t burst_max_packages = 36;
+  /// Relative frequency of each malicious class (Table II order).
+  std::array<double, 7> attack_mix = {1.0, 1.0, 0.8, 1.2, 0.4, 1.0, 0.6};
+  /// Fraction of CMRI forgeries indistinguishable at package level.
+  double cmri_fidelity = 0.55;
+  /// Fraction of MSCI commands using state combos seen in normal operation.
+  double msci_fidelity = 0.70;
+  /// Fraction of MPCI parameter forgeries that land inside normal clusters.
+  double mpci_fidelity = 0.45;
+  /// Fraction of NMRI random responses that land in the plausible range.
+  double nmri_fidelity = 0.35;
+};
+
+struct SimulationResult {
+  std::vector<Package> packages;
+  /// Package counts per label (index = AttackType).
+  std::array<std::size_t, kAttackTypeCount> census{};
+  double duration_seconds = 0.0;  ///< simulated wall time
+};
+
+class GasPipelineSimulator {
+ public:
+  explicit GasPipelineSimulator(const SimulatorConfig& config);
+
+  /// Run the configured number of cycles and return the labeled capture.
+  SimulationResult run();
+
+ private:
+  struct DeviceState {
+    double setpoint;
+    PidParams pid;
+    SystemMode mode = SystemMode::kAuto;
+    ControlScheme scheme = ControlScheme::kPump;
+    std::uint8_t pump = 0;
+    std::uint8_t solenoid = 0;
+  };
+
+  // Normal traffic.
+  void emit_cycle(SimulationResult& out);
+  Package make_command(double time, const DeviceState& st) const;
+  Package make_write_ack(double time, const DeviceState& st,
+                         double pressure) const;
+  Package make_read_request(double time) const;
+  Package make_read_response(double time, const DeviceState& st,
+                             double pressure) const;
+  void operator_actions();
+  void advance_plant(double dt);
+  double next_crc_rate(bool corrupted);
+
+  // Adversary.
+  void maybe_start_attack();
+  void emit_attack_burst(SimulationResult& out);
+  Package forged_base(double time) const;
+  Package forge_nmri(double time);
+  Package forge_msci(double time);
+  Package forge_mpci(double time);
+  Package forge_mfci(double time);
+  Package forge_dos(double time);
+  Package forge_recon(double time);
+
+  SimulatorConfig config_;
+  Rng rng_;
+  PipelinePlant plant_;
+  PidController pid_;
+  /// The operator's *intended* configuration — what the legitimate master
+  /// writes every cycle. Injected commands corrupt only the slave's active
+  /// state (below) and are overwritten by the next legitimate write, like
+  /// the real testbed's supervisory loop.
+  DeviceState device_;
+  /// The slave's currently-active actuation state (may be corrupted by
+  /// MSCI/MPCI injections until the next legitimate control-block write).
+  DeviceState active_;
+  double clock_ = 0.0;
+  double last_measured_ = 0.0;
+  std::size_t manual_cycles_left_ = 0;
+  std::size_t setpoint_index_ = 0;
+  // crc-rate bookkeeping
+  std::vector<bool> crc_errors_;  ///< ring of recent frame outcomes
+  std::size_t crc_pos_ = 0;
+  // adversary state
+  AttackType active_attack_ = AttackType::kNormal;
+  std::size_t attack_packages_left_ = 0;
+  double cmri_frozen_pressure_ = 0.0;
+};
+
+}  // namespace mlad::ics

@@ -1,0 +1,44 @@
+#include "nn/activations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlad::nn {
+
+float sigmoid(float x) {
+  // Split on sign to avoid overflow in exp for large |x|.
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float sigmoid_grad_from_output(float y) { return y * (1.0f - y); }
+
+float tanh_act(float x) { return std::tanh(x); }
+
+float tanh_grad_from_output(float y) { return 1.0f - y * y; }
+
+void softmax_inplace(std::span<float> logits) {
+  if (logits.empty()) return;
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (float& v : logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : logits) v *= inv;
+}
+
+double log_sum_exp(std::span<const float> logits) {
+  if (logits.empty()) return 0.0;
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (float v : logits) sum += std::exp(static_cast<double>(v - mx));
+  return static_cast<double>(mx) + std::log(sum);
+}
+
+}  // namespace mlad::nn

@@ -1,0 +1,25 @@
+// Scalar activation functions and their derivatives.
+//
+// The paper's LSTM cell uses the logistic sigmoid (σ) for gates and tanh (τ)
+// for the cell input/output non-linearities (§V, Fig. 1 equations).
+#pragma once
+
+#include <span>
+
+namespace mlad::nn {
+
+float sigmoid(float x);
+/// Derivative expressed in terms of the *output* y = sigmoid(x).
+float sigmoid_grad_from_output(float y);
+
+float tanh_act(float x);
+/// Derivative expressed in terms of the *output* y = tanh(x).
+float tanh_grad_from_output(float y);
+
+/// In-place softmax over a row vector, numerically stabilized by max-shift.
+void softmax_inplace(std::span<float> logits);
+
+/// log(sum(exp(logits))) with max-shift stabilization.
+double log_sum_exp(std::span<const float> logits);
+
+}  // namespace mlad::nn

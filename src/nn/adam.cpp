@@ -1,0 +1,37 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/optimizer.hpp"
+
+namespace mlad::nn {
+
+void Adam::step(std::span<const ParamSlot> slots) {
+  if (m_.size() != slots.size()) {
+    m_.assign(slots.size(), {});
+    v_.assign(slots.size(), {});
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      m_[i].assign(slots[i].param->size(), 0.0f);
+      v_[i].assign(slots[i].param->size(), 0.0f);
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const double alpha = lr_ * std::sqrt(bc2) / bc1;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Matrix& p = *slots[i].param;
+    const Matrix& g = *slots[i].grad;
+    if (p.size() != g.size()) throw std::invalid_argument("Adam: slot size mismatch");
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double gj = g.data()[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * gj);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * gj * gj);
+      p.data()[j] -= static_cast<float>(alpha * m[j] /
+                                        (std::sqrt(static_cast<double>(v[j])) + eps_));
+    }
+  }
+}
+
+}  // namespace mlad::nn

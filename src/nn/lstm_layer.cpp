@@ -1,0 +1,53 @@
+#include "nn/lstm_layer.hpp"
+
+#include <stdexcept>
+
+namespace mlad::nn {
+
+void LstmLayer::forward_sequence(std::span<const std::vector<float>> xs,
+                                 std::vector<LstmStepCache>& caches,
+                                 std::vector<std::vector<float>>& outputs) const {
+  const std::size_t h = cell_.hidden_dim();
+  caches.resize(xs.size());
+  outputs.resize(xs.size());
+  std::vector<float> h_prev(h, 0.0f);
+  std::vector<float> c_prev(h, 0.0f);
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    cell_.forward(xs[t], h_prev, c_prev, caches[t]);
+    h_prev = caches[t].h;
+    c_prev = caches[t].c;
+    outputs[t] = caches[t].h;
+  }
+}
+
+void LstmLayer::backward_sequence(const std::vector<LstmStepCache>& caches,
+                                  std::span<const std::vector<float>> dh_out,
+                                  std::vector<std::vector<float>>& dx) {
+  if (caches.size() != dh_out.size()) {
+    throw std::invalid_argument("backward_sequence: cache/grad length mismatch");
+  }
+  const std::size_t h = cell_.hidden_dim();
+  const std::size_t steps = caches.size();
+  dx.assign(steps, std::vector<float>(cell_.input_dim(), 0.0f));
+  std::vector<float> dh_next(h, 0.0f);  // ∂L/∂h_t from step t+1
+  std::vector<float> dc_next(h, 0.0f);  // ∂L/∂c_t from step t+1
+  std::vector<float> dh_total(h);
+  std::vector<float> dh_prev(h);
+  std::vector<float> dc_prev(h);
+  for (std::size_t t = steps; t-- > 0;) {
+    for (std::size_t j = 0; j < h; ++j) dh_total[j] = dh_out[t][j] + dh_next[j];
+    cell_.backward(caches[t], dh_total, dc_next, dx[t], dh_prev, dc_prev);
+    dh_next = dh_prev;
+    dc_next = dc_prev;
+  }
+}
+
+void LstmLayer::set_state(std::span<const float> h, std::span<const float> c) {
+  if (h.size() != h_.size() || c.size() != c_.size()) {
+    throw std::invalid_argument("LstmLayer::set_state: dim mismatch");
+  }
+  h_.assign(h.begin(), h.end());
+  c_.assign(c.begin(), c.end());
+}
+
+}  // namespace mlad::nn

@@ -1,0 +1,68 @@
+// A single stateful LSTM layer: an LstmCell plus its recurrent state, with
+// streaming (one package at a time) and sequence APIs. The detection phase
+// runs streaming; training uses the sequence API for BPTT.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/lstm_cell.hpp"
+
+namespace mlad::nn {
+
+class LstmLayer {
+ public:
+  LstmLayer(std::size_t input_dim, std::size_t hidden_dim)
+      : cell_(input_dim, hidden_dim),
+        h_(hidden_dim, 0.0f),
+        c_(hidden_dim, 0.0f) {}
+
+  void init_params(Rng& rng) { cell_.init_params(rng); }
+
+  std::size_t input_dim() const { return cell_.input_dim(); }
+  std::size_t hidden_dim() const { return cell_.hidden_dim(); }
+
+  /// Reset the recurrent state to zeros (start of a new fragment).
+  void reset_state() {
+    std::fill(h_.begin(), h_.end(), 0.0f);
+    std::fill(c_.begin(), c_.end(), 0.0f);
+  }
+
+  /// Streaming step: consume x, update internal state, return hidden output.
+  std::span<const float> step(std::span<const float> x) {
+    cell_.forward(x, h_, c_, scratch_);
+    h_ = scratch_.h;
+    c_ = scratch_.c;
+    return h_;
+  }
+
+  /// Sequence forward with caches kept for BPTT. State starts at zero.
+  /// outputs[t] is h_t; caches.size() == xs.size() on return.
+  void forward_sequence(std::span<const std::vector<float>> xs,
+                        std::vector<LstmStepCache>& caches,
+                        std::vector<std::vector<float>>& outputs) const;
+
+  /// BPTT over a cached sequence. `dh_out[t]` is ∂L/∂h_t from above; the
+  /// gradient w.r.t. each input is written to `dx[t]`. Parameter gradients
+  /// accumulate into the cell.
+  void backward_sequence(const std::vector<LstmStepCache>& caches,
+                         std::span<const std::vector<float>> dh_out,
+                         std::vector<std::vector<float>>& dx);
+
+  LstmCell& cell() { return cell_; }
+  const LstmCell& cell() const { return cell_; }
+
+  std::span<const float> hidden() const { return h_; }
+  std::span<const float> cell_state() const { return c_; }
+  /// Overwrite the recurrent state (used by detector snapshot/restore).
+  void set_state(std::span<const float> h, std::span<const float> c);
+
+ private:
+  LstmCell cell_;
+  std::vector<float> h_;
+  std::vector<float> c_;
+  LstmStepCache scratch_;
+};
+
+}  // namespace mlad::nn

@@ -1,0 +1,104 @@
+// Dense row-major matrix of floats — the numeric workhorse of the from-
+// scratch neural-network substrate (the paper trained its LSTM in a Python
+// framework; we reimplement the math directly, see DESIGN.md §2).
+//
+// The type is deliberately small: exactly the operations the LSTM forward /
+// backward passes and the baseline models need, all bounds-checked in debug
+// builds and allocation-free on the hot paths that matter.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mlad::nn {
+
+/// Row-major dense matrix. A row vector is a Matrix with rows()==1.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::span<const float> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(std::size_t rows, std::size_t cols, float fill = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float s);
+  /// Hadamard (element-wise) product in place.
+  Matrix& hadamard(const Matrix& other);
+  /// Apply f to every element in place.
+  Matrix& apply(const std::function<float(float)>& f);
+
+  /// Frobenius-norm squared.
+  double sum_squares() const;
+  /// Sum of all entries.
+  double sum() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes must agree; `out` is resized.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * bᵀ.
+void matmul_transposed_b(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = aᵀ * b.
+void matmul_transposed_a(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y += W * x where x and y are row vectors (1×n); i.e. y += x * Wᵀ.
+/// This is the LSTM gate primitive: W is (out_dim × in_dim).
+void gemv_add(const Matrix& w, std::span<const float> x, std::span<float> y);
+
+/// accumulate outer product: grad_w += gᵀ x  (g: 1×out, x: 1×in, w: out×in).
+void outer_add(std::span<const float> g, std::span<const float> x, Matrix& grad_w);
+
+/// y += Wᵀ g (back-prop through gemv_add): g: 1×out, y: 1×in.
+void gemv_transposed_add(const Matrix& w, std::span<const float> g,
+                         std::span<float> y);
+
+}  // namespace mlad::nn

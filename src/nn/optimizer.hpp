@@ -1,0 +1,76 @@
+// First-order optimizers over flat lists of (parameter, gradient) matrices.
+//
+// The paper trains its stacked LSTM for 50 epochs to convergence of the
+// softmax loss; it does not pin down the optimizer, so we provide both plain
+// momentum SGD and Adam (the de-facto choice for LSTM softmax classifiers of
+// that era) — Adam is the default everywhere in this repo.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace mlad::nn {
+
+/// A view binding one parameter tensor to its gradient buffer.
+struct ParamSlot {
+  Matrix* param = nullptr;
+  Matrix* grad = nullptr;
+};
+
+/// Scale all gradients so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. No-op (returns norm) when under the bound.
+double clip_global_norm(std::span<const ParamSlot> slots, double max_norm);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update using the gradients currently in the slots.
+  virtual void step(std::span<const ParamSlot> slots) = 0;
+  /// Reset any internal moment state (e.g. between independent models).
+  virtual void reset() = 0;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9) : lr_(lr), momentum_(momentum) {}
+  void step(std::span<const ParamSlot> slots) override;
+  void reset() override { velocity_.clear(); }
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;  ///< per slot, lazily sized
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(std::span<const ParamSlot> slots) override;
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace mlad::nn

@@ -1,0 +1,118 @@
+#include "nn/sequence_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlad::nn {
+
+SequenceModel::SequenceModel(const SequenceModelConfig& config)
+    : config_(config),
+      lstm_(config.input_dim, config.hidden_dims),
+      softmax_(config.hidden_dims.empty() ? 0 : config.hidden_dims.back(),
+               config.num_classes) {
+  if (config.input_dim == 0 || config.num_classes == 0) {
+    throw std::invalid_argument("SequenceModel: zero dimension");
+  }
+}
+
+void SequenceModel::init_params(Rng& rng) {
+  lstm_.init_params(rng);
+  softmax_.init_params(rng);
+}
+
+double SequenceModel::train_fragment(std::span<const std::vector<float>> xs,
+                                     std::span<const std::size_t> targets) {
+  if (xs.size() != targets.size()) {
+    throw std::invalid_argument("train_fragment: xs/targets length mismatch");
+  }
+  if (xs.empty()) return 0.0;
+
+  StackedLstmCache cache;
+  const auto top = lstm_.forward_sequence(xs, cache);
+
+  double loss = 0.0;
+  std::vector<std::vector<float>> dh_top(xs.size());
+  std::vector<float> probs;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    softmax_.forward(top[t], probs);
+    dh_top[t].resize(lstm_.output_dim());
+    loss += softmax_.backward(top[t], probs, targets[t], dh_top[t]);
+  }
+  lstm_.backward_sequence(cache, dh_top);
+  return loss;
+}
+
+double SequenceModel::evaluate_fragment(
+    std::span<const std::vector<float>> xs,
+    std::span<const std::size_t> targets) const {
+  if (xs.size() != targets.size()) {
+    throw std::invalid_argument("evaluate_fragment: length mismatch");
+  }
+  double loss = 0.0;
+  State state = make_state();
+  std::vector<float> probs;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    predict(state, xs[t], probs);
+    const double p =
+        std::max(static_cast<double>(probs.at(targets[t])), 1e-12);
+    loss += -std::log(p);
+  }
+  return loss;
+}
+
+std::size_t SequenceModel::top_k_misses(std::span<const std::vector<float>> xs,
+                                        std::span<const std::size_t> targets,
+                                        std::size_t k) const {
+  if (xs.size() != targets.size()) {
+    throw std::invalid_argument("top_k_misses: length mismatch");
+  }
+  std::size_t misses = 0;
+  State state = make_state();
+  std::vector<float> probs;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    predict(state, xs[t], probs);
+    if (!in_top_k(probs, targets[t], k)) ++misses;
+  }
+  return misses;
+}
+
+void SequenceModel::zero_grads() {
+  lstm_.zero_grads();
+  softmax_.zero_grads();
+}
+
+std::vector<ParamSlot> SequenceModel::param_slots() {
+  std::vector<ParamSlot> slots;
+  for (std::size_t li = 0; li < lstm_.num_layers(); ++li) {
+    LstmCell& cell = lstm_.layer(li).cell();
+    slots.push_back({&cell.w(), &cell.grad_w()});
+    slots.push_back({&cell.u(), &cell.grad_u()});
+    slots.push_back({&cell.b(), &cell.grad_b()});
+  }
+  slots.push_back({&softmax_.w(), &softmax_.grad_w()});
+  slots.push_back({&softmax_.b(), &softmax_.grad_b()});
+  return slots;
+}
+
+SequenceModel::State SequenceModel::make_state() const {
+  State s;
+  s.lstm = lstm_.make_state();
+  return s;
+}
+
+void SequenceModel::predict(State& state, std::span<const float> x,
+                            std::vector<float>& probs) const {
+  const auto top = lstm_.step(x, state.lstm, state.scratch);
+  softmax_.forward(top, probs);
+}
+
+std::size_t SequenceModel::param_count() const {
+  return lstm_.param_count() + softmax_.param_count();
+}
+
+std::size_t SequenceModel::memory_bytes() const {
+  return param_count() * sizeof(float) + 64;  // params + small header
+}
+
+}  // namespace mlad::nn

@@ -1,0 +1,92 @@
+// The complete model of Fig. 2: stacked LSTM layers + softmax classifier
+// over the signature vocabulary. This is the paper's time-series predictor
+//   Pr(s | c(t-1), c(t-2), …)  ∀ s ∈ S.
+//
+// Inputs are the one-hot-encoded discretized feature vectors c(t) (plus the
+// extra "noisy" bit of §V-A-3); the target at step t is the *next* package's
+// signature id. Fragment alignment is the caller's job (see detect/).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/softmax.hpp"
+#include "nn/stacked_lstm.hpp"
+
+namespace mlad::nn {
+
+struct SequenceModelConfig {
+  std::size_t input_dim = 0;    ///< one-hot width of c(t) (+1 noisy bit)
+  std::size_t num_classes = 0;  ///< |S|, size of the signature database
+  std::vector<std::size_t> hidden_dims = {256, 256};  ///< paper default
+};
+
+class SequenceModel {
+ public:
+  explicit SequenceModel(const SequenceModelConfig& config);
+
+  /// Initialize all parameters from `rng` (deterministic given the seed).
+  void init_params(Rng& rng);
+
+  const SequenceModelConfig& config() const { return config_; }
+  std::size_t input_dim() const { return config_.input_dim; }
+  std::size_t num_classes() const { return config_.num_classes; }
+
+  // ---- Training -----------------------------------------------------------
+
+  /// Forward + BPTT over one fragment. `xs[t]` predicts `targets[t]`.
+  /// Accumulates gradients (callers zero_grads()/optimizer-step around it)
+  /// and returns the summed cross-entropy loss over the fragment.
+  double train_fragment(std::span<const std::vector<float>> xs,
+                        std::span<const std::size_t> targets);
+
+  /// Forward only; returns summed cross-entropy loss (for validation).
+  double evaluate_fragment(std::span<const std::vector<float>> xs,
+                           std::span<const std::size_t> targets) const;
+
+  /// Count of targets NOT in the predicted top-k over a fragment — the
+  /// numerator of the paper's top-k error err_k.
+  std::size_t top_k_misses(std::span<const std::vector<float>> xs,
+                           std::span<const std::size_t> targets,
+                           std::size_t k) const;
+
+  void zero_grads();
+  /// Slots for the optimizer: every (param, grad) pair in the model.
+  std::vector<ParamSlot> param_slots();
+
+  // ---- Streaming inference (detection phase) ------------------------------
+
+  struct State {
+    StackedLstmState lstm;
+    LstmStepCache scratch;
+  };
+
+  State make_state() const;
+
+  /// Consume one package's encoded features; emit Pr(s | history) in `probs`.
+  void predict(State& state, std::span<const float> x,
+               std::vector<float>& probs) const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  std::size_t param_count() const;
+  /// Serialized model footprint in bytes (float32 parameters + header),
+  /// comparable to the paper's reported 684 KB combined model size.
+  std::size_t memory_bytes() const;
+
+  StackedLstm& lstm() { return lstm_; }
+  const StackedLstm& lstm() const { return lstm_; }
+  SoftmaxLayer& output_layer() { return softmax_; }
+  const SoftmaxLayer& output_layer() const { return softmax_; }
+
+ private:
+  SequenceModelConfig config_;
+  StackedLstm lstm_;
+  SoftmaxLayer softmax_;
+};
+
+}  // namespace mlad::nn

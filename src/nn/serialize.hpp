@@ -1,0 +1,22 @@
+// Binary (de)serialization of trained models, so a detector trained offline
+// (the paper trains in a standalone non-operational ICS mode) can be shipped
+// to the network-monitor host and loaded there.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequence_model.hpp"
+
+namespace mlad::nn {
+
+/// Write model config + float32 parameters. Little-endian, versioned magic.
+void save_model(std::ostream& out, const SequenceModel& model);
+void save_model_file(const std::string& path, const SequenceModel& model);
+
+/// Rebuild a model from a stream. Throws std::runtime_error on a bad magic,
+/// truncated stream, or version mismatch.
+SequenceModel load_model(std::istream& in);
+SequenceModel load_model_file(const std::string& path);
+
+}  // namespace mlad::nn

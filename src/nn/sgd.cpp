@@ -1,0 +1,39 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/optimizer.hpp"
+
+namespace mlad::nn {
+
+double clip_global_norm(std::span<const ParamSlot> slots, double max_norm) {
+  double ss = 0.0;
+  for (const auto& s : slots) ss += s.grad->sum_squares();
+  const double norm = std::sqrt(ss);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (const auto& s : slots) (*s.grad) *= scale;
+  }
+  return norm;
+}
+
+void Sgd::step(std::span<const ParamSlot> slots) {
+  if (velocity_.size() != slots.size()) {
+    velocity_.assign(slots.size(), {});
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      velocity_[i].assign(slots[i].param->size(), 0.0f);
+    }
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Matrix& p = *slots[i].param;
+    const Matrix& g = *slots[i].grad;
+    if (p.size() != g.size()) throw std::invalid_argument("Sgd: slot size mismatch");
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      vel[j] = static_cast<float>(momentum_) * vel[j] -
+               static_cast<float>(lr_) * g.data()[j];
+      p.data()[j] += vel[j];
+    }
+  }
+}
+
+}  // namespace mlad::nn

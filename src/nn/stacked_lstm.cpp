@@ -1,0 +1,87 @@
+#include "nn/stacked_lstm.hpp"
+
+#include <stdexcept>
+
+namespace mlad::nn {
+
+StackedLstm::StackedLstm(std::size_t input_dim,
+                         std::span<const std::size_t> hidden_dims)
+    : input_dim_(input_dim) {
+  if (hidden_dims.empty()) {
+    throw std::invalid_argument("StackedLstm: need at least one layer");
+  }
+  std::size_t in = input_dim;
+  layers_.reserve(hidden_dims.size());
+  for (std::size_t hd : hidden_dims) {
+    layers_.emplace_back(in, hd);
+    in = hd;
+  }
+}
+
+void StackedLstm::init_params(Rng& rng) {
+  for (auto& l : layers_) l.init_params(rng);
+}
+
+StackedLstmState StackedLstm::make_state() const {
+  StackedLstmState s;
+  s.h.reserve(layers_.size());
+  s.c.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    s.h.emplace_back(l.hidden_dim(), 0.0f);
+    s.c.emplace_back(l.hidden_dim(), 0.0f);
+  }
+  return s;
+}
+
+std::span<const float> StackedLstm::step(std::span<const float> x,
+                                         StackedLstmState& state,
+                                         LstmStepCache& scratch) const {
+  if (state.h.size() != layers_.size()) {
+    throw std::invalid_argument("StackedLstm::step: state layer mismatch");
+  }
+  std::span<const float> in = x;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    layers_[li].cell().forward(in, state.h[li], state.c[li], scratch);
+    state.h[li] = scratch.h;
+    state.c[li] = scratch.c;
+    in = state.h[li];
+  }
+  return in;
+}
+
+std::vector<std::vector<float>> StackedLstm::forward_sequence(
+    std::span<const std::vector<float>> xs, StackedLstmCache& cache) const {
+  cache.caches.assign(layers_.size(), {});
+  cache.outputs.assign(layers_.size(), {});
+  std::vector<std::vector<float>> in(xs.begin(), xs.end());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    layers_[li].forward_sequence(in, cache.caches[li], cache.outputs[li]);
+    in = cache.outputs[li];
+  }
+  return in;  // top layer outputs
+}
+
+void StackedLstm::backward_sequence(const StackedLstmCache& cache,
+                                    std::span<const std::vector<float>> dh_top) {
+  if (cache.caches.size() != layers_.size()) {
+    throw std::invalid_argument("StackedLstm::backward_sequence: bad cache");
+  }
+  std::vector<std::vector<float>> dh(dh_top.begin(), dh_top.end());
+  std::vector<std::vector<float>> dx;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    layers_[li].backward_sequence(cache.caches[li], dh, dx);
+    dh = dx;  // gradient w.r.t. the layer's inputs = grads for layer below
+  }
+}
+
+void StackedLstm::zero_grads() {
+  for (auto& l : layers_) l.cell().zero_grads();
+}
+
+std::size_t StackedLstm::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.cell().param_count();
+  return n;
+}
+
+}  // namespace mlad::nn

@@ -1,0 +1,68 @@
+// The stacked (multi-layer) LSTM of Fig. 2: the one-hot discretized package
+// features enter the bottom layer; each layer feeds the next; the top
+// layer's hidden vector goes to the softmax classifier (sequence_model.hpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/lstm_layer.hpp"
+
+namespace mlad::nn {
+
+/// Snapshot of the recurrent state of every layer, for streaming inference.
+struct StackedLstmState {
+  std::vector<std::vector<float>> h;  ///< per layer
+  std::vector<std::vector<float>> c;  ///< per layer
+};
+
+/// Per-sequence caches for BPTT across all layers.
+struct StackedLstmCache {
+  /// caches[layer][t]
+  std::vector<std::vector<LstmStepCache>> caches;
+  /// outputs[layer][t] = h_t of that layer (the input of layer+1)
+  std::vector<std::vector<std::vector<float>>> outputs;
+};
+
+class StackedLstm {
+ public:
+  /// `hidden_dims` gives the width of each stacked layer, bottom first.
+  StackedLstm(std::size_t input_dim, std::span<const std::size_t> hidden_dims);
+
+  void init_params(Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return layers_.back().hidden_dim(); }
+  std::size_t num_layers() const { return layers_.size(); }
+  LstmLayer& layer(std::size_t i) { return layers_.at(i); }
+  const LstmLayer& layer(std::size_t i) const { return layers_.at(i); }
+
+  /// Fresh all-zero state.
+  StackedLstmState make_state() const;
+
+  /// Streaming step through the whole stack. Returns the top hidden vector
+  /// (valid until the next call with the same `out` buffer).
+  std::span<const float> step(std::span<const float> x,
+                              StackedLstmState& state,
+                              LstmStepCache& scratch) const;
+
+  /// Training-time forward over a fragment; fills `cache`, returns top
+  /// outputs per step.
+  std::vector<std::vector<float>> forward_sequence(
+      std::span<const std::vector<float>> xs, StackedLstmCache& cache) const;
+
+  /// BPTT through all layers. `dh_top[t]` is ∂L/∂(top h_t). Parameter
+  /// gradients accumulate in each cell.
+  void backward_sequence(const StackedLstmCache& cache,
+                         std::span<const std::vector<float>> dh_top);
+
+  void zero_grads();
+  std::size_t param_count() const;
+
+ private:
+  std::size_t input_dim_;
+  std::vector<LstmLayer> layers_;
+};
+
+}  // namespace mlad::nn

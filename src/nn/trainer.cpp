@@ -1,0 +1,97 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stopwatch.hpp"
+
+namespace mlad::nn {
+namespace {
+
+/// Split a fragment into BPTT windows of at most `truncate` steps.
+/// Truncation bounds memory and gradient path length; state is NOT carried
+/// across windows (fragments are short in this domain, so this matches the
+/// paper's fragment-wise training).
+std::vector<std::pair<std::size_t, std::size_t>> windows(std::size_t steps,
+                                                         std::size_t truncate) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (truncate == 0) truncate = steps;
+  for (std::size_t start = 0; start < steps; start += truncate) {
+    out.emplace_back(start, std::min(steps, start + truncate));
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainReport train(SequenceModel& model, std::span<const Fragment> fragments,
+                  Optimizer& opt, const TrainerConfig& config, Rng& rng) {
+  TrainReport report;
+  Stopwatch sw;
+  const auto slots = model.param_slots();
+
+  std::vector<std::size_t> order(fragments.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle_fragments) rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t fi : order) {
+      const Fragment& frag = fragments[fi];
+      if (frag.steps() == 0) continue;
+      for (const auto& [start, end] : windows(frag.steps(), config.truncate_steps)) {
+        model.zero_grads();
+        const std::span<const std::vector<float>> xs(
+            frag.inputs.data() + start, end - start);
+        const std::span<const std::size_t> ts(frag.targets.data() + start,
+                                              end - start);
+        loss_sum += model.train_fragment(xs, ts);
+        steps += end - start;
+        clip_global_norm(slots, config.grad_clip);
+        opt.step(slots);
+      }
+    }
+    const double mean = steps ? loss_sum / static_cast<double>(steps) : 0.0;
+    report.epoch_losses.push_back(mean);
+    report.total_steps += steps;
+    if (config.on_epoch) config.on_epoch(epoch, mean);
+  }
+  report.seconds = sw.elapsed_seconds();
+  return report;
+}
+
+double mean_loss(const SequenceModel& model,
+                 std::span<const Fragment> fragments) {
+  double loss = 0.0;
+  std::size_t steps = 0;
+  for (const Fragment& frag : fragments) {
+    if (frag.steps() == 0) continue;
+    loss += model.evaluate_fragment(frag.inputs, frag.targets);
+    steps += frag.steps();
+  }
+  return steps ? loss / static_cast<double>(steps) : 0.0;
+}
+
+double top_k_error(const SequenceModel& model,
+                   std::span<const Fragment> fragments, std::size_t k) {
+  std::size_t misses = 0;
+  std::size_t total = 0;
+  for (const Fragment& frag : fragments) {
+    if (frag.steps() == 0) continue;
+    misses += model.top_k_misses(frag.inputs, frag.targets, k);
+    total += frag.steps();
+  }
+  return total ? static_cast<double>(misses) / static_cast<double>(total) : 0.0;
+}
+
+std::size_t choose_k(const SequenceModel& model,
+                     std::span<const Fragment> fragments, double theta,
+                     std::size_t max_k) {
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    if (top_k_error(model, fragments, k) < theta) return k;
+  }
+  return max_k;
+}
+
+}  // namespace mlad::nn

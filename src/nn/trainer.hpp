@@ -1,0 +1,60 @@
+// Epoch-driven trainer for the SequenceModel over a set of time-series
+// fragments (the paper removes anomalies from the training split, which cuts
+// the normal traffic into fragments; each fragment is one BPTT unit).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequence_model.hpp"
+
+namespace mlad::nn {
+
+/// One training fragment: encoded inputs and next-signature targets,
+/// already aligned (inputs[t] predicts targets[t]).
+struct Fragment {
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::size_t> targets;
+
+  std::size_t steps() const { return inputs.size(); }
+};
+
+struct TrainerConfig {
+  std::size_t epochs = 50;        ///< paper: 50 epochs
+  double grad_clip = 5.0;         ///< global-norm clip for BPTT stability
+  std::size_t truncate_steps = 64;  ///< split long fragments for BPTT
+  bool shuffle_fragments = true;
+  /// Called after each epoch with (epoch, mean train loss per step).
+  std::function<void(std::size_t, double)> on_epoch;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_losses;  ///< mean per-step CE loss per epoch
+  std::size_t total_steps = 0;
+  double seconds = 0.0;
+};
+
+/// Train `model` on `fragments` with `opt`. Deterministic given `rng`.
+TrainReport train(SequenceModel& model, std::span<const Fragment> fragments,
+                  Optimizer& opt, const TrainerConfig& config, Rng& rng);
+
+/// Mean per-step cross-entropy over fragments (no gradient).
+double mean_loss(const SequenceModel& model,
+                 std::span<const Fragment> fragments);
+
+/// Paper §V-B: err_k = (Σ_t 1(s(x(t)) ∉ S(k))) / T over all fragments.
+double top_k_error(const SequenceModel& model,
+                   std::span<const Fragment> fragments, std::size_t k);
+
+/// Paper §V-B: minimal k with err_k < θ on the validation fragments;
+/// returns `max_k` if none qualifies.
+std::size_t choose_k(const SequenceModel& model,
+                     std::span<const Fragment> fragments, double theta,
+                     std::size_t max_k);
+
+}  // namespace mlad::nn

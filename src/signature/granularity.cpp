@@ -1,0 +1,103 @@
+#include "signature/granularity.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mlad::sig {
+
+GranularityPoint evaluate_granularity(std::span<const RawRow> train,
+                                      std::span<const RawRow> validation,
+                                      std::span<const FeatureSpec> specs,
+                                      std::span<const Tunable> tunables,
+                                      std::span<const std::size_t> bins,
+                                      Rng& rng) {
+  if (bins.size() != tunables.size()) {
+    throw std::invalid_argument("evaluate_granularity: bins/tunables mismatch");
+  }
+  std::vector<FeatureSpec> cur(specs.begin(), specs.end());
+  GranularityPoint point;
+  point.bins.assign(bins.begin(), bins.end());
+  for (std::size_t i = 0; i < tunables.size(); ++i) {
+    cur.at(tunables[i].spec_index).bins = bins[i];
+    point.objective += tunables[i].weight * static_cast<double>(bins[i]);
+  }
+
+  Rng fit_rng = rng.fork();
+  const Discretizer disc = Discretizer::fit(train, cur, fit_rng);
+  const SignatureGenerator gen(disc.cardinalities());
+
+  std::unordered_set<std::uint64_t> seen;
+  for (const RawRow& r : train) seen.insert(gen.pack(disc.transform(r)));
+  point.unique_signatures = seen.size();
+
+  std::size_t misses = 0;
+  for (const RawRow& r : validation) {
+    if (!seen.contains(gen.pack(disc.transform(r)))) ++misses;
+  }
+  point.validation_error =
+      validation.empty()
+          ? 0.0
+          : static_cast<double>(misses) / static_cast<double>(validation.size());
+  return point;
+}
+
+GranularityResult search_granularity(std::span<const RawRow> train,
+                                     std::span<const RawRow> validation,
+                                     std::span<const FeatureSpec> base_specs,
+                                     std::span<const Tunable> tunables,
+                                     double theta, Rng& rng) {
+  if (tunables.empty()) {
+    throw std::invalid_argument("search_granularity: no tunables");
+  }
+  for (const Tunable& t : tunables) {
+    if (t.candidate_bins.empty()) {
+      throw std::invalid_argument("search_granularity: empty candidate list");
+    }
+    if (t.spec_index >= base_specs.size()) {
+      throw std::out_of_range("search_granularity: bad spec_index");
+    }
+  }
+
+  GranularityResult result;
+  std::vector<std::size_t> cursor(tunables.size(), 0);
+  bool done = false;
+  while (!done) {
+    std::vector<std::size_t> bins(tunables.size());
+    for (std::size_t i = 0; i < tunables.size(); ++i) {
+      bins[i] = tunables[i].candidate_bins[cursor[i]];
+    }
+    result.evaluated.push_back(evaluate_granularity(
+        train, validation, base_specs, tunables, bins, rng));
+
+    // Odometer increment over the candidate grid.
+    std::size_t pos = 0;
+    while (pos < cursor.size()) {
+      if (++cursor[pos] < tunables[pos].candidate_bins.size()) break;
+      cursor[pos] = 0;
+      ++pos;
+    }
+    done = pos == cursor.size();
+  }
+
+  // Select: objective-max among feasible, else error-min overall.
+  double best_objective = -std::numeric_limits<double>::max();
+  double best_error = std::numeric_limits<double>::max();
+  for (const GranularityPoint& p : result.evaluated) {
+    if (p.validation_error < theta) {
+      if (!result.feasible || p.objective > best_objective ||
+          (p.objective == best_objective &&
+           p.validation_error < result.best.validation_error)) {
+        result.best = p;
+        best_objective = p.objective;
+        result.feasible = true;
+      }
+    } else if (!result.feasible && p.validation_error < best_error) {
+      result.best = p;
+      best_error = p.validation_error;
+    }
+  }
+  return result;
+}
+
+}  // namespace mlad::sig

@@ -1,0 +1,64 @@
+// Discretization-granularity search (§IV-B, Fig. 5, Table III).
+//
+// Given training/validation splits of anomaly-free data, sweep candidate bin
+// counts for the tunable continuous features, estimate the false-positive
+// rate of each combination as the validation error (fraction of validation
+// packages whose signature is absent from the training signature set), and
+// pick   argmax Σ wᵢ·nᵢ   subject to   err_v < θ.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "signature/discretizer.hpp"
+#include "signature/signature_db.hpp"
+
+namespace mlad::sig {
+
+/// One feature whose granularity is tunable.
+struct Tunable {
+  std::size_t spec_index = 0;              ///< index into the base spec list
+  std::vector<std::size_t> candidate_bins;  ///< e.g. {5,10,15,20,25,30}
+  double weight = 1.0;                      ///< wᵢ — relative importance
+};
+
+/// One evaluated grid point (a row of the Fig. 5 surface).
+struct GranularityPoint {
+  std::vector<std::size_t> bins;      ///< chosen bins per tunable, in order
+  double validation_error = 0.0;      ///< estimated package-level FPR
+  std::size_t unique_signatures = 0;  ///< |S| under this granularity
+  double objective = 0.0;             ///< Σ wᵢ·nᵢ
+};
+
+struct GranularityResult {
+  /// All evaluated points, in sweep order (drives the Fig. 5 bench).
+  std::vector<GranularityPoint> evaluated;
+  /// Best feasible point (objective-max with err < θ); if no point is
+  /// feasible, the minimum-error point, with `feasible` = false.
+  GranularityPoint best;
+  bool feasible = false;
+};
+
+/// Exhaustive sweep of the cartesian candidate grid.
+///
+/// `base_specs` is the full spec list; each grid point overrides the bins of
+/// the tunable specs, refits the discretizer on `train`, builds the
+/// signature set, and scores on `validation`.
+GranularityResult search_granularity(std::span<const RawRow> train,
+                                     std::span<const RawRow> validation,
+                                     std::span<const FeatureSpec> base_specs,
+                                     std::span<const Tunable> tunables,
+                                     double theta, Rng& rng);
+
+/// Validation error of a single spec assignment (helper; also used by the
+/// Fig. 5 bench to print the curve for a 1-D slice).
+GranularityPoint evaluate_granularity(std::span<const RawRow> train,
+                                      std::span<const RawRow> validation,
+                                      std::span<const FeatureSpec> specs,
+                                      std::span<const Tunable> tunables,
+                                      std::span<const std::size_t> bins,
+                                      Rng& rng);
+
+}  // namespace mlad::sig

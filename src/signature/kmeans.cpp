@@ -1,0 +1,146 @@
+#include "signature/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mlad::sig {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to D².
+std::vector<std::vector<double>> seed_centroids(
+    std::span<const std::vector<double>> points, std::size_t k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.index(points.size())]);
+  std::vector<double> d2(points.size(), std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points[i], centroids.back()));
+    }
+    double total = 0.0;
+    for (double d : d2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      centroids.push_back(points[rng.index(points.size())]);
+      continue;
+    }
+    centroids.push_back(points[rng.discrete(d2)]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KmeansResult kmeans_fit(std::span<const std::vector<double>> points,
+                        const KmeansConfig& config, Rng& rng) {
+  if (points.empty()) throw std::invalid_argument("kmeans_fit: empty input");
+  if (config.clusters == 0) {
+    throw std::invalid_argument("kmeans_fit: clusters must be > 0");
+  }
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) throw std::invalid_argument("kmeans_fit: ragged input");
+  }
+  const std::size_t k = std::min(config.clusters, points.size());
+
+  KmeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+
+  std::vector<std::size_t> assignment(points.size(), 0);
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(k, 0);
+
+  for (std::size_t it = 0; it < config.max_iterations; ++it) {
+    result.iterations = it + 1;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      assignment[i] = best_c;
+    }
+    // Update step.
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the stale centroid (empty cluster)
+      std::vector<double> next(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        next[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      movement += squared_distance(next, result.centroids[c]);
+      result.centroids[c] = std::move(next);
+    }
+    if (movement < config.tolerance) break;
+  }
+
+  // Final statistics: inertia and per-centroid out-of-range radius.
+  result.max_radius.assign(k, 0.0);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = squared_distance(points[i], result.centroids[c]);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    result.inertia += best;
+    result.max_radius[best_c] =
+        std::max(result.max_radius[best_c], std::sqrt(best));
+  }
+  return result;
+}
+
+std::size_t kmeans_assign(const KmeansResult& model,
+                          std::span<const double> point) {
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < model.centroids.size(); ++c) {
+    const double d = squared_distance(point, model.centroids[c]);
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+std::size_t kmeans_assign_or_oor(const KmeansResult& model,
+                                 std::span<const double> point,
+                                 double radius_slack) {
+  const std::size_t c = kmeans_assign(model, point);
+  const double dist = std::sqrt(squared_distance(point, model.centroids[c]));
+  // A zero radius (singleton cluster) still admits exact matches.
+  const double limit = model.max_radius[c] * radius_slack;
+  if (dist > limit && dist > 0.0) return model.centroids.size();
+  return c;
+}
+
+}  // namespace mlad::sig

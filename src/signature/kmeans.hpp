@@ -1,0 +1,55 @@
+// K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//
+// The paper discretizes naturally-clustered continuous features (time
+// interval, crc rate) and the correlated 5-dimensional PID parameter group
+// with k-means (Table III). Points farther from every centroid than any
+// training point was are mapped to a dedicated out-of-range value, which the
+// paper uses to represent unseen/anomalous feature levels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mlad::sig {
+
+struct KmeansResult {
+  /// centroids[c] is a d-dimensional point.
+  std::vector<std::vector<double>> centroids;
+  /// Maximum distance from any training point to its assigned centroid,
+  /// per centroid — the out-of-range radius.
+  std::vector<double> max_radius;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroids
+  std::size_t iterations = 0;
+};
+
+struct KmeansConfig {
+  std::size_t clusters = 2;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-7;  ///< stop when centroid movement² falls below
+  /// Multiplier on the learned radius when testing out-of-range (1.0 =
+  /// exactly the farthest training point, per the paper's description).
+  double radius_slack = 1.0;
+};
+
+/// Fit k-means on `points` (all rows must share dimension). Deterministic
+/// given `rng`. Throws on empty input or clusters == 0.
+KmeansResult kmeans_fit(std::span<const std::vector<double>> points,
+                        const KmeansConfig& config, Rng& rng);
+
+/// Index of the nearest centroid.
+std::size_t kmeans_assign(const KmeansResult& model,
+                          std::span<const double> point);
+
+/// Nearest centroid index, or `centroids.size()` (the out-of-range id) when
+/// the point is farther than radius_slack × that centroid's max_radius.
+std::size_t kmeans_assign_or_oor(const KmeansResult& model,
+                                 std::span<const double> point,
+                                 double radius_slack = 1.0);
+
+/// Squared Euclidean distance (helper shared with baselines).
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace mlad::sig

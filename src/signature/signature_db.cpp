@@ -1,0 +1,115 @@
+#include "signature/signature_db.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mlad::sig {
+
+SignatureGenerator::SignatureGenerator(std::vector<std::size_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)) {
+  if (cardinalities_.empty()) {
+    throw std::invalid_argument("SignatureGenerator: no features");
+  }
+  // Verify the key space fits 64 bits (checked multiplication).
+  std::uint64_t space = 1;
+  for (std::size_t c : cardinalities_) {
+    if (c == 0) throw std::invalid_argument("SignatureGenerator: zero cardinality");
+    if (space > std::numeric_limits<std::uint64_t>::max() / c) {
+      throw std::invalid_argument(
+          "SignatureGenerator: key space exceeds 64 bits");
+    }
+    space *= c;
+  }
+}
+
+std::uint64_t SignatureGenerator::pack(const DiscreteRow& row) const {
+  if (row.size() != cardinalities_.size()) {
+    throw std::invalid_argument("SignatureGenerator::pack: arity mismatch");
+  }
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] >= cardinalities_[i]) {
+      throw std::out_of_range("SignatureGenerator::pack: id out of range");
+    }
+    key = key * cardinalities_[i] + row[i];
+  }
+  return key;
+}
+
+DiscreteRow SignatureGenerator::unpack(std::uint64_t key) const {
+  DiscreteRow row(cardinalities_.size());
+  for (std::size_t i = cardinalities_.size(); i-- > 0;) {
+    row[i] = static_cast<std::uint16_t>(key % cardinalities_[i]);
+    key /= cardinalities_[i];
+  }
+  if (key != 0) {
+    throw std::out_of_range("SignatureGenerator::unpack: key out of range");
+  }
+  return row;
+}
+
+std::string SignatureGenerator::to_string(const DiscreteRow& row) const {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ':';
+    out += std::to_string(row[i]);
+  }
+  return out;
+}
+
+SignatureDatabase::SignatureDatabase(SignatureGenerator generator)
+    : generator_(std::move(generator)) {}
+
+SignatureDatabase SignatureDatabase::from_parts(
+    SignatureGenerator generator, std::vector<std::uint64_t> keys,
+    std::vector<std::size_t> counts) {
+  if (keys.size() != counts.size()) {
+    throw std::invalid_argument("SignatureDatabase::from_parts: size mismatch");
+  }
+  SignatureDatabase db(std::move(generator));
+  db.key_by_id_ = std::move(keys);
+  db.counts_ = std::move(counts);
+  for (std::size_t id = 0; id < db.key_by_id_.size(); ++id) {
+    const auto [it, inserted] = db.id_by_key_.try_emplace(db.key_by_id_[id], id);
+    if (!inserted) {
+      throw std::invalid_argument(
+          "SignatureDatabase::from_parts: duplicate key");
+    }
+    db.total_ += db.counts_[id];
+  }
+  return db;
+}
+
+std::size_t SignatureDatabase::add(const DiscreteRow& row) {
+  const std::uint64_t key = generator_.pack(row);
+  ++total_;
+  const auto [it, inserted] = id_by_key_.try_emplace(key, key_by_id_.size());
+  if (inserted) {
+    key_by_id_.push_back(key);
+    counts_.push_back(1);
+  } else {
+    ++counts_[it->second];
+  }
+  return it->second;
+}
+
+std::optional<std::size_t> SignatureDatabase::id_of(
+    const DiscreteRow& row) const {
+  return id_of_key(generator_.pack(row));
+}
+
+std::optional<std::size_t> SignatureDatabase::id_of_key(
+    std::uint64_t key) const {
+  const auto it = id_by_key_.find(key);
+  if (it == id_by_key_.end()) return std::nullopt;
+  return it->second;
+}
+
+bloom::BloomFilter SignatureDatabase::make_bloom(double bloom_fpr) const {
+  bloom::BloomFilter bf =
+      bloom::BloomFilter::with_capacity(std::max<std::size_t>(size(), 1), bloom_fpr);
+  for (std::uint64_t key : key_by_id_) bf.insert(key);
+  return bf;
+}
+
+}  // namespace mlad::sig

@@ -1,0 +1,89 @@
+// Package signatures (§IV-A) and the signature database.
+//
+// The signature of a package is g(c1, …, co) where g assigns a unique value
+// to each distinct combination of the discretized features. We realize g two
+// ways, both injective:
+//   - a mixed-radix packing into uint64 (the canonical key used everywhere),
+//   - the paper's "concatenate with a separator" string form (diagnostics).
+// The database maps each distinct signature seen in training to a dense id
+// (the LSTM's class index) and its occurrence count #(s) (used by the
+// probabilistic-noise schedule p = λ/(λ+#(s))).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "signature/discretizer.hpp"
+
+namespace mlad::sig {
+
+/// The injective generating function g(·) over discrete feature vectors.
+class SignatureGenerator {
+ public:
+  /// `cardinalities[i]` bounds feature i's ids (out-of-range id included).
+  /// Throws if the mixed-radix key space exceeds 64 bits — widen to a
+  /// string-keyed database before that ever triggers in practice (the gas
+  /// pipeline schema uses ≈30 bits).
+  explicit SignatureGenerator(std::vector<std::size_t> cardinalities);
+
+  std::size_t feature_count() const { return cardinalities_.size(); }
+  const std::vector<std::size_t>& cardinalities() const { return cardinalities_; }
+
+  /// Canonical packed key; injective by construction.
+  std::uint64_t pack(const DiscreteRow& row) const;
+
+  /// Inverse of pack (used by tests and forensics output).
+  DiscreteRow unpack(std::uint64_t key) const;
+
+  /// Paper-style separator-joined string ("3:0:17:4:1").
+  std::string to_string(const DiscreteRow& row) const;
+
+ private:
+  std::vector<std::size_t> cardinalities_;
+};
+
+/// Dense-id vocabulary of signatures observed in anomaly-free training data.
+class SignatureDatabase {
+ public:
+  explicit SignatureDatabase(SignatureGenerator generator);
+
+  /// Reassemble from persisted state (deserialization path). `keys[i]` is
+  /// the packed signature with dense id i, seen `counts[i]` times.
+  static SignatureDatabase from_parts(SignatureGenerator generator,
+                                      std::vector<std::uint64_t> keys,
+                                      std::vector<std::size_t> counts);
+
+  /// Insert one observation of a signature; returns its dense id.
+  std::size_t add(const DiscreteRow& row);
+
+  /// Dense id if the signature is in the database.
+  std::optional<std::size_t> id_of(const DiscreteRow& row) const;
+  std::optional<std::size_t> id_of_key(std::uint64_t key) const;
+
+  /// Number of distinct signatures |S|.
+  std::size_t size() const { return key_by_id_.size(); }
+  /// Training occurrences of signature `id` — #(s) in the noise schedule.
+  std::size_t count(std::size_t id) const { return counts_.at(id); }
+  /// Total observations added.
+  std::size_t total_observations() const { return total_; }
+
+  std::uint64_t key_of(std::size_t id) const { return key_by_id_.at(id); }
+  const SignatureGenerator& generator() const { return generator_; }
+
+  /// Build the package-level Bloom filter containing every signature
+  /// (§IV-C), sized for this vocabulary at `bloom_fpr`.
+  bloom::BloomFilter make_bloom(double bloom_fpr = 1e-4) const;
+
+ private:
+  SignatureGenerator generator_;
+  std::unordered_map<std::uint64_t, std::size_t> id_by_key_;
+  std::vector<std::uint64_t> key_by_id_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mlad::sig

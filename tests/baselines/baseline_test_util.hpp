@@ -1,0 +1,68 @@
+// Shared synthetic-window helpers for the baseline detector tests.
+#pragma once
+
+#include <vector>
+
+#include "baselines/window.hpp"
+#include "common/rng.hpp"
+
+namespace mlad::baselines::testutil {
+
+/// Normal windows: numeric features near a 4-phase pattern, discrete
+/// features following the phase cycle. Anomalous windows break both.
+inline WindowSample normal_window(Rng& rng) {
+  WindowSample w;
+  for (int phase = 0; phase < 4; ++phase) {
+    // The two numeric channels per package are correlated (the second
+    // tracks the first), giving the window a genuine low-rank structure
+    // that PCA can exploit — as real SCADA channels do.
+    const double primary = phase * 5.0 + rng.normal(0.0, 0.2);
+    w.numeric.push_back(primary);
+    w.numeric.push_back(0.3 * primary + rng.normal(0.0, 0.05));
+    w.discrete.push_back(static_cast<std::uint16_t>(phase));
+    w.discrete.push_back(static_cast<std::uint16_t>(phase % 2));
+  }
+  return w;
+}
+
+inline WindowSample anomalous_window(Rng& rng, ics::AttackType label) {
+  WindowSample w;
+  for (int phase = 0; phase < 4; ++phase) {
+    w.numeric.push_back(rng.uniform(-40.0, 60.0));
+    w.numeric.push_back(rng.uniform(-5.0, 8.0));
+    w.discrete.push_back(static_cast<std::uint16_t>(rng.index(6)));
+    w.discrete.push_back(static_cast<std::uint16_t>(rng.index(4)));
+  }
+  w.label = label;
+  return w;
+}
+
+inline std::vector<WindowSample> normal_set(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WindowSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(normal_window(rng));
+  return out;
+}
+
+inline std::vector<WindowSample> anomalous_set(std::size_t n,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WindowSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(anomalous_window(rng, ics::AttackType::kNmri));
+  }
+  return out;
+}
+
+/// Fraction of windows the detector flags.
+inline double alarm_rate(const WindowDetector& det,
+                         std::span<const WindowSample> windows) {
+  if (windows.empty()) return 0.0;
+  std::size_t alarms = 0;
+  for (const auto& w : windows) alarms += det.is_anomalous(w) ? 1 : 0;
+  return static_cast<double>(alarms) / static_cast<double>(windows.size());
+}
+
+}  // namespace mlad::baselines::testutil

@@ -1,0 +1,101 @@
+#include "baselines/bayes_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline_test_util.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+using testutil::alarm_rate;
+using testutil::anomalous_set;
+using testutil::normal_set;
+
+TEST(BayesNet, LowAlarmRateOnNormalData) {
+  BayesNet bn;
+  const auto train = normal_set(600, 1);
+  const auto cal = normal_set(200, 2);
+  bn.fit(train, cal, 0.05);
+  const auto fresh = normal_set(200, 3);
+  EXPECT_LT(alarm_rate(bn, fresh), 0.15);
+}
+
+TEST(BayesNet, DetectsStructureViolations) {
+  BayesNet bn;
+  bn.fit(normal_set(600, 4), normal_set(200, 5), 0.05);
+  const auto attacks = anomalous_set(200, 6);
+  EXPECT_GT(alarm_rate(bn, attacks), 0.8);
+}
+
+TEST(BayesNet, ScoreHigherForAnomalies) {
+  BayesNet bn;
+  bn.fit(normal_set(600, 7), normal_set(200, 8), 0.05);
+  Rng rng(9);
+  double normal_score = 0.0;
+  double attack_score = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    normal_score += bn.score(testutil::normal_window(rng));
+    attack_score +=
+        bn.score(testutil::anomalous_window(rng, ics::AttackType::kDos));
+  }
+  EXPECT_GT(attack_score, normal_score);
+}
+
+TEST(BayesNet, TreeStructureIsConnected) {
+  BayesNet bn;
+  bn.fit(normal_set(400, 10), normal_set(100, 11), 0.05);
+  const auto& parents = bn.parents();
+  ASSERT_EQ(parents.size(), 8u);  // 4 packages × 2 discrete features
+  // Exactly one root (parent == self), everything reaches it.
+  std::size_t roots = 0;
+  for (std::size_t v = 0; v < parents.size(); ++v) {
+    if (parents[v] == v) ++roots;
+    // Walk to root with a step bound (cycle detection).
+    std::size_t cur = v;
+    for (std::size_t step = 0; step < parents.size() + 1; ++step) {
+      if (parents[cur] == cur) break;
+      cur = parents[cur];
+    }
+    EXPECT_EQ(parents[cur], cur) << "vertex " << v << " not rooted";
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(BayesNet, CorrelatedFeaturesLinked) {
+  // Feature pairs (phase, phase%2) are deterministic functions; the tree
+  // should capture strong dependence — scores on permuted windows rise.
+  BayesNet bn;
+  bn.fit(normal_set(600, 12), normal_set(200, 13), 0.05);
+  Rng rng(14);
+  WindowSample consistent = testutil::normal_window(rng);
+  WindowSample broken = consistent;
+  // Break the phase/parity correlation in one package.
+  broken.discrete[1] = static_cast<std::uint16_t>(1 - broken.discrete[1]);
+  EXPECT_GT(bn.score(broken), bn.score(consistent));
+}
+
+TEST(BayesNet, ScoreBeforeFitThrows) {
+  const BayesNet bn;
+  Rng rng(15);
+  EXPECT_THROW(bn.score(testutil::normal_window(rng)), std::logic_error);
+}
+
+TEST(BayesNet, FitEmptyThrows) {
+  BayesNet bn;
+  EXPECT_THROW(bn.fit({}, {}, 0.05), std::invalid_argument);
+}
+
+TEST(BayesNet, UnseenValuesScoredSmoothly) {
+  BayesNet bn;
+  bn.fit(normal_set(400, 16), normal_set(100, 17), 0.05);
+  Rng rng(18);
+  WindowSample w = testutil::normal_window(rng);
+  w.discrete[0] = 60000;  // far beyond any seen id
+  EXPECT_NO_THROW(bn.score(w));
+  EXPECT_TRUE(std::isfinite(bn.score(w)));
+}
+
+TEST(BayesNet, NameIsBf) { EXPECT_STREQ(BayesNet().name(), "BN"); }
+
+}  // namespace
+}  // namespace mlad::baselines

@@ -1,0 +1,115 @@
+#include "baselines/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+TEST(Eigen, DiagonalMatrix) {
+  const std::vector<double> a = {3.0, 0.0, 0.0, 1.0};
+  const SymmetricEigen e = jacobi_eigen(a, 2);
+  ASSERT_EQ(e.eigenvalues.size(), 2u);
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-10);  // descending
+  EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] → eigenvalues 3 and 1, eigenvectors (1,1)/√2, (1,-1)/√2.
+  const std::vector<double> a = {2.0, 1.0, 1.0, 2.0};
+  const SymmetricEigen e = jacobi_eigen(a, 2);
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(e.eigenvectors[0][0]), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(e.eigenvectors[0][1]), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Eigen, ReconstructionProperty) {
+  // Property: A v_i = λ_i v_i on a random symmetric matrix.
+  Rng rng(1);
+  const std::size_t n = 6;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  const SymmetricEigen e = jacobi_eigen(a, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n; ++j) av += a[i * n + j] * e.eigenvectors[k][j];
+      EXPECT_NEAR(av, e.eigenvalues[k] * e.eigenvectors[k][i], 1e-7);
+    }
+  }
+}
+
+TEST(Eigen, EigenvectorsOrthonormal) {
+  Rng rng(2);
+  const std::size_t n = 5;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  const SymmetricEigen e = jacobi_eigen(a, n);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += e.eigenvectors[p][i] * e.eigenvectors[q][i];
+      }
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Eigen, TraceEqualsEigenvalueSum) {
+  Rng rng(3);
+  const std::size_t n = 7;
+  std::vector<double> a(n * n);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+    trace += a[i * n + i];
+  }
+  const SymmetricEigen e = jacobi_eigen(a, n);
+  double sum = 0.0;
+  for (double ev : e.eigenvalues) sum += ev;
+  EXPECT_NEAR(sum, trace, 1e-8);
+}
+
+TEST(Eigen, NotSquareThrows) {
+  EXPECT_THROW(jacobi_eigen(std::vector<double>(5, 0.0), 2),
+               std::invalid_argument);
+}
+
+TEST(Eigen, CovarianceOfKnownData) {
+  // Perfectly correlated columns: cov = [[1, 2], [2, 4]] for x, 2x with
+  // x ∈ {−1, 1}.
+  const std::vector<std::vector<double>> rows = {{-1.0, -2.0}, {1.0, 2.0}};
+  const auto cov = covariance_matrix(rows);
+  EXPECT_NEAR(cov[0], 1.0, 1e-12);
+  EXPECT_NEAR(cov[1], 2.0, 1e-12);
+  EXPECT_NEAR(cov[2], 2.0, 1e-12);
+  EXPECT_NEAR(cov[3], 4.0, 1e-12);
+}
+
+TEST(Eigen, CovarianceThrowsOnEmpty) {
+  EXPECT_THROW(covariance_matrix({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlad::baselines

@@ -1,0 +1,102 @@
+#include "baselines/iforest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline_test_util.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+using testutil::alarm_rate;
+using testutil::anomalous_set;
+using testutil::normal_set;
+
+TEST(IsolationForest, AveragePathLengthFormula) {
+  EXPECT_DOUBLE_EQ(average_path_length(0), 0.0);
+  EXPECT_DOUBLE_EQ(average_path_length(1), 0.0);
+  // c(2) = 2(ln 1 + γ) − 1 = 2γ − 1 ≈ 0.1544
+  EXPECT_NEAR(average_path_length(2), 0.1544, 1e-3);
+  EXPECT_GT(average_path_length(256), average_path_length(16));
+}
+
+TEST(IsolationForest, LowAlarmRateOnNormalData) {
+  IsolationForest forest;
+  forest.fit(normal_set(500, 1), normal_set(200, 2), 0.05);
+  EXPECT_LT(alarm_rate(forest, normal_set(200, 3)), 0.15);
+}
+
+TEST(IsolationForest, IsolatesOutliers) {
+  IsolationForest forest;
+  forest.fit(normal_set(500, 4), normal_set(200, 5), 0.05);
+  EXPECT_GT(alarm_rate(forest, anomalous_set(200, 6)), 0.5);
+}
+
+TEST(IsolationForest, ScoresInUnitInterval) {
+  IsolationForest forest;
+  forest.fit(normal_set(300, 7), normal_set(100, 8), 0.05);
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const double s_normal = forest.score(testutil::normal_window(rng));
+    const double s_attack =
+        forest.score(testutil::anomalous_window(rng, ics::AttackType::kDos));
+    EXPECT_GT(s_normal, 0.0);
+    EXPECT_LT(s_normal, 1.0);
+    EXPECT_GT(s_attack, 0.0);
+    EXPECT_LT(s_attack, 1.0);
+  }
+}
+
+TEST(IsolationForest, OutliersScoreHigherOnAverage) {
+  IsolationForest forest;
+  forest.fit(normal_set(500, 10), normal_set(200, 11), 0.05);
+  Rng rng(12);
+  double normal_sum = 0.0;
+  double attack_sum = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    normal_sum += forest.score(testutil::normal_window(rng));
+    attack_sum +=
+        forest.score(testutil::anomalous_window(rng, ics::AttackType::kNmri));
+  }
+  EXPECT_GT(attack_sum, normal_sum);
+}
+
+TEST(IsolationForest, DeterministicGivenSeed) {
+  IsolationForestConfig cfg;
+  cfg.seed = 99;
+  IsolationForest a(cfg);
+  IsolationForest b(cfg);
+  const auto train = normal_set(300, 13);
+  const auto cal = normal_set(100, 14);
+  a.fit(train, cal, 0.05);
+  b.fit(train, cal, 0.05);
+  Rng rng(15);
+  for (int i = 0; i < 10; ++i) {
+    const WindowSample w = testutil::normal_window(rng);
+    EXPECT_DOUBLE_EQ(a.score(w), b.score(w));
+  }
+}
+
+TEST(IsolationForest, ConstantDataDoesNotCrash) {
+  std::vector<WindowSample> constant(64);
+  for (auto& w : constant) {
+    w.numeric.assign(8, 1.0);
+    w.discrete.assign(8, 0);
+  }
+  IsolationForest forest;
+  forest.fit(constant, constant, 0.05);
+  EXPECT_NO_THROW(forest.score(constant[0]));
+}
+
+TEST(IsolationForest, ScoreBeforeFitThrows) {
+  const IsolationForest forest;
+  Rng rng(16);
+  EXPECT_THROW(forest.score(testutil::normal_window(rng)), std::logic_error);
+}
+
+TEST(IsolationForest, FitEmptyThrows) {
+  IsolationForest forest;
+  EXPECT_THROW(forest.fit({}, {}, 0.05), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlad::baselines

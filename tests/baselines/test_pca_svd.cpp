@@ -1,0 +1,89 @@
+#include "baselines/pca_svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline_test_util.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+using testutil::alarm_rate;
+using testutil::anomalous_set;
+using testutil::normal_set;
+
+TEST(PcaSvd, LowAlarmRateOnNormalData) {
+  PcaSvd pca;
+  pca.fit(normal_set(400, 1), normal_set(150, 2), 0.05);
+  EXPECT_LT(alarm_rate(pca, normal_set(150, 3)), 0.15);
+}
+
+TEST(PcaSvd, FlagsOffSubspaceOutliers) {
+  PcaSvd pca;
+  pca.fit(normal_set(400, 4), normal_set(150, 5), 0.05);
+  EXPECT_GT(alarm_rate(pca, anomalous_set(150, 6)), 0.5);
+}
+
+TEST(PcaSvd, ReconstructionErrorNonNegative) {
+  PcaSvd pca;
+  pca.fit(normal_set(300, 7), normal_set(100, 8), 0.05);
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_GE(pca.score(testutil::normal_window(rng)), 0.0);
+  }
+}
+
+TEST(PcaSvd, RetainsFewComponentsOnLowRankData) {
+  // Data lying on a 1-D line: one component should explain ≥ 90%.
+  std::vector<WindowSample> line;
+  Rng rng(10);
+  for (int i = 0; i < 300; ++i) {
+    WindowSample w;
+    const double t = rng.uniform(-1.0, 1.0);
+    for (int d = 0; d < 6; ++d) w.numeric.push_back(t * (d + 1));
+    w.discrete.assign(6, 0);
+    line.push_back(w);
+  }
+  PcaSvd pca;
+  pca.fit(line, line, 0.05);
+  EXPECT_EQ(pca.retained_components(), 1u);
+}
+
+TEST(PcaSvd, MaxComponentsCapRespected) {
+  PcaSvdConfig cfg;
+  cfg.explained_variance = 0.9999;
+  cfg.max_components = 2;
+  PcaSvd pca(cfg);
+  pca.fit(normal_set(300, 11), normal_set(100, 12), 0.05);
+  EXPECT_LE(pca.retained_components(), 2u);
+}
+
+TEST(PcaSvd, PerfectReconstructionScoresNearZero) {
+  // A window exactly on the retained subspace reconstructs with ~0 error.
+  std::vector<WindowSample> line;
+  for (int i = 0; i < 100; ++i) {
+    WindowSample w;
+    const double t = (i - 50) / 25.0;
+    for (int d = 0; d < 4; ++d) w.numeric.push_back(t * (d + 1));
+    w.discrete.assign(4, 0);
+    line.push_back(w);
+  }
+  PcaSvd pca;
+  pca.fit(line, line, 0.05);
+  EXPECT_NEAR(pca.score(line[10]), 0.0, 1e-6);
+}
+
+TEST(PcaSvd, ScoreBeforeFitThrows) {
+  const PcaSvd pca;
+  Rng rng(13);
+  EXPECT_THROW(pca.score(testutil::normal_window(rng)), std::logic_error);
+}
+
+TEST(PcaSvd, FitEmptyThrows) {
+  PcaSvd pca;
+  EXPECT_THROW(pca.fit({}, {}, 0.05), std::invalid_argument);
+}
+
+TEST(PcaSvd, NameString) { EXPECT_STREQ(PcaSvd().name(), "PCA-SVD"); }
+
+}  // namespace
+}  // namespace mlad::baselines

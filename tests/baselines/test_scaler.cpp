@@ -1,0 +1,60 @@
+#include "baselines/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlad::baselines {
+namespace {
+
+TEST(Scaler, StandardizesToZeroMeanUnitVariance) {
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({static_cast<double>(i), 5.0 + 2.0 * i});
+  }
+  const StandardScaler s = StandardScaler::fit(rows);
+  const auto scaled = s.transform_all(rows);
+  for (std::size_t d = 0; d < 2; ++d) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (const auto& r : scaled) mean += r[d];
+    mean /= scaled.size();
+    for (const auto& r : scaled) var += (r[d] - mean) * (r[d] - mean);
+    var /= scaled.size();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(Scaler, ConstantDimensionPassesThrough) {
+  std::vector<std::vector<double>> rows(10, std::vector<double>{7.0, 1.0});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i][1] = static_cast<double>(i);
+  }
+  const StandardScaler s = StandardScaler::fit(rows);
+  const auto z = s.transform(std::vector<double>{9.0, 4.5});
+  EXPECT_DOUBLE_EQ(z[0], 2.0);  // (9-7)/1 — stddev floored to identity
+}
+
+TEST(Scaler, TransformValidatesDim) {
+  const StandardScaler s =
+      StandardScaler::fit(std::vector<std::vector<double>>{{1.0, 2.0}});
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Scaler, FitValidatesInput) {
+  EXPECT_THROW(StandardScaler::fit({}), std::invalid_argument);
+  std::vector<std::vector<double>> ragged = {{1.0}, {1.0, 2.0}};
+  EXPECT_THROW(StandardScaler::fit(ragged), std::invalid_argument);
+}
+
+TEST(Scaler, MeanAndStddevExposed) {
+  std::vector<std::vector<double>> rows = {{2.0}, {4.0}};
+  const StandardScaler s = StandardScaler::fit(rows);
+  EXPECT_DOUBLE_EQ(s.mean()[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev()[0], 1.0);
+  EXPECT_EQ(s.dim(), 1u);
+}
+
+}  // namespace
+}  // namespace mlad::baselines

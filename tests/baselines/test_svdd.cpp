@@ -1,0 +1,77 @@
+#include "baselines/svdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline_test_util.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+using testutil::alarm_rate;
+using testutil::anomalous_set;
+using testutil::normal_set;
+
+SvddConfig fast_config() {
+  SvddConfig cfg;
+  cfg.max_train = 300;
+  cfg.iterations = 120;
+  return cfg;
+}
+
+TEST(Svdd, LowAlarmRateOnNormalData) {
+  Svdd svdd(fast_config());
+  svdd.fit(normal_set(400, 1), normal_set(150, 2), 0.05);
+  EXPECT_LT(alarm_rate(svdd, normal_set(150, 3)), 0.15);
+}
+
+TEST(Svdd, FlagsFarOutliers) {
+  Svdd svdd(fast_config());
+  svdd.fit(normal_set(400, 4), normal_set(150, 5), 0.05);
+  EXPECT_GT(alarm_rate(svdd, anomalous_set(150, 6)), 0.6);
+}
+
+TEST(Svdd, ScoreIncreasesWithDistanceFromData) {
+  Svdd svdd(fast_config());
+  svdd.fit(normal_set(400, 7), normal_set(150, 8), 0.05);
+  Rng rng(9);
+  WindowSample near = testutil::normal_window(rng);
+  WindowSample far = near;
+  for (auto& v : far.numeric) v += 100.0;
+  EXPECT_GT(svdd.score(far), svdd.score(near));
+}
+
+TEST(Svdd, ScoreBoundedByKernelGeometry) {
+  // Variable part of the distance is 1 − 2Σαk ∈ [−1, 1] since Σα = 1.
+  Svdd svdd(fast_config());
+  svdd.fit(normal_set(300, 10), normal_set(100, 11), 0.05);
+  Rng rng(12);
+  for (int i = 0; i < 20; ++i) {
+    const double s =
+        svdd.score(testutil::anomalous_window(rng, ics::AttackType::kNmri));
+    EXPECT_GE(s, -1.0 - 1e-9);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+}
+
+TEST(Svdd, SupportVectorsSubsetOfSample) {
+  Svdd svdd(fast_config());
+  svdd.fit(normal_set(300, 13), normal_set(100, 14), 0.05);
+  EXPECT_GT(svdd.support_vector_count(), 0u);
+  EXPECT_LE(svdd.support_vector_count(), 300u);
+}
+
+TEST(Svdd, ScoreBeforeFitThrows) {
+  const Svdd svdd;
+  Rng rng(15);
+  EXPECT_THROW(svdd.score(testutil::normal_window(rng)), std::logic_error);
+}
+
+TEST(Svdd, FitEmptyThrows) {
+  Svdd svdd;
+  EXPECT_THROW(svdd.fit({}, {}, 0.05), std::invalid_argument);
+}
+
+TEST(Svdd, NameIsSvdd) { EXPECT_STREQ(Svdd().name(), "SVDD"); }
+
+}  // namespace
+}  // namespace mlad::baselines

@@ -1,0 +1,106 @@
+#include "baselines/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+std::vector<ics::Package> make_stream(std::size_t n) {
+  std::vector<ics::Package> pkgs;
+  for (std::size_t i = 0; i < n; ++i) {
+    ics::Package p;
+    p.time = static_cast<double>(i) * 0.1;
+    p.address = 4;
+    p.pressure_measurement = static_cast<double>(i % 4);
+    pkgs.push_back(p);
+  }
+  return pkgs;
+}
+
+sig::Discretizer tiny_discretizer(std::span<const ics::Package> pkgs) {
+  const auto rows = ics::to_raw_rows(pkgs);
+  const std::vector<sig::FeatureSpec> specs = {
+      {"pressure", sig::FeatureKind::kInterval, {ics::kColPressure}, 4},
+      {"address", sig::FeatureKind::kDiscrete, {ics::kColAddress}, 0},
+  };
+  Rng rng(1);
+  return sig::Discretizer::fit(rows, specs, rng);
+}
+
+TEST(Window, SlidingStrideOne) {
+  const auto pkgs = make_stream(18);
+  const auto disc = tiny_discretizer(pkgs);
+  const auto windows = make_windows(pkgs, disc);
+  EXPECT_EQ(windows.size(), 15u);  // 18 - 4 + 1 overlapping windows
+}
+
+TEST(Window, TumblingStrideFour) {
+  const auto pkgs = make_stream(18);
+  const auto disc = tiny_discretizer(pkgs);
+  const auto windows = make_windows(pkgs, disc, 4);
+  EXPECT_EQ(windows.size(), 4u);  // 18 / 4, remainder dropped
+}
+
+TEST(Window, ZeroStrideYieldsNothing) {
+  const auto pkgs = make_stream(18);
+  const auto disc = tiny_discretizer(pkgs);
+  EXPECT_TRUE(make_windows(pkgs, disc, 0).empty());
+}
+
+TEST(Window, ConcatenatedDimensions) {
+  const auto pkgs = make_stream(8);
+  const auto disc = tiny_discretizer(pkgs);
+  const auto windows = make_windows(pkgs, disc);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_EQ(windows[0].numeric.size(), 4u * ics::kRawColumnCount);
+  EXPECT_EQ(windows[0].discrete.size(), 4u * 2u);
+}
+
+TEST(Window, LabelFromFirstAttackPackage) {
+  auto pkgs = make_stream(8);
+  pkgs[1].label = ics::AttackType::kDos;
+  pkgs[2].label = ics::AttackType::kRecon;
+  const auto disc = tiny_discretizer(pkgs);
+  const auto windows = make_windows(pkgs, disc, 4);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].label, ics::AttackType::kDos);
+  EXPECT_TRUE(windows[0].is_attack());
+  EXPECT_EQ(windows[1].label, ics::AttackType::kNormal);
+}
+
+TEST(Window, TooFewPackagesYieldsNothing) {
+  const auto pkgs = make_stream(3);
+  const auto disc = tiny_discretizer(make_stream(8));
+  EXPECT_TRUE(make_windows(pkgs, disc).empty());
+}
+
+TEST(Window, FragmentWindowsConcatenate) {
+  const auto disc = tiny_discretizer(make_stream(8));
+  std::vector<ics::PackageFragment> fragments = {make_stream(8),
+                                                 make_stream(12)};
+  const auto windows = make_fragment_windows(fragments, disc, 4);
+  EXPECT_EQ(windows.size(), 2u + 3u);
+  for (const auto& w : windows) EXPECT_FALSE(w.is_attack());
+}
+
+TEST(Window, CalibrateThresholdQuantile) {
+  std::vector<double> scores;
+  for (int i = 1; i <= 100; ++i) scores.push_back(static_cast<double>(i));
+  const double t = calibrate_threshold(scores, 0.05);
+  // ~5% of calibration scores exceed the threshold.
+  std::size_t above = 0;
+  for (double s : scores) above += s > t ? 1 : 0;
+  EXPECT_LE(above, 6u);
+  EXPECT_GE(above, 4u);
+}
+
+TEST(Window, CalibrateThresholdEdges) {
+  EXPECT_DOUBLE_EQ(calibrate_threshold({}, 0.1), 0.0);
+  const double max_t = calibrate_threshold({1.0, 2.0, 3.0}, 0.0);
+  EXPECT_DOUBLE_EQ(max_t, 3.0);  // zero FPR → threshold at the max
+}
+
+}  // namespace
+}  // namespace mlad::baselines

@@ -1,0 +1,56 @@
+#include "baselines/window_bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline_test_util.hpp"
+
+namespace mlad::baselines {
+namespace {
+
+using testutil::alarm_rate;
+using testutil::anomalous_set;
+using testutil::normal_set;
+
+TEST(WindowBloom, TrainingWindowsAllPass) {
+  WindowBloom bf;
+  const auto train = normal_set(400, 1);
+  bf.fit(train, {}, 0.05);
+  // No false negatives: every training window must pass.
+  EXPECT_DOUBLE_EQ(alarm_rate(bf, train), 0.0);
+}
+
+TEST(WindowBloom, UnseenCombinationsFlagged) {
+  WindowBloom bf;
+  bf.fit(normal_set(400, 2), {}, 0.05);
+  EXPECT_GT(alarm_rate(bf, anomalous_set(150, 3)), 0.9);
+}
+
+TEST(WindowBloom, ScoreIsBinary) {
+  WindowBloom bf;
+  bf.fit(normal_set(200, 4), {}, 0.05);
+  Rng rng(5);
+  const double s_normal = bf.score(testutil::normal_window(rng));
+  const double s_attack =
+      bf.score(testutil::anomalous_window(rng, ics::AttackType::kMpci));
+  EXPECT_TRUE(s_normal == 0.0 || s_normal == 1.0);
+  EXPECT_TRUE(s_attack == 0.0 || s_attack == 1.0);
+}
+
+TEST(WindowBloom, GeneralizationWithinSeenVocabulary) {
+  // Fresh normal windows share the training vocabulary cycle, so most pass.
+  WindowBloom bf;
+  bf.fit(normal_set(600, 6), {}, 0.05);
+  EXPECT_LT(alarm_rate(bf, normal_set(150, 7)), 0.2);
+}
+
+TEST(WindowBloom, BloomSizedForUniqueSignatures) {
+  WindowBloom bf;
+  bf.fit(normal_set(400, 8), {}, 0.05);
+  EXPECT_GT(bf.bloom().bit_count(), 0u);
+  EXPECT_GT(bf.bloom().inserted(), 0u);
+}
+
+TEST(WindowBloom, NameString) { EXPECT_STREQ(WindowBloom().name(), "BF"); }
+
+}  // namespace
+}  // namespace mlad::baselines

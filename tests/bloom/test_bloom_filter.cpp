@@ -1,0 +1,124 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace mlad::bloom {
+namespace {
+
+TEST(BloomParams, OptimalSizing) {
+  const BloomParams p = BloomParams::optimal(1000, 0.01);
+  // Textbook: m ≈ 9.585 n, k ≈ 7 at 1% FPR.
+  EXPECT_NEAR(static_cast<double>(p.bits), 9585.0, 10.0);
+  EXPECT_EQ(p.hashes, 7u);
+}
+
+TEST(BloomParams, RejectsBadFpr) {
+  EXPECT_THROW(BloomParams::optimal(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(BloomParams::optimal(10, 1.0), std::invalid_argument);
+}
+
+TEST(BloomFilter, NoFalseNegativesProperty) {
+  // THE Bloom filter guarantee the package-level detector relies on:
+  // every inserted signature must be found.
+  BloomFilter bf = BloomFilter::with_capacity(5000, 0.01);
+  for (std::uint64_t key = 0; key < 5000; ++key) bf.insert(key * 2654435761ull);
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    EXPECT_TRUE(bf.contains(key * 2654435761ull));
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  const double target = 0.01;
+  BloomFilter bf = BloomFilter::with_capacity(10000, target);
+  for (std::uint64_t key = 0; key < 10000; ++key) bf.insert(key);
+  std::size_t fp = 0;
+  const std::size_t probes = 20000;
+  for (std::uint64_t key = 1000000; key < 1000000 + probes; ++key) {
+    fp += bf.contains(key) ? 1 : 0;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  EXPECT_LT(measured, target * 2.5);
+  EXPECT_GT(measured, target * 0.2);
+}
+
+TEST(BloomFilter, StringKeys) {
+  BloomFilter bf(4096, 4);
+  bf.insert(std::string_view("4:0:17:3:1"));
+  EXPECT_TRUE(bf.contains(std::string_view("4:0:17:3:1")));
+  EXPECT_FALSE(bf.contains(std::string_view("4:0:17:3:2")));
+}
+
+TEST(BloomFilter, EstimatedFprGrowsWithFill) {
+  BloomFilter bf(1024, 3);
+  EXPECT_DOUBLE_EQ(bf.estimated_fpr(), 0.0);
+  for (std::uint64_t k = 0; k < 50; ++k) bf.insert(k);
+  const double sparse = bf.estimated_fpr();
+  for (std::uint64_t k = 50; k < 500; ++k) bf.insert(k);
+  EXPECT_GT(bf.estimated_fpr(), sparse);
+}
+
+TEST(BloomFilter, CardinalityEstimateReasonable) {
+  BloomFilter bf = BloomFilter::with_capacity(2000, 0.01);
+  for (std::uint64_t k = 0; k < 1000; ++k) bf.insert(k);
+  EXPECT_NEAR(bf.estimated_cardinality(), 1000.0, 100.0);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a(2048, 3);
+  BloomFilter b(2048, 3);
+  a.insert(std::uint64_t{1});
+  b.insert(std::uint64_t{2});
+  a.merge(b);
+  EXPECT_TRUE(a.contains(std::uint64_t{1}));
+  EXPECT_TRUE(a.contains(std::uint64_t{2}));
+  EXPECT_EQ(a.inserted(), 2u);
+}
+
+TEST(BloomFilter, MergeGeometryMismatchThrows) {
+  BloomFilter a(2048, 3);
+  BloomFilter b(1024, 3);
+  BloomFilter c(2048, 4);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(BloomFilter, ClearEmpties) {
+  BloomFilter bf(512, 2);
+  bf.insert(std::uint64_t{7});
+  bf.clear();
+  EXPECT_FALSE(bf.contains(std::uint64_t{7}));
+  EXPECT_EQ(bf.popcount(), 0u);
+  EXPECT_EQ(bf.inserted(), 0u);
+}
+
+TEST(BloomFilter, SaveLoadRoundTrip) {
+  BloomFilter bf(4096, 5);
+  for (std::uint64_t k = 100; k < 200; ++k) bf.insert(k);
+  std::stringstream buf;
+  bf.save(buf);
+  const BloomFilter loaded = BloomFilter::load(buf);
+  EXPECT_EQ(loaded, bf);
+  for (std::uint64_t k = 100; k < 200; ++k) EXPECT_TRUE(loaded.contains(k));
+}
+
+TEST(BloomFilter, LoadBadMagicThrows) {
+  std::stringstream buf;
+  buf << "garbage data that is not a bloom filter";
+  EXPECT_THROW(BloomFilter::load(buf), std::runtime_error);
+}
+
+TEST(BloomFilter, RejectsZeroGeometry) {
+  EXPECT_THROW(BloomFilter(0, 3), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 0), std::invalid_argument);
+}
+
+TEST(BloomFilter, MemoryBytesMatchesBitArray) {
+  BloomFilter bf(1024, 3);
+  EXPECT_EQ(bf.memory_bytes(), 1024u / 8u);
+}
+
+}  // namespace
+}  // namespace mlad::bloom

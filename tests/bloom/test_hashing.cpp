@@ -1,0 +1,65 @@
+#include "bloom/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mlad::bloom {
+namespace {
+
+TEST(Hashing, Fnv1aKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hashing, Fnv1aDistinguishesInputs) {
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("acb"));
+  EXPECT_NE(fnv1a64("1:2:3"), fnv1a64("12:3"));
+}
+
+TEST(Hashing, SplitmixAvalanche) {
+  // A single input bit flip should flip roughly half the output bits.
+  const std::uint64_t a = splitmix64(0x12345678);
+  const std::uint64_t b = splitmix64(0x12345679);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(Hashing, BaseHashesIndependent) {
+  const HashPair hp = base_hashes(std::string_view("signature"));
+  EXPECT_NE(hp.h1, hp.h2);
+  const HashPair hp2 = base_hashes(std::uint64_t{42});
+  EXPECT_NE(hp2.h1, hp2.h2);
+}
+
+TEST(Hashing, NthHashInRange) {
+  const HashPair hp = base_hashes(std::uint64_t{987654321});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_LT(nth_hash(hp, i, 1000), 1000u);
+  }
+}
+
+TEST(Hashing, NthHashCoversPowerOfTwoTable) {
+  // The forced-odd stride must cycle through all m positions when m = 2^k.
+  const HashPair hp = base_hashes(std::uint64_t{7});
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 64; ++i) seen.insert(nth_hash(hp, i, 64));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Hashing, DerivedHashesDiffer) {
+  const HashPair hp = base_hashes(std::string_view("x"));
+  std::set<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    values.insert(nth_hash(hp, i, 1u << 30));
+  }
+  EXPECT_EQ(values.size(), 8u);  // distinct with overwhelming probability
+}
+
+}  // namespace
+}  // namespace mlad::bloom

@@ -1,0 +1,100 @@
+#include "common/arff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlad {
+namespace {
+
+constexpr const char* kSample = R"(% gas pipeline sample
+@relation gas_pipeline
+
+@attribute address numeric
+@attribute pressure numeric
+@attribute label {Normal,NMRI,DoS}
+
+@data
+4,12.5,Normal
+4,?,NMRI
+5,0.0,DoS
+)";
+
+TEST(Arff, ParsesHeader) {
+  std::istringstream in(kSample);
+  const ArffDocument doc = read_arff(in);
+  EXPECT_EQ(doc.relation, "gas_pipeline");
+  ASSERT_EQ(doc.attributes.size(), 3u);
+  EXPECT_EQ(doc.attributes[0].name, "address");
+  EXPECT_EQ(doc.attributes[0].type, ArffType::kNumeric);
+  EXPECT_EQ(doc.attributes[2].type, ArffType::kNominal);
+  ASSERT_EQ(doc.attributes[2].nominal_values.size(), 3u);
+  EXPECT_EQ(doc.attributes[2].nominal_values[1], "NMRI");
+}
+
+TEST(Arff, ParsesRowsAndMissing) {
+  std::istringstream in(kSample);
+  const ArffDocument doc = read_arff(in);
+  ASSERT_EQ(doc.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(*doc.rows[0][1].number, 12.5);
+  EXPECT_TRUE(doc.rows[1][1].missing());
+  EXPECT_EQ(*doc.rows[2][2].symbol, "DoS");
+}
+
+TEST(Arff, AttributeIndexCaseInsensitive) {
+  std::istringstream in(kSample);
+  const ArffDocument doc = read_arff(in);
+  EXPECT_EQ(*doc.attribute_index("PRESSURE"), 1u);
+  EXPECT_FALSE(doc.attribute_index("nope").has_value());
+}
+
+TEST(Arff, NumericColumnWithFill) {
+  std::istringstream in(kSample);
+  const ArffDocument doc = read_arff(in);
+  const auto col = doc.numeric_column(1, -1.0);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], 12.5);
+  EXPECT_DOUBLE_EQ(col[1], -1.0);
+}
+
+TEST(Arff, RoundTrip) {
+  std::istringstream in(kSample);
+  const ArffDocument doc = read_arff(in);
+  std::ostringstream out;
+  write_arff(out, doc);
+  std::istringstream in2(out.str());
+  const ArffDocument doc2 = read_arff(in2);
+  ASSERT_EQ(doc2.rows.size(), doc.rows.size());
+  EXPECT_EQ(doc2.attributes.size(), doc.attributes.size());
+  EXPECT_DOUBLE_EQ(*doc2.rows[0][1].number, 12.5);
+  EXPECT_TRUE(doc2.rows[1][1].missing());
+}
+
+TEST(Arff, QuotedAttributeName) {
+  std::istringstream in(
+      "@relation r\n@attribute 'my attr' numeric\n@data\n1\n");
+  const ArffDocument doc = read_arff(in);
+  EXPECT_EQ(doc.attributes[0].name, "my attr");
+}
+
+TEST(Arff, BadNumericValueThrows) {
+  std::istringstream in("@relation r\n@attribute a numeric\n@data\nxyz\n");
+  EXPECT_THROW(read_arff(in), std::runtime_error);
+}
+
+TEST(Arff, FieldCountMismatchThrows) {
+  std::istringstream in("@relation r\n@attribute a numeric\n@data\n1,2\n");
+  EXPECT_THROW(read_arff(in), std::runtime_error);
+}
+
+TEST(Arff, NoAttributesThrows) {
+  std::istringstream in("@relation r\n@data\n");
+  EXPECT_THROW(read_arff(in), std::runtime_error);
+}
+
+TEST(Arff, MissingFileThrows) {
+  EXPECT_THROW(read_arff_file("/no/such/file.arff"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mlad

@@ -1,0 +1,74 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlad {
+namespace {
+
+TEST(Csv, ParsePlainLine) {
+  const CsvRow row = parse_csv_line("1,2,3");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "1");
+  EXPECT_EQ(row[2], "3");
+}
+
+TEST(Csv, ParseQuotedComma) {
+  const CsvRow row = parse_csv_line("a,\"b,c\",d");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "b,c");
+}
+
+TEST(Csv, ParseEscapedQuote) {
+  const CsvRow row = parse_csv_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(Csv, ParseTrailingEmptyField) {
+  const CsvRow row = parse_csv_line("a,b,");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[2], "");
+}
+
+TEST(Csv, IgnoresCarriageReturn) {
+  const CsvRow row = parse_csv_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+}
+
+TEST(Csv, RoundTrip) {
+  const CsvRow original = {"x", "a,b", "q\"t", ""};
+  const CsvRow parsed = parse_csv_line(to_csv_line(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(Csv, ReadStreamSkipsBlankLines) {
+  std::istringstream in("a,b\n\nc,d\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(Csv, WriteThenRead) {
+  std::ostringstream out;
+  write_csv(out, {{"h1", "h2"}, {"1", "two,three"}});
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "two,three");
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mlad

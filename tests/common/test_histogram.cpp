@@ -1,0 +1,92 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mlad {
+namespace {
+
+TEST(Histogram, CountsFallInRightBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, UpperBoundGoesToLastBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, FitSpansData) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0, 8.0};
+  const Histogram h = Histogram::fit(xs, 4);
+  EXPECT_DOUBLE_EQ(h.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 8.0);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, FitEmptyInput) {
+  const Histogram h = Histogram::fit({}, 8);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bins(), 8u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, TopBinsOrdering) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.1);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(1.7);
+  h.add(2.5);
+  h.add(2.6);
+  const auto top = h.top_bins(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);  // 3 entries
+  EXPECT_EQ(top[1], 2u);  // 2 entries
+}
+
+TEST(Histogram, ZeroBinsThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, DegenerateRangeStillCounts) {
+  Histogram h(3.0, 3.0, 5);  // hi == lo
+  h.add(3.0);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, AsciiRendersNonEmpty) {
+  Histogram h(0.0, 1.0, 200);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  const std::string art = h.ascii(10, 30);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, AsciiEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.ascii(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace mlad

@@ -1,0 +1,85 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("ABC", "abc"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(Strings, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double("  -2.25 "), -2.25);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double("0"), 0.0);
+}
+
+TEST(Strings, ParseDoubleInvalid) {
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("1.2x").has_value());
+}
+
+TEST(Strings, ParseIntValid) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int("-7"), -7);
+}
+
+TEST(Strings, ParseIntInvalid) {
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Strings, IStartsWith) {
+  EXPECT_TRUE(istarts_with("@ATTRIBUTE foo", "@attribute"));
+  EXPECT_FALSE(istarts_with("@attr", "@attribute"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ":"), "a:b:c");
+  EXPECT_EQ(join({}, ":"), "");
+  EXPECT_EQ(join({"one"}, ", "), "one");
+}
+
+}  // namespace
+}  // namespace mlad

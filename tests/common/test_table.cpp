@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.str();
+  // Every rendered line has the same length (fixed-width columns).
+  std::size_t expected = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, HeaderSeparatorPresent) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  // Renders without crashing and keeps 3 columns → 4 pipes per line.
+  const std::string first_line = out.substr(0, out.find('\n'));
+  EXPECT_EQ(std::count(first_line.begin(), first_line.end(), '|'), 4);
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  TablePrinter t({"h1", "h2"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("h1"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);  // header + rule
+}
+
+TEST(Table, FixedFormatsDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace mlad

@@ -1,0 +1,135 @@
+#include "detect/combined.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::detect {
+namespace {
+
+/// Two-feature cyclic protocol: categorical phase 0..3 plus a continuous
+/// reading near phase*5. Train/validation fragments are clean cycles.
+struct CombinedFixture : ::testing::Test {
+  void SetUp() override {
+    Rng data_rng(1);
+    auto make_fragment = [&](std::size_t cycles) {
+      std::vector<sig::RawRow> rows;
+      for (std::size_t c = 0; c < cycles; ++c) {
+        for (int phase = 0; phase < 4; ++phase) {
+          rows.push_back({static_cast<double>(phase),
+                          phase * 5.0 + data_rng.normal(0.0, 0.1)});
+        }
+      }
+      return rows;
+    };
+    for (int i = 0; i < 12; ++i) train.push_back(make_fragment(12));
+    for (int i = 0; i < 4; ++i) validation.push_back(make_fragment(12));
+    specs = {
+        {"phase", sig::FeatureKind::kDiscrete, {0}, 0},
+        {"reading", sig::FeatureKind::kInterval, {1}, 8},
+    };
+    config.timeseries.hidden_dims = {16};
+    config.timeseries.epochs = 12;
+    config.timeseries.noise.enabled = false;
+    config.timeseries.max_k = 6;
+  }
+
+  std::unique_ptr<CombinedDetector> make_detector(std::uint64_t seed) {
+    Rng rng(seed);
+    return std::make_unique<CombinedDetector>(train, validation, specs, config,
+                                              rng);
+  }
+
+  std::vector<std::vector<sig::RawRow>> train;
+  std::vector<std::vector<sig::RawRow>> validation;
+  std::vector<sig::FeatureSpec> specs;
+  CombinedConfig config;
+};
+
+TEST_F(CombinedFixture, CleanStreamMostlyPasses) {
+  const auto det = make_detector(2);
+  auto stream = det->make_stream();
+  std::size_t alarms = 0;
+  std::size_t total = 0;
+  Rng data_rng(3);
+  for (int c = 0; c < 30; ++c) {
+    for (int phase = 0; phase < 4; ++phase) {
+      const sig::RawRow row = {static_cast<double>(phase),
+                               phase * 5.0 + data_rng.normal(0.0, 0.1)};
+      alarms += det->classify_and_consume(stream, row).anomaly ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_LT(static_cast<double>(alarms) / total, 0.15);
+}
+
+TEST_F(CombinedFixture, BloomStageCatchesUnseenSignature) {
+  const auto det = make_detector(4);
+  auto stream = det->make_stream();
+  const CombinedVerdict v =
+      det->classify_and_consume(stream, sig::RawRow{9.0, 0.0});
+  EXPECT_TRUE(v.anomaly);
+  EXPECT_TRUE(v.package_level);
+  EXPECT_FALSE(v.timeseries_level);  // Bloom short-circuits (Fig. 3)
+}
+
+TEST_F(CombinedFixture, TimeSeriesStageCatchesPhaseViolation) {
+  const auto det = make_detector(5);
+  det->timeseries_level().set_k(1);
+  auto stream = det->make_stream();
+  Rng data_rng(6);
+  // Warm up with correct phases.
+  for (int c = 0; c < 6; ++c) {
+    for (int phase = 0; phase < 4; ++phase) {
+      det->classify_and_consume(
+          stream, sig::RawRow{static_cast<double>(phase),
+                              phase * 5.0 + data_rng.normal(0.0, 0.1)});
+    }
+  }
+  // Now replay phase 2 out of order: its signature exists in the database
+  // (package level passes) but the cycle expected phase 0.
+  const CombinedVerdict v = det->classify_and_consume(
+      stream, sig::RawRow{2.0, 10.0 + data_rng.normal(0.0, 0.1)});
+  EXPECT_TRUE(v.anomaly);
+  EXPECT_FALSE(v.package_level);
+  EXPECT_TRUE(v.timeseries_level);
+}
+
+TEST_F(CombinedFixture, ChosenKWithinBounds) {
+  const auto det = make_detector(7);
+  EXPECT_GE(det->chosen_k(), 1u);
+  EXPECT_LE(det->chosen_k(), config.timeseries.max_k);
+}
+
+TEST_F(CombinedFixture, PackageValidationErrorSmall) {
+  const auto det = make_detector(8);
+  EXPECT_LT(det->package_validation_error(), 0.05);
+}
+
+TEST_F(CombinedFixture, TrainingLossesRecorded) {
+  const auto det = make_detector(9);
+  ASSERT_EQ(det->training_losses().size(), config.timeseries.epochs);
+  EXPECT_LT(det->training_losses().back(), det->training_losses().front());
+}
+
+TEST_F(CombinedFixture, MemoryFootprintReported) {
+  const auto det = make_detector(10);
+  EXPECT_GT(det->memory_bytes(), 1000u);
+  EXPECT_EQ(det->memory_bytes(), det->package_level().memory_bytes() +
+                                     det->timeseries_level().memory_bytes());
+}
+
+TEST_F(CombinedFixture, StreamsAreIndependent) {
+  const auto det = make_detector(11);
+  auto s1 = det->make_stream();
+  auto s2 = det->make_stream();
+  Rng data_rng(12);
+  // Feed s1 garbage; s2 must be unaffected.
+  for (int i = 0; i < 5; ++i) {
+    det->classify_and_consume(s1, sig::RawRow{9.0, 99.0});
+  }
+  const sig::RawRow clean = {0.0, data_rng.normal(0.0, 0.1)};
+  const CombinedVerdict v = det->classify_and_consume(s2, clean);
+  EXPECT_FALSE(v.anomaly);  // first package of a fresh stream passes
+}
+
+}  // namespace
+}  // namespace mlad::detect

@@ -1,0 +1,78 @@
+// Deployment-path integration test: the exact chain the `mlad` CLI runs —
+// simulate → export ARFF + raw-frame capture → train from the ARFF →
+// serialize the framework → reload → replay the *byte-level* capture
+// through the Modbus decoder and the detector. This is the full product
+// surface in one test.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/arff.hpp"
+#include "detect/pipeline.hpp"
+#include "detect/serialize.hpp"
+#include "ics/capture.hpp"
+#include "ics/simulator.hpp"
+
+namespace mlad::detect {
+namespace {
+
+TEST(EndToEndWire, ArffTrainSerializeMonitor) {
+  // 1. Simulate and export both artifact kinds.
+  ics::SimulatorConfig sim_cfg;
+  sim_cfg.cycles = 2000;
+  sim_cfg.seed = 77;
+  ics::GasPipelineSimulator sim(sim_cfg);
+  const ics::SimulationResult original = sim.run();
+
+  std::stringstream arff_buf;
+  write_arff(arff_buf, ics::to_arff(original.packages));
+  ics::Capture wire;
+  wire.reserve(original.packages.size());
+  for (const auto& p : original.packages) {
+    wire.push_back(ics::package_to_frame(p));
+  }
+  std::stringstream cap_buf;
+  ics::write_capture(cap_buf, wire);
+
+  // 2. Train from the ARFF round trip (as `mlad train` does).
+  const auto packages = ics::from_arff(read_arff(arff_buf));
+  ASSERT_EQ(packages.size(), original.packages.size());
+  PipelineConfig cfg;
+  cfg.combined.timeseries.hidden_dims = {24};
+  cfg.combined.timeseries.epochs = 4;
+  cfg.seed = 3;
+  const TrainedFramework fw = train_framework(packages, cfg);
+
+  // 3. Serialize + reload (as `mlad train` → `mlad monitor` does).
+  std::stringstream model_buf;
+  save_framework(model_buf, *fw.detector);
+  const auto detector = load_framework(model_buf);
+
+  // 4. Replay the byte-level capture through decoder + detector.
+  ics::FrameDecoder decoder;
+  auto stream = detector->make_stream();
+  Confusion confusion;
+  std::optional<double> prev;
+  const auto frames = ics::read_capture(cap_buf);
+  ASSERT_EQ(frames.size(), original.packages.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto decoded = decoder.next(frames[i]);
+    const double interval = prev ? decoded.package.time - *prev : 0.0;
+    prev = decoded.package.time;
+    const auto row = ics::to_raw_row(decoded.package, interval);
+    const auto verdict = detector->classify_and_consume(stream, row);
+    confusion.record(original.packages[i].is_attack(), verdict.anomaly);
+  }
+
+  // The wire path must remain a working detector: clear majority of
+  // attacks caught, normal traffic majority-clean, overall better than
+  // constant guessing. (Tight bounds live in the ARFF-path pipeline test;
+  // the wire path adds quantization + crc-window reconstruction noise.)
+  EXPECT_GT(confusion.recall(), 0.5);
+  EXPECT_LT(confusion.false_positive_rate(), 0.5);
+  EXPECT_GT(confusion.accuracy(), 0.6);
+  EXPECT_GT(confusion.total(), 0u);
+}
+
+}  // namespace
+}  // namespace mlad::detect

@@ -1,0 +1,94 @@
+#include "detect/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::detect {
+namespace {
+
+TEST(Metrics, RecordRoutesToQuadrants) {
+  Confusion c;
+  c.record(true, true);    // TP
+  c.record(true, false);   // FN
+  c.record(false, true);   // FP
+  c.record(false, false);  // TN
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Metrics, PaperFormulas) {
+  // Mirror the paper's Table IV row for our framework: P=0.94, R=0.78.
+  Confusion c;
+  c.tp = 78;
+  c.fn = 22;
+  c.fp = 5;
+  c.tn = 295;
+  EXPECT_NEAR(c.precision(), 78.0 / 83.0, 1e-12);
+  EXPECT_NEAR(c.recall(), 0.78, 1e-12);
+  EXPECT_NEAR(c.accuracy(), 373.0 / 400.0, 1e-12);
+  const double p = c.precision();
+  const double r = c.recall();
+  EXPECT_NEAR(c.f1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(Metrics, UndefinedCasesAreZero) {
+  const Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.false_positive_rate(), 0.0);
+}
+
+TEST(Metrics, F1IsHarmonicMean) {
+  Confusion c;
+  c.tp = 50;
+  c.fp = 50;   // P = 0.5
+  c.fn = 0;    // R = 1.0
+  EXPECT_NEAR(c.f1(), 2 * 0.5 * 1.0 / 1.5, 1e-12);
+}
+
+TEST(Metrics, FalsePositiveRate) {
+  Confusion c;
+  c.fp = 3;
+  c.tn = 97;
+  EXPECT_NEAR(c.false_positive_rate(), 0.03, 1e-12);
+}
+
+TEST(Metrics, Accumulation) {
+  Confusion a;
+  a.tp = 1;
+  a.tn = 2;
+  Confusion b;
+  b.fp = 3;
+  b.fn = 4;
+  a += b;
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 3u);
+  EXPECT_EQ(a.total(), 10u);
+}
+
+TEST(Metrics, PerAttackRecall) {
+  PerAttackRecall r;
+  r.record(ics::AttackType::kDos, true);
+  r.record(ics::AttackType::kDos, true);
+  r.record(ics::AttackType::kDos, false);
+  r.record(ics::AttackType::kMfci, true);
+  EXPECT_NEAR(r.ratio(ics::AttackType::kDos), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.ratio(ics::AttackType::kMfci), 1.0);
+  EXPECT_DOUBLE_EQ(r.ratio(ics::AttackType::kNmri), 0.0);  // absent type
+}
+
+TEST(Metrics, ToStringFormat) {
+  Confusion c;
+  c.tp = 1;
+  c.tn = 1;
+  const std::string s = to_string(c);
+  EXPECT_NE(s.find("P="), std::string::npos);
+  EXPECT_NE(s.find("F1="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlad::detect

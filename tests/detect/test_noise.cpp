@@ -1,0 +1,109 @@
+#include "detect/noise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::detect {
+namespace {
+
+TEST(Noise, CorruptionProbabilityFormula) {
+  // p = λ / (λ + #(s))
+  EXPECT_DOUBLE_EQ(corruption_probability(10.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(corruption_probability(10.0, 10), 0.5);
+  EXPECT_DOUBLE_EQ(corruption_probability(10.0, 90), 0.1);
+  EXPECT_DOUBLE_EQ(corruption_probability(0.0, 5), 0.0);
+}
+
+TEST(Noise, RareSignaturesCorruptedMoreOften) {
+  EXPECT_GT(corruption_probability(10.0, 1),
+            corruption_probability(10.0, 1000));
+}
+
+TEST(Noise, CorruptRowChangesBetweenOneAndDFeatures) {
+  Rng rng(1);
+  const std::vector<std::size_t> cards = {4, 4, 4, 4, 4};
+  for (int trial = 0; trial < 200; ++trial) {
+    sig::DiscreteRow row = {0, 1, 2, 3, 0};
+    const sig::DiscreteRow original = row;
+    const std::size_t changed = corrupt_row(row, cards, 3, rng);
+    EXPECT_GE(changed, 1u);
+    EXPECT_LE(changed, 3u);
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] != original[i]) ++diff;
+      EXPECT_LT(row[i], cards[i]);  // stays in range
+    }
+    EXPECT_EQ(diff, changed);
+  }
+}
+
+TEST(Noise, CorruptedValueAlwaysDiffers) {
+  Rng rng(2);
+  const std::vector<std::size_t> cards = {2};
+  for (int trial = 0; trial < 50; ++trial) {
+    sig::DiscreteRow row = {1};
+    corrupt_row(row, cards, 1, rng);
+    EXPECT_EQ(row[0], 0u);  // the only different value
+  }
+}
+
+TEST(Noise, SingleValuedFeatureSkipped) {
+  Rng rng(3);
+  const std::vector<std::size_t> cards = {1, 3};
+  sig::DiscreteRow row = {0, 1};
+  corrupt_row(row, cards, 2, rng);
+  EXPECT_EQ(row[0], 0u);  // cardinality-1 feature cannot change
+}
+
+TEST(Noise, EmptyRowSafe) {
+  Rng rng(4);
+  sig::DiscreteRow row;
+  EXPECT_EQ(corrupt_row(row, {}, 3, rng), 0u);
+}
+
+TEST(Noise, MaybeCorruptRespectsDisable) {
+  Rng rng(5);
+  sig::SignatureDatabase db{sig::SignatureGenerator({4, 4})};
+  db.add({1, 2});
+  NoiseConfig cfg;
+  cfg.enabled = false;
+  sig::DiscreteRow row = {1, 2};
+  EXPECT_FALSE(maybe_corrupt(row, std::vector<std::size_t>{4, 4}, db, cfg, rng));
+  EXPECT_EQ(row, (sig::DiscreteRow{1, 2}));
+}
+
+TEST(Noise, MaybeCorruptFrequencyCalibrated) {
+  Rng rng(6);
+  sig::SignatureDatabase db{sig::SignatureGenerator({4, 4})};
+  // Signature seen 10 times → p = 10/(10+10) = 0.5 at λ=10.
+  for (int i = 0; i < 10; ++i) db.add({1, 2});
+  NoiseConfig cfg;
+  cfg.lambda = 10.0;
+  cfg.max_corrupted_features = 1;
+  int corrupted = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    sig::DiscreteRow row = {1, 2};
+    corrupted +=
+        maybe_corrupt(row, std::vector<std::size_t>{4, 4}, db, cfg, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(corrupted) / n, 0.5, 0.05);
+}
+
+TEST(Noise, UnknownSignatureAlwaysEligible) {
+  Rng rng(7);
+  sig::SignatureDatabase db{sig::SignatureGenerator({4, 4})};
+  db.add({0, 0});
+  NoiseConfig cfg;
+  cfg.lambda = 10.0;
+  // {3,3} unseen → count 0 → p = 1.0: corruption always fires.
+  int corrupted = 0;
+  for (int i = 0; i < 50; ++i) {
+    sig::DiscreteRow row = {3, 3};
+    corrupted +=
+        maybe_corrupt(row, std::vector<std::size_t>{4, 4}, db, cfg, rng) ? 1 : 0;
+  }
+  EXPECT_EQ(corrupted, 50);
+}
+
+}  // namespace
+}  // namespace mlad::detect

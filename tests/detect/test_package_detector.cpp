@@ -1,0 +1,106 @@
+#include "detect/package_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::detect {
+namespace {
+
+/// Tiny schema: one categorical column {1,2}, one continuous column with
+/// two clusters around 0 and 10.
+struct PackageDetectorFixture : ::testing::Test {
+  void SetUp() override {
+    Rng data_rng(1);
+    for (int i = 0; i < 400; ++i) {
+      const double cat = i % 2 ? 1.0 : 2.0;
+      const double cont =
+          data_rng.bernoulli(0.5) ? data_rng.normal(0, 0.1) : data_rng.normal(10, 0.1);
+      rows.push_back({cat, cont});
+    }
+    specs = {
+        {"cat", sig::FeatureKind::kDiscrete, {0}, 0},
+        {"cont", sig::FeatureKind::kKmeans, {1}, 2},
+    };
+  }
+  std::vector<sig::RawRow> rows;
+  std::vector<sig::FeatureSpec> specs;
+};
+
+TEST_F(PackageDetectorFixture, TrainingRowsPass) {
+  Rng rng(2);
+  const PackageLevelDetector detector(rows, specs, rng);
+  // F_p must be 0 on every training row (its signature is in B).
+  for (const auto& row : rows) {
+    const PackageVerdict v = detector.classify(row);
+    EXPECT_FALSE(v.anomaly);
+    EXPECT_TRUE(v.signature_id.has_value());
+  }
+}
+
+TEST_F(PackageDetectorFixture, UnseenCategoricalFlagged) {
+  Rng rng(3);
+  const PackageLevelDetector detector(rows, specs, rng);
+  const PackageVerdict v = detector.classify(sig::RawRow{7.0, 0.0});
+  EXPECT_TRUE(v.anomaly);
+  EXPECT_FALSE(v.signature_id.has_value());
+}
+
+TEST_F(PackageDetectorFixture, OutOfClusterContinuousFlagged) {
+  Rng rng(4);
+  const PackageLevelDetector detector(rows, specs, rng);
+  const PackageVerdict v = detector.classify(sig::RawRow{1.0, 55.0});
+  EXPECT_TRUE(v.anomaly);
+}
+
+TEST_F(PackageDetectorFixture, NovelCombinationFlagged) {
+  // Both feature values are individually normal but the combination was
+  // never observed: build training data where cat=1 only pairs with the
+  // 0-cluster and cat=2 only with the 10-cluster.
+  std::vector<sig::RawRow> paired;
+  Rng data_rng(5);
+  for (int i = 0; i < 300; ++i) {
+    paired.push_back({1.0, data_rng.normal(0, 0.1)});
+    paired.push_back({2.0, data_rng.normal(10, 0.1)});
+  }
+  Rng rng(6);
+  const PackageLevelDetector detector(paired, specs, rng);
+  EXPECT_FALSE(detector.classify(sig::RawRow{1.0, 0.0}).anomaly);
+  EXPECT_FALSE(detector.classify(sig::RawRow{2.0, 10.0}).anomaly);
+  EXPECT_TRUE(detector.classify(sig::RawRow{1.0, 10.0}).anomaly);
+  EXPECT_TRUE(detector.classify(sig::RawRow{2.0, 0.0}).anomaly);
+}
+
+TEST_F(PackageDetectorFixture, ValidationErrorZeroOnTrainingData) {
+  Rng rng(7);
+  const PackageLevelDetector detector(rows, specs, rng);
+  EXPECT_DOUBLE_EQ(detector.validation_error(rows), 0.0);
+}
+
+TEST_F(PackageDetectorFixture, ValidationErrorCountsMisses) {
+  Rng rng(8);
+  const PackageLevelDetector detector(rows, specs, rng);
+  std::vector<sig::RawRow> val = {rows[0], {9.0, 0.0}, {1.0, 99.0}, rows[1]};
+  EXPECT_DOUBLE_EQ(detector.validation_error(val), 0.5);
+  EXPECT_DOUBLE_EQ(detector.validation_error({}), 0.0);
+}
+
+TEST_F(PackageDetectorFixture, DatabaseAndBloomConsistent) {
+  Rng rng(9);
+  const PackageLevelDetector detector(rows, specs, rng);
+  EXPECT_GT(detector.database().size(), 0u);
+  // Every database signature must be present in the Bloom filter.
+  for (std::size_t id = 0; id < detector.database().size(); ++id) {
+    EXPECT_TRUE(detector.bloom().contains(detector.database().key_of(id)));
+  }
+  EXPECT_GT(detector.memory_bytes(), 0u);
+}
+
+TEST_F(PackageDetectorFixture, DiscreteRowExposedInVerdict) {
+  Rng rng(10);
+  const PackageLevelDetector detector(rows, specs, rng);
+  const PackageVerdict v = detector.classify(rows[0]);
+  EXPECT_EQ(v.discrete.size(), 2u);
+  EXPECT_EQ(v.discrete, detector.discretizer().transform(rows[0]));
+}
+
+}  // namespace
+}  // namespace mlad::detect

@@ -1,0 +1,113 @@
+// End-to-end integration: simulate → split → train → evaluate, at a scale
+// small enough for CI but large enough that the paper's qualitative shape
+// (attacks detected, normal traffic mostly passing) emerges.
+#include "detect/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::detect {
+namespace {
+
+ics::SimulatorConfig sim_config() {
+  ics::SimulatorConfig cfg;
+  cfg.cycles = 5000;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+PipelineConfig pipeline_config() {
+  PipelineConfig cfg;
+  cfg.combined.timeseries.hidden_dims = {48};
+  cfg.combined.timeseries.epochs = 10;
+  cfg.combined.timeseries.truncate_steps = 48;
+  cfg.combined.timeseries.max_k = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+struct PipelineFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    ics::GasPipelineSimulator sim(sim_config());
+    capture = new ics::SimulationResult(sim.run());
+    framework = new TrainedFramework(
+        train_framework(capture->packages, pipeline_config()));
+    result = new EvaluationResult(
+        evaluate_framework(*framework->detector, framework->split.test));
+  }
+  static void TearDownTestSuite() {
+    delete result;
+    delete framework;
+    delete capture;
+    result = nullptr;
+    framework = nullptr;
+    capture = nullptr;
+  }
+  static ics::SimulationResult* capture;
+  static TrainedFramework* framework;
+  static EvaluationResult* result;
+};
+
+ics::SimulationResult* PipelineFixture::capture = nullptr;
+TrainedFramework* PipelineFixture::framework = nullptr;
+EvaluationResult* PipelineFixture::result = nullptr;
+
+TEST_F(PipelineFixture, SplitIsAnomalyFreeWhereRequired) {
+  for (const auto& frag : framework->split.train_fragments) {
+    for (const auto& p : frag) EXPECT_FALSE(p.is_attack());
+  }
+  EXPECT_GT(framework->split.train_size(), 1000u);
+  EXPECT_FALSE(framework->split.test.empty());
+}
+
+TEST_F(PipelineFixture, TrainingProducedUsableModel) {
+  EXPECT_GT(framework->train_seconds, 0.0);
+  EXPECT_GE(framework->detector->chosen_k(), 1u);
+  EXPECT_LT(framework->detector->package_validation_error(), 0.10);
+}
+
+TEST_F(PipelineFixture, DetectsMajorityOfAttacks) {
+  EXPECT_GT(result->confusion.recall(), 0.5);
+}
+
+TEST_F(PipelineFixture, KeepsFalsePositivesBounded) {
+  EXPECT_LT(result->confusion.false_positive_rate(), 0.15);
+}
+
+TEST_F(PipelineFixture, AccuracyBeatsMajorityGuessing) {
+  EXPECT_GT(result->confusion.accuracy(), 0.75);
+}
+
+TEST_F(PipelineFixture, EasyAttackClassesFullyDetected) {
+  // MFCI (illegal function codes) and Recon (foreign addresses) produce
+  // out-of-vocabulary signatures — the paper reports 1.00 for both.
+  if (result->per_attack.total[static_cast<std::size_t>(
+          ics::AttackType::kMfci)] > 0) {
+    EXPECT_GT(result->per_attack.ratio(ics::AttackType::kMfci), 0.95);
+  }
+  if (result->per_attack.total[static_cast<std::size_t>(
+          ics::AttackType::kRecon)] > 0) {
+    EXPECT_GT(result->per_attack.ratio(ics::AttackType::kRecon), 0.95);
+  }
+}
+
+TEST_F(PipelineFixture, BothDetectionLevelsFire) {
+  EXPECT_GT(result->package_level_alarms, 0u);
+  EXPECT_GT(result->timeseries_level_alarms, 0u);
+}
+
+TEST_F(PipelineFixture, ClassificationLatencyIsMicroseconds) {
+  // Paper §VIII-A2: ~0.03 ms per classification. Allow generous headroom.
+  EXPECT_LT(result->avg_classify_us, 3000.0);
+  EXPECT_GT(result->avg_classify_us, 0.0);
+}
+
+TEST_F(PipelineFixture, FragmentRawRowsShapesMatch) {
+  const auto rows = fragment_raw_rows(framework->split.train_fragments);
+  ASSERT_EQ(rows.size(), framework->split.train_fragments.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].size(), framework->split.train_fragments[i].size());
+  }
+}
+
+}  // namespace
+}  // namespace mlad::detect

@@ -1,0 +1,74 @@
+#include "ics/crc16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mlad::ics {
+namespace {
+
+/// Independent bit-by-bit reference implementation (no table).
+std::uint16_t crc16_reference(std::span<const std::uint8_t> bytes) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : bytes) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i) {
+      if (crc & 1) {
+        crc = static_cast<std::uint16_t>((crc >> 1) ^ 0xA001);
+      } else {
+        crc = static_cast<std::uint16_t>(crc >> 1);
+      }
+    }
+  }
+  return crc;
+}
+
+TEST(Crc16, StandardCheckValue) {
+  // CRC-16/MODBUS check value for ASCII "123456789" is 0x4B37.
+  const std::vector<std::uint8_t> data = {'1', '2', '3', '4', '5',
+                                          '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_modbus(data), 0x4B37);
+}
+
+TEST(Crc16, EmptyInput) {
+  EXPECT_EQ(crc16_modbus({}), 0xFFFF);
+}
+
+TEST(Crc16, MatchesReferenceOnRandomData) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(rng.index(64) + 1);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    EXPECT_EQ(crc16_modbus(data), crc16_reference(data));
+  }
+}
+
+TEST(Crc16, IncrementalMatchesOneShot) {
+  const std::vector<std::uint8_t> data = {0x01, 0x03, 0x00, 0x00, 0x00, 0x01};
+  const std::uint16_t one_shot = crc16_modbus(data);
+  std::uint16_t crc = 0xFFFF;
+  crc = crc16_modbus_update(crc, std::span(data).subspan(0, 3));
+  crc = crc16_modbus_update(crc, std::span(data).subspan(3));
+  EXPECT_EQ(crc, one_shot);
+}
+
+TEST(Crc16, SingleBitFlipChangesCrc) {
+  std::vector<std::uint8_t> data = {0x04, 0x10, 0x00, 0x00, 0x00, 0x07};
+  const std::uint16_t original = crc16_modbus(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc16_modbus(data), original)
+          << "flip at byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlad::ics

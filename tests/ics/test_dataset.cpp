@@ -1,0 +1,123 @@
+#include "ics/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::ics {
+namespace {
+
+std::vector<Package> labeled_stream(const std::vector<int>& labels) {
+  std::vector<Package> pkgs;
+  double t = 0.0;
+  for (int lab : labels) {
+    Package p;
+    p.time = t;
+    t += 0.1;
+    p.label = static_cast<AttackType>(lab);
+    pkgs.push_back(p);
+  }
+  return pkgs;
+}
+
+TEST(Dataset, FragmentsSplitAtAttacks) {
+  // 12 normal, attack, 11 normal, attack, 3 normal (dropped: < 10).
+  std::vector<int> labels(12, 0);
+  labels.push_back(1);
+  labels.insert(labels.end(), 11, 0);
+  labels.push_back(3);
+  labels.insert(labels.end(), 3, 0);
+  const auto pkgs = labeled_stream(labels);
+  const auto fragments = extract_normal_fragments(pkgs, 10);
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(fragments[0].size(), 12u);
+  EXPECT_EQ(fragments[1].size(), 11u);
+}
+
+TEST(Dataset, AllAttackStreamYieldsNoFragments) {
+  const auto pkgs = labeled_stream({1, 2, 3, 4, 5, 6, 7});
+  EXPECT_TRUE(extract_normal_fragments(pkgs, 1).empty());
+}
+
+TEST(Dataset, AllNormalStreamIsOneFragment) {
+  const auto pkgs = labeled_stream(std::vector<int>(25, 0));
+  const auto fragments = extract_normal_fragments(pkgs, 10);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].size(), 25u);
+}
+
+TEST(Dataset, MinLengthFilter) {
+  std::vector<int> labels(9, 0);
+  labels.push_back(1);
+  labels.insert(labels.end(), 10, 0);
+  const auto pkgs = labeled_stream(labels);
+  const auto fragments = extract_normal_fragments(pkgs, 10);
+  ASSERT_EQ(fragments.size(), 1u);  // the 9-package run is dropped
+  EXPECT_EQ(fragments[0].size(), 10u);
+}
+
+TEST(Dataset, SplitRespectsRatios) {
+  std::vector<int> labels(100, 0);
+  labels[80] = 2;  // one attack in the test region
+  const auto pkgs = labeled_stream(labels);
+  const DatasetSplit split = split_dataset(pkgs, {});
+  EXPECT_EQ(split.train_size(), 60u);
+  EXPECT_EQ(split.validation_size(), 20u);
+  EXPECT_EQ(split.test.size(), 20u);
+  // The attack package is preserved in test.
+  std::size_t attacks = 0;
+  for (const auto& p : split.test) attacks += p.is_attack() ? 1 : 0;
+  EXPECT_EQ(attacks, 1u);
+}
+
+TEST(Dataset, TrainValidationAnomalyFree) {
+  std::vector<int> labels(200, 0);
+  for (std::size_t i = 15; i < 200; i += 17) labels[i] = 1 + (i % 7);
+  const auto pkgs = labeled_stream(labels);
+  const DatasetSplit split = split_dataset(pkgs, {});
+  for (const auto& frag : split.train_fragments) {
+    for (const auto& p : frag) EXPECT_FALSE(p.is_attack());
+  }
+  for (const auto& frag : split.validation_fragments) {
+    for (const auto& p : frag) EXPECT_FALSE(p.is_attack());
+  }
+}
+
+TEST(Dataset, FragmentRowsDeriveIntervalsWithinFragment) {
+  auto pkgs = labeled_stream(std::vector<int>(12, 0));
+  const auto fragments = extract_normal_fragments(pkgs, 10);
+  ASSERT_EQ(fragments.size(), 1u);
+  const auto rows = fragment_rows(fragments[0]);
+  ASSERT_EQ(rows.size(), 12u);
+  EXPECT_DOUBLE_EQ(rows[0][kColTimeInterval], 0.0);
+  EXPECT_NEAR(rows[1][kColTimeInterval], 0.1, 1e-12);
+}
+
+TEST(Dataset, AllFragmentRowsConcatenates) {
+  std::vector<int> labels(12, 0);
+  labels.push_back(4);
+  labels.insert(labels.end(), 15, 0);
+  const auto pkgs = labeled_stream(labels);
+  const auto fragments = extract_normal_fragments(pkgs, 10);
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(all_fragment_rows(fragments).size(), 27u);
+}
+
+TEST(Dataset, CustomRatios) {
+  const auto pkgs = labeled_stream(std::vector<int>(100, 0));
+  SplitConfig cfg;
+  cfg.train_ratio = 0.5;
+  cfg.validation_ratio = 0.3;
+  const DatasetSplit split = split_dataset(pkgs, cfg);
+  EXPECT_EQ(split.train_size(), 50u);
+  EXPECT_EQ(split.validation_size(), 30u);
+  EXPECT_EQ(split.test.size(), 20u);
+}
+
+TEST(Dataset, EmptyInputSafe) {
+  const DatasetSplit split = split_dataset({}, {});
+  EXPECT_TRUE(split.train_fragments.empty());
+  EXPECT_TRUE(split.validation_fragments.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+}  // namespace
+}  // namespace mlad::ics

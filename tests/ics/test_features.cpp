@@ -1,0 +1,134 @@
+#include "ics/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlad::ics {
+namespace {
+
+Package sample_package() {
+  Package p;
+  p.time = 12.5;
+  p.address = 4;
+  p.crc_rate = 0.02;
+  p.function = 0x10;
+  p.length = 23;
+  p.setpoint = 14.0;
+  p.pid = {.gain = 0.8, .reset_rate = 12.0, .dead_band = 0.2,
+           .cycle_time = 0.25, .rate = 0.02};
+  p.system_mode = SystemMode::kAuto;
+  p.control_scheme = ControlScheme::kPump;
+  p.pump = 1;
+  p.solenoid = 0;
+  p.pressure_measurement = 13.7;
+  p.command_response = 1;
+  p.label = AttackType::kMpci;
+  return p;
+}
+
+TEST(Features, RawRowLayoutMatchesColumns) {
+  const Package p = sample_package();
+  const sig::RawRow row = to_raw_row(p, 0.25);
+  ASSERT_EQ(row.size(), static_cast<std::size_t>(kRawColumnCount));
+  EXPECT_DOUBLE_EQ(row[kColAddress], 4.0);
+  EXPECT_DOUBLE_EQ(row[kColCrcRate], 0.02);
+  EXPECT_DOUBLE_EQ(row[kColFunction], 16.0);
+  EXPECT_DOUBLE_EQ(row[kColLength], 23.0);
+  EXPECT_DOUBLE_EQ(row[kColSetpoint], 14.0);
+  EXPECT_DOUBLE_EQ(row[kColGain], 0.8);
+  EXPECT_DOUBLE_EQ(row[kColSystemMode], 2.0);
+  EXPECT_DOUBLE_EQ(row[kColPump], 1.0);
+  EXPECT_DOUBLE_EQ(row[kColPressure], 13.7);
+  EXPECT_DOUBLE_EQ(row[kColCommandResponse], 1.0);
+  EXPECT_DOUBLE_EQ(row[kColTimeInterval], 0.25);
+}
+
+TEST(Features, RawColumnNamesAligned) {
+  const auto names = raw_column_names();
+  ASSERT_EQ(names.size(), static_cast<std::size_t>(kRawColumnCount));
+  EXPECT_EQ(names[kColAddress], "address");
+  EXPECT_EQ(names[kColTimeInterval], "time_interval");
+  EXPECT_EQ(names[kColPressure], "pressure_measurement");
+}
+
+TEST(Features, ToRawRowsDerivesIntervals) {
+  std::vector<Package> pkgs(3, sample_package());
+  pkgs[0].time = 1.0;
+  pkgs[1].time = 1.25;
+  pkgs[2].time = 1.26;
+  const auto rows = to_raw_rows(pkgs);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0][kColTimeInterval], 0.0);  // first has no previous
+  EXPECT_DOUBLE_EQ(rows[1][kColTimeInterval], 0.25);
+  EXPECT_NEAR(rows[2][kColTimeInterval], 0.01, 1e-12);
+}
+
+TEST(Features, DefaultSpecsMatchTableIII) {
+  const auto specs = default_feature_specs();
+  ASSERT_EQ(specs.size(), 13u);
+  // Locate the Table III entries.
+  bool found_pid = false;
+  for (const auto& s : specs) {
+    if (s.name == "pid_parameters") {
+      found_pid = true;
+      EXPECT_EQ(s.kind, sig::FeatureKind::kKmeans);
+      EXPECT_EQ(s.bins, 32u);
+      EXPECT_EQ(s.source_columns.size(), 5u);
+    } else if (s.name == "pressure_measurement") {
+      EXPECT_EQ(s.kind, sig::FeatureKind::kInterval);
+      EXPECT_EQ(s.bins, 20u);
+    } else if (s.name == "setpoint") {
+      EXPECT_EQ(s.kind, sig::FeatureKind::kInterval);
+      EXPECT_EQ(s.bins, 10u);
+    } else if (s.name == "time_interval" || s.name == "crc_rate") {
+      EXPECT_EQ(s.kind, sig::FeatureKind::kKmeans);
+      EXPECT_EQ(s.bins, 2u);
+    }
+  }
+  EXPECT_TRUE(found_pid);
+}
+
+TEST(Features, ArffRoundTripPreservesPackages) {
+  std::vector<Package> pkgs = {sample_package(), sample_package()};
+  pkgs[1].label = AttackType::kNormal;
+  pkgs[1].pressure_measurement = 9.9;
+  const ArffDocument doc = to_arff(pkgs);
+  EXPECT_EQ(doc.attributes.size(), 18u);  // 17 Table-I features + label
+  const auto back = from_arff(doc);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].label, AttackType::kMpci);
+  EXPECT_EQ(back[1].label, AttackType::kNormal);
+  EXPECT_DOUBLE_EQ(back[1].pressure_measurement, 9.9);
+  EXPECT_EQ(back[0].function, 0x10);
+  EXPECT_EQ(back[0].system_mode, SystemMode::kAuto);
+  EXPECT_DOUBLE_EQ(back[0].pid.reset_rate, 12.0);
+}
+
+TEST(Features, ArffSerializedFormParses) {
+  const std::vector<Package> pkgs = {sample_package()};
+  std::ostringstream out;
+  write_arff(out, to_arff(pkgs));
+  std::istringstream in(out.str());
+  const ArffDocument doc = read_arff(in);
+  const auto back = from_arff(doc);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].label, AttackType::kMpci);
+}
+
+TEST(Features, FromArffMissingColumnThrows) {
+  ArffDocument doc;
+  doc.attributes.push_back({"address", ArffType::kNumeric, {}});
+  EXPECT_THROW(from_arff(doc), std::runtime_error);
+}
+
+TEST(Features, AttackMetadata) {
+  EXPECT_EQ(attack_name(AttackType::kNmri), "NMRI");
+  EXPECT_EQ(attack_name(AttackType::kNormal), "Normal");
+  EXPECT_EQ(attack_name(AttackType::kRecon), "Recon");
+  EXPECT_FALSE(attack_description(AttackType::kDos).empty());
+  EXPECT_EQ(std::size(kMaliciousTypes), 7u);
+}
+
+}  // namespace
+}  // namespace mlad::ics

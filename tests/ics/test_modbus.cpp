@@ -1,0 +1,134 @@
+#include "ics/modbus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ics/crc16.hpp"
+
+namespace mlad::ics {
+namespace {
+
+ModbusFrame sample_request() {
+  ModbusFrame f;
+  f.address = 4;
+  f.function = 0x10;
+  f.start_register = 0x0002;
+  f.registers = {100, 200, 300};
+  return f;
+}
+
+ModbusFrame sample_response() {
+  ModbusFrame f;
+  f.address = 4;
+  f.function = 0x03;
+  f.is_response = true;
+  f.registers = {1234};
+  return f;
+}
+
+TEST(Modbus, KnownFunctionCodes) {
+  EXPECT_TRUE(is_known_function(0x03));
+  EXPECT_TRUE(is_known_function(0x06));
+  EXPECT_TRUE(is_known_function(0x10));
+  EXPECT_FALSE(is_known_function(0x08));
+  EXPECT_FALSE(is_known_function(0x5A));
+}
+
+TEST(Modbus, RequestRoundTrip) {
+  const ModbusFrame original = sample_request();
+  const auto bytes = encode_frame(original);
+  const auto decoded = decode_frame(bytes, /*is_response=*/false);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(Modbus, ResponseRoundTrip) {
+  const ModbusFrame original = sample_response();
+  const auto bytes = encode_frame(original);
+  const auto decoded = decode_frame(bytes, /*is_response=*/true);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(Modbus, EncodedFrameHasValidCrc) {
+  const auto bytes = encode_frame(sample_request());
+  EXPECT_TRUE(frame_crc_ok(bytes));
+}
+
+TEST(Modbus, CrcAppendedLowByteFirst) {
+  const auto bytes = encode_frame(sample_response());
+  const std::uint16_t crc =
+      crc16_modbus(std::span(bytes).subspan(0, bytes.size() - 2));
+  EXPECT_EQ(bytes[bytes.size() - 2], crc & 0xFF);
+  EXPECT_EQ(bytes[bytes.size() - 1], crc >> 8);
+}
+
+TEST(Modbus, CorruptedFrameRejected) {
+  auto bytes = encode_frame(sample_request());
+  bytes[3] ^= 0x01;
+  EXPECT_FALSE(frame_crc_ok(bytes));
+  EXPECT_FALSE(decode_frame(bytes, false).has_value());
+}
+
+TEST(Modbus, ShortFrameRejected) {
+  const std::vector<std::uint8_t> tiny = {0x01, 0x03};
+  EXPECT_FALSE(frame_crc_ok(tiny));
+  EXPECT_FALSE(decode_frame(tiny, false).has_value());
+}
+
+TEST(Modbus, EmptyRequestRoundTrip) {
+  ModbusFrame f;
+  f.address = 1;
+  f.function = 0x03;
+  f.start_register = 0x10;
+  const auto bytes = encode_frame(f);
+  const auto decoded = decode_frame(bytes, false);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->registers.empty());
+  EXPECT_EQ(decoded->start_register, 0x10);
+}
+
+TEST(Modbus, FlipBitsChangesBuffer) {
+  auto bytes = encode_frame(sample_request());
+  const auto original = bytes;
+  flip_bits(bytes, 3, 42);
+  EXPECT_NE(bytes, original);
+  EXPECT_FALSE(frame_crc_ok(bytes));  // corruption detectable by CRC
+}
+
+TEST(Modbus, FlipBitsDeterministicInSeed) {
+  auto a = encode_frame(sample_request());
+  auto b = a;
+  flip_bits(a, 5, 7);
+  flip_bits(b, 5, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Modbus, FlipBitsEmptyBufferSafe) {
+  std::vector<std::uint8_t> empty;
+  flip_bits(empty, 4, 1);  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Modbus, RandomRoundTripProperty) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    ModbusFrame f;
+    f.address = static_cast<std::uint8_t>(rng.uniform_int(1, 247));
+    f.function = static_cast<std::uint8_t>(rng.uniform_int(1, 127));
+    f.is_response = rng.bernoulli(0.5);
+    if (!f.is_response) {
+      f.start_register = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    }
+    const std::size_t regs = rng.index(8);
+    for (std::size_t i = 0; i < regs; ++i) {
+      f.registers.push_back(static_cast<std::uint16_t>(rng.uniform_int(0, 65535)));
+    }
+    const auto decoded = decode_frame(encode_frame(f), f.is_response);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, f);
+  }
+}
+
+}  // namespace
+}  // namespace mlad::ics

@@ -1,0 +1,103 @@
+#include "ics/physics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ics/pid.hpp"
+
+namespace mlad::ics {
+namespace {
+
+PlantConfig quiet_plant() {
+  PlantConfig c;
+  c.process_noise = 0.0;
+  c.sensor_noise = 0.0;
+  return c;
+}
+
+TEST(Physics, PumpRaisesPressure) {
+  Rng rng(1);
+  PipelinePlant plant(quiet_plant(), rng);
+  const double before = plant.true_pressure();
+  for (int i = 0; i < 20; ++i) plant.step(1.0, false, 0.25);
+  EXPECT_GT(plant.true_pressure(), before);
+}
+
+TEST(Physics, SolenoidVentsPressure) {
+  Rng rng(2);
+  PlantConfig cfg = quiet_plant();
+  cfg.initial_pressure = 20.0;
+  PipelinePlant plant(cfg, rng);
+  for (int i = 0; i < 20; ++i) plant.step(0.0, true, 0.25);
+  EXPECT_LT(plant.true_pressure(), 5.0);
+}
+
+TEST(Physics, LeakDrainsSlowly) {
+  Rng rng(3);
+  PlantConfig cfg = quiet_plant();
+  cfg.initial_pressure = 10.0;
+  PipelinePlant plant(cfg, rng);
+  plant.step(0.0, false, 1.0);
+  EXPECT_LT(plant.true_pressure(), 10.0);
+  EXPECT_GT(plant.true_pressure(), 9.0);  // leak, not vent
+}
+
+TEST(Physics, PressureNeverNegativeOrAboveCap) {
+  Rng rng(4);
+  PlantConfig cfg;
+  cfg.process_noise = 1.0;  // violent noise
+  PipelinePlant plant(cfg, rng);
+  for (int i = 0; i < 500; ++i) {
+    plant.step(i % 2 ? 1.0 : 0.0, i % 3 == 0, 0.25);
+    EXPECT_GE(plant.true_pressure(), 0.0);
+    EXPECT_LE(plant.true_pressure(), cfg.max_pressure);
+  }
+}
+
+TEST(Physics, MeasurementTracksTruePressure) {
+  Rng rng(5);
+  PlantConfig cfg = quiet_plant();
+  cfg.initial_pressure = 12.0;
+  PipelinePlant plant(cfg, rng);
+  EXPECT_DOUBLE_EQ(plant.measure(), 12.0);  // zero sensor noise
+}
+
+TEST(Physics, SensorNoiseHasExpectedSpread) {
+  Rng rng(6);
+  PlantConfig cfg = quiet_plant();
+  cfg.initial_pressure = 15.0;
+  cfg.sensor_noise = 0.5;
+  PipelinePlant plant(cfg, rng);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double m = plant.measure();
+    sum += m;
+    sum2 += m * m;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 15.0, 0.05);
+  EXPECT_NEAR(var, 0.25, 0.05);
+}
+
+TEST(Physics, PidClosedLoopReachesSetpoint) {
+  // Full control loop on the real plant: the PID should settle near the
+  // setpoint, which is what makes the simulated traffic realistic.
+  Rng rng(7);
+  PlantConfig cfg;
+  cfg.process_noise = 0.01;
+  cfg.sensor_noise = 0.02;
+  PipelinePlant plant(cfg, rng);
+  PidController pid({.gain = 0.8, .reset_rate = 12.0, .dead_band = 0.2,
+                     .cycle_time = 0.25, .rate = 0.02});
+  pid.set_setpoint(14.0);
+  for (int i = 0; i < 3000; ++i) {
+    const double duty = pid.update(plant.measure(), 0.25);
+    plant.step(duty, plant.true_pressure() > 16.0, 0.25);
+  }
+  EXPECT_NEAR(plant.true_pressure(), 14.0, 1.5);
+}
+
+}  // namespace
+}  // namespace mlad::ics

@@ -1,0 +1,101 @@
+#include "ics/pid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::ics {
+namespace {
+
+PidParams default_params() {
+  return {.gain = 0.8, .reset_rate = 12.0, .dead_band = 0.2,
+          .cycle_time = 0.25, .rate = 0.02};
+}
+
+TEST(Pid, OutputClampedToUnitInterval) {
+  PidController pid(default_params());
+  pid.set_setpoint(1000.0);
+  EXPECT_DOUBLE_EQ(pid.update(0.0, 0.25), 1.0);
+  pid.set_setpoint(-1000.0);
+  EXPECT_DOUBLE_EQ(pid.update(0.0, 0.25), 0.0);
+}
+
+TEST(Pid, DeadBandSuppressesSmallErrors) {
+  PidParams p = default_params();
+  p.dead_band = 1.0;
+  p.reset_rate = 0.0;  // pure P so output is directly comparable
+  p.rate = 0.0;
+  PidController pid(p);
+  pid.set_setpoint(10.0);
+  EXPECT_DOUBLE_EQ(pid.update(9.5, 0.25), 0.0);   // |err| < band
+  EXPECT_GT(pid.update(5.0, 0.25), 0.0);           // outside band
+}
+
+TEST(Pid, ProportionalResponseScalesWithGain) {
+  PidParams p = default_params();
+  p.reset_rate = 0.0;
+  p.rate = 0.0;
+  p.dead_band = 0.0;
+  p.gain = 0.1;
+  PidController low(p);
+  low.set_setpoint(10.0);
+  p.gain = 0.3;
+  PidController high(p);
+  high.set_setpoint(10.0);
+  EXPECT_LT(low.update(8.0, 0.25), high.update(8.0, 0.25));
+}
+
+TEST(Pid, IntegralAccumulatesOverTime) {
+  PidParams p = default_params();
+  p.gain = 0.05;
+  p.rate = 0.0;
+  p.dead_band = 0.0;
+  PidController pid(p);
+  pid.set_setpoint(10.0);
+  const double first = pid.update(9.0, 0.25);
+  double later = first;
+  for (int i = 0; i < 40; ++i) later = pid.update(9.0, 0.25);
+  EXPECT_GT(later, first);  // persistent error winds the integral up
+}
+
+TEST(Pid, ResetClearsHistory) {
+  PidController pid(default_params());
+  pid.set_setpoint(10.0);
+  for (int i = 0; i < 10; ++i) pid.update(5.0, 0.25);
+  pid.reset();
+  PidController fresh(default_params());
+  fresh.set_setpoint(10.0);
+  EXPECT_DOUBLE_EQ(pid.update(5.0, 0.25), fresh.update(5.0, 0.25));
+}
+
+TEST(Pid, NonPositiveDtIsSafe) {
+  PidController pid(default_params());
+  pid.set_setpoint(5.0);
+  const double u = pid.update(0.0, 0.0);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+TEST(Pid, ConvergesOnSimplePlant) {
+  // First-order plant: x' = 4u − 0.3x, driven by the controller.
+  PidController pid(default_params());
+  pid.set_setpoint(10.0);
+  double x = 0.0;
+  const double dt = 0.25;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = pid.update(x, dt);
+    x += (4.0 * u - 0.3 * x) * dt;
+  }
+  EXPECT_NEAR(x, 10.0, 1.0);
+}
+
+TEST(Pid, SetParamsTakesEffect) {
+  PidController pid(default_params());
+  pid.set_setpoint(10.0);
+  PidParams p = default_params();
+  p.gain = 99.0;
+  pid.set_params(p);
+  EXPECT_DOUBLE_EQ(pid.params().gain, 99.0);
+  EXPECT_DOUBLE_EQ(pid.update(0.0, 0.25), 1.0);  // huge gain saturates
+}
+
+}  // namespace
+}  // namespace mlad::ics

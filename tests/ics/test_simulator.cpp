@@ -1,0 +1,188 @@
+#include "ics/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ics/modbus.hpp"
+
+namespace mlad::ics {
+namespace {
+
+SimulatorConfig small_config(bool attacks) {
+  SimulatorConfig cfg;
+  cfg.cycles = 2000;
+  cfg.attacks_enabled = attacks;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Simulator, NormalRunHasOnlyNormalPackages) {
+  GasPipelineSimulator sim(small_config(false));
+  const SimulationResult r = sim.run();
+  EXPECT_EQ(r.packages.size(), 2000u * 4u);
+  for (std::size_t i = 1; i < kAttackTypeCount; ++i) {
+    EXPECT_EQ(r.census[i], 0u) << attack_name(static_cast<AttackType>(i));
+  }
+  EXPECT_EQ(r.census[0], r.packages.size());
+}
+
+TEST(Simulator, CyclesAreFourPhase) {
+  GasPipelineSimulator sim(small_config(false));
+  const SimulationResult r = sim.run();
+  // Normal traffic repeats: write cmd, write ack, read req, read resp.
+  for (std::size_t i = 0; i + 3 < r.packages.size(); i += 4) {
+    EXPECT_EQ(r.packages[i].command_response, 1);
+    EXPECT_EQ(r.packages[i].function, 0x10);
+    EXPECT_EQ(r.packages[i + 1].command_response, 0);
+    EXPECT_EQ(r.packages[i + 2].command_response, 1);
+    EXPECT_EQ(r.packages[i + 2].function, 0x03);
+    EXPECT_EQ(r.packages[i + 3].command_response, 0);
+  }
+}
+
+TEST(Simulator, TimestampsMonotone) {
+  GasPipelineSimulator sim(small_config(true));
+  const SimulationResult r = sim.run();
+  for (std::size_t i = 1; i < r.packages.size(); ++i) {
+    EXPECT_GT(r.packages[i].time, r.packages[i - 1].time);
+  }
+  EXPECT_GT(r.duration_seconds, 0.0);
+}
+
+TEST(Simulator, AttackMixCoversAllSevenTypes) {
+  SimulatorConfig cfg = small_config(true);
+  cfg.cycles = 8000;
+  GasPipelineSimulator sim(cfg);
+  const SimulationResult r = sim.run();
+  for (AttackType t : kMaliciousTypes) {
+    EXPECT_GT(r.census[static_cast<std::size_t>(t)], 0u) << attack_name(t);
+  }
+}
+
+TEST(Simulator, AttackShareInPaperRange) {
+  // The real dataset is ~22% attack packages; the default knobs should land
+  // in the same regime (10%–35%).
+  SimulatorConfig cfg = small_config(true);
+  cfg.cycles = 10000;
+  GasPipelineSimulator sim(cfg);
+  const SimulationResult r = sim.run();
+  const std::size_t attacks = r.packages.size() - r.census[0];
+  const double share =
+      static_cast<double>(attacks) / static_cast<double>(r.packages.size());
+  EXPECT_GT(share, 0.10);
+  EXPECT_LT(share, 0.35);
+}
+
+TEST(Simulator, CensusMatchesLabels) {
+  GasPipelineSimulator sim(small_config(true));
+  const SimulationResult r = sim.run();
+  std::array<std::size_t, kAttackTypeCount> counted{};
+  for (const Package& p : r.packages) {
+    ++counted[static_cast<std::size_t>(p.label)];
+  }
+  EXPECT_EQ(counted, r.census);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  GasPipelineSimulator a(small_config(true));
+  GasPipelineSimulator b(small_config(true));
+  const SimulationResult ra = a.run();
+  const SimulationResult rb = b.run();
+  ASSERT_EQ(ra.packages.size(), rb.packages.size());
+  EXPECT_EQ(ra.census, rb.census);
+  for (std::size_t i = 0; i < ra.packages.size(); i += 997) {
+    EXPECT_DOUBLE_EQ(ra.packages[i].time, rb.packages[i].time);
+    EXPECT_DOUBLE_EQ(ra.packages[i].pressure_measurement,
+                     rb.packages[i].pressure_measurement);
+  }
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  SimulatorConfig cfg = small_config(true);
+  GasPipelineSimulator a(cfg);
+  cfg.seed = 78;
+  GasPipelineSimulator b(cfg);
+  EXPECT_NE(a.run().census, b.run().census);
+}
+
+TEST(Simulator, MfciUsesIllegalFunctionCodes) {
+  SimulatorConfig cfg = small_config(true);
+  cfg.attack_mix = {0, 0, 0, 0, 1.0, 0, 0};  // MFCI only
+  cfg.cycles = 4000;
+  GasPipelineSimulator sim(cfg);
+  const SimulationResult r = sim.run();
+  std::size_t mfci = 0;
+  for (const Package& p : r.packages) {
+    if (p.label == AttackType::kMfci) {
+      ++mfci;
+      EXPECT_FALSE(is_known_function(p.function));
+    }
+  }
+  EXPECT_GT(mfci, 0u);
+}
+
+TEST(Simulator, ReconScansForeignAddresses) {
+  SimulatorConfig cfg = small_config(true);
+  cfg.attack_mix = {0, 0, 0, 0, 0, 0, 1.0};  // Recon only
+  cfg.cycles = 4000;
+  GasPipelineSimulator sim(cfg);
+  const SimulationResult r = sim.run();
+  std::size_t recon = 0;
+  for (const Package& p : r.packages) {
+    if (p.label == AttackType::kRecon) {
+      ++recon;
+      EXPECT_NE(p.address, cfg.slave_address);
+    }
+  }
+  EXPECT_GT(recon, 0u);
+}
+
+TEST(Simulator, DosFloodsWithTinyIntervals) {
+  SimulatorConfig cfg = small_config(true);
+  cfg.attack_mix = {0, 0, 0, 0, 0, 1.0, 0};  // DoS only
+  cfg.cycles = 4000;
+  GasPipelineSimulator sim(cfg);
+  const SimulationResult r = sim.run();
+  std::size_t dos_checked = 0;
+  for (std::size_t i = 1; i < r.packages.size(); ++i) {
+    // A DoS package following another DoS package arrives at flood rate.
+    if (r.packages[i].label == AttackType::kDos &&
+        r.packages[i - 1].label == AttackType::kDos) {
+      EXPECT_LT(r.packages[i].time - r.packages[i - 1].time, 1e-3);
+      ++dos_checked;
+    }
+  }
+  EXPECT_GT(dos_checked, 10u);
+}
+
+TEST(Simulator, NmriRandomizesPressure) {
+  SimulatorConfig cfg = small_config(true);
+  cfg.attack_mix = {1.0, 0, 0, 0, 0, 0, 0};  // NMRI only
+  cfg.cycles = 6000;
+  GasPipelineSimulator sim(cfg);
+  const SimulationResult r = sim.run();
+  std::size_t beyond_physical = 0;
+  std::size_t nmri = 0;
+  for (const Package& p : r.packages) {
+    if (p.label == AttackType::kNmri) {
+      ++nmri;
+      if (p.pressure_measurement > cfg.plant.max_pressure) ++beyond_physical;
+    }
+  }
+  ASSERT_GT(nmri, 0u);
+  // The naive fraction produces physically impossible readings.
+  EXPECT_GT(beyond_physical, nmri / 10);
+}
+
+TEST(Simulator, CrcRateStaysWithinWindowResolution) {
+  GasPipelineSimulator sim(small_config(true));
+  const SimulationResult r = sim.run();
+  for (const Package& p : r.packages) {
+    EXPECT_GE(p.crc_rate, 0.0);
+    EXPECT_LE(p.crc_rate, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mlad::ics

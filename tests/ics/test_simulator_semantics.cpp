@@ -1,0 +1,163 @@
+// Regression guards for the simulator semantics that the detection results
+// depend on. Each of these encodes a behaviour that, when wrong, silently
+// destroys the reproduction (they were all found the hard way — see
+// DESIGN.md §2 and the memory notes):
+//  - injected MSCI/MPCI commands corrupt only the slave's ACTIVE state; the
+//    next legitimate write restores the operator's intent, so normal
+//    traffic keeps a stable signature vocabulary;
+//  - CMRI is an in-band rewrite: it adds no extra packets;
+//  - the operator's setpoint schedule visits every level round-robin;
+//  - split_dataset derives the interval feature from raw timestamps before
+//    anomaly removal.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ics/dataset.hpp"
+#include "ics/simulator.hpp"
+
+namespace mlad::ics {
+namespace {
+
+SimulatorConfig base_config(std::uint64_t seed) {
+  SimulatorConfig cfg;
+  cfg.cycles = 3000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SimulatorSemantics, LegitimateWritesRestoreOperatorIntent) {
+  // With only MPCI active, the *normal* command packages must still use the
+  // operator's configured setpoint levels — never the attacker's random
+  // parameters (that would poison the training vocabulary).
+  SimulatorConfig cfg = base_config(1);
+  cfg.attack_mix = {0, 0, 0, 1.0, 0, 0, 0};  // MPCI only
+  GasPipelineSimulator sim(cfg);
+  const auto result = sim.run();
+  const std::set<double> levels(cfg.setpoint_levels.begin(),
+                                cfg.setpoint_levels.end());
+  for (const Package& p : result.packages) {
+    if (p.label == AttackType::kNormal && p.command_response == 1 &&
+        p.function == 0x10) {
+      EXPECT_TRUE(levels.contains(p.setpoint))
+          << "normal command carries attacker setpoint " << p.setpoint;
+      EXPECT_DOUBLE_EQ(p.pid.gain, cfg.pid.gain);
+    }
+  }
+}
+
+TEST(SimulatorSemantics, MsciCorruptionDoesNotLeakIntoNormalCommands) {
+  SimulatorConfig cfg = base_config(2);
+  cfg.attack_mix = {0, 0, 1.0, 0, 0, 0, 0};  // MSCI only
+  GasPipelineSimulator sim(cfg);
+  const auto result = sim.run();
+  std::size_t manual_normal_cmds = 0;
+  std::size_t normal_cmds = 0;
+  for (const Package& p : result.packages) {
+    if (p.label == AttackType::kNormal && p.command_response == 1 &&
+        p.function == 0x10) {
+      ++normal_cmds;
+      if (p.system_mode == SystemMode::kManual) ++manual_normal_cmds;
+    }
+  }
+  ASSERT_GT(normal_cmds, 0u);
+  // Manual-mode normal commands exist (operator episodes) but stay a small
+  // share: injected state changes never echo into the master's writes.
+  EXPECT_LT(static_cast<double>(manual_normal_cmds) /
+                static_cast<double>(normal_cmds),
+            0.5);
+}
+
+TEST(SimulatorSemantics, CmriAddsNoExtraPackets) {
+  // CMRI rewrites responses in band — package count must equal the
+  // attack-free run's count exactly (same cycles, same 4-package shape).
+  SimulatorConfig with = base_config(3);
+  with.attack_mix = {0, 1.0, 0, 0, 0, 0, 0};  // CMRI only
+  SimulatorConfig without = with;
+  without.attacks_enabled = false;
+  const auto a = GasPipelineSimulator(with).run();
+  const auto b = GasPipelineSimulator(without).run();
+  EXPECT_EQ(a.packages.size(), b.packages.size());
+  EXPECT_GT(a.census[static_cast<std::size_t>(AttackType::kCmri)], 0u);
+}
+
+TEST(SimulatorSemantics, CmriRewritesOnlyReadResponses) {
+  SimulatorConfig cfg = base_config(4);
+  cfg.attack_mix = {0, 1.0, 0, 0, 0, 0, 0};
+  const auto result = GasPipelineSimulator(cfg).run();
+  for (const Package& p : result.packages) {
+    if (p.label == AttackType::kCmri) {
+      EXPECT_EQ(p.command_response, 0);
+      EXPECT_EQ(p.function, 0x03);
+    }
+  }
+}
+
+TEST(SimulatorSemantics, SetpointScheduleVisitsAllLevels) {
+  SimulatorConfig cfg = base_config(5);
+  cfg.attacks_enabled = false;
+  const auto result = GasPipelineSimulator(cfg).run();
+  std::set<double> seen;
+  for (const Package& p : result.packages) {
+    if (p.command_response == 1 && p.function == 0x10) seen.insert(p.setpoint);
+  }
+  for (double level : cfg.setpoint_levels) {
+    EXPECT_TRUE(seen.contains(level)) << "level " << level << " never visited";
+  }
+}
+
+TEST(SimulatorSemantics, SplitAnnotatesRawStreamIntervals) {
+  SimulatorConfig cfg = base_config(6);
+  const auto result = GasPipelineSimulator(cfg).run();
+  const DatasetSplit split = split_dataset(result.packages, {});
+  // A fragment's first package keeps the raw-wire gap to the (removed)
+  // attack packet before it — not the fragment-local 0.
+  std::size_t nonzero_first = 0;
+  for (const auto& frag : split.train_fragments) {
+    ASSERT_TRUE(frag.front().time_interval.has_value());
+    if (*frag.front().time_interval > 0.0) ++nonzero_first;
+  }
+  EXPECT_GT(nonzero_first, 0u);
+  // And within a fragment the annotation matches consecutive timestamps.
+  const auto& f = split.train_fragments.front();
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    const double expect = f[i].time - f[i - 1].time;
+    // Equal only when the packages were adjacent on the wire; always ≤.
+    EXPECT_LE(*f[i].time_interval, expect + 1e-12);
+  }
+}
+
+TEST(SimulatorSemantics, DosSuppresssesNothingButFloods) {
+  // DoS bursts drain at flood rate in one shot; the packages on either
+  // side of the burst keep normal pacing.
+  SimulatorConfig cfg = base_config(7);
+  cfg.attack_mix = {0, 0, 0, 0, 0, 1.0, 0};
+  const auto result = GasPipelineSimulator(cfg).run();
+  for (std::size_t i = 1; i + 1 < result.packages.size(); ++i) {
+    const Package& prev = result.packages[i - 1];
+    const Package& cur = result.packages[i];
+    if (prev.label == AttackType::kDos && cur.label == AttackType::kDos) {
+      EXPECT_LT(cur.time - prev.time, 1e-3);
+    }
+  }
+}
+
+TEST(SimulatorSemantics, CorruptionFlagMatchesCrcRateMovement) {
+  SimulatorConfig cfg = base_config(8);
+  cfg.frame_corruption_prob = 0.05;  // force plenty of corruption
+  cfg.attacks_enabled = false;
+  const auto result = GasPipelineSimulator(cfg).run();
+  std::size_t corrupted = 0;
+  for (const Package& p : result.packages) corrupted += p.frame_corrupted;
+  const double share =
+      static_cast<double>(corrupted) / static_cast<double>(result.packages.size());
+  EXPECT_NEAR(share, 0.05, 0.01);
+  // crc_rate must be consistent with the rolling window of the flags.
+  double max_rate = 0.0;
+  for (const Package& p : result.packages) max_rate = std::max(max_rate, p.crc_rate);
+  EXPECT_GT(max_rate, 0.02);
+  EXPECT_LT(max_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace mlad::ics

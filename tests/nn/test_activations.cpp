@@ -1,0 +1,87 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mlad::nn {
+namespace {
+
+TEST(Activations, SigmoidKnownValues) {
+  EXPECT_FLOAT_EQ(sigmoid(0.0f), 0.5f);
+  EXPECT_NEAR(sigmoid(2.0f), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+}
+
+TEST(Activations, SigmoidSaturatesWithoutOverflow) {
+  EXPECT_NEAR(sigmoid(500.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(sigmoid(-500.0f), 0.0f, 1e-6f);
+}
+
+TEST(Activations, SigmoidSymmetry) {
+  for (float x : {0.3f, 1.7f, 4.2f}) {
+    EXPECT_NEAR(sigmoid(x) + sigmoid(-x), 1.0f, 1e-6f);
+  }
+}
+
+TEST(Activations, SigmoidGradFromOutput) {
+  const float y = sigmoid(0.7f);
+  // d/dx sigmoid = y(1-y); compare to finite difference.
+  const float eps = 1e-3f;
+  const float fd = (sigmoid(0.7f + eps) - sigmoid(0.7f - eps)) / (2 * eps);
+  EXPECT_NEAR(sigmoid_grad_from_output(y), fd, 1e-4f);
+}
+
+TEST(Activations, TanhGradFromOutput) {
+  const float y = tanh_act(-0.4f);
+  const float eps = 1e-3f;
+  const float fd = (tanh_act(-0.4f + eps) - tanh_act(-0.4f - eps)) / (2 * eps);
+  EXPECT_NEAR(tanh_grad_from_output(y), fd, 1e-4f);
+}
+
+TEST(Activations, SoftmaxSumsToOne) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+  softmax_inplace(v);
+  float sum = 0;
+  for (float p : v) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  // Monotone: larger logits → larger probabilities.
+  EXPECT_LT(v[0], v[1]);
+  EXPECT_LT(v[2], v[3]);
+}
+
+TEST(Activations, SoftmaxStableWithHugeLogits) {
+  std::vector<float> v = {1000.0f, 1000.0f};
+  softmax_inplace(v);
+  EXPECT_NEAR(v[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(v[1], 0.5f, 1e-6f);
+}
+
+TEST(Activations, SoftmaxShiftInvariance) {
+  std::vector<float> a = {0.1f, 0.9f, -0.5f};
+  std::vector<float> b = {10.1f, 10.9f, 9.5f};
+  softmax_inplace(a);
+  softmax_inplace(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+TEST(Activations, SoftmaxEmptyIsNoop) {
+  std::vector<float> v;
+  softmax_inplace(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Activations, LogSumExpMatchesDirect) {
+  const std::vector<float> v = {0.5f, -1.0f, 2.0f};
+  double direct = 0.0;
+  for (float x : v) direct += std::exp(x);
+  EXPECT_NEAR(log_sum_exp(v), std::log(direct), 1e-6);
+}
+
+TEST(Activations, LogSumExpStable) {
+  const std::vector<float> v = {1000.0f, 999.0f};
+  EXPECT_NEAR(log_sum_exp(v), 1000.0 + std::log(1.0 + std::exp(-1.0)), 1e-4);
+}
+
+}  // namespace
+}  // namespace mlad::nn

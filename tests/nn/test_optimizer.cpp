@@ -1,0 +1,94 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlad::nn {
+namespace {
+
+/// Minimize f(p) = ||p - target||² with each optimizer.
+template <typename Opt>
+double run_quadratic(Opt& opt, std::size_t iterations) {
+  Matrix p(1, 3, 0.0f);
+  Matrix g(1, 3, 0.0f);
+  const float target[3] = {1.0f, -2.0f, 0.5f};
+  const ParamSlot slots[] = {{&p, &g}};
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      g(0, i) = 2.0f * (p(0, i) - target[i]);
+    }
+    opt.step(slots);
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    err += std::pow(p(0, i) - target[i], 2.0);
+  }
+  return err;
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  Sgd sgd(0.05, 0.9);
+  EXPECT_LT(run_quadratic(sgd, 300), 1e-6);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  Adam adam(0.05);
+  EXPECT_LT(run_quadratic(adam, 800), 1e-4);
+}
+
+TEST(Optimizer, SgdWithoutMomentumIsPlainGd) {
+  Sgd sgd(0.1, 0.0);
+  Matrix p(1, 1, 4.0f);
+  Matrix g(1, 1, 2.0f);
+  const ParamSlot slots[] = {{&p, &g}};
+  sgd.step(slots);
+  EXPECT_FLOAT_EQ(p(0, 0), 4.0f - 0.1f * 2.0f);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized) {
+  // With bias correction, the first Adam update has magnitude ≈ lr.
+  Adam adam(0.01);
+  Matrix p(1, 1, 0.0f);
+  Matrix g(1, 1, 123.0f);
+  const ParamSlot slots[] = {{&p, &g}};
+  adam.step(slots);
+  EXPECT_NEAR(p(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(Optimizer, ResetClearsState) {
+  Sgd sgd(0.1, 0.9);
+  Matrix p(1, 1, 0.0f);
+  Matrix g(1, 1, 1.0f);
+  const ParamSlot slots[] = {{&p, &g}};
+  sgd.step(slots);
+  const float after_one = p(0, 0);
+  sgd.reset();
+  Matrix p2(1, 1, 0.0f);
+  const ParamSlot slots2[] = {{&p2, &g}};
+  sgd.step(slots2);
+  EXPECT_FLOAT_EQ(p2(0, 0), after_one);  // identical fresh first step
+}
+
+TEST(Optimizer, ClipGlobalNormScalesDown) {
+  Matrix g1(1, 2, 3.0f);
+  Matrix g2(1, 2, 4.0f);
+  Matrix p(1, 2, 0.0f);
+  const ParamSlot slots[] = {{&p, &g1}, {&p, &g2}};
+  // norm = sqrt(2*9 + 2*16) = sqrt(50)
+  const double pre = clip_global_norm(slots, 1.0);
+  EXPECT_NEAR(pre, std::sqrt(50.0), 1e-9);
+  double post = std::sqrt(g1.sum_squares() + g2.sum_squares());
+  EXPECT_NEAR(post, 1.0, 1e-5);
+}
+
+TEST(Optimizer, ClipGlobalNormNoopUnderBound) {
+  Matrix g(1, 2, 0.1f);
+  Matrix p(1, 2, 0.0f);
+  const ParamSlot slots[] = {{&p, &g}};
+  clip_global_norm(slots, 10.0);
+  EXPECT_FLOAT_EQ(g(0, 0), 0.1f);
+}
+
+}  // namespace
+}  // namespace mlad::nn

@@ -1,0 +1,73 @@
+// Parameterized property sweep over Bloom filter configurations: the
+// no-false-negative guarantee and the FPR budget must hold across the whole
+// (capacity, target-FPR) grid, not just one tuned point.
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "common/rng.hpp"
+
+namespace mlad::bloom {
+namespace {
+
+struct BloomParam {
+  std::size_t items;
+  double fpr;
+};
+
+class BloomSweep : public ::testing::TestWithParam<BloomParam> {};
+
+TEST_P(BloomSweep, NoFalseNegatives) {
+  const auto [items, fpr] = GetParam();
+  BloomFilter bf = BloomFilter::with_capacity(items, fpr);
+  Rng rng(items);
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < items; ++i) {
+    keys.push_back(static_cast<std::uint64_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int64_t>::max())));
+    bf.insert(keys.back());
+  }
+  for (const std::uint64_t k : keys) {
+    ASSERT_TRUE(bf.contains(k));
+  }
+}
+
+TEST_P(BloomSweep, MeasuredFprWithinBudget) {
+  const auto [items, fpr] = GetParam();
+  BloomFilter bf = BloomFilter::with_capacity(items, fpr);
+  for (std::uint64_t i = 0; i < items; ++i) bf.insert(i * 2654435761ull + 17);
+  Rng rng(items + 1);
+  std::size_t fp = 0;
+  const std::size_t probes = 50000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    fp += bf.contains(static_cast<std::uint64_t>(rng.uniform_int(
+              1u << 30, std::numeric_limits<std::int64_t>::max())))
+              ? 1
+              : 0;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  // Allow 3x headroom plus slack for tiny budgets where variance dominates.
+  EXPECT_LT(measured, fpr * 3.0 + 3.0 / probes)
+      << "items=" << items << " target=" << fpr;
+}
+
+TEST_P(BloomSweep, CardinalityEstimateTracksInsertions) {
+  const auto [items, fpr] = GetParam();
+  BloomFilter bf = BloomFilter::with_capacity(items, fpr);
+  for (std::uint64_t i = 0; i < items; ++i) bf.insert(i);
+  EXPECT_NEAR(bf.estimated_cardinality(), static_cast<double>(items),
+              static_cast<double>(items) * 0.2 + 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BloomSweep,
+    ::testing::Values(BloomParam{100, 0.1}, BloomParam{100, 0.01},
+                      BloomParam{613, 0.03},   // the paper's database size
+                      BloomParam{1000, 0.001}, BloomParam{5000, 0.01},
+                      BloomParam{20000, 1e-4}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.items) + "_fpr" +
+             std::to_string(static_cast<int>(1.0 / info.param.fpr));
+    });
+
+}  // namespace
+}  // namespace mlad::bloom

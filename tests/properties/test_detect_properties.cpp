@@ -1,0 +1,116 @@
+// Parameterized invariants of the detection layer: metric identities over
+// arbitrary confusion counts, and the probabilistic-noise schedule over a
+// λ sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "detect/metrics.hpp"
+#include "detect/noise.hpp"
+
+namespace mlad::detect {
+namespace {
+
+// ---- metric identities ------------------------------------------------------
+
+class MetricsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsSweep, IdentitiesHoldForRandomCounts) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    Confusion c;
+    c.tp = static_cast<std::size_t>(rng.uniform_int(0, 1000));
+    c.tn = static_cast<std::size_t>(rng.uniform_int(0, 1000));
+    c.fp = static_cast<std::size_t>(rng.uniform_int(0, 1000));
+    c.fn = static_cast<std::size_t>(rng.uniform_int(0, 1000));
+
+    // Ranges.
+    for (double m : {c.precision(), c.recall(), c.accuracy(), c.f1(),
+                     c.false_positive_rate()}) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+    // F1 is the harmonic mean — bounded by min and max of P and R.
+    if (c.precision() > 0.0 && c.recall() > 0.0) {
+      EXPECT_GE(c.f1(), std::min(c.precision(), c.recall()) - 1e-12);
+      EXPECT_LE(c.f1(), std::max(c.precision(), c.recall()) + 1e-12);
+    }
+    // Accuracy decomposition.
+    if (c.total() > 0) {
+      const double pos_share =
+          static_cast<double>(c.tp + c.fn) / static_cast<double>(c.total());
+      const double acc = c.recall() * pos_share +
+                         (1.0 - c.false_positive_rate()) * (1.0 - pos_share);
+      EXPECT_NEAR(c.accuracy(), acc, 1e-9);
+    }
+  }
+}
+
+TEST_P(MetricsSweep, AccumulationIsAdditive) {
+  Rng rng(GetParam() + 1);
+  Confusion total;
+  std::size_t tp = 0;
+  for (int part = 0; part < 10; ++part) {
+    Confusion c;
+    c.tp = static_cast<std::size_t>(rng.uniform_int(0, 50));
+    tp += c.tp;
+    total += c;
+  }
+  EXPECT_EQ(total.tp, tp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---- noise schedule over λ --------------------------------------------------
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, ProbabilityDecreasesWithCount) {
+  const double lambda = GetParam();
+  double prev = 1.1;
+  for (std::size_t count : {0u, 1u, 5u, 20u, 100u, 10000u}) {
+    const double p = corruption_probability(lambda, count);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_P(LambdaSweep, HalfLifeAtLambda) {
+  // p = 0.5 exactly when #(s) == λ (checked at the nearest integer count;
+  // for fractional λ the two bracketing counts straddle 0.5).
+  const double lambda = GetParam();
+  const auto lo = static_cast<std::size_t>(std::floor(lambda));
+  const auto hi = static_cast<std::size_t>(std::ceil(lambda));
+  EXPECT_GE(corruption_probability(lambda, lo), 0.5);
+  EXPECT_LE(corruption_probability(lambda, hi), 0.5 + 1e-12);
+}
+
+TEST_P(LambdaSweep, EmpiricalRateMatchesFormula) {
+  const double lambda = GetParam();
+  sig::SignatureDatabase db{sig::SignatureGenerator({8, 8})};
+  for (int i = 0; i < 25; ++i) db.add({3, 4});
+  NoiseConfig cfg;
+  cfg.lambda = lambda;
+  cfg.max_corrupted_features = 1;
+  Rng rng(static_cast<std::uint64_t>(lambda * 100) + 3);
+  const double expected = corruption_probability(lambda, 25);
+  int fired = 0;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    sig::DiscreteRow row = {3, 4};
+    fired += maybe_corrupt(row, std::vector<std::size_t>{8, 8}, db, cfg, rng)
+                 ? 1
+                 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / n, expected, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0));
+
+}  // namespace
+}  // namespace mlad::detect

@@ -1,0 +1,134 @@
+// Parameterized properties of the signature pipeline: g(·) injectivity and
+// the discretizer's in-range guarantee must hold for arbitrary feature
+// profiles, bin counts, and data distributions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "signature/discretizer.hpp"
+#include "signature/signature_db.hpp"
+
+namespace mlad::sig {
+namespace {
+
+// ---- generator injectivity over random cardinality profiles ----------------
+
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(GeneratorSweep, PackUnpackBijective) {
+  const auto& cards = GetParam();
+  const SignatureGenerator gen(cards);
+  Rng rng(cards.size());
+  std::set<std::uint64_t> keys;
+  for (int trial = 0; trial < 500; ++trial) {
+    DiscreteRow row(cards.size());
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+      row[i] = static_cast<std::uint16_t>(rng.index(cards[i]));
+    }
+    const std::uint64_t key = gen.pack(row);
+    EXPECT_EQ(gen.unpack(key), row);
+    keys.insert(key);
+  }
+  // Distinct rows map to distinct keys: re-derive rows from keys and count.
+  std::set<std::string> row_strings;
+  for (std::uint64_t k : keys) row_strings.insert(gen.to_string(gen.unpack(k)));
+  EXPECT_EQ(row_strings.size(), keys.size());
+}
+
+TEST_P(GeneratorSweep, StringFormInjectiveOnSample) {
+  const auto& cards = GetParam();
+  const SignatureGenerator gen(cards);
+  Rng rng(cards.size() + 1);
+  std::set<std::uint64_t> keys;
+  std::set<std::string> strings;
+  for (int trial = 0; trial < 300; ++trial) {
+    DiscreteRow row(cards.size());
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+      row[i] = static_cast<std::uint16_t>(rng.index(cards[i]));
+    }
+    keys.insert(gen.pack(row));
+    strings.insert(gen.to_string(row));
+  }
+  EXPECT_EQ(keys.size(), strings.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, GeneratorSweep,
+    ::testing::Values(std::vector<std::size_t>{2},
+                      std::vector<std::size_t>{2, 2, 2, 2, 2, 2, 2, 2},
+                      std::vector<std::size_t>{3, 3, 3, 5, 7, 21, 11, 33},
+                      std::vector<std::size_t>{65535, 65535, 65535},
+                      std::vector<std::size_t>{1, 1, 5, 1}),
+    [](const auto& info) {
+      std::string name = "f";
+      for (std::size_t c : info.param) name += std::to_string(c) + "_";
+      name.pop_back();
+      return name;
+    });
+
+// ---- discretizer bin-count sweep -------------------------------------------
+
+class IntervalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntervalSweep, TrainingDataAlwaysInRange) {
+  const std::size_t bins = GetParam();
+  Rng rng(bins);
+  std::vector<RawRow> rows;
+  for (int i = 0; i < 500; ++i) rows.push_back({rng.normal(10.0, 4.0)});
+  const std::vector<FeatureSpec> specs = {
+      {"x", FeatureKind::kInterval, {0}, bins}};
+  Rng fit_rng(bins + 1);
+  const Discretizer d = Discretizer::fit(rows, specs, fit_rng);
+  for (const auto& r : rows) {
+    const DiscreteRow dr = d.transform(r);
+    EXPECT_LT(dr[0], bins) << "training value fell out of range";
+  }
+}
+
+TEST_P(IntervalSweep, BinsAreMonotone) {
+  const std::size_t bins = GetParam();
+  std::vector<RawRow> rows;
+  for (int i = 0; i <= 1000; ++i) rows.push_back({static_cast<double>(i)});
+  const std::vector<FeatureSpec> specs = {
+      {"x", FeatureKind::kInterval, {0}, bins}};
+  Rng rng(1);
+  const Discretizer d = Discretizer::fit(rows, specs, rng);
+  std::uint16_t prev = 0;
+  for (const auto& r : rows) {
+    const std::uint16_t b = d.transform(r)[0];
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_EQ(prev, bins - 1);  // the max value lands in the last bin
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, IntervalSweep,
+                         ::testing::Values(1u, 2u, 5u, 10u, 20u, 100u));
+
+// ---- k-means cluster-count sweep -------------------------------------------
+
+class KmeansSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KmeansSweep, TrainingPointsNeverOutOfRange) {
+  const std::size_t clusters = GetParam();
+  Rng data_rng(clusters);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({data_rng.normal(static_cast<double>(i % 5) * 10.0, 0.5)});
+  }
+  Rng rng(clusters + 7);
+  KmeansConfig cfg;
+  cfg.clusters = clusters;
+  const KmeansResult model = kmeans_fit(points, cfg, rng);
+  for (const auto& p : points) {
+    EXPECT_LT(kmeans_assign_or_oor(model, p), model.centroids.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, KmeansSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 32u));
+
+}  // namespace
+}  // namespace mlad::sig

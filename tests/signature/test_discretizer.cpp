@@ -1,0 +1,161 @@
+#include "signature/discretizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mlad::sig {
+namespace {
+
+std::vector<RawRow> sample_rows() {
+  // col0: categorical {3, 5}, col1: uniform 0..10, col2+col3: two 2-D blobs.
+  std::vector<RawRow> rows;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double cat = i % 2 == 0 ? 3.0 : 5.0;
+    const double uni = rng.uniform(0.0, 10.0);
+    const bool blob = rng.bernoulli(0.5);
+    const double bx = blob ? rng.normal(0, 0.1) : rng.normal(4, 0.1);
+    const double by = blob ? rng.normal(0, 0.1) : rng.normal(4, 0.1);
+    rows.push_back({cat, uni, bx, by});
+  }
+  return rows;
+}
+
+std::vector<FeatureSpec> sample_specs() {
+  return {
+      {"cat", FeatureKind::kDiscrete, {0}, 0},
+      {"uni", FeatureKind::kInterval, {1}, 5},
+      {"blob", FeatureKind::kKmeans, {2, 3}, 2},
+  };
+}
+
+TEST(Discretizer, CardinalitiesIncludeOutOfRange) {
+  const auto rows = sample_rows();
+  Rng rng(2);
+  const Discretizer d = Discretizer::fit(rows, sample_specs(), rng);
+  const auto cards = d.cardinalities();
+  ASSERT_EQ(cards.size(), 3u);
+  EXPECT_EQ(cards[0], 3u);  // {3,5} + OOR
+  EXPECT_EQ(cards[1], 6u);  // 5 bins + OOR
+  EXPECT_EQ(cards[2], 3u);  // 2 clusters + OOR
+  EXPECT_EQ(d.one_hot_dim(), 12u);
+}
+
+TEST(Discretizer, DiscreteFeatureMapsSeenValues) {
+  const auto rows = sample_rows();
+  Rng rng(3);
+  const Discretizer d = Discretizer::fit(rows, sample_specs(), rng);
+  const DiscreteRow a = d.transform(RawRow{3.0, 1.0, 0.0, 0.0});
+  const DiscreteRow b = d.transform(RawRow{5.0, 1.0, 0.0, 0.0});
+  EXPECT_NE(a[0], b[0]);
+  EXPECT_LT(a[0], 2u);
+  EXPECT_LT(b[0], 2u);
+}
+
+TEST(Discretizer, DiscreteFeatureUnseenGoesOutOfRange) {
+  const auto rows = sample_rows();
+  Rng rng(4);
+  const Discretizer d = Discretizer::fit(rows, sample_specs(), rng);
+  const DiscreteRow r = d.transform(RawRow{7.0, 1.0, 0.0, 0.0});
+  EXPECT_EQ(r[0], 2u);  // OOR id = cardinality - 1
+}
+
+TEST(Discretizer, IntervalPartitionsEvenly) {
+  std::vector<RawRow> rows;
+  for (int i = 0; i <= 100; ++i) rows.push_back({static_cast<double>(i)});
+  const std::vector<FeatureSpec> specs = {
+      {"x", FeatureKind::kInterval, {0}, 4}};
+  Rng rng(5);
+  const Discretizer d = Discretizer::fit(rows, specs, rng);
+  EXPECT_EQ(d.transform(RawRow{0.0})[0], 0u);
+  EXPECT_EQ(d.transform(RawRow{30.0})[0], 1u);
+  EXPECT_EQ(d.transform(RawRow{60.0})[0], 2u);
+  EXPECT_EQ(d.transform(RawRow{99.0})[0], 3u);
+  EXPECT_EQ(d.transform(RawRow{100.0})[0], 3u);  // hi boundary stays in range
+}
+
+TEST(Discretizer, IntervalOutsideRangeIsOor) {
+  std::vector<RawRow> rows;
+  for (int i = 0; i <= 10; ++i) rows.push_back({static_cast<double>(i)});
+  const std::vector<FeatureSpec> specs = {
+      {"x", FeatureKind::kInterval, {0}, 5}};
+  Rng rng(6);
+  const Discretizer d = Discretizer::fit(rows, specs, rng);
+  EXPECT_EQ(d.transform(RawRow{-0.5})[0], 5u);
+  EXPECT_EQ(d.transform(RawRow{10.5})[0], 5u);
+}
+
+TEST(Discretizer, KmeansGroupUsesAllColumns) {
+  const auto rows = sample_rows();
+  Rng rng(7);
+  const Discretizer d = Discretizer::fit(rows, sample_specs(), rng);
+  const DiscreteRow a = d.transform(RawRow{3.0, 1.0, 0.0, 0.0});
+  const DiscreteRow b = d.transform(RawRow{3.0, 1.0, 4.0, 4.0});
+  EXPECT_NE(a[2], b[2]);
+  // A point far from both blobs is out-of-range for the group.
+  const DiscreteRow c = d.transform(RawRow{3.0, 1.0, 50.0, -50.0});
+  EXPECT_EQ(c[2], 2u);
+}
+
+TEST(Discretizer, TrainingRowsNeverOutOfRange) {
+  // Property: every training row must discretize fully in-range.
+  const auto rows = sample_rows();
+  Rng rng(8);
+  const Discretizer d = Discretizer::fit(rows, sample_specs(), rng);
+  const auto cards = d.cardinalities();
+  for (const auto& row : rows) {
+    const DiscreteRow r = d.transform(row);
+    for (std::size_t f = 0; f < r.size(); ++f) {
+      EXPECT_LT(r[f], cards[f] - 1) << "feature " << f;
+    }
+  }
+}
+
+TEST(Discretizer, TransformAllMatchesTransform) {
+  const auto rows = sample_rows();
+  Rng rng(9);
+  const Discretizer d = Discretizer::fit(rows, sample_specs(), rng);
+  const auto all = d.transform_all(rows);
+  ASSERT_EQ(all.size(), rows.size());
+  EXPECT_EQ(all[17], d.transform(rows[17]));
+}
+
+TEST(Discretizer, OneHotEncodeLayout) {
+  const DiscreteRow row = {1, 0, 2};
+  const std::vector<std::size_t> cards = {3, 2, 4};
+  std::vector<float> x;
+  one_hot_encode(row, cards, 1, x);
+  ASSERT_EQ(x.size(), 10u);  // 3+2+4 + 1 extra
+  EXPECT_FLOAT_EQ(x[1], 1.0f);   // feature 0 value 1
+  EXPECT_FLOAT_EQ(x[3], 1.0f);   // feature 1 value 0 at offset 3
+  EXPECT_FLOAT_EQ(x[7], 1.0f);   // feature 2 value 2 at offset 5
+  EXPECT_FLOAT_EQ(x[9], 0.0f);   // extra bit zeroed
+  float sum = 0;
+  for (float v : x) sum += v;
+  EXPECT_FLOAT_EQ(sum, 3.0f);
+}
+
+TEST(Discretizer, OneHotEncodeValidates) {
+  std::vector<float> x;
+  EXPECT_THROW(one_hot_encode({1}, std::vector<std::size_t>{2, 2}, 0, x),
+               std::invalid_argument);
+  EXPECT_THROW(one_hot_encode({5}, std::vector<std::size_t>{2}, 0, x),
+               std::out_of_range);
+}
+
+TEST(Discretizer, FitValidatesInput) {
+  Rng rng(10);
+  EXPECT_THROW(Discretizer::fit({}, sample_specs(), rng),
+               std::invalid_argument);
+  const std::vector<RawRow> rows = {{1.0}};
+  const std::vector<FeatureSpec> no_cols = {
+      {"bad", FeatureKind::kDiscrete, {}, 0}};
+  EXPECT_THROW(Discretizer::fit(rows, no_cols, rng), std::invalid_argument);
+  const std::vector<FeatureSpec> zero_bins = {
+      {"bad", FeatureKind::kInterval, {0}, 0}};
+  EXPECT_THROW(Discretizer::fit(rows, zero_bins, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlad::sig

@@ -1,0 +1,109 @@
+#include "signature/granularity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlad::sig {
+namespace {
+
+/// One continuous column uniform on [0,1]; coarse bins generalize from
+/// train to validation, very fine bins do not.
+struct GranularityFixture : ::testing::Test {
+  void SetUp() override {
+    Rng rng(1);
+    for (int i = 0; i < 800; ++i) train.push_back({rng.uniform()});
+    for (int i = 0; i < 400; ++i) validation.push_back({rng.uniform()});
+    specs = {{"x", FeatureKind::kInterval, {0}, 2}};
+  }
+  std::vector<RawRow> train;
+  std::vector<RawRow> validation;
+  std::vector<FeatureSpec> specs;
+};
+
+TEST_F(GranularityFixture, ErrorIncreasesWithGranularity) {
+  Rng rng(2);
+  const Tunable tunable{0, {2, 2000}, 1.0};
+  const auto coarse = evaluate_granularity(train, validation, specs,
+                                           std::vector<Tunable>{tunable},
+                                           std::vector<std::size_t>{2}, rng);
+  const auto fine = evaluate_granularity(train, validation, specs,
+                                         std::vector<Tunable>{tunable},
+                                         std::vector<std::size_t>{2000}, rng);
+  EXPECT_LT(coarse.validation_error, 0.01);
+  EXPECT_GT(fine.validation_error, coarse.validation_error);
+  EXPECT_GT(fine.unique_signatures, coarse.unique_signatures);
+}
+
+TEST_F(GranularityFixture, SearchPicksFinestFeasible) {
+  Rng rng(3);
+  const Tunable tunable{0, {2, 5, 10, 2000}, 1.0};
+  const auto result = search_granularity(train, validation, specs,
+                                         std::vector<Tunable>{tunable},
+                                         /*theta=*/0.05, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.evaluated.size(), 4u);
+  // 2000 bins on 800 points cannot stay under 5% validation error; the
+  // maximization should settle on a feasible point with objective ≥ 10.
+  EXPECT_GE(result.best.objective, 10.0);
+  EXPECT_LT(result.best.validation_error, 0.05);
+  EXPECT_NE(result.best.bins[0], 2000u);
+}
+
+TEST_F(GranularityFixture, InfeasibleFallsBackToMinError) {
+  Rng rng(4);
+  const Tunable tunable{0, {500, 2000}, 1.0};
+  const auto result = search_granularity(train, validation, specs,
+                                         std::vector<Tunable>{tunable},
+                                         /*theta=*/1e-9, rng);
+  EXPECT_FALSE(result.feasible);
+  // The fallback is the least-bad (minimum validation error) point.
+  EXPECT_EQ(result.best.bins[0], 500u);
+}
+
+TEST_F(GranularityFixture, ObjectiveUsesWeights) {
+  Rng rng(5);
+  std::vector<FeatureSpec> two_specs = {
+      {"x", FeatureKind::kInterval, {0}, 2},
+      {"y", FeatureKind::kInterval, {0}, 2},
+  };
+  const std::vector<Tunable> tunables = {{0, {4}, 2.0}, {1, {8}, 1.0}};
+  const auto point = evaluate_granularity(train, validation, two_specs,
+                                          tunables,
+                                          std::vector<std::size_t>{4, 8}, rng);
+  EXPECT_DOUBLE_EQ(point.objective, 2.0 * 4 + 1.0 * 8);
+}
+
+TEST_F(GranularityFixture, GridSweepEnumeratesCartesianProduct) {
+  Rng rng(6);
+  std::vector<FeatureSpec> two_specs = {
+      {"x", FeatureKind::kInterval, {0}, 2},
+      {"y", FeatureKind::kInterval, {0}, 2},
+  };
+  const std::vector<Tunable> tunables = {{0, {2, 4, 8}, 1.0},
+                                         {1, {3, 9}, 1.0}};
+  const auto result =
+      search_granularity(train, validation, two_specs, tunables, 0.5, rng);
+  EXPECT_EQ(result.evaluated.size(), 6u);
+}
+
+TEST_F(GranularityFixture, ValidationArguments) {
+  Rng rng(7);
+  EXPECT_THROW(
+      search_granularity(train, validation, specs, std::vector<Tunable>{}, 0.1,
+                         rng),
+      std::invalid_argument);
+  const std::vector<Tunable> empty_candidates = {{0, {}, 1.0}};
+  EXPECT_THROW(
+      search_granularity(train, validation, specs, empty_candidates, 0.1, rng),
+      std::invalid_argument);
+  const std::vector<Tunable> bad_index = {{5, {2}, 1.0}};
+  EXPECT_THROW(
+      search_granularity(train, validation, specs, bad_index, 0.1, rng),
+      std::out_of_range);
+  const std::vector<Tunable> one = {{0, {2}, 1.0}};
+  EXPECT_THROW(evaluate_granularity(train, validation, specs, one,
+                                    std::vector<std::size_t>{2, 3}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlad::sig

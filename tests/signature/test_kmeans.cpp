@@ -1,0 +1,159 @@
+#include "signature/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace mlad::sig {
+namespace {
+
+std::vector<std::vector<double>> two_blobs() {
+  std::vector<std::vector<double>> pts;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) pts.push_back({rng.normal(0.0, 0.1)});
+  for (int i = 0; i < 100; ++i) pts.push_back({rng.normal(10.0, 0.1)});
+  return pts;
+}
+
+TEST(Kmeans, SeparatesTwoBlobs) {
+  const auto pts = two_blobs();
+  Rng rng(2);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  const KmeansResult r = kmeans_fit(pts, cfg, rng);
+  ASSERT_EQ(r.centroids.size(), 2u);
+  std::vector<double> centers = {r.centroids[0][0], r.centroids[1][0]};
+  std::sort(centers.begin(), centers.end());
+  EXPECT_NEAR(centers[0], 0.0, 0.2);
+  EXPECT_NEAR(centers[1], 10.0, 0.2);
+}
+
+TEST(Kmeans, AssignPicksNearest) {
+  const auto pts = two_blobs();
+  Rng rng(3);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  const KmeansResult r = kmeans_fit(pts, cfg, rng);
+  const std::size_t near_zero = kmeans_assign(r, std::vector<double>{0.05});
+  const std::size_t near_ten = kmeans_assign(r, std::vector<double>{9.9});
+  EXPECT_NE(near_zero, near_ten);
+}
+
+TEST(Kmeans, OutOfRangeDetection) {
+  const auto pts = two_blobs();
+  Rng rng(4);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  const KmeansResult r = kmeans_fit(pts, cfg, rng);
+  // Far from both blobs → out-of-range id == clusters.
+  EXPECT_EQ(kmeans_assign_or_oor(r, std::vector<double>{100.0}), 2u);
+  // Inside a blob → its cluster.
+  EXPECT_LT(kmeans_assign_or_oor(r, std::vector<double>{0.0}), 2u);
+}
+
+TEST(Kmeans, RadiusCoversAllTrainingPoints) {
+  // Property: no training point may be out-of-range under slack 1.0.
+  const auto pts = two_blobs();
+  Rng rng(5);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  const KmeansResult r = kmeans_fit(pts, cfg, rng);
+  for (const auto& p : pts) {
+    EXPECT_LT(kmeans_assign_or_oor(r, p), 2u);
+  }
+}
+
+TEST(Kmeans, InertiaDecreasesWithMoreClusters) {
+  const auto pts = two_blobs();
+  double prev = 1e18;
+  for (std::size_t k : {1u, 2u, 4u}) {
+    Rng rng(6);
+    KmeansConfig cfg;
+    cfg.clusters = k;
+    const KmeansResult r = kmeans_fit(pts, cfg, rng);
+    EXPECT_LE(r.inertia, prev + 1e-9);
+    prev = r.inertia;
+  }
+}
+
+TEST(Kmeans, MultiDimensional) {
+  std::vector<std::vector<double>> pts;
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.normal(0, 0.1), rng.normal(0, 0.1), rng.normal(0, 0.1)});
+  }
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.normal(5, 0.1), rng.normal(5, 0.1), rng.normal(5, 0.1)});
+  }
+  Rng fit_rng(8);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  const KmeansResult r = kmeans_fit(pts, cfg, fit_rng);
+  const std::size_t a = kmeans_assign(r, std::vector<double>{0, 0, 0});
+  const std::size_t b = kmeans_assign(r, std::vector<double>{5, 5, 5});
+  EXPECT_NE(a, b);
+}
+
+TEST(Kmeans, ClustersClampedToPointCount) {
+  std::vector<std::vector<double>> pts = {{1.0}, {2.0}};
+  Rng rng(9);
+  KmeansConfig cfg;
+  cfg.clusters = 10;
+  const KmeansResult r = kmeans_fit(pts, cfg, rng);
+  EXPECT_EQ(r.centroids.size(), 2u);
+}
+
+TEST(Kmeans, IdenticalPointsSafe) {
+  std::vector<std::vector<double>> pts(50, std::vector<double>{3.14});
+  Rng rng(10);
+  KmeansConfig cfg;
+  cfg.clusters = 3;
+  const KmeansResult r = kmeans_fit(pts, cfg, rng);
+  EXPECT_EQ(kmeans_assign(r, std::vector<double>{3.14}),
+            kmeans_assign(r, std::vector<double>{3.14}));
+  EXPECT_LT(kmeans_assign_or_oor(r, std::vector<double>{3.14}),
+            r.centroids.size());
+}
+
+TEST(Kmeans, ExactMatchOnSingletonClusterInRange) {
+  std::vector<std::vector<double>> pts = {{0.0}, {100.0}};
+  Rng rng(11);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  const KmeansResult r = kmeans_fit(pts, cfg, rng);
+  // Zero-radius clusters still admit exact matches…
+  EXPECT_LT(kmeans_assign_or_oor(r, std::vector<double>{0.0}), 2u);
+  // …but reject nearby non-members.
+  EXPECT_EQ(kmeans_assign_or_oor(r, std::vector<double>{1.0}), 2u);
+}
+
+TEST(Kmeans, InvalidInputsThrow) {
+  Rng rng(12);
+  KmeansConfig cfg;
+  EXPECT_THROW(kmeans_fit({}, cfg, rng), std::invalid_argument);
+  std::vector<std::vector<double>> ragged = {{1.0}, {1.0, 2.0}};
+  EXPECT_THROW(kmeans_fit(ragged, cfg, rng), std::invalid_argument);
+  cfg.clusters = 0;
+  std::vector<std::vector<double>> ok = {{1.0}};
+  EXPECT_THROW(kmeans_fit(ok, cfg, rng), std::invalid_argument);
+}
+
+TEST(Kmeans, DeterministicGivenSeed) {
+  const auto pts = two_blobs();
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  Rng r1(42), r2(42);
+  const KmeansResult a = kmeans_fit(pts, cfg, r1);
+  const KmeansResult b = kmeans_fit(pts, cfg, r2);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(Kmeans, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(
+      squared_distance(std::vector<double>{1, 2}, std::vector<double>{4, 6}),
+      25.0);
+}
+
+}  // namespace
+}  // namespace mlad::sig

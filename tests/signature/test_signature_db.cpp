@@ -1,0 +1,99 @@
+#include "signature/signature_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mlad::sig {
+namespace {
+
+TEST(SignatureGenerator, PackIsInjectiveOverFullSpace) {
+  const SignatureGenerator gen({3, 2, 4});
+  std::set<std::uint64_t> keys;
+  for (std::uint16_t a = 0; a < 3; ++a) {
+    for (std::uint16_t b = 0; b < 2; ++b) {
+      for (std::uint16_t c = 0; c < 4; ++c) {
+        keys.insert(gen.pack({a, b, c}));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 3u * 2u * 4u);  // g(·) assigns unique values
+}
+
+TEST(SignatureGenerator, UnpackInvertsPack) {
+  const SignatureGenerator gen({5, 7, 2, 9});
+  const DiscreteRow row = {4, 3, 1, 8};
+  EXPECT_EQ(gen.unpack(gen.pack(row)), row);
+}
+
+TEST(SignatureGenerator, PackValidatesInput) {
+  const SignatureGenerator gen({3, 3});
+  EXPECT_THROW(gen.pack({1}), std::invalid_argument);        // arity
+  EXPECT_THROW(gen.pack({1, 3}), std::out_of_range);         // id too large
+  EXPECT_THROW(gen.unpack(9), std::out_of_range);            // 9 ≥ 3·3
+}
+
+TEST(SignatureGenerator, RejectsOversizedKeySpace) {
+  // 2^64 needs 9 features of cardinality 2^8 → exactly 2^72 overflows.
+  std::vector<std::size_t> cards(9, 256);
+  EXPECT_THROW(SignatureGenerator{cards}, std::invalid_argument);
+}
+
+TEST(SignatureGenerator, RejectsEmptyOrZero) {
+  const std::vector<std::size_t> empty;
+  const std::vector<std::size_t> with_zero = {3, 0};
+  EXPECT_THROW(SignatureGenerator{empty}, std::invalid_argument);
+  EXPECT_THROW(SignatureGenerator{with_zero}, std::invalid_argument);
+}
+
+TEST(SignatureGenerator, StringFormMatchesPaperStyle) {
+  const SignatureGenerator gen({10, 10, 10});
+  EXPECT_EQ(gen.to_string({3, 0, 7}), "3:0:7");
+}
+
+TEST(SignatureDatabase, AssignsDenseIdsAndCounts) {
+  SignatureDatabase db{SignatureGenerator({4, 4})};
+  EXPECT_EQ(db.add({0, 1}), 0u);
+  EXPECT_EQ(db.add({2, 3}), 1u);
+  EXPECT_EQ(db.add({0, 1}), 0u);  // repeated → same id
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.count(0), 2u);
+  EXPECT_EQ(db.count(1), 1u);
+  EXPECT_EQ(db.total_observations(), 3u);
+}
+
+TEST(SignatureDatabase, IdLookup) {
+  SignatureDatabase db{SignatureGenerator({4, 4})};
+  db.add({1, 1});
+  EXPECT_EQ(*db.id_of({1, 1}), 0u);
+  EXPECT_FALSE(db.id_of({2, 2}).has_value());
+}
+
+TEST(SignatureDatabase, KeyOfRoundTrip) {
+  SignatureDatabase db{SignatureGenerator({4, 4})};
+  const std::size_t id = db.add({3, 2});
+  EXPECT_EQ(*db.id_of_key(db.key_of(id)), id);
+}
+
+TEST(SignatureDatabase, BloomContainsAllSignatures) {
+  SignatureDatabase db{SignatureGenerator({10, 10})};
+  for (std::uint16_t a = 0; a < 10; ++a) {
+    for (std::uint16_t b = 0; b < 10; b += 2) {
+      db.add({a, b});
+    }
+  }
+  const auto bloom = db.make_bloom(1e-4);
+  // No false negatives for database members.
+  for (std::size_t id = 0; id < db.size(); ++id) {
+    EXPECT_TRUE(bloom.contains(db.key_of(id)));
+  }
+}
+
+TEST(SignatureDatabase, EmptyDatabaseBloomIsEmptyButValid) {
+  SignatureDatabase db{SignatureGenerator({4})};
+  const auto bloom = db.make_bloom(0.01);
+  EXPECT_FALSE(bloom.contains(std::uint64_t{0}));
+}
+
+}  // namespace
+}  // namespace mlad::sig

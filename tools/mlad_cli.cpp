@@ -1,0 +1,189 @@
+// mlad — command-line front end for the full workflow:
+//
+//   mlad simulate --cycles 8000 --arff capture.arff [--capture wire.cap]
+//   mlad train    --arff capture.arff --model ids.model [--epochs 15]
+//   mlad evaluate --arff capture.arff --model ids.model
+//   mlad monitor  --capture wire.cap --model ids.model [--max-alarms 20]
+//
+// `simulate` produces labeled traffic (ARFF package log and/or raw-frame
+// capture); `train` builds and persists the two-level detector from the
+// anomaly-free portion of a log; `evaluate` scores a labeled log;
+// `monitor` replays a raw byte capture through the Modbus decoder and the
+// detector, printing alarms — the deployed data path.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/arff.hpp"
+#include "common/table.hpp"
+#include "detect/pipeline.hpp"
+#include "detect/serialize.hpp"
+#include "ics/capture.hpp"
+#include "ics/simulator.hpp"
+
+namespace {
+
+using namespace mlad;
+
+/// "--flag value" pairs after the subcommand.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw std::runtime_error(std::string("expected --flag, got ") + argv[i]);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string need(const std::map<std::string, std::string>& flags,
+                 const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) throw std::runtime_error("missing --" + key);
+  return it->second;
+}
+
+std::string get_or(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  ics::SimulatorConfig cfg;
+  cfg.cycles = std::stoul(get_or(flags, "cycles", "8000"));
+  cfg.seed = std::stoull(get_or(flags, "seed", "42"));
+  cfg.attacks_enabled = get_or(flags, "attacks", "on") != "off";
+  ics::GasPipelineSimulator sim(cfg);
+  const ics::SimulationResult result = sim.run();
+  std::printf("simulated %zu packages (%zu attack) over %.0f s\n",
+              result.packages.size(),
+              result.packages.size() - result.census[0],
+              result.duration_seconds);
+  if (const auto it = flags.find("arff"); it != flags.end()) {
+    write_arff_file(it->second, ics::to_arff(result.packages));
+    std::printf("wrote package log: %s\n", it->second.c_str());
+  }
+  if (const auto it = flags.find("capture"); it != flags.end()) {
+    ics::Capture capture;
+    capture.reserve(result.packages.size());
+    for (const auto& p : result.packages) {
+      capture.push_back(ics::package_to_frame(p));
+    }
+    ics::write_capture_file(it->second, capture);
+    std::printf("wrote raw-frame capture: %s\n", it->second.c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
+  detect::PipelineConfig cfg;
+  cfg.combined.timeseries.epochs = std::stoul(get_or(flags, "epochs", "15"));
+  cfg.combined.timeseries.hidden_dims = {
+      std::stoul(get_or(flags, "hidden", "64"))};
+  cfg.seed = std::stoull(get_or(flags, "seed", "5"));
+  const detect::TrainedFramework fw = detect::train_framework(packages, cfg);
+  std::printf("trained in %.1fs: |S|=%zu, k=%zu, validation error=%.4f\n",
+              fw.train_seconds,
+              fw.detector->package_level().database().size(),
+              fw.detector->chosen_k(),
+              fw.detector->package_validation_error());
+  const std::string model = need(flags, "model");
+  detect::save_framework_file(model, *fw.detector);
+  std::printf("model saved: %s (%zu KB)\n", model.c_str(),
+              fw.detector->memory_bytes() / 1024);
+  return 0;
+}
+
+int cmd_evaluate(const std::map<std::string, std::string>& flags) {
+  const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
+  const auto detector = detect::load_framework_file(need(flags, "model"));
+  const detect::EvaluationResult result =
+      detect::evaluate_framework(*detector, packages);
+  std::printf("%zu packages: %s  (%.1f µs/package)\n", packages.size(),
+              detect::to_string(result.confusion).c_str(),
+              result.avg_classify_us);
+  TablePrinter table({"attack", "packages", "detected ratio"});
+  for (const ics::AttackType type : ics::kMaliciousTypes) {
+    const auto idx = static_cast<std::size_t>(type);
+    if (result.per_attack.total[idx] == 0) continue;
+    table.add_row({std::string(ics::attack_name(type)),
+                   std::to_string(result.per_attack.total[idx]),
+                   fixed(result.per_attack.ratio(type), 2)});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_monitor(const std::map<std::string, std::string>& flags) {
+  const ics::Capture capture =
+      ics::read_capture_file(need(flags, "capture"));
+  const auto detector = detect::load_framework_file(need(flags, "model"));
+  const std::size_t max_alarms =
+      std::stoul(get_or(flags, "max-alarms", "20"));
+
+  ics::FrameDecoder decoder;
+  auto stream = detector->make_stream();
+  std::size_t alarms = 0;
+  std::size_t printed = 0;
+  std::optional<double> prev_time;
+  for (const ics::RawFrame& frame : capture) {
+    const auto decoded = decoder.next(frame);
+    const double interval =
+        prev_time ? decoded.package.time - *prev_time : 0.0;
+    prev_time = decoded.package.time;
+    const auto row = ics::to_raw_row(decoded.package, interval);
+    const auto verdict = detector->classify_and_consume(stream, row);
+    if (verdict.anomaly) {
+      ++alarms;
+      if (printed < max_alarms) {
+        std::printf("t=%10.3f  ALARM (%s)  addr=%u fc=0x%02X len=%u%s\n",
+                    decoded.package.time,
+                    verdict.package_level ? "bloom" : "lstm", frame.bytes[0],
+                    frame.bytes.size() > 1 ? frame.bytes[1] : 0,
+                    static_cast<unsigned>(frame.bytes.size()),
+                    decoded.decode_ok ? "" : "  [frame did not decode]");
+        ++printed;
+      }
+    }
+  }
+  std::printf("%zu alarms over %zu frames (%.2f%%)\n", alarms, capture.size(),
+              capture.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(alarms) /
+                        static_cast<double>(capture.size()));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mlad <simulate|train|evaluate|monitor> [--flag value]…\n"
+               "  simulate --cycles N --seed S [--arff f] [--capture f] [--attacks on|off]\n"
+               "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
+               "  evaluate --arff f --model f\n"
+               "  monitor  --capture f --model f [--max-alarms N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "evaluate") return cmd_evaluate(flags);
+    if (cmd == "monitor") return cmd_monitor(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mlad %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
