@@ -403,7 +403,7 @@ void GasPipelineSimulator::emit_attack_burst(SimulationResult& out) {
   // the attack window overlaps few legitimate packets.
   const std::size_t n = attack_packages_left_;
   for (std::size_t i = 0; i < n; ++i) {
-    double dt;
+    double dt = 0.0;
     Package p;
     switch (active_attack_) {
       case AttackType::kNmri:

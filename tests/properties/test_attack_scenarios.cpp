@@ -63,8 +63,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Scenario{ics::AttackType::kMfci, 0.95},
                       Scenario{ics::AttackType::kDos, 0.90},
                       Scenario{ics::AttackType::kRecon, 0.95}),
-    [](const auto& info) {
-      return std::string(ics::attack_name(info.param.type));
+    [](const auto& param_info) {
+      return std::string(ics::attack_name(param_info.param.type));
     });
 
 }  // namespace

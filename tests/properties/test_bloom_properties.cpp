@@ -64,9 +64,9 @@ INSTANTIATE_TEST_SUITE_P(
                       BloomParam{613, 0.03},   // the paper's database size
                       BloomParam{1000, 0.001}, BloomParam{5000, 0.01},
                       BloomParam{20000, 1e-4}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.items) + "_fpr" +
-             std::to_string(static_cast<int>(1.0 / info.param.fpr));
+    [](const auto& param_info) {
+      return "n" + std::to_string(param_info.param.items) + "_fpr" +
+             std::to_string(static_cast<int>(1.0 / param_info.param.fpr));
     });
 
 }  // namespace

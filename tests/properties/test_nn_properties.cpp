@@ -88,11 +88,13 @@ INSTANTIATE_TEST_SUITE_P(
                       ShapeParam{4, 3, {5, 4}, 4},
                       ShapeParam{8, 5, {6, 6, 4}, 6},
                       ShapeParam{2, 9, {3}, 8}),
-    [](const auto& info) {
-      std::string name = "in" + std::to_string(info.param.input_dim) + "_c" +
-                         std::to_string(info.param.num_classes) + "_l";
-      for (std::size_t h : info.param.hidden) name += std::to_string(h) + "_";
-      name += "t" + std::to_string(info.param.steps);
+    [](const auto& param_info) {
+      std::string name = "in" + std::to_string(param_info.param.input_dim) +
+                         "_c" + std::to_string(param_info.param.num_classes) +
+                         "_l";
+      for (std::size_t h : param_info.param.hidden)
+        name += std::to_string(h) + "_";
+      name += "t" + std::to_string(param_info.param.steps);
       return name;
     });
 

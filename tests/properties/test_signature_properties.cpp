@@ -61,9 +61,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::vector<std::size_t>{3, 3, 3, 5, 7, 21, 11, 33},
                       std::vector<std::size_t>{65535, 65535, 65535},
                       std::vector<std::size_t>{1, 1, 5, 1}),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name = "f";
-      for (std::size_t c : info.param) name += std::to_string(c) + "_";
+      for (std::size_t c : param_info.param) name += std::to_string(c) + "_";
       name.pop_back();
       return name;
     });

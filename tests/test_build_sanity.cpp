@@ -1,0 +1,60 @@
+// Build smoke test: proves mlad_core links as one unit — both serialize
+// translation units (nn/serialize and detect/serialize), the simulator,
+// and the full two-level pipeline — and that a minimal train/evaluate/
+// persist/reload round trip works end to end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "detect/pipeline.hpp"
+#include "detect/serialize.hpp"
+#include "ics/simulator.hpp"
+#include "nn/serialize.hpp"
+
+namespace mlad {
+namespace {
+
+detect::PipelineConfig tiny_pipeline_config() {
+  detect::PipelineConfig cfg;
+  cfg.combined.timeseries.hidden_dims = {8};
+  cfg.combined.timeseries.epochs = 1;
+  cfg.combined.timeseries.truncate_steps = 16;
+  cfg.combined.timeseries.max_k = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(BuildSanity, PipelineTrainsEvaluatesAndRoundTrips) {
+  ics::SimulatorConfig sim_cfg;
+  sim_cfg.cycles = 400;
+  sim_cfg.seed = 99;
+  ics::GasPipelineSimulator sim(sim_cfg);
+  const ics::SimulationResult capture = sim.run();
+  ASSERT_FALSE(capture.packages.empty());
+
+  const detect::TrainedFramework framework =
+      detect::train_framework(capture.packages, tiny_pipeline_config());
+  ASSERT_NE(framework.detector, nullptr);
+
+  const detect::EvaluationResult eval =
+      detect::evaluate_framework(*framework.detector, framework.split.test);
+  EXPECT_GT(eval.confusion.total(), 0u);
+
+  // detect/serialize: whole-framework persistence round trip.
+  std::stringstream framework_bytes;
+  detect::save_framework(framework_bytes, *framework.detector);
+  const auto reloaded = detect::load_framework(framework_bytes);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->chosen_k(), framework.detector->chosen_k());
+
+  // nn/serialize: standalone model persistence from the same binary, which
+  // would surface any symbol collision between the two serialize units.
+  std::stringstream model_bytes;
+  nn::save_model(model_bytes,
+                 framework.detector->timeseries_level().model());
+  const nn::SequenceModel model = nn::load_model(model_bytes);
+  EXPECT_GT(model.param_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mlad
