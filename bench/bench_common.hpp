@@ -1,5 +1,5 @@
 // Shared scaffolding for the experiment harnesses (one binary per paper
-// table/figure, see DESIGN.md §4).
+// table/figure, see DESIGN.md §6).
 //
 // Scale control: by default every harness runs a CPU-friendly reduction
 // (smaller capture, smaller LSTM, fewer epochs) so the full bench suite

@@ -1,9 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the §VIII-A2 operational numbers:
 // per-classification latency of each stage (the paper reports ~0.03 ms for
 // the full two-level classification) plus the underlying primitives.
+//
+// `--json out.json` writes google-benchmark's JSON record to a file (it is
+// shorthand for --benchmark_out=out.json --benchmark_out_format=json), so
+// perf trackers get machine-readable output without knowing gbench flags.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bloom/bloom_filter.hpp"
 #include "common/rng.hpp"
@@ -161,3 +168,27 @@ void BM_LstmTrainStep(benchmark::State& state) {
 BENCHMARK(BM_LstmTrainStep);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Rewrite --json FILE into the native gbench output flags, pass the rest
+  // through untouched.
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::vector<char*> raw;
+  raw.reserve(args.size());
+  for (std::string& a : args) raw.push_back(a.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,259 @@
+// Batched-vs-sequential throughput of the NN engine (DESIGN.md §6): trains
+// the bench LSTM workload through (a) the sequential per-window reference
+// trainer, (b) the batched engine on one thread, and (c) the batched engine
+// on all cores, then scores the test stream through the sequential and the
+// sharded parallel evaluator. Verifies on the way that the determinism
+// contract holds (identical losses / confusion across thread counts).
+//
+// Output: a human table on stdout, and with `--json out.json` a
+// machine-readable record (BENCH_nn.json in the repo root is a committed
+// baseline produced by this binary).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "detect/combined.hpp"
+#include "detect/package_detector.hpp"
+#include "detect/timeseries_detector.hpp"
+#include "ics/features.hpp"
+
+namespace {
+
+using namespace mlad;
+
+struct TrainRun {
+  std::string name;
+  double seconds = 0.0;
+  double steps_per_sec = 0.0;
+  std::vector<double> losses;
+};
+
+struct EvalRun {
+  std::string name;
+  double us_per_package = 0.0;
+  detect::Confusion confusion;
+};
+
+struct Workload {
+  std::vector<detect::DiscreteFragment> train_frags;
+  std::vector<detect::DiscreteFragment> val_frags;
+  std::size_t steps_per_epoch = 0;
+};
+
+std::vector<detect::DiscreteFragment> discretize(
+    const sig::Discretizer& disc,
+    std::span<const ics::PackageFragment> fragments) {
+  std::vector<detect::DiscreteFragment> out;
+  out.reserve(fragments.size());
+  for (const auto& f : fragments) {
+    out.push_back(disc.transform_all(ics::fragment_rows(f)));
+  }
+  return out;
+}
+
+detect::TimeSeriesConfig ts_config(const bench::Scale& scale,
+                                   std::size_t batch, std::size_t threads,
+                                   std::size_t micro = 4) {
+  detect::TimeSeriesConfig cfg;
+  cfg.hidden_dims = scale.hidden;
+  cfg.epochs = std::min<std::size_t>(scale.epochs, 6);  // 4 trainings follow
+  cfg.truncate_steps = 48;
+  cfg.batch_size = batch;
+  cfg.micro_batch = micro;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TrainRun train_once(const char* name, const detect::PackageLevelDetector& pkg,
+                    const Workload& wl, const detect::TimeSeriesConfig& cfg) {
+  TrainRun run;
+  run.name = name;
+  Rng rng(99);
+  detect::TimeSeriesDetector ts(pkg.database(),
+                                pkg.discretizer().cardinalities(), cfg, rng);
+  Stopwatch sw;
+  run.losses = ts.train(wl.train_frags, rng);
+  run.seconds = sw.elapsed_seconds();
+  run.steps_per_sec = run.seconds > 0.0
+                          ? static_cast<double>(wl.steps_per_epoch) *
+                                static_cast<double>(cfg.epochs) / run.seconds
+                          : 0.0;
+  std::printf("  train %-22s %7.2f s   %9.0f steps/s   final loss %.6f\n",
+              run.name.c_str(), run.seconds, run.steps_per_sec,
+              run.losses.empty() ? 0.0 : run.losses.back());
+  return run;
+}
+
+bool same_losses(const TrainRun& a, const TrainRun& b) {
+  if (a.losses.size() != b.losses.size()) return false;
+  for (std::size_t i = 0; i < a.losses.size(); ++i) {
+    if (a.losses[i] != b.losses[i]) return false;  // bitwise
+  }
+  return true;
+}
+
+bool same_confusion(const detect::Confusion& a, const detect::Confusion& b) {
+  return a.tp == b.tp && a.tn == b.tn && a.fp == b.fp && a.fn == b.fn;
+}
+
+void write_json(const char* path, const bench::Scale& scale,
+                std::size_t hw_threads, const std::vector<TrainRun>& trains,
+                const std::vector<EvalRun>& evals, bool losses_identical,
+                bool confusion_identical) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_nn_throughput\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", scale.name);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw_threads);
+  std::fprintf(f, "  \"train\": {\n");
+  for (std::size_t i = 0; i < trains.size(); ++i) {
+    const TrainRun& r = trains[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"seconds\": %.4f, \"steps_per_sec\": %.1f, "
+                 "\"final_loss\": %.9g},\n",
+                 r.name.c_str(), r.seconds, r.steps_per_sec,
+                 r.losses.empty() ? 0.0 : r.losses.back());
+    (void)i;
+  }
+  const double base = trains.front().seconds;
+  std::fprintf(f, "    \"speedup_batched_1thread\": %.3f,\n",
+               trains[1].seconds > 0 ? base / trains[1].seconds : 0.0);
+  std::fprintf(f, "    \"speedup_batched_all_threads\": %.3f,\n",
+               trains[2].seconds > 0 ? base / trains[2].seconds : 0.0);
+  std::fprintf(f, "    \"speedup_batched_wide_1thread\": %.3f,\n",
+               trains[3].seconds > 0 ? base / trains[3].seconds : 0.0);
+  std::fprintf(f, "    \"epoch_losses_identical_across_threads\": %s\n",
+               losses_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"eval\": {\n");
+  for (const EvalRun& r : evals) {
+    std::fprintf(f,
+                 "    \"%s\": {\"us_per_package\": %.3f, \"tp\": %zu, "
+                 "\"tn\": %zu, \"fp\": %zu, \"fn\": %zu},\n",
+                 r.name.c_str(), r.us_per_package, r.confusion.tp,
+                 r.confusion.tn, r.confusion.fp, r.confusion.fn);
+  }
+  std::fprintf(f, "    \"speedup_sharded_all_threads\": %.3f,\n",
+               evals.back().us_per_package > 0
+                   ? evals.front().us_per_package / evals.back().us_per_package
+                   : 0.0);
+  std::fprintf(f, "    \"confusion_identical_across_threads\": %s\n",
+               confusion_identical ? "true" : "false");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const bench::Scale scale = bench::scale_from_env();
+  bench::print_header("NN engine throughput: batched vs sequential", scale);
+  const std::size_t hw = ThreadPool::hardware_threads();
+  std::printf("hardware threads: %zu\n", hw);
+
+  // Shared workload: simulate, split, fit the package level, discretize.
+  ics::SimulatorConfig sim_cfg;
+  sim_cfg.cycles = std::min<std::size_t>(scale.cycles, 4000);
+  sim_cfg.seed = 77;
+  ics::GasPipelineSimulator sim(sim_cfg);
+  const ics::SimulationResult capture = sim.run();
+  const ics::DatasetSplit split = ics::split_dataset(capture.packages);
+
+  std::vector<sig::RawRow> train_rows;
+  for (const auto& frag : split.train_fragments) {
+    const auto rows = ics::fragment_rows(frag);
+    train_rows.insert(train_rows.end(), rows.begin(), rows.end());
+  }
+  Rng rng(7);
+  auto pkg = std::make_unique<detect::PackageLevelDetector>(
+      train_rows, ics::default_feature_specs(), rng);
+
+  Workload wl;
+  wl.train_frags = discretize(pkg->discretizer(), split.train_fragments);
+  wl.val_frags = discretize(pkg->discretizer(), split.validation_fragments);
+  for (const auto& frag : wl.train_frags) {
+    if (frag.size() >= 2) wl.steps_per_epoch += frag.size() - 1;
+  }
+  std::printf("workload: %zu fragments, %zu steps/epoch\n",
+              wl.train_frags.size(), wl.steps_per_epoch);
+
+  // ---- training: sequential reference vs batched engine -------------------
+  // Micro-batch 4 gives a minibatch 4 lanes to spread over the pool; the
+  // "wide" mode (micro = batch) shows pure kernel-level batching on one
+  // thread. Same SGD semantics either way — one step per 16-window batch.
+  std::vector<TrainRun> trains;
+  trains.push_back(
+      train_once("sequential(batch=1)", *pkg, wl, ts_config(scale, 1, 1)));
+  trains.push_back(
+      train_once("batched(threads=1)", *pkg, wl, ts_config(scale, 16, 1)));
+  trains.push_back(
+      train_once("batched(threads=all)", *pkg, wl, ts_config(scale, 16, 0)));
+  trains.push_back(train_once("batched-wide(threads=1)", *pkg, wl,
+                              ts_config(scale, 16, 1, 16)));
+  const bool losses_identical = same_losses(trains[1], trains[2]);
+  std::printf("  batched losses identical across thread counts: %s\n",
+              losses_identical ? "yes" : "NO — DETERMINISM BUG");
+  std::printf("  speedup vs sequential: %.2fx (1 thread), %.2fx (%zu threads)\n",
+              trains[1].seconds > 0 ? trains[0].seconds / trains[1].seconds : 0,
+              trains[2].seconds > 0 ? trains[0].seconds / trains[2].seconds : 0,
+              hw);
+
+  // ---- evaluation: single stream vs sharded pool ---------------------------
+  auto cfg_eval = ts_config(scale, 16, 0);
+  Rng eval_rng(99);
+  auto ts = std::make_unique<detect::TimeSeriesDetector>(
+      pkg->database(), pkg->discretizer().cardinalities(), cfg_eval, eval_rng);
+  ts->train(wl.train_frags, eval_rng);
+  ts->choose_k(wl.val_frags);
+  const detect::CombinedDetector detector(std::move(pkg), std::move(ts));
+
+  std::vector<EvalRun> evals;
+  const auto eval_once = [&](const char* name, int mode) {
+    EvalRun run;
+    run.name = name;
+    detect::EvaluationResult r;
+    if (mode < 0) {
+      r = detect::evaluate_framework(detector, split.test);
+    } else {
+      detect::EvalOptions opts;
+      opts.threads = static_cast<std::size_t>(mode);
+      opts.shard_size = 1024;
+      r = detect::evaluate_framework(detector, split.test, opts);
+    }
+    run.us_per_package = r.avg_classify_us;
+    run.confusion = r.confusion;
+    std::printf("  eval  %-22s %8.2f us/package   %s\n", name,
+                r.avg_classify_us, detect::to_string(r.confusion).c_str());
+    evals.push_back(run);
+  };
+  eval_once("single-stream", -1);
+  eval_once("sharded(threads=1)", 1);
+  eval_once("sharded(threads=all)", 0);
+  const bool confusion_identical =
+      same_confusion(evals[1].confusion, evals[2].confusion);
+  std::printf("  sharded confusion identical across thread counts: %s\n",
+              confusion_identical ? "yes" : "NO — DETERMINISM BUG");
+
+  if (json_path != nullptr) {
+    write_json(json_path, scale, hw, trains, evals, losses_identical,
+               confusion_identical);
+  }
+  return (losses_identical && confusion_identical) ? 0 : 1;
+}

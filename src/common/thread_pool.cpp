@@ -1,0 +1,136 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlad {
+namespace {
+
+/// Set while a thread is executing pool work, so nested parallel_for calls
+/// degrade to inline execution instead of deadlocking on the pool.
+thread_local bool tls_in_pool_work = false;
+
+}  // namespace
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  while (true) {
+    wake_.wait(lock, [&] { return stop_ || (has_job_ && generation_ != seen); });
+    if (stop_) return;
+    seen = generation_;
+    work_on_job(lock);
+  }
+}
+
+void ThreadPool::work_on_job(std::unique_lock<std::mutex>& lock) {
+  while (has_job_ && job_.next < job_.end) {
+    const std::size_t b = job_.next;
+    const std::size_t e = std::min(job_.end, b + job_.chunk);
+    job_.next = e;
+    ++job_.active;
+    lock.unlock();
+    tls_in_pool_work = true;
+    try {
+      (*job_.fn)(b, e);
+    } catch (...) {
+      tls_in_pool_work = false;
+      lock.lock();
+      if (!job_.error) job_.error = std::current_exception();
+      --job_.active;
+      if (job_.next >= job_.end && job_.active == 0) done_.notify_all();
+      continue;
+    }
+    tls_in_pool_work = false;
+    lock.lock();
+    --job_.active;
+    if (job_.next >= job_.end && job_.active == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Sequential fast paths: size-1 pool, single element, or a nested call
+  // from inside pool work (the outer level owns the cores).
+  if (workers_.empty() || n == 1 || tls_in_pool_work) {
+    fn(begin, end);
+    return;
+  }
+
+  // Serialize concurrent submitters (e.g. two orchestrators sharing the
+  // global pool): one job occupies the pool at a time.
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  // One chunk per participant; the last chunk absorbs the remainder.
+  const std::size_t parts = std::min(size(), n);
+  job_.fn = &fn;
+  job_.begin = begin;
+  job_.end = end;
+  job_.chunk = (n + parts - 1) / parts;
+  job_.next = begin;
+  job_.active = 0;
+  job_.error = nullptr;
+  has_job_ = true;
+  ++generation_;
+  wake_.notify_all();
+
+  // The caller does its share too.
+  work_on_job(lock);
+  done_.wait(lock, [&] { return job_.next >= job_.end && job_.active == 0; });
+  has_job_ = false;
+  if (job_.error) {
+    std::exception_ptr err = job_.error;
+    job_.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_chunks(begin, end, [&fn](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) fn(i);
+  });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+PoolHandle::PoolHandle(std::size_t threads) {
+  if (threads == 1) return;  // sequential
+  if (threads == 0) {
+    pool_ = &global_pool();
+    return;
+  }
+  owned_ = std::make_unique<ThreadPool>(threads);
+  pool_ = owned_.get();
+}
+
+}  // namespace mlad

@@ -1,0 +1,98 @@
+// Fixed-size worker pool with a deterministic fork/join `parallel_for` —
+// the concurrency layer of the batched NN engine (see DESIGN.md §3).
+//
+// Design rules that everything above this file relies on:
+//  * The pool never changes *what* is computed, only *where*. Callers
+//    partition work into index ranges; every output element is produced by
+//    exactly one invocation whose internal order is fixed, so results are
+//    bit-identical for any pool size (the determinism contract, DESIGN.md §5).
+//  * A `parallel_for` issued from inside a worker runs inline on that worker
+//    (no nested fan-out), which makes composition deadlock-free and keeps
+//    outer-level parallelism in charge of the cores.
+//  * Size 1 (or a null pool) executes everything on the calling thread with
+//    zero synchronization, so "sequential" is literally the same code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlad {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread: a pool of size N spawns N-1
+  /// workers and the caller does its share inside parallel_for. 0 means
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total degree of parallelism (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Invoke fn(begin, end) over disjoint contiguous chunks covering
+  /// [begin, end). Blocks until every chunk finished; rethrows the first
+  /// exception thrown by any chunk. Chunk boundaries may depend on the pool
+  /// size — callers must keep per-element computation independent of them.
+  void parallel_chunks(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Invoke fn(i) for every i in [begin, end), distributed over the pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  static std::size_t hardware_threads();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;       ///< chunk length
+    std::size_t next = 0;        ///< next unclaimed chunk start (under mutex_)
+    std::size_t active = 0;      ///< chunks currently executing
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Claim and run chunks of the current job until none remain.
+  void work_on_job(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  ///< serializes whole jobs from multiple callers
+  std::mutex mutex_;
+  std::condition_variable wake_;   ///< workers: new job or shutdown
+  std::condition_variable done_;   ///< caller: job drained
+  Job job_;
+  std::uint64_t generation_ = 0;   ///< bumped per job so workers re-check
+  bool has_job_ = false;
+  bool stop_ = false;
+};
+
+/// Process-wide pool used when callers ask for "default" parallelism.
+/// Constructed on first use with hardware_threads() workers.
+ThreadPool& global_pool();
+
+/// Resolve a user-facing --threads value: 0 = the shared global pool at
+/// hardware size, 1 = sequential (null pool), N > 1 = a dedicated pool of
+/// exactly N owned by this handle.
+class PoolHandle {
+ public:
+  explicit PoolHandle(std::size_t threads);
+  ThreadPool* get() const { return pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace mlad

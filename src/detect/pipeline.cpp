@@ -1,9 +1,30 @@
 #include "detect/pipeline.hpp"
 
+#include <algorithm>
+
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "ics/features.hpp"
 
 namespace mlad::detect {
+namespace {
+
+/// Score rows [begin, end) as one independent stream into `out`.
+void evaluate_shard(const CombinedDetector& detector,
+                    std::span<const ics::Package> test,
+                    std::span<const sig::RawRow> rows, std::size_t begin,
+                    std::size_t end, EvaluationResult& out) {
+  CombinedDetector::Stream stream = detector.make_stream();
+  for (std::size_t i = begin; i < end; ++i) {
+    const CombinedVerdict v = detector.classify_and_consume(stream, rows[i]);
+    out.confusion.record(test[i].is_attack(), v.anomaly);
+    out.per_attack.record(test[i].label, v.anomaly);
+    if (v.package_level) ++out.package_level_alarms;
+    if (v.timeseries_level) ++out.timeseries_level_alarms;
+  }
+}
+
+}  // namespace
 
 std::vector<std::vector<sig::RawRow>> fragment_raw_rows(
     std::span<const ics::PackageFragment> fragments) {
@@ -39,18 +60,49 @@ EvaluationResult evaluate_framework(const CombinedDetector& detector,
                                     std::span<const ics::Package> test) {
   EvaluationResult result;
   const std::vector<sig::RawRow> rows = ics::to_raw_rows(test);
-  CombinedDetector::Stream stream = detector.make_stream();
   Stopwatch sw;
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    const CombinedVerdict v = detector.classify_and_consume(stream, rows[i]);
-    result.confusion.record(test[i].is_attack(), v.anomaly);
-    result.per_attack.record(test[i].label, v.anomaly);
-    if (v.package_level) ++result.package_level_alarms;
-    if (v.timeseries_level) ++result.timeseries_level_alarms;
-  }
+  evaluate_shard(detector, test, rows, 0, test.size(), result);
   if (!test.empty()) {
     result.avg_classify_us = sw.elapsed_us() / static_cast<double>(test.size());
   }
+  return result;
+}
+
+EvaluationResult evaluate_framework(const CombinedDetector& detector,
+                                    std::span<const ics::Package> test,
+                                    const EvalOptions& options) {
+  const std::size_t shard_size =
+      options.shard_size == 0 ? test.size() : options.shard_size;
+  if (test.empty() || shard_size >= test.size()) {
+    return evaluate_framework(detector, test);
+  }
+  const std::vector<sig::RawRow> rows = ics::to_raw_rows(test);
+  const std::size_t shards = (test.size() + shard_size - 1) / shard_size;
+  std::vector<EvaluationResult> partials(shards);
+
+  Stopwatch sw;
+  PoolHandle pool(options.threads);
+  const auto run_shard = [&](std::size_t s) {
+    const std::size_t begin = s * shard_size;
+    const std::size_t end = std::min(test.size(), begin + shard_size);
+    evaluate_shard(detector, test, rows, begin, end, partials[s]);
+  };
+  if (pool.get() == nullptr) {
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  } else {
+    pool.get()->parallel_for(0, shards, run_shard);
+  }
+
+  // Merge in shard order (all counts are integers, so the order only
+  // matters for reproducibility discipline, not rounding).
+  EvaluationResult result;
+  for (const EvaluationResult& p : partials) {
+    result.confusion += p.confusion;
+    result.per_attack += p.per_attack;
+    result.package_level_alarms += p.package_level_alarms;
+    result.timeseries_level_alarms += p.timeseries_level_alarms;
+  }
+  result.avg_classify_us = sw.elapsed_us() / static_cast<double>(test.size());
   return result;
 }
 

@@ -43,9 +43,27 @@ struct EvaluationResult {
 TrainedFramework train_framework(std::span<const ics::Package> capture,
                                  const PipelineConfig& config);
 
-/// Stream the test split through the detector and score it.
+/// Stream the test split through the detector and score it (one sequential
+/// stream end-to-end — the reference semantics).
 EvaluationResult evaluate_framework(const CombinedDetector& detector,
                                     std::span<const ics::Package> test);
+
+/// Sharded evaluation (DESIGN.md §4): the test stream is cut into
+/// fixed-size shards, each scored as an independent stream (fresh LSTM
+/// state at the shard boundary), and the Confusion / PerAttackRecall
+/// partials are merged in shard order. Shard boundaries are a function of
+/// shard_size alone — never of `threads` — so the merged metrics are
+/// bit-identical for any thread count; they can differ slightly from the
+/// single-stream evaluator near shard starts, where history is still
+/// warming up.
+struct EvalOptions {
+  std::size_t threads = 1;       ///< 0 = hardware concurrency, 1 = sequential
+  std::size_t shard_size = 2048; ///< packages per independent shard
+};
+
+EvaluationResult evaluate_framework(const CombinedDetector& detector,
+                                    std::span<const ics::Package> test,
+                                    const EvalOptions& options);
 
 /// Convenience: raw-feature fragments of a split (package → numeric rows).
 std::vector<std::vector<sig::RawRow>> fragment_raw_rows(

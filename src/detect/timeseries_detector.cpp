@@ -1,7 +1,9 @@
 #include "detect/timeseries_detector.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
@@ -101,6 +103,11 @@ std::vector<double> TimeSeriesDetector::train(
     std::span<const DiscreteFragment> fragments, Rng& rng) {
   nn::Adam opt(config_.learning_rate);
   const auto slots = model_.param_slots();
+  const bool batched = config_.batch_size > 1;
+  std::optional<nn::MinibatchTrainer> engine;
+  if (batched) {
+    engine.emplace(model_, config_.micro_batch, config_.threads);
+  }
 
   std::vector<std::size_t> order(fragments.size());
   std::iota(order.begin(), order.end(), 0);
@@ -110,22 +117,80 @@ std::vector<double> TimeSeriesDetector::train(
     rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t steps = 0;
-    for (std::size_t fi : order) {
-      // Noise is re-sampled every epoch (fresh corruption draws).
-      const nn::Fragment frag =
-          encode_fragment(fragments[fi], config_.noise.enabled, &rng);
-      if (frag.steps() == 0) continue;
-      const std::size_t truncate =
-          config_.truncate_steps == 0 ? frag.steps() : config_.truncate_steps;
-      for (std::size_t start = 0; start < frag.steps(); start += truncate) {
-        const std::size_t end = std::min(frag.steps(), start + truncate);
-        model_.zero_grads();
-        loss_sum += model_.train_fragment(
-            std::span(frag.inputs.data() + start, end - start),
-            std::span(frag.targets.data() + start, end - start));
-        steps += end - start;
-        nn::clip_global_norm(slots, config_.grad_clip);
-        opt.step(slots);
+    if (batched) {
+      // Encoding (and its noise draws) happens serially in shuffled order —
+      // exactly the sequence the per-window loop would consume — so the Rng
+      // stream never depends on the batch/thread configuration. Encoded
+      // fragments live only while a pending window still references them
+      // (a deque keeps element addresses stable), so peak memory is one
+      // minibatch worth of one-hot floats, not the whole epoch's.
+      std::deque<nn::Fragment> live;
+      std::deque<std::size_t> live_windows;  // pending windows per fragment
+      std::vector<nn::WindowRef> pending;
+      const auto release = [&](std::size_t consumed) {
+        while (consumed > 0) {
+          if (live_windows.front() <= consumed) {
+            consumed -= live_windows.front();
+            live_windows.pop_front();
+            live.pop_front();
+          } else {
+            live_windows.front() -= consumed;
+            consumed = 0;
+          }
+        }
+      };
+      const auto flush = [&](bool final_flush) {
+        std::size_t done = 0;
+        while (pending.size() - done >= config_.batch_size ||
+               (final_flush && pending.size() > done)) {
+          const std::size_t count =
+              std::min(config_.batch_size, pending.size() - done);
+          loss_sum += engine->step(std::span(pending).subspan(done, count),
+                                   slots, config_.grad_clip, opt);
+          done += count;
+        }
+        pending.erase(pending.begin(),
+                      pending.begin() + static_cast<std::ptrdiff_t>(done));
+        release(done);
+      };
+      for (std::size_t fi : order) {
+        nn::Fragment frag =
+            encode_fragment(fragments[fi], config_.noise.enabled, &rng);
+        if (frag.steps() == 0) continue;
+        live.push_back(std::move(frag));
+        const nn::Fragment& f = live.back();
+        const std::size_t truncate =
+            config_.truncate_steps == 0 ? f.steps() : config_.truncate_steps;
+        std::size_t windows = 0;
+        for (std::size_t start = 0; start < f.steps(); start += truncate) {
+          const std::size_t end = std::min(f.steps(), start + truncate);
+          pending.push_back({std::span(f.inputs.data() + start, end - start),
+                             std::span(f.targets.data() + start, end - start)});
+          steps += end - start;
+          ++windows;
+        }
+        live_windows.push_back(windows);
+        flush(false);
+      }
+      flush(true);
+    } else {
+      for (std::size_t fi : order) {
+        // Noise is re-sampled every epoch (fresh corruption draws).
+        const nn::Fragment frag =
+            encode_fragment(fragments[fi], config_.noise.enabled, &rng);
+        if (frag.steps() == 0) continue;
+        const std::size_t truncate =
+            config_.truncate_steps == 0 ? frag.steps() : config_.truncate_steps;
+        for (std::size_t start = 0; start < frag.steps(); start += truncate) {
+          const std::size_t end = std::min(frag.steps(), start + truncate);
+          model_.zero_grads();
+          loss_sum += model_.train_fragment(
+              std::span(frag.inputs.data() + start, end - start),
+              std::span(frag.targets.data() + start, end - start));
+          steps += end - start;
+          nn::clip_global_norm(slots, config_.grad_clip);
+          opt.step(slots);
+        }
       }
     }
     epoch_losses.push_back(steps ? loss_sum / static_cast<double>(steps) : 0.0);

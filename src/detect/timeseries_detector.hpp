@@ -36,6 +36,13 @@ struct TimeSeriesConfig {
   double learning_rate = 3e-3;
   double grad_clip = 5.0;
   std::size_t truncate_steps = 64;     ///< BPTT window
+  /// BPTT windows per optimizer step. 1 = the seed's sequential per-window
+  /// SGD (reference semantics); >1 = the batched data-parallel engine
+  /// (nn::MinibatchTrainer), whose results depend on batch_size and
+  /// micro_batch but are bit-identical for any `threads` (DESIGN.md §5).
+  std::size_t batch_size = 1;
+  std::size_t micro_batch = 4;         ///< windows per batched kernel pass
+  std::size_t threads = 1;             ///< 0 = hardware concurrency
   NoiseConfig noise;                   ///< §V-A-3 augmentation
   double theta = 0.05;                 ///< acceptable FPR for choosing k
   std::size_t max_k = 10;              ///< search bound for k

@@ -1,0 +1,313 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mlad::nn {
+namespace {
+
+// Local inline copies of the scalar activations: the definitions in
+// activations.cpp live in another TU and would cost a call per element on
+// the batched hot path. Kept formula-identical so batched and per-sample
+// paths agree to rounding.
+inline float k_sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+inline float k_tanh(float x) { return std::tanh(x); }
+
+/// Run fn over row blocks [rb, re) of an `rows`-row output. Each output row
+/// is produced entirely inside one invocation, so any partition is
+/// bit-identical to the serial run. Template so the serial path inlines the
+/// loop body (no std::function indirection on 1-thread hot paths).
+template <typename F>
+inline void for_row_blocks(std::size_t rows, ThreadPool* pool, F&& fn) {
+  if (pool == nullptr || rows <= 1) {
+    fn(0, rows);
+    return;
+  }
+  pool->parallel_chunks(0, rows, std::forward<F>(fn));
+}
+
+/// out rows [rb,re) += a·b over those rows (callers zero `out` first when
+/// they need a plain product).
+///
+/// i-k-j loop order with a 4-way k block: the j loop streams b's rows and
+/// out's row i with unit stride (vectorizable without float reassociation),
+/// and the k blocking quarters the traffic over the out row, which is what
+/// the accumulation is otherwise bound on. Per out element the summation
+/// order is a fixed function of K alone — blocks are anchored at k=0, never
+/// at a chunk boundary — so results are bit-identical for any partition.
+/// All-zero k-blocks are skipped: one-hot encoded inputs make the layer-0
+/// activations ~95% zeros, turning the forward matmul into a row gather.
+inline void nn_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                    std::size_t rb, std::size_t re) {
+  const std::size_t K = a.cols();
+  const std::size_t N = b.cols();
+  const std::size_t K4 = K - K % 4;
+  for (std::size_t i = rb; i < re; ++i) {
+    const float* a_row = a.data() + i * K;
+    float* out_row = out.data() + i * N;
+    for (std::size_t k = 0; k < K4; k += 4) {
+      const float a0 = a_row[k];
+      const float a1 = a_row[k + 1];
+      const float a2 = a_row[k + 2];
+      const float a3 = a_row[k + 3];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* b0 = b.data() + k * N;
+      const float* b1 = b0 + N;
+      const float* b2 = b1 + N;
+      const float* b3 = b2 + N;
+      for (std::size_t j = 0; j < N; ++j) {
+        out_row[j] +=
+            (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+      }
+    }
+    for (std::size_t k = K4; k < K; ++k) {
+      const float aik = a_row[k];
+      if (aik == 0.0f) continue;
+      const float* b_row = b.data() + k * N;
+      for (std::size_t j = 0; j < N; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+inline void check_nn(const Matrix& a, const Matrix& b, const char* who) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument(std::string(who) + ": inner dim mismatch");
+  }
+}
+
+}  // namespace
+
+void matmul_nn(const Matrix& a, const Matrix& b, Matrix& out,
+               ThreadPool* pool) {
+  check_nn(a, b, "matmul_nn");
+  out.resize(a.rows(), b.cols());
+  for_row_blocks(a.rows(), pool, [&](std::size_t rb, std::size_t re) {
+    nn_rows(a, b, out, rb, re);
+  });
+}
+
+void matmul_nn_acc(const Matrix& a, const Matrix& b, Matrix& out,
+                   ThreadPool* pool) {
+  check_nn(a, b, "matmul_nn_acc");
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_nn_acc: output shape mismatch");
+  }
+  for_row_blocks(a.rows(), pool, [&](std::size_t rb, std::size_t re) {
+    nn_rows(a, b, out, rb, re);
+  });
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out,
+                   ThreadPool* pool) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_tn_acc: inner dim mismatch");
+  }
+  if (out.rows() != a.cols() || out.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_tn_acc: output shape mismatch");
+  }
+  const std::size_t K = a.rows();
+  const std::size_t M = a.cols();
+  const std::size_t N = b.cols();
+  const std::size_t K4 = K - K % 4;
+  // Each worker owns a block of out ROWS (= columns of a); per out element
+  // the accumulation order is a fixed function of K (4-way blocks anchored
+  // at k=0), so any row partition is bit-identical. The i-k-j order keeps
+  // the out row hot; b is the small batch-side operand and stays cached.
+  for_row_blocks(out.rows(), pool, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      float* out_row = out.data() + i * N;
+      const float* a_col = a.data() + i;
+      for (std::size_t k = 0; k < K4; k += 4) {
+        const float a0 = a_col[k * M];
+        const float a1 = a_col[(k + 1) * M];
+        const float a2 = a_col[(k + 2) * M];
+        const float a3 = a_col[(k + 3) * M];
+        const float* b0 = b.data() + k * N;
+        const float* b1 = b0 + N;
+        const float* b2 = b1 + N;
+        const float* b3 = b2 + N;
+        for (std::size_t j = 0; j < N; ++j) {
+          out_row[j] +=
+              (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+        }
+      }
+      for (std::size_t k = K4; k < K; ++k) {
+        const float aki = a_col[k * M];
+        if (aki == 0.0f) continue;
+        const float* b_row = b.data() + k * N;
+        for (std::size_t j = 0; j < N; ++j) out_row[j] += aki * b_row[j];
+      }
+    }
+  });
+}
+
+void transpose(const Matrix& a, Matrix& out) {
+  out.resize(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(j, i) = a_row[j];
+    }
+  }
+}
+
+void add_bias_rows(Matrix& m, const Matrix& bias) {
+  if (bias.rows() != 1 || bias.cols() != m.cols()) {
+    throw std::invalid_argument("add_bias_rows: bias shape mismatch");
+  }
+  const float* b = bias.data();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] += b[j];
+  }
+}
+
+void broadcast_rows(const Matrix& bias, std::size_t rows, Matrix& m) {
+  if (bias.rows() != 1) {
+    throw std::invalid_argument("broadcast_rows: bias must be a row vector");
+  }
+  m.resize(rows, bias.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::copy(bias.data(), bias.data() + bias.cols(),
+              m.data() + r * bias.cols());
+  }
+}
+
+void col_sum_acc(const Matrix& a, Matrix& out_row) {
+  if (out_row.rows() != 1 || out_row.cols() != a.cols()) {
+    throw std::invalid_argument("col_sum_acc: output shape mismatch");
+  }
+  float* out = out_row.data();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += row[j];
+  }
+}
+
+void copy_top_rows(const Matrix& src, std::size_t n, Matrix& dst) {
+  if (n > src.rows()) {
+    throw std::invalid_argument("copy_top_rows: n exceeds src rows");
+  }
+  dst.resize(n, src.cols());
+  std::copy(src.data(), src.data() + n * src.cols(), dst.data());
+}
+
+void add_top_rows(Matrix& dst, const Matrix& src) {
+  if (src.rows() > dst.rows() || src.cols() != dst.cols()) {
+    throw std::invalid_argument("add_top_rows: shape mismatch");
+  }
+  const std::size_t n = src.rows() * src.cols();
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t idx = 0; idx < n; ++idx) d[idx] += s[idx];
+}
+
+void softmax_rows(Matrix& m, ThreadPool* pool) {
+  for_row_blocks(m.rows(), pool, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      float* row = m.data() + r * m.cols();
+      float mx = row[0];
+      for (std::size_t j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+      }
+      const float inv = 1.0f / sum;
+      for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= inv;
+    }
+  });
+}
+
+void lstm_gates_forward(const Matrix& a, const Matrix& c_prev, Matrix& i,
+                        Matrix& f, Matrix& o, Matrix& g, Matrix& c,
+                        Matrix& tanh_c, Matrix& h, ThreadPool* pool) {
+  const std::size_t B = a.rows();
+  const std::size_t H = c_prev.cols();
+  if (a.cols() != 4 * H || c_prev.rows() != B) {
+    throw std::invalid_argument("lstm_gates_forward: shape mismatch");
+  }
+  i.resize(B, H);
+  f.resize(B, H);
+  o.resize(B, H);
+  g.resize(B, H);
+  c.resize(B, H);
+  tanh_c.resize(B, H);
+  h.resize(B, H);
+  for_row_blocks(B, pool, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const float* ar = a.data() + r * 4 * H;
+      const float* cp = c_prev.data() + r * H;
+      float* ir = i.data() + r * H;
+      float* fr = f.data() + r * H;
+      float* orow = o.data() + r * H;
+      float* gr = g.data() + r * H;
+      float* cr = c.data() + r * H;
+      float* tr = tanh_c.data() + r * H;
+      float* hr = h.data() + r * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        ir[j] = k_sigmoid(ar[j]);
+        fr[j] = k_sigmoid(ar[H + j]);
+        orow[j] = k_sigmoid(ar[2 * H + j]);
+        gr[j] = k_tanh(ar[3 * H + j]);
+        cr[j] = fr[j] * cp[j] + ir[j] * gr[j];
+        tr[j] = k_tanh(cr[j]);
+        hr[j] = orow[j] * tr[j];
+      }
+    }
+  });
+}
+
+void lstm_gates_backward(const Matrix& i, const Matrix& f, const Matrix& o,
+                         const Matrix& g, const Matrix& c_prev,
+                         const Matrix& tanh_c, const Matrix& dh,
+                         const Matrix& dc_in, Matrix& da, Matrix& dc_prev,
+                         ThreadPool* pool) {
+  const std::size_t B = i.rows();
+  const std::size_t H = i.cols();
+  if (dh.rows() != B || dh.cols() != H || dc_in.rows() > B ||
+      (!dc_in.empty() && dc_in.cols() != H)) {
+    throw std::invalid_argument("lstm_gates_backward: shape mismatch");
+  }
+  da.resize(B, 4 * H);
+  dc_prev.resize(B, H);
+  const std::size_t carry_rows = dc_in.rows();
+  for_row_blocks(B, pool, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const float* ir = i.data() + r * H;
+      const float* fr = f.data() + r * H;
+      const float* orow = o.data() + r * H;
+      const float* gr = g.data() + r * H;
+      const float* cp = c_prev.data() + r * H;
+      const float* tr = tanh_c.data() + r * H;
+      const float* dhr = dh.data() + r * H;
+      const float* dci = r < carry_rows ? dc_in.data() + r * H : nullptr;
+      float* dar = da.data() + r * 4 * H;
+      float* dcp = dc_prev.data() + r * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        const float do_out = dhr[j] * tr[j];
+        float dc = dhr[j] * orow[j] * (1.0f - tr[j] * tr[j]);
+        if (dci != nullptr) dc += dci[j];
+        const float di_out = dc * gr[j];
+        const float df_out = dc * cp[j];
+        const float dg_out = dc * ir[j];
+        dcp[j] = dc * fr[j];
+        dar[j] = di_out * ir[j] * (1.0f - ir[j]);
+        dar[H + j] = df_out * fr[j] * (1.0f - fr[j]);
+        dar[2 * H + j] = do_out * orow[j] * (1.0f - orow[j]);
+        dar[3 * H + j] = dg_out * (1.0f - gr[j] * gr[j]);
+      }
+    }
+  });
+}
+
+}  // namespace mlad::nn

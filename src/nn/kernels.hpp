@@ -1,0 +1,82 @@
+// Batched matrix kernels — the bottom layer of the NN engine (DESIGN.md §2).
+//
+// These are the blocked, vectorizable primitives the batched LSTM forward /
+// backward passes are built from. They complement (not replace) the
+// sample-at-a-time reference primitives in matrix.hpp: the reference path
+// stays authoritative for parity tests, the kernels here are the hot path.
+//
+// Determinism contract (DESIGN.md §5): every output element is computed by a
+// fixed-order summation that does not depend on the pool size, and parallel
+// execution only partitions *rows* of the output across workers. Results are
+// therefore bit-identical for any `pool` (including nullptr).
+//
+// Convention: weights are stored as in the cells (W: out×in); the batched
+// forward multiplies activations (B×in) by a pre-transposed copy (in×out) so
+// the inner loops stream both operands with unit stride.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/thread_pool.hpp"
+#include "nn/matrix.hpp"
+
+namespace mlad::nn {
+
+/// out = a · b (a: M×K, b: K×N). `out` is resized and overwritten.
+void matmul_nn(const Matrix& a, const Matrix& b, Matrix& out,
+               ThreadPool* pool = nullptr);
+
+/// out += a · b. `out` must already be M×N.
+void matmul_nn_acc(const Matrix& a, const Matrix& b, Matrix& out,
+                   ThreadPool* pool = nullptr);
+
+/// out += aᵀ · b (a: K×M, b: K×N, out: M×N) — the gradient-accumulation
+/// product (grad_W += dAᵀ · X).
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out,
+                   ThreadPool* pool = nullptr);
+
+/// out = aᵀ (resized). Used to cache transposed weights once per minibatch.
+void transpose(const Matrix& a, Matrix& out);
+
+/// Every row of m gets bias (1×m.cols()) added. Usually fused by seeding the
+/// output with the bias instead; exposed for clarity and tests.
+void add_bias_rows(Matrix& m, const Matrix& bias);
+
+/// m is resized to rows×bias.cols() and every row is set to bias (1×C).
+void broadcast_rows(const Matrix& bias, std::size_t rows, Matrix& m);
+
+/// out_row (1×a.cols()) += column sums of a, summed in row order.
+void col_sum_acc(const Matrix& a, Matrix& out_row);
+
+/// dst = the first n rows of src (resized to n×src.cols()).
+void copy_top_rows(const Matrix& src, std::size_t n, Matrix& dst);
+
+/// dst.row(r) += src.row(r) for r < src.rows(); src.rows() <= dst.rows().
+void add_top_rows(Matrix& dst, const Matrix& src);
+
+/// Numerically-stabilized softmax over every row of m, in place.
+void softmax_rows(Matrix& m, ThreadPool* pool = nullptr);
+
+/// Fused LSTM gate activations + cell update over a batch (DESIGN.md §2).
+///
+/// `a` holds the B×4H pre-activations in gate order [i, f, o, g]; `c_prev`
+/// is B×H. Writes the sigmoid/tanh gate activations and the new cell /
+/// hidden state into the B×H outputs (all resized).
+void lstm_gates_forward(const Matrix& a, const Matrix& c_prev, Matrix& i,
+                        Matrix& f, Matrix& o, Matrix& g, Matrix& c,
+                        Matrix& tanh_c, Matrix& h, ThreadPool* pool = nullptr);
+
+/// Backward of lstm_gates_forward.
+///
+/// Inputs are the cached gate activations, `dh` = ∂L/∂h_t (B×H) and `dc_in`
+/// = the recurrent ∂L/∂c_t from step t+1, which may have FEWER rows than B
+/// (sequences that already ended contribute zero). Writes the pre-activation
+/// gradient `da` (B×4H, gate order [i,f,o,g]) and ∂L/∂c_{t-1} (B×H).
+void lstm_gates_backward(const Matrix& i, const Matrix& f, const Matrix& o,
+                         const Matrix& g, const Matrix& c_prev,
+                         const Matrix& tanh_c, const Matrix& dh,
+                         const Matrix& dc_in, Matrix& da, Matrix& dc_prev,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace mlad::nn

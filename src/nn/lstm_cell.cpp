@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/activations.hpp"
+#include "nn/kernels.hpp"
 
 namespace mlad::nn {
 
@@ -110,6 +111,51 @@ void LstmCell::backward(const LstmStepCache& cache, std::span<const float> dh,
   std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
   gemv_transposed_add(w_, da, dx);
   gemv_transposed_add(u_, da, dh_prev);
+}
+
+void LstmCell::forward_batch(const Matrix& x, const Matrix& wT,
+                             const Matrix& uT, LstmBatchCache& cache,
+                             Matrix& a_scratch, ThreadPool* pool) const {
+  const std::size_t B = x.rows();
+  if (x.cols() != input_dim_ || cache.h_prev.rows() != B ||
+      cache.h_prev.cols() != hidden_dim_ || cache.c_prev.rows() != B ||
+      cache.c_prev.cols() != hidden_dim_) {
+    throw std::invalid_argument("LstmCell::forward_batch: dim mismatch");
+  }
+  if (wT.rows() != input_dim_ || wT.cols() != 4 * hidden_dim_ ||
+      uT.rows() != hidden_dim_ || uT.cols() != 4 * hidden_dim_) {
+    throw std::invalid_argument("LstmCell::forward_batch: stale transposes");
+  }
+  // A = 1·bᵀ + X Wᵀ + H_prev Uᵀ, all four gates at once.
+  broadcast_rows(b_, B, a_scratch);
+  matmul_nn_acc(x, wT, a_scratch, pool);
+  matmul_nn_acc(cache.h_prev, uT, a_scratch, pool);
+  lstm_gates_forward(a_scratch, cache.c_prev, cache.i, cache.f, cache.o,
+                     cache.g, cache.c, cache.tanh_c, cache.h, pool);
+}
+
+void LstmCell::backward_batch(const Matrix& x, const LstmBatchCache& cache,
+                              const Matrix& dh, const Matrix& dc_in,
+                              Matrix& dx, Matrix& dh_prev, Matrix& dc_prev,
+                              Matrix& grad_w, Matrix& grad_u, Matrix& grad_b,
+                              Matrix& da_scratch, ThreadPool* pool) const {
+  const std::size_t B = x.rows();
+  if (dh.rows() != B || dh.cols() != hidden_dim_ ||
+      cache.i.rows() != B) {
+    throw std::invalid_argument("LstmCell::backward_batch: dim mismatch");
+  }
+  lstm_gates_backward(cache.i, cache.f, cache.o, cache.g, cache.c_prev,
+                      cache.tanh_c, dh, dc_in, da_scratch, dc_prev, pool);
+
+  // Parameter gradients: grad_W += dAᵀ X, grad_U += dAᵀ H_prev,
+  // grad_b += column sums of dA (row order fixed ⇒ deterministic).
+  matmul_tn_acc(da_scratch, x, grad_w, pool);
+  matmul_tn_acc(da_scratch, cache.h_prev, grad_u, pool);
+  col_sum_acc(da_scratch, grad_b);
+
+  // Input gradients: dX = dA W, dH_prev = dA U.
+  matmul_nn(da_scratch, w_, dx, pool);
+  matmul_nn(da_scratch, u_, dh_prev, pool);
 }
 
 void LstmCell::zero_grads() {

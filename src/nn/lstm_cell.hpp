@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/matrix.hpp"
 
 namespace mlad::nn {
@@ -30,6 +31,18 @@ struct LstmStepCache {
   std::vector<float> c;       ///< new cell state (H)
   std::vector<float> tanh_c;  ///< τ(c_t) (H)
   std::vector<float> h;       ///< new hidden state (H)
+};
+
+/// Batched analogue of LstmStepCache: one timestep of B sequences, each
+/// buffer a (B × dim) matrix. The input x is NOT copied here — the batched
+/// tape (lstm_layer.hpp) already owns the per-step input matrices.
+struct LstmBatchCache {
+  Matrix h_prev;  ///< B×H state entering the step (filled by the caller)
+  Matrix c_prev;  ///< B×H
+  Matrix i, f, o, g;  ///< gate activations, B×H each
+  Matrix c;       ///< new cell state
+  Matrix tanh_c;  ///< τ(c_t)
+  Matrix h;       ///< new hidden state
 };
 
 /// Trainable parameters + gradient buffers for one LSTM layer.
@@ -56,6 +69,31 @@ class LstmCell {
   void backward(const LstmStepCache& cache, std::span<const float> dh,
                 std::span<const float> dc_in, std::span<float> dx,
                 std::span<float> dh_prev, std::span<float> dc_prev);
+
+  // ---- Batched entry points (DESIGN.md §4) -------------------------------
+  //
+  // These process one timestep of B sequences as (B × dim) matrices through
+  // the kernels in kernels.hpp. They are const: gradients go to caller-owned
+  // buffers so independent micro-batches can run concurrently over one cell.
+
+  /// Batched one-timestep forward. The caller fills cache.h_prev /
+  /// cache.c_prev (B×H) with the entering state; x is B×I. `wT` / `uT` are
+  /// transposes of w() / u() cached by the caller (refresh after each
+  /// optimizer step); `a_scratch` holds the B×4H pre-activations.
+  void forward_batch(const Matrix& x, const Matrix& wT, const Matrix& uT,
+                     LstmBatchCache& cache, Matrix& a_scratch,
+                     ThreadPool* pool = nullptr) const;
+
+  /// Batched one-timestep backward. `dh` is ∂L/∂h_t (B×H, recurrent part
+  /// included); `dc_in` is the recurrent ∂L/∂c_t from step t+1 and may have
+  /// fewer rows than B (ended sequences contribute zero) or be empty.
+  /// Parameter gradients accumulate into grad_w/grad_u/grad_b (shaped like
+  /// w()/u()/b()); dx (B×I), dh_prev and dc_prev (B×H) are overwritten.
+  void backward_batch(const Matrix& x, const LstmBatchCache& cache,
+                      const Matrix& dh, const Matrix& dc_in, Matrix& dx,
+                      Matrix& dh_prev, Matrix& dc_prev, Matrix& grad_w,
+                      Matrix& grad_u, Matrix& grad_b, Matrix& da_scratch,
+                      ThreadPool* pool = nullptr) const;
 
   void zero_grads();
 

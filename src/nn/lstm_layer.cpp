@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
+
 namespace mlad::nn {
 
 void LstmLayer::forward_sequence(std::span<const std::vector<float>> xs,
@@ -39,6 +41,64 @@ void LstmLayer::backward_sequence(const std::vector<LstmStepCache>& caches,
     cell_.backward(caches[t], dh_total, dc_next, dx[t], dh_prev, dc_prev);
     dh_next = dh_prev;
     dc_next = dc_prev;
+  }
+}
+
+void LstmLayer::forward_sequence_batch(std::span<const Matrix* const> xs,
+                                       LayerBatchTape& tape,
+                                       ThreadPool* pool) const {
+  const std::size_t T = xs.size();
+  const std::size_t H = cell_.hidden_dim();
+  tape.steps.resize(T);
+  transpose(cell_.w(), tape.wT);
+  transpose(cell_.u(), tape.uT);
+  for (std::size_t t = 0; t < T; ++t) {
+    const Matrix& x = *xs[t];
+    const std::size_t bt = x.rows();
+    LstmBatchCache& step = tape.steps[t];
+    if (t == 0) {
+      step.h_prev.resize(bt, H, 0.0f);
+      step.c_prev.resize(bt, H, 0.0f);
+    } else {
+      if (bt > tape.steps[t - 1].h.rows()) {
+        throw std::invalid_argument(
+            "forward_sequence_batch: batch rows must be non-increasing");
+      }
+      // Sequences sorted longest-first: the still-active rows at step t are
+      // exactly the first bt rows of step t-1's state.
+      copy_top_rows(tape.steps[t - 1].h, bt, step.h_prev);
+      copy_top_rows(tape.steps[t - 1].c, bt, step.c_prev);
+    }
+    cell_.forward_batch(x, tape.wT, tape.uT, step, tape.a, pool);
+  }
+}
+
+void LstmLayer::backward_sequence_batch(std::span<const Matrix* const> xs,
+                                        std::span<Matrix> dh_out,
+                                        LayerBatchTape& tape, Matrix& grad_w,
+                                        Matrix& grad_u, Matrix& grad_b,
+                                        ThreadPool* pool) const {
+  const std::size_t T = tape.steps.size();
+  if (xs.size() != T || dh_out.size() != T) {
+    throw std::invalid_argument(
+        "backward_sequence_batch: tape/grad length mismatch");
+  }
+  tape.dx.resize(T);
+  const Matrix empty;  // zero recurrent carry entering the last step
+  std::size_t cur = 0;
+  for (std::size_t t = T; t-- > 0;) {
+    const bool last = (t + 1 == T);
+    Matrix& dh_total = dh_out[t];
+    if (!last) {
+      // Recurrent gradients from step t+1 touch only its B_{t+1} ≤ B_t rows.
+      add_top_rows(dh_total, tape.dh_carry[cur]);
+    }
+    const Matrix& dc_in = last ? empty : tape.dc_carry[cur];
+    const std::size_t nxt = 1 - cur;
+    cell_.backward_batch(*xs[t], tape.steps[t], dh_total, dc_in, tape.dx[t],
+                         tape.dh_carry[nxt], tape.dc_carry[nxt], grad_w,
+                         grad_u, grad_b, tape.da, pool);
+    cur = nxt;
   }
 }
 

@@ -3,6 +3,7 @@
 // runs streaming; training uses the sequence API for BPTT.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -10,6 +11,18 @@
 #include "nn/lstm_cell.hpp"
 
 namespace mlad::nn {
+
+/// Per-minibatch BPTT tape for one layer's batched sequence pass. Reused
+/// across minibatches so the steady state is allocation-free (the matrices
+/// keep their capacity). `dx[t]` doubles as the dh_out of the layer below.
+struct LayerBatchTape {
+  std::vector<LstmBatchCache> steps;  ///< [t], rows shrink with B_t
+  std::vector<Matrix> dx;             ///< [t] ∂L/∂x_t from backward
+  Matrix wT, uT;                      ///< cached transposed parameters
+  Matrix a, da;                       ///< pre-activation scratch (B×4H)
+  std::array<Matrix, 2> dh_carry;     ///< ping-pong recurrent ∂L/∂h
+  std::array<Matrix, 2> dc_carry;     ///< ping-pong recurrent ∂L/∂c
+};
 
 class LstmLayer {
  public:
@@ -49,6 +62,26 @@ class LstmLayer {
   void backward_sequence(const std::vector<LstmStepCache>& caches,
                          std::span<const std::vector<float>> dh_out,
                          std::vector<std::vector<float>>& dx);
+
+  // ---- Batched sequence entry points (DESIGN.md §4) -----------------------
+
+  /// Batched forward over a whole (sorted) window batch: xs[t] holds the
+  /// B_t × input_dim inputs of the sequences still active at step t, with
+  /// B_t non-increasing in t (windows sorted by length, longest first).
+  /// State starts at zero; per-step results land in tape.steps. Const —
+  /// gradients and caches are all caller-owned.
+  void forward_sequence_batch(std::span<const Matrix* const> xs,
+                              LayerBatchTape& tape,
+                              ThreadPool* pool = nullptr) const;
+
+  /// Batched BPTT over a tape filled by forward_sequence_batch. `dh_out[t]`
+  /// (B_t×H) is ∂L/∂h_t from above and is modified in place (recurrent
+  /// additions); ∂L/∂x_t lands in tape.dx[t]. Parameter gradients accumulate
+  /// into grad_w/grad_u/grad_b.
+  void backward_sequence_batch(std::span<const Matrix* const> xs,
+                               std::span<Matrix> dh_out, LayerBatchTape& tape,
+                               Matrix& grad_w, Matrix& grad_u, Matrix& grad_b,
+                               ThreadPool* pool = nullptr) const;
 
   LstmCell& cell() { return cell_; }
   const LstmCell& cell() const { return cell_; }

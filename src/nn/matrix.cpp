@@ -38,11 +38,6 @@ Matrix& Matrix::hadamard(const Matrix& other) {
   return *this;
 }
 
-Matrix& Matrix::apply(const std::function<float(float)>& f) {
-  for (float& v : data_) v = f(v);
-  return *this;
-}
-
 double Matrix::sum_squares() const {
   double s = 0.0;
   for (float v : data_) s += static_cast<double>(v) * v;

@@ -63,8 +63,21 @@ class Matrix {
   Matrix& operator*=(float s);
   /// Hadamard (element-wise) product in place.
   Matrix& hadamard(const Matrix& other);
-  /// Apply f to every element in place.
-  Matrix& apply(const std::function<float(float)>& f);
+
+  /// Apply f to every element in place. Header-only template so the functor
+  /// inlines into the loop (no std::function call per element on hot paths).
+  template <typename F>
+  Matrix& apply(F&& f) {
+    for (float& v : data_) v = f(v);
+    return *this;
+  }
+  /// Deprecated type-erased overload, kept so existing callers that built a
+  /// std::function keep compiling; prefer the template above.
+  [[deprecated("use the templated Matrix::apply")]] Matrix& apply(
+      const std::function<float(float)>& f) {
+    for (float& v : data_) v = f(v);
+    return *this;
+  }
 
   /// Frobenius-norm squared.
   double sum_squares() const;

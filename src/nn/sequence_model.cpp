@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
+
 namespace mlad::nn {
+
+ModelGrads& ModelGrads::operator+=(const ModelGrads& other) {
+  if (g.size() != other.g.size()) {
+    throw std::invalid_argument("ModelGrads+=: slot count mismatch");
+  }
+  for (std::size_t k = 0; k < g.size(); ++k) g[k] += other.g[k];
+  return *this;
+}
 
 SequenceModel::SequenceModel(const SequenceModelConfig& config)
     : config_(config),
@@ -40,6 +51,99 @@ double SequenceModel::train_fragment(std::span<const std::vector<float>> xs,
     loss += softmax_.backward(top[t], probs, targets[t], dh_top[t]);
   }
   lstm_.backward_sequence(cache, dh_top);
+  return loss;
+}
+
+ModelGrads SequenceModel::make_grads() const {
+  ModelGrads grads;
+  for (std::size_t li = 0; li < lstm_.num_layers(); ++li) {
+    const LstmCell& cell = lstm_.layer(li).cell();
+    grads.g.emplace_back(cell.w().rows(), cell.w().cols());
+    grads.g.emplace_back(cell.u().rows(), cell.u().cols());
+    grads.g.emplace_back(cell.b().rows(), cell.b().cols());
+  }
+  grads.g.emplace_back(softmax_.w().rows(), softmax_.w().cols());
+  grads.g.emplace_back(softmax_.b().rows(), softmax_.b().cols());
+  return grads;
+}
+
+double SequenceModel::train_window_batch(std::span<const WindowRef> windows,
+                                         ModelGrads& grads, BatchWorkspace& ws,
+                                         ThreadPool* pool) const {
+  const std::size_t slot_count = 3 * lstm_.num_layers() + 2;
+  if (grads.g.size() != slot_count) {
+    throw std::invalid_argument("train_window_batch: grads shape mismatch");
+  }
+  for (const WindowRef& w : windows) {
+    if (w.inputs.size() != w.targets.size()) {
+      throw std::invalid_argument(
+          "train_window_batch: inputs/targets length mismatch");
+    }
+  }
+  // Sort longest-first (stable on index) so the active sequences at any
+  // step are a prefix of the batch; ended rows simply drop off the bottom.
+  ws.order.resize(windows.size());
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  std::stable_sort(ws.order.begin(), ws.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return windows[a].steps() > windows[b].steps();
+                   });
+  while (!ws.order.empty() && windows[ws.order.back()].steps() == 0) {
+    ws.order.pop_back();
+  }
+  if (ws.order.empty()) return 0.0;
+  const std::size_t T = windows[ws.order.front()].steps();
+
+  // Per-step input matrices: xs[t] stacks the step-t input of every window
+  // still active at t.
+  ws.xs.resize(T);
+  std::size_t active = ws.order.size();
+  for (std::size_t t = 0; t < T; ++t) {
+    while (active > 0 && windows[ws.order[active - 1]].steps() <= t) --active;
+    Matrix& x = ws.xs[t];
+    x.resize(active, config_.input_dim);
+    for (std::size_t r = 0; r < active; ++r) {
+      const auto& in = windows[ws.order[r]].inputs[t];
+      if (in.size() != config_.input_dim) {
+        throw std::invalid_argument("train_window_batch: input dim mismatch");
+      }
+      std::copy(in.begin(), in.end(), x.data() + r * x.cols());
+    }
+  }
+
+  lstm_.forward_sequence_batch(ws.xs, ws.tape, pool);
+
+  // Softmax + fused cross-entropy over each step's active rows; ws.probs
+  // becomes dlogits in place (probs - onehot).
+  transpose(softmax_.w(), ws.softmax_wT);
+  Matrix& grad_w_sm = grads.g[slot_count - 2];
+  Matrix& grad_b_sm = grads.g[slot_count - 1];
+  const auto& top_steps = ws.tape.layers.back().steps;
+  ws.dh_top.resize(T);
+  double loss = 0.0;
+  for (std::size_t t = 0; t < T; ++t) {
+    const Matrix& h = top_steps[t].h;
+    broadcast_rows(softmax_.b(), h.rows(), ws.probs);
+    matmul_nn_acc(h, ws.softmax_wT, ws.probs, pool);
+    softmax_rows(ws.probs, pool);
+    for (std::size_t r = 0; r < h.rows(); ++r) {
+      const std::size_t target = windows[ws.order[r]].targets[t];
+      if (target >= config_.num_classes) {
+        throw std::invalid_argument("train_window_batch: target out of range");
+      }
+      const double p =
+          std::max(static_cast<double>(ws.probs(r, target)), 1e-12);
+      loss += -std::log(p);
+      ws.probs(r, target) -= 1.0f;
+    }
+    matmul_tn_acc(ws.probs, h, grad_w_sm, pool);
+    col_sum_acc(ws.probs, grad_b_sm);
+    matmul_nn(ws.probs, softmax_.w(), ws.dh_top[t], pool);
+  }
+
+  lstm_.backward_sequence_batch(ws.tape, ws.dh_top,
+                                std::span(grads.g).first(slot_count - 2),
+                                pool);
   return loss;
 }
 

@@ -25,6 +25,39 @@ struct SequenceModelConfig {
   std::vector<std::size_t> hidden_dims = {256, 256};  ///< paper default
 };
 
+/// A view of one training window: inputs[t] predicts targets[t].
+struct WindowRef {
+  std::span<const std::vector<float>> inputs;
+  std::span<const std::size_t> targets;
+
+  std::size_t steps() const { return inputs.size(); }
+};
+
+/// Caller-owned gradient buffers, one Matrix per param_slots() entry (per
+/// layer w, u, b; then softmax w, b). Micro-batches accumulate into their
+/// own ModelGrads so the model stays const during the parallel section; the
+/// trainer then merges lanes in a fixed order (DESIGN.md §5).
+struct ModelGrads {
+  std::vector<Matrix> g;
+
+  void zero() {
+    for (Matrix& m : g) m.fill(0.0f);
+  }
+  /// Element-wise accumulate in fixed order (deterministic reduction step).
+  ModelGrads& operator+=(const ModelGrads& other);
+};
+
+/// Scratch for one batched forward+backward pass (train_window_batch);
+/// reusing it across minibatches makes the steady state allocation-free.
+struct BatchWorkspace {
+  StackedBatchTape tape;
+  std::vector<Matrix> xs;         ///< [t] layer-0 inputs, B_t × input_dim
+  std::vector<Matrix> dh_top;     ///< [t] ∂L/∂(top h_t)
+  Matrix probs;                   ///< B_t × C softmax scratch (then dlogits)
+  Matrix softmax_wT;              ///< H_top × C cached transpose
+  std::vector<std::size_t> order; ///< windows sorted longest-first
+};
+
 class SequenceModel {
  public:
   explicit SequenceModel(const SequenceModelConfig& config);
@@ -43,6 +76,18 @@ class SequenceModel {
   /// and returns the summed cross-entropy loss over the fragment.
   double train_fragment(std::span<const std::vector<float>> xs,
                         std::span<const std::size_t> targets);
+
+  /// Batched forward + BPTT over up to a micro-batch of windows, processed
+  /// as (B × dim) matrices per timestep (DESIGN.md §4). The model is const:
+  /// gradients accumulate into `grads` (zeroed by the caller), so several
+  /// micro-batches can run concurrently. Returns the summed CE loss.
+  /// Matches train_fragment's math to float-rounding (parity-tested).
+  double train_window_batch(std::span<const WindowRef> windows,
+                            ModelGrads& grads, BatchWorkspace& ws,
+                            ThreadPool* pool = nullptr) const;
+
+  /// Zero-filled gradient buffers shaped like param_slots().
+  ModelGrads make_grads() const;
 
   /// Forward only; returns summed cross-entropy loss (for validation).
   double evaluate_fragment(std::span<const std::vector<float>> xs,

@@ -74,6 +74,42 @@ void StackedLstm::backward_sequence(const StackedLstmCache& cache,
   }
 }
 
+void StackedLstm::forward_sequence_batch(std::span<const Matrix> xs,
+                                         StackedBatchTape& tape,
+                                         ThreadPool* pool) const {
+  const std::size_t T = xs.size();
+  tape.layers.resize(layers_.size());
+  tape.inputs.resize(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    auto& in = tape.inputs[li];
+    in.resize(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      // Layer 0 reads the caller's encoded inputs (which must stay alive
+      // through the matching backward pass); layer l reads layer l-1's
+      // hidden outputs, already sized B_t.
+      in[t] = li == 0 ? &xs[t] : &tape.layers[li - 1].steps[t].h;
+    }
+    layers_[li].forward_sequence_batch(in, tape.layers[li], pool);
+  }
+}
+
+void StackedLstm::backward_sequence_batch(StackedBatchTape& tape,
+                                          std::span<Matrix> dh_top,
+                                          std::span<Matrix> grads,
+                                          ThreadPool* pool) const {
+  if (tape.layers.size() != layers_.size() ||
+      grads.size() != 3 * layers_.size()) {
+    throw std::invalid_argument("backward_sequence_batch: bad tape/grads");
+  }
+  std::span<Matrix> dh = dh_top;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    layers_[li].backward_sequence_batch(tape.inputs[li], dh, tape.layers[li],
+                                        grads[3 * li], grads[3 * li + 1],
+                                        grads[3 * li + 2], pool);
+    dh = tape.layers[li].dx;  // input grads = dh_out of the layer below
+  }
+}
+
 void StackedLstm::zero_grads() {
   for (auto& l : layers_) l.cell().zero_grads();
 }

@@ -25,6 +25,15 @@ struct StackedLstmCache {
   std::vector<std::vector<std::vector<float>>> outputs;
 };
 
+/// Batched BPTT tape across all layers (DESIGN.md §4); reused across
+/// minibatches so the steady state is allocation-free.
+struct StackedBatchTape {
+  std::vector<LayerBatchTape> layers;  ///< [layer]
+  /// Per-layer input pointers rebuilt each pass: inputs[0] aliases the
+  /// caller's xs, inputs[l>0][t] = &layers[l-1].steps[t].h.
+  std::vector<std::vector<const Matrix*>> inputs;
+};
+
 class StackedLstm {
  public:
   /// `hidden_dims` gives the width of each stacked layer, bottom first.
@@ -56,6 +65,23 @@ class StackedLstm {
   /// gradients accumulate in each cell.
   void backward_sequence(const StackedLstmCache& cache,
                          std::span<const std::vector<float>> dh_top);
+
+  // ---- Batched entry points (DESIGN.md §4) -------------------------------
+
+  /// Batched training-time forward: xs[t] is the B_t × input_dim matrix of
+  /// sequences active at step t (B_t non-increasing). Top-layer outputs are
+  /// tape.layers.back().steps[t].h. Const — everything lands in the tape.
+  void forward_sequence_batch(std::span<const Matrix> xs,
+                              StackedBatchTape& tape,
+                              ThreadPool* pool = nullptr) const;
+
+  /// Batched BPTT. `dh_top[t]` (B_t×H_top) is consumed/modified in place.
+  /// `grads` receives the parameter gradients, three matrices per layer in
+  /// (w, u, b) order — the LSTM prefix of SequenceModel::param_slots().
+  void backward_sequence_batch(StackedBatchTape& tape,
+                               std::span<Matrix> dh_top,
+                               std::span<Matrix> grads,
+                               ThreadPool* pool = nullptr) const;
 
   void zero_grads();
   std::size_t param_count() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "common/stopwatch.hpp"
 
@@ -24,11 +25,135 @@ std::vector<std::pair<std::size_t, std::size_t>> windows(std::size_t steps,
 
 }  // namespace
 
+MinibatchTrainer::MinibatchTrainer(SequenceModel& model,
+                                   std::size_t micro_batch,
+                                   std::size_t threads)
+    : model_(&model),
+      micro_batch_(micro_batch == 0 ? 1 : micro_batch),
+      pool_(threads) {}
+
+double MinibatchTrainer::process(std::span<const WindowRef> windows) {
+  model_->zero_grads();
+  if (windows.empty()) return 0.0;
+  // The micro-batch partition depends only on the window count and
+  // micro_batch_ — never on the pool — so lane contents are reproducible.
+  const std::size_t lanes =
+      (windows.size() + micro_batch_ - 1) / micro_batch_;
+  while (lanes_.size() < lanes) {
+    lanes_.push_back(model_->make_grads());
+    ws_.emplace_back();
+  }
+  lane_loss_.assign(lanes, 0.0);
+
+  const auto run_lane = [&](std::size_t mb) {
+    const std::size_t begin = mb * micro_batch_;
+    const std::size_t count = std::min(micro_batch_, windows.size() - begin);
+    lanes_[mb].zero();
+    // The inner pool pointer is the same pool; nested parallel_for from a
+    // worker runs inline, so kernel-level parallelism only kicks in when
+    // there is a single lane to run.
+    lane_loss_[mb] = model_->train_window_batch(windows.subspan(begin, count),
+                                                lanes_[mb], ws_[mb],
+                                                pool_.get());
+  };
+  if (pool_.get() == nullptr || lanes == 1) {
+    for (std::size_t mb = 0; mb < lanes; ++mb) run_lane(mb);
+  } else {
+    pool_.get()->parallel_for(0, lanes, run_lane);
+  }
+
+  // Fixed-order pairwise tree reduction: lane pairing is a function of the
+  // lane count alone, so the float sums never depend on the thread count.
+  for (std::size_t stride = 1; stride < lanes; stride *= 2) {
+    for (std::size_t i = 0; i + stride < lanes; i += 2 * stride) {
+      lanes_[i] += lanes_[i + stride];
+    }
+  }
+  const auto slots = model_->param_slots();
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    *slots[k].grad += lanes_[0].g[k];
+  }
+  double loss = 0.0;
+  for (std::size_t mb = 0; mb < lanes; ++mb) loss += lane_loss_[mb];
+  return loss;
+}
+
+double MinibatchTrainer::step(std::span<const WindowRef> windows,
+                              std::span<const ParamSlot> slots,
+                              double grad_clip, Optimizer& opt) {
+  const double loss = process(windows);
+  clip_global_norm(slots, grad_clip);
+  opt.step(slots);
+  return loss;
+}
+
+namespace {
+
+/// The seed's sequential loop: one optimizer step per BPTT window, exactly
+/// as before the batched engine existed — kept as the reference semantics.
+void run_epoch_sequential(SequenceModel& model,
+                          std::span<const Fragment> fragments,
+                          std::span<const std::size_t> order, Optimizer& opt,
+                          const TrainerConfig& config,
+                          std::span<const ParamSlot> slots, double& loss_sum,
+                          std::size_t& steps) {
+  for (std::size_t fi : order) {
+    const Fragment& frag = fragments[fi];
+    if (frag.steps() == 0) continue;
+    for (const auto& [start, end] : windows(frag.steps(), config.truncate_steps)) {
+      model.zero_grads();
+      const std::span<const std::vector<float>> xs(
+          frag.inputs.data() + start, end - start);
+      const std::span<const std::size_t> ts(frag.targets.data() + start,
+                                            end - start);
+      loss_sum += model.train_fragment(xs, ts);
+      steps += end - start;
+      clip_global_norm(slots, config.grad_clip);
+      opt.step(slots);
+    }
+  }
+}
+
+/// Minibatch mode: windows are gathered across fragments (in shuffled
+/// fragment order) and consumed batch_size at a time, one optimizer step
+/// per minibatch, through the data-parallel engine.
+void run_epoch_batched(std::span<const Fragment> fragments,
+                       std::span<const std::size_t> order, Optimizer& opt,
+                       const TrainerConfig& config,
+                       std::span<const ParamSlot> slots,
+                       MinibatchTrainer& engine,
+                       std::vector<WindowRef>& window_list, double& loss_sum,
+                       std::size_t& steps) {
+  window_list.clear();
+  for (std::size_t fi : order) {
+    const Fragment& frag = fragments[fi];
+    if (frag.steps() == 0) continue;
+    for (const auto& [start, end] : windows(frag.steps(), config.truncate_steps)) {
+      window_list.push_back(
+          {std::span(frag.inputs.data() + start, end - start),
+           std::span(frag.targets.data() + start, end - start)});
+      steps += end - start;
+    }
+  }
+  for (std::size_t b = 0; b < window_list.size(); b += config.batch_size) {
+    const std::size_t count =
+        std::min(config.batch_size, window_list.size() - b);
+    loss_sum += engine.step(std::span(window_list).subspan(b, count), slots,
+                            config.grad_clip, opt);
+  }
+}
+
+}  // namespace
+
 TrainReport train(SequenceModel& model, std::span<const Fragment> fragments,
                   Optimizer& opt, const TrainerConfig& config, Rng& rng) {
   TrainReport report;
   Stopwatch sw;
   const auto slots = model.param_slots();
+  const bool batched = config.batch_size > 1;
+  std::optional<MinibatchTrainer> engine;
+  if (batched) engine.emplace(model, config.micro_batch, config.threads);
+  std::vector<WindowRef> window_list;
 
   std::vector<std::size_t> order(fragments.size());
   std::iota(order.begin(), order.end(), 0);
@@ -37,20 +162,12 @@ TrainReport train(SequenceModel& model, std::span<const Fragment> fragments,
     if (config.shuffle_fragments) rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t steps = 0;
-    for (std::size_t fi : order) {
-      const Fragment& frag = fragments[fi];
-      if (frag.steps() == 0) continue;
-      for (const auto& [start, end] : windows(frag.steps(), config.truncate_steps)) {
-        model.zero_grads();
-        const std::span<const std::vector<float>> xs(
-            frag.inputs.data() + start, end - start);
-        const std::span<const std::size_t> ts(frag.targets.data() + start,
-                                              end - start);
-        loss_sum += model.train_fragment(xs, ts);
-        steps += end - start;
-        clip_global_norm(slots, config.grad_clip);
-        opt.step(slots);
-      }
+    if (batched) {
+      run_epoch_batched(fragments, order, opt, config, slots, *engine,
+                        window_list, loss_sum, steps);
+    } else {
+      run_epoch_sequential(model, fragments, order, opt, config, slots,
+                           loss_sum, steps);
     }
     const double mean = steps ? loss_sum / static_cast<double>(steps) : 0.0;
     report.epoch_losses.push_back(mean);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/sequence_model.hpp"
 
@@ -29,6 +30,18 @@ struct TrainerConfig {
   double grad_clip = 5.0;         ///< global-norm clip for BPTT stability
   std::size_t truncate_steps = 64;  ///< split long fragments for BPTT
   bool shuffle_fragments = true;
+  /// BPTT windows per optimizer step. 1 reproduces the seed's per-window
+  /// SGD exactly (the sequential reference path); >1 switches to the
+  /// batched, data-parallel minibatch engine (DESIGN.md §4).
+  std::size_t batch_size = 1;
+  /// Windows per batched kernel pass inside a minibatch. The partition of a
+  /// minibatch into micro-batches is a function of batch_size and this value
+  /// only — never of `threads` — which is what keeps results bit-identical
+  /// across thread counts (DESIGN.md §5).
+  std::size_t micro_batch = 4;
+  /// Worker pool for the minibatch engine: 0 = hardware concurrency,
+  /// 1 = run the batched path sequentially, N = a pool of N.
+  std::size_t threads = 1;
   /// Called after each epoch with (epoch, mean train loss per step).
   std::function<void(std::size_t, double)> on_epoch;
 };
@@ -39,7 +52,45 @@ struct TrainReport {
   double seconds = 0.0;
 };
 
-/// Train `model` on `fragments` with `opt`. Deterministic given `rng`.
+/// Deterministic data-parallel minibatch engine (DESIGN.md §4), shared by
+/// nn::train and the detector's trainer.
+///
+/// One `process()` call handles one minibatch: the windows are cut into
+/// micro-batches of a FIXED size, each micro-batch runs through the batched
+/// (B × dim) kernels into its own gradient lane on whichever worker is free,
+/// and the lanes are then merged by a fixed-order pairwise tree reduction
+/// into the model's gradient buffers. The thread count decides scheduling
+/// only, never arithmetic order, so losses and gradients are bit-identical
+/// for any `threads` value.
+class MinibatchTrainer {
+ public:
+  MinibatchTrainer(SequenceModel& model, std::size_t micro_batch,
+                   std::size_t threads);
+
+  /// Forward + backward one minibatch of windows. Leaves the summed
+  /// gradients in the model's gradient buffers (zeroing them first) and
+  /// returns the summed CE loss; the caller clips and applies the optimizer.
+  double process(std::span<const WindowRef> windows);
+
+  /// process() + global-norm clip + optimizer step in one call — the unit
+  /// every batched training loop is built from. Returns the summed CE loss.
+  double step(std::span<const WindowRef> windows,
+              std::span<const ParamSlot> slots, double grad_clip,
+              Optimizer& opt);
+
+ private:
+  SequenceModel* model_;
+  std::size_t micro_batch_;
+  PoolHandle pool_;
+  std::vector<ModelGrads> lanes_;       ///< per micro-batch gradient buffers
+  std::vector<BatchWorkspace> ws_;      ///< per micro-batch scratch
+  std::vector<double> lane_loss_;
+};
+
+/// Train `model` on `fragments` with `opt`. Deterministic given `rng`:
+/// with config.batch_size == 1 this is the seed's sequential per-window
+/// loop; with batch_size > 1 the batched engine runs, and the epoch losses
+/// are bit-identical for any config.threads (DESIGN.md §5).
 TrainReport train(SequenceModel& model, std::span<const Fragment> fragments,
                   Optimizer& opt, const TrainerConfig& config, Rng& rng);
 

@@ -1,0 +1,112 @@
+// Sharded parallel evaluation (detect/pipeline.hpp EvalOptions): shard
+// boundaries are fixed by shard_size, so metrics must be bit-identical for
+// any thread count, and close to the single-stream reference (the only
+// differences come from LSTM history warm-up at shard starts).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "detect/pipeline.hpp"
+#include "ics/simulator.hpp"
+
+namespace mlad::detect {
+namespace {
+
+/// One small trained framework + test split shared by all tests (training
+/// is the slow part; ~seconds at this scale).
+struct Fixture {
+  ics::SimulationResult capture;
+  TrainedFramework framework;
+
+  Fixture() {
+    ics::SimulatorConfig sim_cfg;
+    sim_cfg.cycles = 1500;
+    sim_cfg.seed = 321;
+    ics::GasPipelineSimulator sim(sim_cfg);
+    capture = sim.run();
+
+    PipelineConfig cfg;
+    cfg.combined.timeseries.hidden_dims = {24};
+    cfg.combined.timeseries.epochs = 2;
+    cfg.combined.timeseries.batch_size = 8;  // batched trainer in the loop
+    cfg.seed = 3;
+    framework = train_framework(capture.packages, cfg);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+bool same_counts(const EvaluationResult& a, const EvaluationResult& b) {
+  return a.confusion.tp == b.confusion.tp && a.confusion.tn == b.confusion.tn &&
+         a.confusion.fp == b.confusion.fp && a.confusion.fn == b.confusion.fn &&
+         a.package_level_alarms == b.package_level_alarms &&
+         a.timeseries_level_alarms == b.timeseries_level_alarms;
+}
+
+TEST(ParallelEval, BitIdenticalAcrossThreadCounts) {
+  const auto& f = fixture();
+  EvalOptions one;
+  one.threads = 1;
+  one.shard_size = 256;
+  EvalOptions four;
+  four.threads = 4;
+  four.shard_size = 256;
+  const EvaluationResult r1 =
+      evaluate_framework(*f.framework.detector, f.framework.split.test, one);
+  const EvaluationResult r4 =
+      evaluate_framework(*f.framework.detector, f.framework.split.test, four);
+  EXPECT_TRUE(same_counts(r1, r4));
+  for (std::size_t i = 0; i < ics::kAttackTypeCount; ++i) {
+    EXPECT_EQ(r1.per_attack.detected[i], r4.per_attack.detected[i]);
+    EXPECT_EQ(r1.per_attack.total[i], r4.per_attack.total[i]);
+  }
+}
+
+TEST(ParallelEval, ShardedTracksSequentialReference) {
+  const auto& f = fixture();
+  const EvaluationResult seq =
+      evaluate_framework(*f.framework.detector, f.framework.split.test);
+  EvalOptions opts;
+  opts.threads = 2;
+  opts.shard_size = 256;
+  const EvaluationResult sharded =
+      evaluate_framework(*f.framework.detector, f.framework.split.test, opts);
+
+  // Same population either way…
+  EXPECT_EQ(seq.confusion.total(), sharded.confusion.total());
+  // …and shard boundaries may only perturb verdicts near shard starts.
+  const auto n_shards = (f.framework.split.test.size() + 255) / 256;
+  const std::size_t slack = 4 * n_shards;
+  EXPECT_NEAR(static_cast<double>(seq.confusion.tp),
+              static_cast<double>(sharded.confusion.tp),
+              static_cast<double>(slack));
+  EXPECT_NEAR(static_cast<double>(seq.confusion.fp),
+              static_cast<double>(sharded.confusion.fp),
+              static_cast<double>(slack));
+}
+
+TEST(ParallelEval, LargeShardFallsBackToSequentialSemantics) {
+  const auto& f = fixture();
+  const EvaluationResult seq =
+      evaluate_framework(*f.framework.detector, f.framework.split.test);
+  EvalOptions opts;
+  opts.threads = 4;
+  opts.shard_size = f.framework.split.test.size() + 10;  // one shard
+  const EvaluationResult one_shard =
+      evaluate_framework(*f.framework.detector, f.framework.split.test, opts);
+  EXPECT_TRUE(same_counts(seq, one_shard));
+}
+
+TEST(ParallelEval, EmptyStream) {
+  const auto& f = fixture();
+  const EvaluationResult r = evaluate_framework(
+      *f.framework.detector, std::span<const ics::Package>{}, EvalOptions{});
+  EXPECT_EQ(r.confusion.total(), 0u);
+  EXPECT_EQ(r.avg_classify_us, 0.0);
+}
+
+}  // namespace
+}  // namespace mlad::detect

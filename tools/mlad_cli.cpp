@@ -87,6 +87,12 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   cfg.combined.timeseries.hidden_dims = {
       std::stoul(get_or(flags, "hidden", "64"))};
   cfg.seed = std::stoull(get_or(flags, "seed", "5"));
+  // Batched minibatch training on the worker pool. The default stays the
+  // sequential per-window reference (--batch 1); with --batch B > 1 the
+  // data-parallel engine runs, and --threads only changes scheduling —
+  // results are bit-identical for any thread count (0 = all cores).
+  cfg.combined.timeseries.batch_size = std::stoul(get_or(flags, "batch", "1"));
+  cfg.combined.timeseries.threads = std::stoul(get_or(flags, "threads", "0"));
   const detect::TrainedFramework fw = detect::train_framework(packages, cfg);
   std::printf("trained in %.1fs: |S|=%zu, k=%zu, validation error=%.4f\n",
               fw.train_seconds,
@@ -103,8 +109,18 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
   const auto detector = detect::load_framework_file(need(flags, "model"));
-  const detect::EvaluationResult result =
-      detect::evaluate_framework(*detector, packages);
+  // Without --threads: the seed's exact single-stream evaluation. With
+  // --threads (any value): sharded evaluation, whose fixed shard
+  // boundaries keep the metrics bit-identical for any thread count (see
+  // detect/pipeline.hpp) but reset LSTM history at shard starts.
+  detect::EvaluationResult result;
+  if (const auto it = flags.find("threads"); it != flags.end()) {
+    detect::EvalOptions opts;
+    opts.threads = std::stoul(it->second);
+    result = detect::evaluate_framework(*detector, packages, opts);
+  } else {
+    result = detect::evaluate_framework(*detector, packages);
+  }
   std::printf("%zu packages: %s  (%.1f µs/package)\n", packages.size(),
               detect::to_string(result.confusion).c_str(),
               result.avg_classify_us);
@@ -165,7 +181,10 @@ int usage() {
                "usage: mlad <simulate|train|evaluate|monitor> [--flag value]…\n"
                "  simulate --cycles N --seed S [--arff f] [--capture f] [--attacks on|off]\n"
                "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
-               "  evaluate --arff f --model f\n"
+               "           [--batch B] [--threads N]   (batch>1 = parallel minibatch\n"
+               "           engine; threads 0 = all cores, never changes results)\n"
+               "  evaluate --arff f --model f [--threads N]  (with --threads: sharded\n"
+               "           parallel scoring, identical for any thread count)\n"
                "  monitor  --capture f --model f [--max-alarms N]\n");
   return 2;
 }
