@@ -13,12 +13,17 @@
 #include <vector>
 
 #include "bloom/bloom_filter.hpp"
+#include "common/cpu_features.hpp"
 #include "common/rng.hpp"
 #include "detect/pipeline.hpp"
+#include "detect/stream_batch.hpp"
 #include "ics/crc16.hpp"
 #include "ics/dataset.hpp"
+#include "ics/features.hpp"
 #include "ics/modbus.hpp"
 #include "ics/simulator.hpp"
+#include "nn/kernel_backend.hpp"
+#include "nn/kernels.hpp"
 #include "signature/kmeans.hpp"
 
 namespace {
@@ -150,6 +155,75 @@ void BM_CombinedClassify(benchmark::State& state) {
 }
 BENCHMARK(BM_CombinedClassify);
 
+// ---- kernel backends (DESIGN.md §7) ---------------------------------------
+// Registered at runtime (main) once per backend usable on this host, so the
+// same binary reports scalar vs AVX2/NEON side by side.
+
+void BM_KernelMatmulNN(benchmark::State& state, const std::string& backend) {
+  nn::select_kernel_backend(backend);
+  Rng rng(5);
+  nn::Matrix a(64, 256), b(256, 256), out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    nn::matmul_nn(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          64 * 256 * 256);  // FLOPs
+  nn::select_kernel_backend_from_env();
+}
+
+void BM_KernelLstmGates(benchmark::State& state, const std::string& backend) {
+  nn::select_kernel_backend(backend);
+  Rng rng(5);
+  nn::Matrix a(64, 4 * 128), c_prev(64, 128);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  for (std::size_t i = 0; i < c_prev.size(); ++i) {
+    c_prev.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  nn::Matrix gi, gf, go, gg, gc, gt, gh;
+  for (auto _ : state) {
+    nn::lstm_gates_forward(a, c_prev, gi, gf, go, gg, gc, gt, gh);
+    benchmark::DoNotOptimize(gh.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          128);  // gate cells
+  nn::select_kernel_backend_from_env();
+}
+
+// ---- batched multi-stream inference ---------------------------------------
+
+void BM_MultiStreamClassify(benchmark::State& state) {
+  // S lockstep streams through one (S×dim) LSTM step per layer per tick;
+  // reported time is per tick — divide by S for the per-package figure the
+  // single-stream BM_CombinedClassify reports.
+  const auto& f = fixture();
+  const std::size_t S = static_cast<std::size_t>(state.range(0));
+  detect::StreamBatch batch(*f.framework.detector, S);
+  std::vector<std::span<const double>> tick(S);
+  std::vector<detect::CombinedVerdict> verdicts;
+  std::size_t i = 0;
+  const std::size_t n = f.test_rows.size();
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < S; ++s) {
+      tick[s] = f.test_rows[(i + s * 17) % n];
+    }
+    batch.step(tick, verdicts);
+    benchmark::DoNotOptimize(verdicts.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(S));  // packages
+}
+BENCHMARK(BM_MultiStreamClassify)->Arg(8)->Arg(32);
+
 void BM_LstmTrainStep(benchmark::State& state) {
   auto& f = fixture();
   auto& ts = f.framework.detector->timeseries_level();
@@ -182,6 +256,15 @@ int main(int argc, char** argv) {
     }
     args.push_back(argv[i]);
   }
+  // Per-backend kernel benchmarks: one registration per backend that is
+  // both compiled in and usable on this host (cpuid-gated).
+  for (const std::string& backend : mlad::nn::available_kernel_backends()) {
+    benchmark::RegisterBenchmark(("BM_KernelMatmulNN/" + backend).c_str(),
+                                 BM_KernelMatmulNN, backend);
+    benchmark::RegisterBenchmark(("BM_KernelLstmGates/" + backend).c_str(),
+                                 BM_KernelLstmGates, backend);
+  }
+
   std::vector<char*> raw;
   raw.reserve(args.size());
   for (std::string& a : args) raw.push_back(a.data());

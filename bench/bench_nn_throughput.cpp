@@ -15,16 +15,80 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/cpu_features.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "detect/combined.hpp"
 #include "detect/package_detector.hpp"
 #include "detect/timeseries_detector.hpp"
 #include "ics/features.hpp"
+#include "nn/kernel_backend.hpp"
+#include "nn/kernels.hpp"
 
 namespace {
 
 using namespace mlad;
+
+// ---- per-backend kernel micro-bench (DESIGN.md §7) -------------------------
+
+struct KernelRun {
+  std::string backend;
+  double matmul_us = 0.0;  ///< one 64×256 · 256×256 product
+  double gates_us = 0.0;   ///< one fused gate pass, B=64, H=128
+  double matmul_speedup = 1.0;  ///< vs the scalar backend
+  double gates_speedup = 1.0;
+};
+
+template <typename F>
+double time_us_per_iter(F&& op) {
+  // Warm up once, then run until ~0.2 s of wall time has accumulated.
+  op();
+  Stopwatch sw;
+  std::size_t iters = 0;
+  do {
+    op();
+    ++iters;
+  } while (sw.elapsed_seconds() < 0.2);
+  return sw.elapsed_us() / static_cast<double>(iters);
+}
+
+std::vector<KernelRun> bench_kernel_backends() {
+  Rng rng(5);
+  const auto fill = [&rng](nn::Matrix& m) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  };
+  nn::Matrix a(64, 256), b(256, 256), out;
+  fill(a);
+  fill(b);
+  nn::Matrix ga(64, 4 * 128), gc(64, 128);
+  fill(ga);
+  fill(gc);
+  nn::Matrix gi, gf, go, gg, gcell, gt, gh;
+
+  std::vector<KernelRun> runs;
+  for (const std::string& name : nn::available_kernel_backends()) {
+    if (!nn::select_kernel_backend(name)) continue;
+    KernelRun run;
+    run.backend = name;
+    run.matmul_us = time_us_per_iter([&] { nn::matmul_nn(a, b, out); });
+    run.gates_us = time_us_per_iter(
+        [&] { nn::lstm_gates_forward(ga, gc, gi, gf, go, gg, gcell, gt, gh); });
+    runs.push_back(run);
+  }
+  nn::select_kernel_backend_from_env();  // back to the default for the rest
+  for (KernelRun& r : runs) {
+    r.matmul_speedup =
+        r.matmul_us > 0 ? runs.front().matmul_us / r.matmul_us : 0;
+    r.gates_speedup = r.gates_us > 0 ? runs.front().gates_us / r.gates_us : 0;
+    std::printf(
+        "  kernel %-8s matmul %8.2f us (%.2fx)   gates %8.2f us (%.2fx)\n",
+        r.backend.c_str(), r.matmul_us, r.matmul_speedup, r.gates_us,
+        r.gates_speedup);
+  }
+  return runs;
+}
 
 struct TrainRun {
   std::string name;
@@ -102,9 +166,10 @@ bool same_confusion(const detect::Confusion& a, const detect::Confusion& b) {
 }
 
 void write_json(const char* path, const bench::Scale& scale,
-                std::size_t hw_threads, const std::vector<TrainRun>& trains,
+                std::size_t hw_threads, const std::vector<KernelRun>& kernels,
+                const std::vector<TrainRun>& trains,
                 const std::vector<EvalRun>& evals, bool losses_identical,
-                bool confusion_identical) {
+                bool confusion_identical, bool streams_identical) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -114,6 +179,20 @@ void write_json(const char* path, const bench::Scale& scale,
   std::fprintf(f, "  \"bench\": \"bench_nn_throughput\",\n");
   std::fprintf(f, "  \"scale\": \"%s\",\n", scale.name);
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw_threads);
+  std::fprintf(f, "  \"cpu\": \"%s\",\n", cpu_feature_summary().c_str());
+  std::fprintf(f, "  \"default_kernel_backend\": \"%s\",\n",
+               nn::kernel_backend().name);
+  std::fprintf(f, "  \"kernels\": {\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelRun& r = kernels[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"matmul_us\": %.3f, \"gates_us\": %.3f, "
+                 "\"matmul_speedup_vs_scalar\": %.3f, "
+                 "\"gates_speedup_vs_scalar\": %.3f}%s\n",
+                 r.backend.c_str(), r.matmul_us, r.gates_us, r.matmul_speedup,
+                 r.gates_speedup, i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"train\": {\n");
   for (std::size_t i = 0; i < trains.size(); ++i) {
     const TrainRun& r = trains[i];
@@ -142,12 +221,29 @@ void write_json(const char* path, const bench::Scale& scale,
                  r.name.c_str(), r.us_per_package, r.confusion.tp,
                  r.confusion.tn, r.confusion.fp, r.confusion.fn);
   }
-  std::fprintf(f, "    \"speedup_sharded_all_threads\": %.3f,\n",
-               evals.back().us_per_package > 0
-                   ? evals.front().us_per_package / evals.back().us_per_package
-                   : 0.0);
-  std::fprintf(f, "    \"confusion_identical_across_threads\": %s\n",
+  const auto eval_by_prefix = [&evals](const char* prefix) -> const EvalRun* {
+    for (const EvalRun& r : evals) {
+      if (r.name.rfind(prefix, 0) == 0) return &r;
+    }
+    return nullptr;
+  };
+  const double single_us = evals.front().us_per_package;
+  if (const EvalRun* r = eval_by_prefix("sharded(threads=all)")) {
+    std::fprintf(f, "    \"speedup_sharded_all_threads\": %.3f,\n",
+                 r->us_per_package > 0 ? single_us / r->us_per_package : 0.0);
+  }
+  if (const EvalRun* r = eval_by_prefix("streams(S=8")) {
+    std::fprintf(f, "    \"speedup_streams8_vs_single\": %.3f,\n",
+                 r->us_per_package > 0 ? single_us / r->us_per_package : 0.0);
+  }
+  if (const EvalRun* r = eval_by_prefix("streams(S=32")) {
+    std::fprintf(f, "    \"speedup_streams32_vs_single\": %.3f,\n",
+                 r->us_per_package > 0 ? single_us / r->us_per_package : 0.0);
+  }
+  std::fprintf(f, "    \"confusion_identical_across_threads\": %s,\n",
                confusion_identical ? "true" : "false");
+  std::fprintf(f, "    \"streams_confusion_identical_across_threads\": %s\n",
+               streams_identical ? "true" : "false");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -166,7 +262,11 @@ int main(int argc, char** argv) {
   const bench::Scale scale = bench::scale_from_env();
   bench::print_header("NN engine throughput: batched vs sequential", scale);
   const std::size_t hw = ThreadPool::hardware_threads();
-  std::printf("hardware threads: %zu\n", hw);
+  std::printf("hardware threads: %zu   cpu: %s   kernel backend: %s\n", hw,
+              cpu_feature_summary().c_str(), nn::kernel_backend().name);
+
+  // ---- kernel backends: scalar vs SIMD ------------------------------------
+  const std::vector<KernelRun> kernels = bench_kernel_backends();
 
   // Shared workload: simulate, split, fit the package level, discretize.
   ics::SimulatorConfig sim_cfg;
@@ -225,7 +325,8 @@ int main(int argc, char** argv) {
   const detect::CombinedDetector detector(std::move(pkg), std::move(ts));
 
   std::vector<EvalRun> evals;
-  const auto eval_once = [&](const char* name, int mode) {
+  const auto eval_once = [&](const char* name, int mode,
+                             std::size_t streams = 1) {
     EvalRun run;
     run.name = name;
     detect::EvaluationResult r;
@@ -235,6 +336,7 @@ int main(int argc, char** argv) {
       detect::EvalOptions opts;
       opts.threads = static_cast<std::size_t>(mode);
       opts.shard_size = 1024;
+      opts.streams = streams;
       r = detect::evaluate_framework(detector, split.test, opts);
     }
     run.us_per_package = r.avg_classify_us;
@@ -246,14 +348,30 @@ int main(int argc, char** argv) {
   eval_once("single-stream", -1);
   eval_once("sharded(threads=1)", 1);
   eval_once("sharded(threads=all)", 0);
+  eval_once("streams(S=8,threads=1)", 1, 8);
+  eval_once("streams(S=32,threads=1)", 1, 32);
+  eval_once("streams(S=8,threads=all)", 0, 8);
   const bool confusion_identical =
       same_confusion(evals[1].confusion, evals[2].confusion);
   std::printf("  sharded confusion identical across thread counts: %s\n",
               confusion_identical ? "yes" : "NO — DETERMINISM BUG");
+  const bool streams_identical =
+      same_confusion(evals[3].confusion, evals[5].confusion);
+  std::printf("  multi-stream confusion identical across thread counts: %s\n",
+              streams_identical ? "yes" : "NO — DETERMINISM BUG");
+  std::printf(
+      "  multi-stream speedup vs single-stream: %.2fx (S=8), %.2fx (S=32)\n",
+      evals[3].us_per_package > 0
+          ? evals[0].us_per_package / evals[3].us_per_package
+          : 0.0,
+      evals[4].us_per_package > 0
+          ? evals[0].us_per_package / evals[4].us_per_package
+          : 0.0);
 
   if (json_path != nullptr) {
-    write_json(json_path, scale, hw, trains, evals, losses_identical,
-               confusion_identical);
+    write_json(json_path, scale, hw, kernels, trains, evals, losses_identical,
+               confusion_identical, streams_identical);
   }
-  return (losses_identical && confusion_identical) ? 0 : 1;
+  return (losses_identical && confusion_identical && streams_identical) ? 0
+                                                                        : 1;
 }

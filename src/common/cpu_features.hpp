@@ -1,0 +1,25 @@
+// Runtime CPU feature detection for the SIMD kernel backends (DESIGN.md §7).
+//
+// Detection runs once (cpuid on x86, compile-target probes on ARM) and is
+// cached; the kernel dispatcher in nn/kernel_backend.hpp consults it so a
+// baseline-compiled binary never executes an instruction the host lacks.
+#pragma once
+
+#include <string>
+
+namespace mlad {
+
+struct CpuFeatures {
+  bool avx = false;   ///< AVX usable (cpuid bit + OS XSAVE of YMM state)
+  bool avx2 = false;  ///< AVX2 usable (implies avx)
+  bool fma = false;   ///< FMA3 usable
+  bool neon = false;  ///< ARM Advanced SIMD (always true on aarch64)
+};
+
+/// Detected once on first call, then cached for the process lifetime.
+const CpuFeatures& cpu_features();
+
+/// Human-readable summary, e.g. "avx2 fma" or "neon" or "baseline".
+std::string cpu_feature_summary();
+
+}  // namespace mlad

@@ -4,17 +4,20 @@
 
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "detect/stream_batch.hpp"
 #include "ics/features.hpp"
 
 namespace mlad::detect {
 namespace {
 
-/// Score rows [begin, end) as one independent stream into `out`.
+/// Score rows [begin, end) as one independent stream into `out`. The
+/// caller owns `stream` (reset between shards) so its scratch buffers are
+/// reused across shards instead of reallocated per shard.
 void evaluate_shard(const CombinedDetector& detector,
                     std::span<const ics::Package> test,
                     std::span<const sig::RawRow> rows, std::size_t begin,
-                    std::size_t end, EvaluationResult& out) {
-  CombinedDetector::Stream stream = detector.make_stream();
+                    std::size_t end, CombinedDetector::Stream& stream,
+                    EvaluationResult& out) {
   for (std::size_t i = begin; i < end; ++i) {
     const CombinedVerdict v = detector.classify_and_consume(stream, rows[i]);
     out.confusion.record(test[i].is_attack(), v.anomaly);
@@ -22,6 +25,57 @@ void evaluate_shard(const CombinedDetector& detector,
     if (v.package_level) ++out.package_level_alarms;
     if (v.timeseries_level) ++out.timeseries_level_alarms;
   }
+}
+
+/// Batched multi-stream evaluation: cut the test stream into S contiguous
+/// near-equal segments (longer segments first, so the active set stays a
+/// prefix) and advance them in lockstep through StreamBatch.
+EvaluationResult evaluate_multistream(const CombinedDetector& detector,
+                                      std::span<const ics::Package> test,
+                                      const EvalOptions& options) {
+  const std::size_t S = std::min(options.streams, test.size());
+  const std::vector<sig::RawRow> rows = ics::to_raw_rows(test);
+  const std::size_t base = test.size() / S;
+  const std::size_t rem = test.size() % S;
+  std::vector<std::size_t> offset(S);
+  std::vector<std::size_t> length(S);
+  for (std::size_t s = 0, at = 0; s < S; ++s) {
+    length[s] = base + (s < rem ? 1 : 0);  // non-increasing in s
+    offset[s] = at;
+    at += length[s];
+  }
+
+  Stopwatch sw;
+  PoolHandle pool(options.threads);
+  StreamBatch batch(detector, S, pool.get());
+  std::vector<EvaluationResult> partials(S);
+  std::vector<std::span<const double>> tick(S);
+  std::vector<CombinedVerdict> verdicts;
+  std::size_t active = S;
+  for (std::size_t t = 0; t < length[0]; ++t) {
+    while (active > 0 && length[active - 1] <= t) --active;
+    if (active < batch.active()) batch.shrink(active);
+    for (std::size_t s = 0; s < active; ++s) tick[s] = rows[offset[s] + t];
+    batch.step(std::span(tick).first(active), verdicts);
+    for (std::size_t s = 0; s < active; ++s) {
+      const ics::Package& p = test[offset[s] + t];
+      EvaluationResult& out = partials[s];
+      out.confusion.record(p.is_attack(), verdicts[s].anomaly);
+      out.per_attack.record(p.label, verdicts[s].anomaly);
+      if (verdicts[s].package_level) ++out.package_level_alarms;
+      if (verdicts[s].timeseries_level) ++out.timeseries_level_alarms;
+    }
+  }
+
+  EvaluationResult result;
+  for (const EvaluationResult& p : partials) {
+    result.confusion += p.confusion;
+    result.per_attack += p.per_attack;
+    result.package_level_alarms += p.package_level_alarms;
+    result.timeseries_level_alarms += p.timeseries_level_alarms;
+  }
+  result.avg_classify_us = sw.elapsed_us() / static_cast<double>(test.size());
+  return result;
 }
 
 }  // namespace
@@ -61,7 +115,8 @@ EvaluationResult evaluate_framework(const CombinedDetector& detector,
   EvaluationResult result;
   const std::vector<sig::RawRow> rows = ics::to_raw_rows(test);
   Stopwatch sw;
-  evaluate_shard(detector, test, rows, 0, test.size(), result);
+  CombinedDetector::Stream stream = detector.make_stream();
+  evaluate_shard(detector, test, rows, 0, test.size(), stream, result);
   if (!test.empty()) {
     result.avg_classify_us = sw.elapsed_us() / static_cast<double>(test.size());
   }
@@ -71,6 +126,9 @@ EvaluationResult evaluate_framework(const CombinedDetector& detector,
 EvaluationResult evaluate_framework(const CombinedDetector& detector,
                                     std::span<const ics::Package> test,
                                     const EvalOptions& options) {
+  if (options.streams > 1 && test.size() > 1) {
+    return evaluate_multistream(detector, test, options);
+  }
   const std::size_t shard_size =
       options.shard_size == 0 ? test.size() : options.shard_size;
   if (test.empty() || shard_size >= test.size()) {
@@ -82,15 +140,23 @@ EvaluationResult evaluate_framework(const CombinedDetector& detector,
 
   Stopwatch sw;
   PoolHandle pool(options.threads);
-  const auto run_shard = [&](std::size_t s) {
-    const std::size_t begin = s * shard_size;
-    const std::size_t end = std::min(test.size(), begin + shard_size);
-    evaluate_shard(detector, test, rows, begin, end, partials[s]);
+  // One stream object per contiguous shard range: its LSTM state is reset
+  // at every shard boundary (independent-stream semantics preserved) but
+  // the encode / probability scratch buffers are reused across the whole
+  // range instead of reallocated per shard.
+  const auto run_shards = [&](std::size_t sb, std::size_t se) {
+    CombinedDetector::Stream stream = detector.make_stream();
+    for (std::size_t s = sb; s < se; ++s) {
+      detector.reset_stream(stream);
+      const std::size_t begin = s * shard_size;
+      const std::size_t end = std::min(test.size(), begin + shard_size);
+      evaluate_shard(detector, test, rows, begin, end, stream, partials[s]);
+    }
   };
   if (pool.get() == nullptr) {
-    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+    run_shards(0, shards);
   } else {
-    pool.get()->parallel_for(0, shards, run_shard);
+    pool.get()->parallel_chunks(0, shards, run_shards);
   }
 
   // Merge in shard order (all counts are integers, so the order only

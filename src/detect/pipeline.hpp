@@ -59,6 +59,13 @@ EvaluationResult evaluate_framework(const CombinedDetector& detector,
 struct EvalOptions {
   std::size_t threads = 1;       ///< 0 = hardware concurrency, 1 = sequential
   std::size_t shard_size = 2048; ///< packages per independent shard
+  /// When > 1: batched multi-stream inference (detect/stream_batch.hpp) —
+  /// the test stream is cut into `streams` contiguous near-equal segments
+  /// advanced in lockstep, one (S×dim) LSTM step per layer per tick.
+  /// Takes precedence over shard_size. Segment boundaries depend on
+  /// `streams` and the stream length alone, and `threads` only partitions
+  /// kernel rows, so metrics are bit-identical for any thread count.
+  std::size_t streams = 1;
 };
 
 EvaluationResult evaluate_framework(const CombinedDetector& detector,

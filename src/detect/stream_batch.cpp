@@ -1,0 +1,75 @@
+#include "detect/stream_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "signature/discretizer.hpp"
+
+namespace mlad::detect {
+
+StreamBatch::StreamBatch(const CombinedDetector& detector, std::size_t streams,
+                         ThreadPool* pool)
+    : detector_(&detector),
+      pool_(pool),
+      state_(detector.timeseries_level().model().make_batch_state(streams)),
+      has_prediction_(streams, 0),
+      active_(streams) {}
+
+void StreamBatch::step(std::span<const std::span<const double>> rows,
+                       std::vector<CombinedVerdict>& verdicts) {
+  const std::size_t n = rows.size();
+  if (n != active_) {
+    throw std::invalid_argument("StreamBatch::step: rows != active streams");
+  }
+  verdicts.assign(n, {});
+  if (n == 0) return;
+
+  const TimeSeriesDetector& ts = detector_->timeseries_level();
+  const PackageLevelDetector& pkg = detector_->package_level();
+  const nn::SequenceModel& model = ts.model();
+  const std::size_t k = ts.k();
+  const std::size_t C = model.num_classes();
+
+  // Package level + verdict per stream (Fig. 3 flow, as in
+  // classify_and_consume), then gather the one-hot encodings — noisy bit =
+  // the verdict — into one (n×input_dim) matrix. Every row [0, n) is fully
+  // overwritten below, so the matrix is only reshaped (resize zero-fills)
+  // when the active stream count actually changed.
+  if (x_.rows() != n || x_.cols() != model.input_dim()) {
+    x_.resize(n, model.input_dim());
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    const PackageVerdict pv = pkg.classify(rows[s]);
+    CombinedVerdict& v = verdicts[s];
+    if (pv.anomaly) {
+      v.package_level = true;
+      v.anomaly = true;
+    } else if (has_prediction_[s] != 0) {
+      const std::span<const float> predicted{
+          state_.probs.data() + s * C, C};
+      v.timeseries_level = ts.is_anomalous(predicted, pv.signature_id, k);
+      v.anomaly = v.timeseries_level;
+    }
+    sig::one_hot_encode(pv.discrete, ts.cardinalities(), /*extra_bits=*/1,
+                        encode_scratch_);
+    if (v.anomaly) encode_scratch_.back() = 1.0f;
+    std::copy(encode_scratch_.begin(), encode_scratch_.end(),
+              x_.data() + s * x_.cols());
+  }
+
+  // One batched LSTM step per layer + batched softmax; row s of state_.probs
+  // is stream s's prediction for its NEXT package.
+  model.predict_batch(state_, x_, pool_);
+  std::fill(has_prediction_.begin(), has_prediction_.begin() + n, 1);
+}
+
+void StreamBatch::shrink(std::size_t n) {
+  if (n > active_) {
+    throw std::invalid_argument("StreamBatch::shrink: n exceeds active");
+  }
+  if (n == active_) return;
+  detector_->timeseries_level().model().shrink_batch_state(state_, n);
+  active_ = n;
+}
+
+}  // namespace mlad::detect

@@ -1,0 +1,54 @@
+// Batched multi-stream inference stepping (DESIGN.md §4, ROADMAP
+// "kernel-level batching for inference"): advance S concurrent
+// CombinedDetector streams one package-tick at a time through a single
+// (S×dim) LSTM step per layer — gather the per-stream one-hot encodings into
+// one matrix, run one batched matmul+gates pass per layer, scatter the
+// refreshed predictions back to the streams.
+//
+// Per-stream semantics mirror CombinedDetector::classify_and_consume
+// exactly; numerically the batched kernels and the per-sample reference sum
+// in different orders, so verdicts agree to float rounding, not bitwise
+// (DESIGN.md §5 — batching is a semantic knob). For a fixed batch shape,
+// results are bit-identical for any thread count: the pool only partitions
+// kernel rows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "detect/combined.hpp"
+#include "nn/matrix.hpp"
+
+namespace mlad::detect {
+
+class StreamBatch {
+ public:
+  /// S independent streams over `detector` (which must outlive this). The
+  /// optional pool accelerates the batched kernels without changing results.
+  StreamBatch(const CombinedDetector& detector, std::size_t streams,
+              ThreadPool* pool = nullptr);
+
+  std::size_t active() const { return active_; }
+
+  /// One tick: rows[s] is the next raw package of stream s. rows.size()
+  /// must equal active(). verdicts is resized; verdicts[s] is stream s's
+  /// classification, already absorbed into its history.
+  void step(std::span<const std::span<const double>> rows,
+            std::vector<CombinedVerdict>& verdicts);
+
+  /// Keep only streams [0, n): streams end from the back, so callers order
+  /// them longest-first (mirrors the batched trainer's window sorting).
+  void shrink(std::size_t n);
+
+ private:
+  const CombinedDetector* detector_;
+  ThreadPool* pool_;
+  nn::SequenceModel::BatchState state_;
+  nn::Matrix x_;                       ///< active×input_dim gathered inputs
+  std::vector<float> encode_scratch_;  ///< one row's one-hot encoding
+  std::vector<char> has_prediction_;   ///< per stream, false before tick 1
+  std::size_t active_ = 0;
+};
+
+}  // namespace mlad::detect

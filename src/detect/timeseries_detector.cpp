@@ -240,6 +240,12 @@ TimeSeriesDetector::Stream TimeSeriesDetector::make_stream() const {
   return s;
 }
 
+void TimeSeriesDetector::reset_stream(Stream& stream) const {
+  for (auto& h : stream.model_state.lstm.h) std::fill(h.begin(), h.end(), 0.0f);
+  for (auto& c : stream.model_state.lstm.c) std::fill(c.begin(), c.end(), 0.0f);
+  stream.has_prediction = false;
+}
+
 bool TimeSeriesDetector::is_anomalous(
     const Stream& stream, std::optional<std::size_t> signature_id) const {
   return is_anomalous(stream, signature_id, k_);
@@ -249,13 +255,22 @@ bool TimeSeriesDetector::is_anomalous(const Stream& stream,
                                       std::optional<std::size_t> signature_id,
                                       std::size_t k) const {
   if (!stream.has_prediction) return false;  // no history yet
-  if (!signature_id) return true;            // not even in the database
-  return !nn::in_top_k(stream.predicted, *signature_id, k);
+  return is_anomalous(std::span<const float>(stream.predicted), signature_id,
+                      k);
+}
+
+bool TimeSeriesDetector::is_anomalous(std::span<const float> predicted,
+                                      std::optional<std::size_t> signature_id,
+                                      std::size_t k) const {
+  if (!signature_id) return true;  // not even in the database
+  return !nn::in_top_k(predicted, *signature_id, k);
 }
 
 void TimeSeriesDetector::consume(Stream& stream, const sig::DiscreteRow& row,
                                  bool flagged_anomalous) const {
-  std::vector<float> x;
+  // The one-hot buffer lives in the stream so the per-package hot path is
+  // allocation-free once the stream has warmed up.
+  std::vector<float>& x = stream.encode_scratch;
   sig::one_hot_encode(row, cardinalities_, /*extra_bits=*/1, x);
   if (flagged_anomalous) x.back() = 1.0f;
   model_.predict(stream.model_state, x, stream.predicted);

@@ -86,9 +86,15 @@ class TimeSeriesDetector {
     nn::SequenceModel::State model_state;
     std::vector<float> predicted;  ///< Pr(s | history) for the NEXT package
     bool has_prediction = false;   ///< false until the first package is seen
+    std::vector<float> encode_scratch;  ///< reused one-hot buffer (consume)
   };
 
   Stream make_stream() const;
+
+  /// Rewind a stream to the fresh-state semantics of make_stream() without
+  /// giving up its buffers — the sharded evaluator reuses one stream (and
+  /// its scratch) across consecutive shards.
+  void reset_stream(Stream& stream) const;
 
   /// Is the package's signature inside the predicted top-k set? Packages
   /// arriving before any history (has_prediction == false) pass, as do
@@ -101,6 +107,14 @@ class TimeSeriesDetector {
                     std::optional<std::size_t> signature_id,
                     std::size_t k) const;
 
+  /// The core F_t decision on an explicit prediction row — the single
+  /// source of truth shared by the streaming path above and the batched
+  /// multi-stream stepper (detect/stream_batch.cpp), which keeps its
+  /// predictions as matrix rows rather than Streams.
+  bool is_anomalous(std::span<const float> predicted,
+                    std::optional<std::size_t> signature_id,
+                    std::size_t k) const;
+
   /// Feed the package into the history (one-hot of c(t) plus the noisy bit
   /// = `flagged_anomalous`, §V-A-3 detection-phase rule) and refresh the
   /// prediction for the next package.
@@ -109,6 +123,11 @@ class TimeSeriesDetector {
 
   const nn::SequenceModel& model() const { return model_; }
   nn::SequenceModel& model() { return model_; }
+  /// Per-feature cardinalities of the discretized schema (the one-hot
+  /// layout); the batched multi-stream stepper encodes against these.
+  const std::vector<std::size_t>& cardinalities() const {
+    return cardinalities_;
+  }
   std::size_t memory_bytes() const { return model_.memory_bytes(); }
   const TimeSeriesConfig& config() const { return config_; }
 

@@ -1,26 +1,95 @@
 #include "nn/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "common/cpu_features.hpp"
+#include "nn/kernel_backend.hpp"
+
 namespace mlad::nn {
+
+// ---- backend dispatch (DESIGN.md §7) ---------------------------------------
+
 namespace {
 
-// Local inline copies of the scalar activations: the definitions in
-// activations.cpp live in another TU and would cost a call per element on
-// the batched hot path. Kept formula-identical so batched and per-sample
-// paths agree to rounding.
-inline float k_sigmoid(float x) {
-  if (x >= 0.0f) {
-    const float z = std::exp(-x);
-    return 1.0f / (1.0f + z);
-  }
-  const float z = std::exp(x);
-  return z / (1.0f + z);
+/// Usable = compiled into this binary AND supported by the host CPU.
+const KernelBackend* usable_avx2() {
+  const KernelBackend* b = avx2_kernel_backend();
+  if (b == nullptr) return nullptr;
+  const CpuFeatures& f = cpu_features();
+  return (f.avx2 && f.fma) ? b : nullptr;
 }
-inline float k_tanh(float x) { return std::tanh(x); }
+
+const KernelBackend* usable_neon() {
+  const KernelBackend* b = neon_kernel_backend();
+  if (b == nullptr) return nullptr;
+  return cpu_features().neon ? b : nullptr;
+}
+
+const KernelBackend* best_backend() {
+  if (const KernelBackend* b = usable_avx2()) return b;
+  if (const KernelBackend* b = usable_neon()) return b;
+  return &scalar_kernel_backend();
+}
+
+const KernelBackend* backend_by_name(const std::string& name) {
+  if (name == "scalar") return &scalar_kernel_backend();
+  if (name == "avx2") return usable_avx2();
+  if (name == "neon") return usable_neon();
+  return nullptr;
+}
+
+/// The active backend. Selection is one pointer swap; concurrent first-use
+/// races resolve to the same value, so plain acquire/release suffices.
+std::atomic<const KernelBackend*> g_backend{nullptr};
+
+}  // namespace
+
+std::vector<std::string> available_kernel_backends() {
+  std::vector<std::string> names = {"scalar"};
+  if (usable_avx2() != nullptr) names.emplace_back("avx2");
+  if (usable_neon() != nullptr) names.emplace_back("neon");
+  return names;
+}
+
+bool select_kernel_backend(const std::string& name) {
+  const KernelBackend* b = backend_by_name(name);
+  if (b == nullptr) return false;
+  g_backend.store(b, std::memory_order_release);
+  return true;
+}
+
+const KernelBackend& select_kernel_backend_from_env() {
+  const KernelBackend* chosen = nullptr;
+  if (const char* env = std::getenv("MLAD_KERNEL_BACKEND");
+      env != nullptr && *env != '\0') {
+    chosen = backend_by_name(env);
+    if (chosen == nullptr) {
+      std::fprintf(stderr,
+                   "mlad: MLAD_KERNEL_BACKEND=%s unknown or unsupported on "
+                   "this host (cpu: %s); using %s\n",
+                   env, cpu_feature_summary().c_str(), best_backend()->name);
+    }
+  }
+  if (chosen == nullptr) chosen = best_backend();
+  g_backend.store(chosen, std::memory_order_release);
+  return *chosen;
+}
+
+const KernelBackend& kernel_backend() {
+  const KernelBackend* b = g_backend.load(std::memory_order_acquire);
+  if (b != nullptr) return *b;
+  return select_kernel_backend_from_env();
+}
+
+// ---- dispatching wrappers --------------------------------------------------
+
+namespace {
 
 /// Run fn over row blocks [rb, re) of an `rows`-row output. Each output row
 /// is produced entirely inside one invocation, so any partition is
@@ -35,49 +104,6 @@ inline void for_row_blocks(std::size_t rows, ThreadPool* pool, F&& fn) {
   pool->parallel_chunks(0, rows, std::forward<F>(fn));
 }
 
-/// out rows [rb,re) += a·b over those rows (callers zero `out` first when
-/// they need a plain product).
-///
-/// i-k-j loop order with a 4-way k block: the j loop streams b's rows and
-/// out's row i with unit stride (vectorizable without float reassociation),
-/// and the k blocking quarters the traffic over the out row, which is what
-/// the accumulation is otherwise bound on. Per out element the summation
-/// order is a fixed function of K alone — blocks are anchored at k=0, never
-/// at a chunk boundary — so results are bit-identical for any partition.
-/// All-zero k-blocks are skipped: one-hot encoded inputs make the layer-0
-/// activations ~95% zeros, turning the forward matmul into a row gather.
-inline void nn_rows(const Matrix& a, const Matrix& b, Matrix& out,
-                    std::size_t rb, std::size_t re) {
-  const std::size_t K = a.cols();
-  const std::size_t N = b.cols();
-  const std::size_t K4 = K - K % 4;
-  for (std::size_t i = rb; i < re; ++i) {
-    const float* a_row = a.data() + i * K;
-    float* out_row = out.data() + i * N;
-    for (std::size_t k = 0; k < K4; k += 4) {
-      const float a0 = a_row[k];
-      const float a1 = a_row[k + 1];
-      const float a2 = a_row[k + 2];
-      const float a3 = a_row[k + 3];
-      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
-      const float* b0 = b.data() + k * N;
-      const float* b1 = b0 + N;
-      const float* b2 = b1 + N;
-      const float* b3 = b2 + N;
-      for (std::size_t j = 0; j < N; ++j) {
-        out_row[j] +=
-            (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-      }
-    }
-    for (std::size_t k = K4; k < K; ++k) {
-      const float aik = a_row[k];
-      if (aik == 0.0f) continue;
-      const float* b_row = b.data() + k * N;
-      for (std::size_t j = 0; j < N; ++j) out_row[j] += aik * b_row[j];
-    }
-  }
-}
-
 inline void check_nn(const Matrix& a, const Matrix& b, const char* who) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument(std::string(who) + ": inner dim mismatch");
@@ -90,8 +116,10 @@ void matmul_nn(const Matrix& a, const Matrix& b, Matrix& out,
                ThreadPool* pool) {
   check_nn(a, b, "matmul_nn");
   out.resize(a.rows(), b.cols());
+  const KernelBackend& be = kernel_backend();
   for_row_blocks(a.rows(), pool, [&](std::size_t rb, std::size_t re) {
-    nn_rows(a, b, out, rb, re);
+    be.matmul_nn_rows(a.data(), b.data(), out.data(), a.cols(), b.cols(), rb,
+                      re);
   });
 }
 
@@ -101,8 +129,10 @@ void matmul_nn_acc(const Matrix& a, const Matrix& b, Matrix& out,
   if (out.rows() != a.rows() || out.cols() != b.cols()) {
     throw std::invalid_argument("matmul_nn_acc: output shape mismatch");
   }
+  const KernelBackend& be = kernel_backend();
   for_row_blocks(a.rows(), pool, [&](std::size_t rb, std::size_t re) {
-    nn_rows(a, b, out, rb, re);
+    be.matmul_nn_rows(a.data(), b.data(), out.data(), a.cols(), b.cols(), rb,
+                      re);
   });
 }
 
@@ -114,39 +144,10 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out,
   if (out.rows() != a.cols() || out.cols() != b.cols()) {
     throw std::invalid_argument("matmul_tn_acc: output shape mismatch");
   }
-  const std::size_t K = a.rows();
-  const std::size_t M = a.cols();
-  const std::size_t N = b.cols();
-  const std::size_t K4 = K - K % 4;
-  // Each worker owns a block of out ROWS (= columns of a); per out element
-  // the accumulation order is a fixed function of K (4-way blocks anchored
-  // at k=0), so any row partition is bit-identical. The i-k-j order keeps
-  // the out row hot; b is the small batch-side operand and stays cached.
+  const KernelBackend& be = kernel_backend();
   for_row_blocks(out.rows(), pool, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t i = rb; i < re; ++i) {
-      float* out_row = out.data() + i * N;
-      const float* a_col = a.data() + i;
-      for (std::size_t k = 0; k < K4; k += 4) {
-        const float a0 = a_col[k * M];
-        const float a1 = a_col[(k + 1) * M];
-        const float a2 = a_col[(k + 2) * M];
-        const float a3 = a_col[(k + 3) * M];
-        const float* b0 = b.data() + k * N;
-        const float* b1 = b0 + N;
-        const float* b2 = b1 + N;
-        const float* b3 = b2 + N;
-        for (std::size_t j = 0; j < N; ++j) {
-          out_row[j] +=
-              (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-        }
-      }
-      for (std::size_t k = K4; k < K; ++k) {
-        const float aki = a_col[k * M];
-        if (aki == 0.0f) continue;
-        const float* b_row = b.data() + k * N;
-        for (std::size_t j = 0; j < N; ++j) out_row[j] += aki * b_row[j];
-      }
-    }
+    be.matmul_tn_rows(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                      b.cols(), rb, re);
   });
 }
 
@@ -243,27 +244,11 @@ void lstm_gates_forward(const Matrix& a, const Matrix& c_prev, Matrix& i,
   c.resize(B, H);
   tanh_c.resize(B, H);
   h.resize(B, H);
+  const KernelBackend& be = kernel_backend();
   for_row_blocks(B, pool, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t r = rb; r < re; ++r) {
-      const float* ar = a.data() + r * 4 * H;
-      const float* cp = c_prev.data() + r * H;
-      float* ir = i.data() + r * H;
-      float* fr = f.data() + r * H;
-      float* orow = o.data() + r * H;
-      float* gr = g.data() + r * H;
-      float* cr = c.data() + r * H;
-      float* tr = tanh_c.data() + r * H;
-      float* hr = h.data() + r * H;
-      for (std::size_t j = 0; j < H; ++j) {
-        ir[j] = k_sigmoid(ar[j]);
-        fr[j] = k_sigmoid(ar[H + j]);
-        orow[j] = k_sigmoid(ar[2 * H + j]);
-        gr[j] = k_tanh(ar[3 * H + j]);
-        cr[j] = fr[j] * cp[j] + ir[j] * gr[j];
-        tr[j] = k_tanh(cr[j]);
-        hr[j] = orow[j] * tr[j];
-      }
-    }
+    be.gates_forward_rows(a.data(), c_prev.data(), i.data(), f.data(),
+                          o.data(), g.data(), c.data(), tanh_c.data(),
+                          h.data(), H, rb, re);
   });
 }
 
@@ -281,32 +266,12 @@ void lstm_gates_backward(const Matrix& i, const Matrix& f, const Matrix& o,
   da.resize(B, 4 * H);
   dc_prev.resize(B, H);
   const std::size_t carry_rows = dc_in.rows();
+  const KernelBackend& be = kernel_backend();
   for_row_blocks(B, pool, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t r = rb; r < re; ++r) {
-      const float* ir = i.data() + r * H;
-      const float* fr = f.data() + r * H;
-      const float* orow = o.data() + r * H;
-      const float* gr = g.data() + r * H;
-      const float* cp = c_prev.data() + r * H;
-      const float* tr = tanh_c.data() + r * H;
-      const float* dhr = dh.data() + r * H;
-      const float* dci = r < carry_rows ? dc_in.data() + r * H : nullptr;
-      float* dar = da.data() + r * 4 * H;
-      float* dcp = dc_prev.data() + r * H;
-      for (std::size_t j = 0; j < H; ++j) {
-        const float do_out = dhr[j] * tr[j];
-        float dc = dhr[j] * orow[j] * (1.0f - tr[j] * tr[j]);
-        if (dci != nullptr) dc += dci[j];
-        const float di_out = dc * gr[j];
-        const float df_out = dc * cp[j];
-        const float dg_out = dc * ir[j];
-        dcp[j] = dc * fr[j];
-        dar[j] = di_out * ir[j] * (1.0f - ir[j]);
-        dar[H + j] = df_out * fr[j] * (1.0f - fr[j]);
-        dar[2 * H + j] = do_out * orow[j] * (1.0f - orow[j]);
-        dar[3 * H + j] = dg_out * (1.0f - gr[j] * gr[j]);
-      }
-    }
+    be.gates_backward_rows(i.data(), f.data(), o.data(), g.data(),
+                           c_prev.data(), tanh_c.data(), dh.data(),
+                           dc_in.data(), da.data(), dc_prev.data(), H,
+                           carry_rows, rb, re);
   });
 }
 

@@ -10,6 +10,12 @@
 // execution only partitions *rows* of the output across workers. Results are
 // therefore bit-identical for any `pool` (including nullptr).
 //
+// The matmul and gate inner loops run on a pluggable SIMD backend
+// (kernel_backend.hpp): scalar (reference), AVX2+FMA, or NEON, selected once
+// by runtime cpuid dispatch and overridable via MLAD_KERNEL_BACKEND. The
+// determinism contract holds *per backend*; backends may differ from each
+// other within a documented tolerance (DESIGN.md §7).
+//
 // Convention: weights are stored as in the cells (W: out×in); the batched
 // forward multiplies activations (B×in) by a pre-transposed copy (in×out) so
 // the inner loops stream both operands with unit stride.

@@ -1,0 +1,75 @@
+// Shared scalar bodies of the fused LSTM gate kernels, included by every
+// backend TU (kernels_scalar.cpp uses them for whole rows, the SIMD
+// backends for the ragged column tail where H is not a multiple of the
+// vector width). One definition keeps the three backends formula-identical,
+// which the per-backend determinism and scalar-parity contracts
+// (DESIGN.md §7) depend on. Rounding may still differ per INCLUDING TU
+// (an -mfma TU may contract mul+add chains), which is fine: each backend
+// only has to agree with itself across partitions, and a column's
+// vector-vs-tail classification is a function of H alone.
+//
+// Everything here is `static`: with external-linkage inline functions the
+// linker would keep ONE comdat copy for the whole binary — possibly the
+// one code-generated under -mavx2 -mfma — which would smuggle wide
+// instructions into the baseline-safe TUs and let the scalar backend
+// execute FMA-contracted math. Internal linkage gives every backend TU
+// its own ISA-correct copy.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace mlad::nn::detail {
+
+/// Overflow-free logistic, formula-identical to activations.cpp.
+static inline float scalar_sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+static inline float scalar_tanh(float x) { return std::tanh(x); }
+
+/// One row's fused gate forward over columns [j0, H). Pointers address the
+/// row (already offset by r*H, `ar` by r*4H).
+static inline void scalar_gates_forward_cols(const float* ar, const float* cp,
+                                             float* ir, float* fr,
+                                             float* orow, float* gr,
+                                             float* cr, float* tr, float* hr,
+                                             std::size_t H, std::size_t j0) {
+  for (std::size_t j = j0; j < H; ++j) {
+    ir[j] = scalar_sigmoid(ar[j]);
+    fr[j] = scalar_sigmoid(ar[H + j]);
+    orow[j] = scalar_sigmoid(ar[2 * H + j]);
+    gr[j] = scalar_tanh(ar[3 * H + j]);
+    cr[j] = fr[j] * cp[j] + ir[j] * gr[j];
+    tr[j] = scalar_tanh(cr[j]);
+    hr[j] = orow[j] * tr[j];
+  }
+}
+
+/// One row's fused gate backward over columns [j0, H). `dci` is null for
+/// rows beyond the recurrent carry (ended sequences).
+static inline void scalar_gates_backward_cols(
+    const float* ir, const float* fr, const float* orow, const float* gr,
+    const float* cp, const float* tr, const float* dhr, const float* dci,
+    float* dar, float* dcp, std::size_t H, std::size_t j0) {
+  for (std::size_t j = j0; j < H; ++j) {
+    const float do_out = dhr[j] * tr[j];
+    float dc = dhr[j] * orow[j] * (1.0f - tr[j] * tr[j]);
+    if (dci != nullptr) dc += dci[j];
+    const float di_out = dc * gr[j];
+    const float df_out = dc * cp[j];
+    const float dg_out = dc * ir[j];
+    dcp[j] = dc * fr[j];
+    dar[j] = di_out * ir[j] * (1.0f - ir[j]);
+    dar[H + j] = df_out * fr[j] * (1.0f - fr[j]);
+    dar[2 * H + j] = do_out * orow[j] * (1.0f - orow[j]);
+    dar[3 * H + j] = dg_out * (1.0f - gr[j] * gr[j]);
+  }
+}
+
+}  // namespace mlad::nn::detail

@@ -9,7 +9,6 @@
 
 #include <cassert>
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -68,13 +67,6 @@ class Matrix {
   /// inlines into the loop (no std::function call per element on hot paths).
   template <typename F>
   Matrix& apply(F&& f) {
-    for (float& v : data_) v = f(v);
-    return *this;
-  }
-  /// Deprecated type-erased overload, kept so existing callers that built a
-  /// std::function keep compiling; prefer the template above.
-  [[deprecated("use the templated Matrix::apply")]] Matrix& apply(
-      const std::function<float(float)>& f) {
     for (float& v : data_) v = f(v);
     return *this;
   }

@@ -211,6 +211,30 @@ void SequenceModel::predict(State& state, std::span<const float> x,
   softmax_.forward(top, probs);
 }
 
+SequenceModel::BatchState SequenceModel::make_batch_state(
+    std::size_t streams) const {
+  BatchState s;
+  lstm_.begin_stream_batch(streams, s.lstm);
+  transpose(softmax_.w(), s.softmax_wT);
+  return s;
+}
+
+void SequenceModel::predict_batch(BatchState& state, const Matrix& x,
+                                  ThreadPool* pool) const {
+  if (x.cols() != config_.input_dim) {
+    throw std::invalid_argument("predict_batch: input dim mismatch");
+  }
+  const Matrix& top = lstm_.step_stream_batch(x, state.lstm, pool);
+  broadcast_rows(softmax_.b(), top.rows(), state.probs);
+  matmul_nn_acc(top, state.softmax_wT, state.probs, pool);
+  softmax_rows(state.probs, pool);
+}
+
+void SequenceModel::shrink_batch_state(BatchState& state,
+                                       std::size_t n) const {
+  lstm_.shrink_stream_batch(n, state.lstm);
+}
+
 std::size_t SequenceModel::param_count() const {
   return lstm_.param_count() + softmax_.param_count();
 }

@@ -116,6 +116,26 @@ class SequenceModel {
   void predict(State& state, std::span<const float> x,
                std::vector<float>& probs) const;
 
+  /// Rolling state for S concurrent inference streams advanced in lockstep:
+  /// one (S×dim) batched kernel pass per layer per tick (DESIGN.md §4).
+  struct BatchState {
+    StreamBatchState lstm;
+    Matrix probs;       ///< B×C: Pr(s | history) per stream after the tick
+    Matrix softmax_wT;  ///< H_top×C cached transpose
+  };
+
+  BatchState make_batch_state(std::size_t streams) const;
+
+  /// One batched tick: x is (B×input_dim), B = current stream count; row s
+  /// of state.probs becomes stream s's next-package distribution. Matches
+  /// per-stream predict() to float rounding (batched kernels vs per-sample
+  /// reference); bit-identical for any `pool`.
+  void predict_batch(BatchState& state, const Matrix& x,
+                     ThreadPool* pool = nullptr) const;
+
+  /// Keep only the first n streams of the batched state.
+  void shrink_batch_state(BatchState& state, std::size_t n) const;
+
   // ---- Introspection ------------------------------------------------------
 
   std::size_t param_count() const;

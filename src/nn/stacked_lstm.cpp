@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
+
 namespace mlad::nn {
 
 StackedLstm::StackedLstm(std::size_t input_dim,
@@ -107,6 +109,53 @@ void StackedLstm::backward_sequence_batch(StackedBatchTape& tape,
                                         grads[3 * li], grads[3 * li + 1],
                                         grads[3 * li + 2], pool);
     dh = tape.layers[li].dx;  // input grads = dh_out of the layer below
+  }
+}
+
+void StackedLstm::begin_stream_batch(std::size_t streams,
+                                     StreamBatchState& sb) const {
+  sb.layers.resize(layers_.size());
+  sb.wT.resize(layers_.size());
+  sb.uT.resize(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const LstmCell& cell = layers_[li].cell();
+    sb.layers[li].h_prev.resize(streams, cell.hidden_dim());
+    sb.layers[li].c_prev.resize(streams, cell.hidden_dim());
+    transpose(cell.w(), sb.wT[li]);
+    transpose(cell.u(), sb.uT[li]);
+  }
+}
+
+const Matrix& StackedLstm::step_stream_batch(const Matrix& x,
+                                             StreamBatchState& sb,
+                                             ThreadPool* pool) const {
+  if (sb.layers.size() != layers_.size()) {
+    throw std::invalid_argument("step_stream_batch: uninitialized state");
+  }
+  const Matrix* in = &x;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    LstmBatchCache& cache = sb.layers[li];
+    layers_[li].cell().forward_batch(*in, sb.wT[li], sb.uT[li], cache, sb.a,
+                                     pool);
+    // The fresh h/c become the entering state of the next tick; after the
+    // swap they also double as the input block of the layer above.
+    std::swap(cache.h, cache.h_prev);
+    std::swap(cache.c, cache.c_prev);
+    in = &cache.h_prev;
+  }
+  return *in;
+}
+
+void StackedLstm::shrink_stream_batch(std::size_t n,
+                                      StreamBatchState& sb) const {
+  for (LstmBatchCache& cache : sb.layers) {
+    if (n > cache.h_prev.rows()) {
+      throw std::invalid_argument("shrink_stream_batch: n exceeds streams");
+    }
+    copy_top_rows(cache.h_prev, n, sb.shrink_tmp);
+    std::swap(cache.h_prev, sb.shrink_tmp);
+    copy_top_rows(cache.c_prev, n, sb.shrink_tmp);
+    std::swap(cache.c_prev, sb.shrink_tmp);
   }
 }
 

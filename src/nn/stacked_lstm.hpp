@@ -34,6 +34,19 @@ struct StackedBatchTape {
   std::vector<std::vector<const Matrix*>> inputs;
 };
 
+/// Rolling state + scratch for S concurrent inference streams advanced one
+/// timestep per call through (S×dim) batched kernels (DESIGN.md §4). Between
+/// calls the live state of layer l sits in layers[l].h_prev / c_prev; the
+/// other cache members are per-tick scratch. Streams end from the back:
+/// callers order streams so the ones that finish first carry the highest row
+/// indices, and drop them with shrink_stream_batch.
+struct StreamBatchState {
+  std::vector<LstmBatchCache> layers;  ///< [layer]; h_prev/c_prev = state
+  std::vector<Matrix> wT, uT;          ///< [layer] cached transposed params
+  Matrix a;                            ///< B×4H pre-activation scratch
+  Matrix shrink_tmp;
+};
+
 class StackedLstm {
  public:
   /// `hidden_dims` gives the width of each stacked layer, bottom first.
@@ -82,6 +95,22 @@ class StackedLstm {
                                std::span<Matrix> dh_top,
                                std::span<Matrix> grads,
                                ThreadPool* pool = nullptr) const;
+
+  // ---- Batched streaming inference (multi-stream stepping) ---------------
+
+  /// Zero an S-stream batched state and cache the weight transposes (call
+  /// again after any parameter update to refresh them).
+  void begin_stream_batch(std::size_t streams, StreamBatchState& sb) const;
+
+  /// Advance every stream one timestep: x is (B×input_dim), B = current
+  /// stream count. Returns the top layer's (B×H_top) hidden block, valid
+  /// until the next call. `pool` only partitions kernel rows and never
+  /// changes results (§5).
+  const Matrix& step_stream_batch(const Matrix& x, StreamBatchState& sb,
+                                  ThreadPool* pool = nullptr) const;
+
+  /// Keep only the first n streams (rows) of the state.
+  void shrink_stream_batch(std::size_t n, StreamBatchState& sb) const;
 
   void zero_grads();
   std::size_t param_count() const;

@@ -1,0 +1,168 @@
+// Batched multi-stream inference (detect/stream_batch.hpp and the
+// EvalOptions::streams path): per-stream semantics track the single-stream
+// reference to float rounding, metrics are bit-identical across thread
+// counts (the pool only partitions kernel rows), and the StreamBatch API
+// enforces its prefix-shrink contract.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "detect/pipeline.hpp"
+#include "detect/stream_batch.hpp"
+#include "ics/features.hpp"
+#include "ics/simulator.hpp"
+
+namespace mlad::detect {
+namespace {
+
+struct Fixture {
+  ics::SimulationResult capture;
+  TrainedFramework framework;
+
+  Fixture() {
+    ics::SimulatorConfig sim_cfg;
+    sim_cfg.cycles = 1500;
+    sim_cfg.seed = 321;
+    ics::GasPipelineSimulator sim(sim_cfg);
+    capture = sim.run();
+
+    PipelineConfig cfg;
+    cfg.combined.timeseries.hidden_dims = {24};
+    cfg.combined.timeseries.epochs = 2;
+    cfg.combined.timeseries.batch_size = 8;
+    cfg.seed = 3;
+    framework = train_framework(capture.packages, cfg);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+bool same_counts(const EvaluationResult& a, const EvaluationResult& b) {
+  return a.confusion.tp == b.confusion.tp && a.confusion.tn == b.confusion.tn &&
+         a.confusion.fp == b.confusion.fp && a.confusion.fn == b.confusion.fn &&
+         a.package_level_alarms == b.package_level_alarms &&
+         a.timeseries_level_alarms == b.timeseries_level_alarms;
+}
+
+TEST(StreamBatchEval, BitIdenticalAcrossThreadCounts) {
+  const auto& f = fixture();
+  EvalOptions one;
+  one.streams = 8;
+  one.threads = 1;
+  EvalOptions four;
+  four.streams = 8;
+  four.threads = 4;
+  const EvaluationResult r1 =
+      evaluate_framework(*f.framework.detector, f.framework.split.test, one);
+  const EvaluationResult r4 =
+      evaluate_framework(*f.framework.detector, f.framework.split.test, four);
+  EXPECT_TRUE(same_counts(r1, r4));
+  for (std::size_t i = 0; i < ics::kAttackTypeCount; ++i) {
+    EXPECT_EQ(r1.per_attack.detected[i], r4.per_attack.detected[i]);
+    EXPECT_EQ(r1.per_attack.total[i], r4.per_attack.total[i]);
+  }
+}
+
+TEST(StreamBatchEval, TracksSingleStreamReference) {
+  const auto& f = fixture();
+  const EvaluationResult seq =
+      evaluate_framework(*f.framework.detector, f.framework.split.test);
+  EvalOptions opts;
+  opts.streams = 8;
+  const EvaluationResult batched =
+      evaluate_framework(*f.framework.detector, f.framework.split.test, opts);
+
+  // Every package is scored exactly once…
+  EXPECT_EQ(seq.confusion.total(), batched.confusion.total());
+  // …and verdicts may differ only near segment starts (history warm-up)
+  // plus rounding-level flips from the batched-vs-reference kernels.
+  const std::size_t slack = 6 * opts.streams;
+  EXPECT_NEAR(static_cast<double>(seq.confusion.tp),
+              static_cast<double>(batched.confusion.tp),
+              static_cast<double>(slack));
+  EXPECT_NEAR(static_cast<double>(seq.confusion.fp),
+              static_cast<double>(batched.confusion.fp),
+              static_cast<double>(slack));
+}
+
+TEST(StreamBatchEval, MoreStreamsThanPackagesClamps) {
+  const auto& f = fixture();
+  const auto test = std::span(f.framework.split.test).first(5);
+  EvalOptions opts;
+  opts.streams = 64;
+  const EvaluationResult r =
+      evaluate_framework(*f.framework.detector, test, opts);
+  EXPECT_EQ(r.confusion.total(), test.size());
+}
+
+TEST(StreamBatch, PerStreamVerdictsMatchIndependentStreams) {
+  const auto& f = fixture();
+  const CombinedDetector& det = *f.framework.detector;
+  const auto test = std::span(f.framework.split.test).first(300);
+  const std::vector<sig::RawRow> rows = ics::to_raw_rows(test);
+  constexpr std::size_t S = 3;
+  const std::size_t len = test.size() / S;  // 100 each
+
+  // Reference: S independent single-stream detectors.
+  std::vector<std::vector<bool>> ref(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    auto stream = det.make_stream();
+    for (std::size_t t = 0; t < len; ++t) {
+      ref[s].push_back(
+          det.classify_and_consume(stream, rows[s * len + t]).anomaly);
+    }
+  }
+
+  // Batched: the same S segments advanced in lockstep. Verdicts are not
+  // bitwise-guaranteed (batched kernels round differently), so count the
+  // disagreements instead of requiring zero.
+  StreamBatch batch(det, S);
+  std::vector<std::span<const double>> tick(S);
+  std::vector<CombinedVerdict> verdicts;
+  std::size_t mismatches = 0;
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t s = 0; s < S; ++s) tick[s] = rows[s * len + t];
+    batch.step(tick, verdicts);
+    for (std::size_t s = 0; s < S; ++s) {
+      if (verdicts[s].anomaly != ref[s][t]) ++mismatches;
+    }
+  }
+  EXPECT_LE(mismatches, 3u) << "batched verdicts diverged from the "
+                               "single-stream reference beyond rounding";
+}
+
+TEST(StreamBatch, ShrinkKeepsPrefixStreamsStepping) {
+  const auto& f = fixture();
+  const CombinedDetector& det = *f.framework.detector;
+  const auto test = f.framework.split.test;
+  ASSERT_GE(test.size(), 8u);
+  const std::vector<sig::RawRow> rows = ics::to_raw_rows(test);
+
+  StreamBatch batch(det, 4);
+  EXPECT_EQ(batch.active(), 4u);
+  std::vector<std::span<const double>> tick;
+  std::vector<CombinedVerdict> verdicts;
+  for (std::size_t s = 0; s < 4; ++s) tick.emplace_back(rows[s]);
+  batch.step(tick, verdicts);
+  EXPECT_EQ(verdicts.size(), 4u);
+
+  batch.shrink(2);
+  EXPECT_EQ(batch.active(), 2u);
+  tick.resize(2);
+  for (std::size_t s = 0; s < 2; ++s) tick[s] = rows[4 + s];
+  batch.step(tick, verdicts);
+  EXPECT_EQ(verdicts.size(), 2u);
+
+  // Contract violations throw instead of corrupting state.
+  tick.resize(3);
+  tick[2] = rows[6];
+  EXPECT_THROW(batch.step(tick, verdicts), std::invalid_argument);
+  EXPECT_THROW(batch.shrink(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlad::detect

@@ -1,0 +1,232 @@
+// Kernel backend parity + dispatch (DESIGN.md §7): every SIMD backend that
+// is compiled in and usable on this host must (a) agree with the scalar
+// reference within the documented tolerance on randomized shapes, including
+// ragged tails where M, N, K are not multiples of the vector width, (b) be
+// bit-identical across thread counts within itself, and (c) be selectable
+// through the MLAD_KERNEL_BACKEND environment override.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cpu_features.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/kernel_backend.hpp"
+#include "nn/kernels.hpp"
+
+namespace mlad::nn {
+namespace {
+
+/// Restore the env-driven default after a test that fiddles the selection,
+/// so tests stay order-independent within this binary.
+struct BackendGuard {
+  BackendGuard() = default;
+  ~BackendGuard() { select_kernel_backend_from_env(); }
+};
+
+std::vector<std::string> simd_backends() {
+  std::vector<std::string> names;
+  for (const std::string& n : available_kernel_backends()) {
+    if (n != "scalar") names.push_back(n);
+  }
+  return names;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                     double zero_fraction = 0.0) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.bernoulli(zero_fraction)
+                      ? 0.0f
+                      : static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  return m;
+}
+
+void expect_close(const Matrix& got, const Matrix& want, double tol,
+                  const std::string& what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double g = got.data()[i];
+    const double w = want.data()[i];
+    ASSERT_NEAR(g, w, tol * (1.0 + std::abs(w)))
+        << what << " at flat index " << i;
+  }
+}
+
+void expect_bitwise(const Matrix& a, const Matrix& b, const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what;
+}
+
+/// Shapes chosen to exercise every tail path: vector-width multiples,
+/// ragged K (k-block tail), ragged N (8/4-lane tail), single elements.
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {3, 7, 5},    {8, 16, 8},  {17, 33, 9},
+    {5, 64, 12}, {33, 48, 31}, {2, 100, 3}, {16, 20, 64},
+};
+
+TEST(KernelBackends, ScalarAlwaysAvailable) {
+  const auto names = available_kernel_backends();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "scalar");
+  EXPECT_TRUE(select_kernel_backend("scalar"));
+  EXPECT_STREQ(kernel_backend().name, "scalar");
+  BackendGuard restore;
+}
+
+TEST(KernelBackends, MatmulParityVsScalar) {
+  BackendGuard restore;
+  Rng rng(42);
+  for (const std::string& name : simd_backends()) {
+    for (const Shape& s : kShapes) {
+      // One-hot-ish sparsity on `a` exercises the zero-block skip.
+      const Matrix a = random_matrix(s.m, s.k, rng, 0.5);
+      const Matrix b = random_matrix(s.k, s.n, rng);
+      Matrix ref;
+      Matrix out;
+      ASSERT_TRUE(select_kernel_backend("scalar"));
+      matmul_nn(a, b, ref);
+      ASSERT_TRUE(select_kernel_backend(name));
+      matmul_nn(a, b, out);
+      expect_close(out, ref, 1e-4,
+                   name + " matmul_nn " + std::to_string(s.m) + "x" +
+                       std::to_string(s.k) + "x" + std::to_string(s.n));
+
+      // Accumulating variants, seeded with a nonzero output.
+      const Matrix seed = random_matrix(s.m, s.n, rng);
+      Matrix ref_acc = seed;
+      Matrix out_acc = seed;
+      ASSERT_TRUE(select_kernel_backend("scalar"));
+      matmul_nn_acc(a, b, ref_acc);
+      ASSERT_TRUE(select_kernel_backend(name));
+      matmul_nn_acc(a, b, out_acc);
+      expect_close(out_acc, ref_acc, 1e-4, name + " matmul_nn_acc");
+
+      // grad += aᵀ·b: a is K×M here (inner dim = rows).
+      const Matrix at = random_matrix(s.k, s.m, rng);
+      const Matrix bt = random_matrix(s.k, s.n, rng);
+      Matrix ref_tn(s.m, s.n, 0.25f);
+      Matrix out_tn(s.m, s.n, 0.25f);
+      ASSERT_TRUE(select_kernel_backend("scalar"));
+      matmul_tn_acc(at, bt, ref_tn);
+      ASSERT_TRUE(select_kernel_backend(name));
+      matmul_tn_acc(at, bt, out_tn);
+      expect_close(out_tn, ref_tn, 1e-4, name + " matmul_tn_acc");
+    }
+  }
+}
+
+TEST(KernelBackends, LstmGateParityVsScalar) {
+  BackendGuard restore;
+  Rng rng(7);
+  const std::size_t batches[] = {1, 3, 8};
+  const std::size_t hiddens[] = {1, 8, 12, 31, 64};
+  for (const std::string& name : simd_backends()) {
+    for (std::size_t B : batches) {
+      for (std::size_t H : hiddens) {
+        const Matrix a = random_matrix(B, 4 * H, rng);
+        const Matrix c_prev = random_matrix(B, H, rng);
+        Matrix ri, rf, ro, rg, rc, rt, rh;
+        Matrix oi, of, oo, og, oc, ot, oh;
+        ASSERT_TRUE(select_kernel_backend("scalar"));
+        lstm_gates_forward(a, c_prev, ri, rf, ro, rg, rc, rt, rh);
+        ASSERT_TRUE(select_kernel_backend(name));
+        lstm_gates_forward(a, c_prev, oi, of, oo, og, oc, ot, oh);
+        const std::string what =
+            name + " gates B=" + std::to_string(B) + " H=" + std::to_string(H);
+        expect_close(oi, ri, 1e-5, what + " i");
+        expect_close(of, rf, 1e-5, what + " f");
+        expect_close(oo, ro, 1e-5, what + " o");
+        expect_close(og, rg, 1e-5, what + " g");
+        expect_close(oc, rc, 1e-5, what + " c");
+        expect_close(ot, rt, 1e-5, what + " tanh_c");
+        expect_close(oh, rh, 1e-5, what + " h");
+
+        // Backward over the scalar forward's caches (shared inputs so only
+        // the backward kernel is under test); carry covers a strict subset
+        // of rows to exercise the ended-sequence path.
+        const Matrix dh = random_matrix(B, H, rng);
+        const Matrix dc_in = random_matrix(B > 1 ? B - 1 : 0, H, rng);
+        Matrix rda, rdc, oda, odc;
+        ASSERT_TRUE(select_kernel_backend("scalar"));
+        lstm_gates_backward(ri, rf, ro, rg, c_prev, rt, dh, dc_in, rda, rdc);
+        ASSERT_TRUE(select_kernel_backend(name));
+        lstm_gates_backward(ri, rf, ro, rg, c_prev, rt, dh, dc_in, oda, odc);
+        expect_close(oda, rda, 1e-5, what + " da");
+        expect_close(odc, rdc, 1e-5, what + " dc_prev");
+      }
+    }
+  }
+}
+
+TEST(KernelBackends, BitIdenticalAcrossThreadCountsPerBackend) {
+  BackendGuard restore;
+  Rng rng(123);
+  ThreadPool pool(4);
+  for (const std::string& name : available_kernel_backends()) {
+    ASSERT_TRUE(select_kernel_backend(name));
+    const Matrix a = random_matrix(33, 50, rng, 0.3);
+    const Matrix b = random_matrix(50, 23, rng);
+    Matrix serial, threaded;
+    matmul_nn(a, b, serial, nullptr);
+    matmul_nn(a, b, threaded, &pool);
+    expect_bitwise(serial, threaded, name + " matmul_nn thread invariance");
+
+    const Matrix ga = random_matrix(17, 4 * 31, rng);
+    const Matrix gc = random_matrix(17, 31, rng);
+    Matrix i1, f1, o1, g1, c1, t1, h1;
+    Matrix i2, f2, o2, g2, c2, t2, h2;
+    lstm_gates_forward(ga, gc, i1, f1, o1, g1, c1, t1, h1, nullptr);
+    lstm_gates_forward(ga, gc, i2, f2, o2, g2, c2, t2, h2, &pool);
+    expect_bitwise(h1, h2, name + " gates thread invariance");
+    expect_bitwise(c1, c2, name + " cell thread invariance");
+  }
+}
+
+TEST(KernelBackends, EnvVarOverridesDispatch) {
+  BackendGuard restore;
+  ASSERT_EQ(0, setenv("MLAD_KERNEL_BACKEND", "scalar", 1));
+  select_kernel_backend_from_env();
+  EXPECT_STREQ(kernel_backend().name, "scalar");
+
+  for (const std::string& name : simd_backends()) {
+    ASSERT_EQ(0, setenv("MLAD_KERNEL_BACKEND", name.c_str(), 1));
+    select_kernel_backend_from_env();
+    EXPECT_EQ(name, kernel_backend().name);
+  }
+
+  // Unknown values fall back to the best usable backend (never crash).
+  ASSERT_EQ(0, setenv("MLAD_KERNEL_BACKEND", "definitely-not-a-backend", 1));
+  select_kernel_backend_from_env();
+  const auto names = available_kernel_backends();
+  EXPECT_EQ(names.back(), kernel_backend().name);
+
+  ASSERT_EQ(0, unsetenv("MLAD_KERNEL_BACKEND"));
+  select_kernel_backend_from_env();
+  EXPECT_EQ(names.back(), kernel_backend().name);
+}
+
+TEST(KernelBackends, SelectUnknownBackendFails) {
+  BackendGuard restore;
+  ASSERT_TRUE(select_kernel_backend("scalar"));
+  EXPECT_FALSE(select_kernel_backend("bogus"));
+  EXPECT_STREQ(kernel_backend().name, "scalar");  // unchanged on failure
+}
+
+TEST(KernelBackends, FeatureSummaryIsNonEmpty) {
+  EXPECT_FALSE(cpu_feature_summary().empty());
+}
+
+}  // namespace
+}  // namespace mlad::nn

@@ -109,14 +109,25 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
   const auto detector = detect::load_framework_file(need(flags, "model"));
-  // Without --threads: the seed's exact single-stream evaluation. With
-  // --threads (any value): sharded evaluation, whose fixed shard
-  // boundaries keep the metrics bit-identical for any thread count (see
-  // detect/pipeline.hpp) but reset LSTM history at shard starts.
+  // Without --threads/--streams: the seed's exact single-stream evaluation.
+  // With --threads: sharded evaluation, whose fixed shard boundaries keep
+  // the metrics bit-identical for any thread count (see detect/pipeline.hpp)
+  // but reset LSTM history at shard starts. With --streams S (> 1): batched
+  // multi-stream inference — S segments advanced in lockstep through one
+  // (S×dim) LSTM step per layer per tick; also thread-count-invariant.
   detect::EvaluationResult result;
-  if (const auto it = flags.find("threads"); it != flags.end()) {
-    detect::EvalOptions opts;
-    opts.threads = std::stoul(it->second);
+  const auto threads_it = flags.find("threads");
+  const auto streams_it = flags.find("streams");
+  detect::EvalOptions opts;
+  if (threads_it != flags.end()) {
+    opts.threads = std::stoul(threads_it->second);
+  }
+  if (streams_it != flags.end()) {
+    opts.streams = std::stoul(streams_it->second);
+  }
+  // --streams 1 (or 0) means "one stream" — the exact single-stream
+  // reference, not the sharded evaluator, which only --threads selects.
+  if (threads_it != flags.end() || opts.streams > 1) {
     result = detect::evaluate_framework(*detector, packages, opts);
   } else {
     result = detect::evaluate_framework(*detector, packages);
@@ -183,8 +194,10 @@ int usage() {
                "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
                "           [--batch B] [--threads N]   (batch>1 = parallel minibatch\n"
                "           engine; threads 0 = all cores, never changes results)\n"
-               "  evaluate --arff f --model f [--threads N]  (with --threads: sharded\n"
-               "           parallel scoring, identical for any thread count)\n"
+               "  evaluate --arff f --model f [--threads N] [--streams S]\n"
+               "           (--threads: sharded parallel scoring; --streams S>1:\n"
+               "           batched multi-stream inference, one (S×dim) LSTM step\n"
+               "           per tick; both identical for any thread count)\n"
                "  monitor  --capture f --model f [--max-alarms N]\n");
   return 2;
 }
