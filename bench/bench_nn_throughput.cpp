@@ -21,9 +21,12 @@
 #include "detect/combined.hpp"
 #include "detect/package_detector.hpp"
 #include "detect/timeseries_detector.hpp"
+#include "ics/capture.hpp"
 #include "ics/features.hpp"
+#include "ics/link_mux.hpp"
 #include "nn/kernel_backend.hpp"
 #include "nn/kernels.hpp"
+#include "serve/monitor_engine.hpp"
 
 namespace {
 
@@ -165,10 +168,99 @@ bool same_confusion(const detect::Confusion& a, const detect::Confusion& b) {
   return a.tp == b.tp && a.tn == b.tn && a.fp == b.fp && a.fn == b.fn;
 }
 
+// ---- multi-link serve engine (DESIGN.md §8) --------------------------------
+
+struct ServeRun {
+  std::size_t links = 0;
+  std::uint64_t packages = 0;
+  std::uint64_t alarms = 0;
+  double batched_us = 0.0;    ///< µs/package, lockstep StreamBatch ticks
+  double reference_us = 0.0;  ///< µs/package, N per-package monitors
+  double speedup = 0.0;
+  bool isolated_match = true; ///< merged per-link alarms == isolated runs
+};
+
+std::vector<ServeRun> bench_serve(const detect::CombinedDetector& detector) {
+  std::vector<ServeRun> runs;
+  for (const std::size_t links : {1u, 8u, 32u}) {
+    // One short attack-traffic capture per link (distinct seeds), sized so
+    // every configuration classifies a similar package total.
+    std::vector<ics::Capture> captures;
+    for (std::size_t i = 0; i < links; ++i) {
+      ics::SimulatorConfig cfg;
+      cfg.cycles = std::max<std::size_t>(2400 / links, 75);
+      cfg.seed = 9000 + i;
+      ics::GasPipelineSimulator sim(cfg);
+      const ics::SimulationResult result = sim.run();
+      ics::Capture capture;
+      capture.reserve(result.packages.size());
+      for (const auto& p : result.packages) {
+        capture.push_back(ics::package_to_frame(p));
+      }
+      captures.push_back(std::move(capture));
+    }
+    const std::vector<ics::LinkFrame> wire = ics::merge_captures(captures);
+
+    const auto run_engine = [&](bool batched, serve::AlarmSink* sink) {
+      serve::MonitorEngineConfig cfg;
+      cfg.batched = batched;
+      serve::MonitorEngine engine(detector, sink, cfg);
+      engine.replay(wire);
+      return engine.stats();
+    };
+    // Warm one batched pass (kernel dispatch, page-in), then measure.
+    run_engine(true, nullptr);
+
+    ServeRun run;
+    run.links = links;
+    serve::CountingAlarmSink merged_sink;
+    const serve::EngineStats batched = run_engine(true, &merged_sink);
+    const serve::EngineStats reference = run_engine(false, nullptr);
+    run.packages = batched.packages;
+    run.alarms = batched.alarms;
+    run.batched_us = batched.us_per_package();
+    run.reference_us = reference.us_per_package();
+    run.speedup =
+        run.batched_us > 0 ? run.reference_us / run.batched_us : 0.0;
+
+    // Acceptance cross-check: every link's merged alarm sequence must equal
+    // its isolated single-link batched run (bitwise stream independence).
+    for (std::size_t i = 0; i < links && run.isolated_match; ++i) {
+      serve::CountingAlarmSink iso_sink;
+      serve::MonitorEngine engine(detector, &iso_sink);
+      for (const ics::RawFrame& frame : captures[i]) engine.push(0, frame);
+      engine.finish();
+      std::size_t seen = 0;
+      for (const serve::AlarmEvent& e : merged_sink.events()) {
+        if (e.link != i) continue;
+        if (seen >= iso_sink.count()) { run.isolated_match = false; break; }
+        const serve::AlarmEvent& want = iso_sink.events()[seen++];
+        if (e.seq != want.seq || e.time != want.time ||
+            e.verdict.package_level != want.verdict.package_level) {
+          run.isolated_match = false;
+          break;
+        }
+      }
+      if (seen != iso_sink.count()) run.isolated_match = false;
+    }
+
+    std::printf("  serve %2zu links   batched %7.2f us/pkg   reference "
+                "%7.2f us/pkg   %5.2fx   (%llu packages, %llu alarms, "
+                "isolated-match %s)\n",
+                run.links, run.batched_us, run.reference_us, run.speedup,
+                static_cast<unsigned long long>(run.packages),
+                static_cast<unsigned long long>(run.alarms),
+                run.isolated_match ? "yes" : "NO — INDEPENDENCE BUG");
+    runs.push_back(run);
+  }
+  return runs;
+}
+
 void write_json(const char* path, const bench::Scale& scale,
                 std::size_t hw_threads, const std::vector<KernelRun>& kernels,
                 const std::vector<TrainRun>& trains,
-                const std::vector<EvalRun>& evals, bool losses_identical,
+                const std::vector<EvalRun>& evals,
+                const std::vector<ServeRun>& serves, bool losses_identical,
                 bool confusion_identical, bool streams_identical) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -244,6 +336,22 @@ void write_json(const char* path, const bench::Scale& scale,
                confusion_identical ? "true" : "false");
   std::fprintf(f, "    \"streams_confusion_identical_across_threads\": %s\n",
                streams_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"serve\": {\n");
+  bool all_isolated = true;
+  for (const ServeRun& r : serves) {
+    all_isolated = all_isolated && r.isolated_match;
+    std::fprintf(f,
+                 "    \"links%zu\": {\"packages\": %llu, \"alarms\": %llu, "
+                 "\"batched_us_per_package\": %.3f, "
+                 "\"reference_us_per_package\": %.3f, "
+                 "\"speedup_batched_vs_reference\": %.3f},\n",
+                 r.links, static_cast<unsigned long long>(r.packages),
+                 static_cast<unsigned long long>(r.alarms), r.batched_us,
+                 r.reference_us, r.speedup);
+  }
+  std::fprintf(f, "    \"per_link_verdicts_match_isolated\": %s\n",
+               all_isolated ? "true" : "false");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -368,10 +476,18 @@ int main(int argc, char** argv) {
           ? evals[0].us_per_package / evals[4].us_per_package
           : 0.0);
 
+  // ---- multi-link serve: batched lockstep vs N sequential monitors --------
+  std::printf("serve engine (links × {batched, reference}):\n");
+  const std::vector<ServeRun> serves = bench_serve(detector);
+  bool serve_isolated = true;
+  for (const ServeRun& r : serves) serve_isolated &= r.isolated_match;
+
   if (json_path != nullptr) {
-    write_json(json_path, scale, hw, kernels, trains, evals, losses_identical,
-               confusion_identical, streams_identical);
+    write_json(json_path, scale, hw, kernels, trains, evals, serves,
+               losses_identical, confusion_identical, streams_identical);
   }
-  return (losses_identical && confusion_identical && streams_identical) ? 0
-                                                                        : 1;
+  return (losses_identical && confusion_identical && streams_identical &&
+          serve_isolated)
+             ? 0
+             : 1;
 }

@@ -1,20 +1,68 @@
-// Streaming monitor: train on a clean commissioning window, then watch live
-// traffic package-by-package (the deployment mode of Fig. 3), printing an
-// alarm line for every detection with stage attribution and a rolling
-// summary — what an operator console sitting on the control network would
-// show.
+// Streaming monitor on the serve engine: train on a clean commissioning
+// window, then watch TWO live plants at once — their raw frames interleave
+// on one wire, the LinkMux splits them back into per-link decode sessions,
+// and every tick advances both links through a single batched LSTM step
+// (DESIGN.md §8). A custom AlarmSink joins each alarm back to the simulator
+// ground truth — what an operator console sitting on the control network
+// would show, plus the answer key.
 //
-// Usage: live_monitor [minutes_of_live_traffic]   (default ≈ 8 minutes)
+// Usage: live_monitor [minutes_of_live_traffic_per_plant]   (default ≈ 8)
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "detect/pipeline.hpp"
 #include "detect/serialize.hpp"
+#include "ics/capture.hpp"
+#include "ics/link_mux.hpp"
 #include "ics/simulator.hpp"
+#include "serve/monitor_engine.hpp"
+
+namespace {
+
+using namespace mlad;
+
+/// Console sink with ground truth: looks the alarmed package up in its
+/// link's simulated traffic and prints the true attack label next to the
+/// verdict (the engine classifies frames; the simulator kept the answers).
+class TruthAlarmSink final : public serve::AlarmSink {
+ public:
+  TruthAlarmSink(const std::vector<const ics::SimulationResult*>& plants,
+                 std::size_t max_lines)
+      : plants_(plants), max_lines_(max_lines) {}
+
+  void on_alarm(const serve::AlarmEvent& e) override {
+    const ics::Package& p =
+        plants_.at(e.link)->packages.at(static_cast<std::size_t>(e.seq));
+    if (printed_ < max_lines_) {
+      std::printf("t=%9.3fs  link=%u  ALARM (%s stage)  fc=0x%02X addr=%u "
+                  "%s  pressure=%.2f  [truth: %s]\n",
+                  e.time, e.link,
+                  e.verdict.package_level ? "bloom" : "lstm ",
+                  static_cast<unsigned>(e.function),
+                  static_cast<unsigned>(e.address),
+                  p.command_response ? "cmd " : "resp",
+                  p.pressure_measurement,
+                  std::string(ics::attack_name(p.label)).c_str());
+      if (++printed_ == max_lines_) {
+        std::printf("… further alarms suppressed …\n");
+      }
+    }
+    if (p.is_attack()) ++true_alarms_;
+  }
+
+  std::size_t true_alarms() const { return true_alarms_; }
+
+ private:
+  std::vector<const ics::SimulationResult*> plants_;
+  std::size_t max_lines_;
+  std::size_t printed_ = 0;
+  std::size_t true_alarms_ = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace mlad;
-
   // Commissioning phase: the plant runs air-gapped, no adversary. The paper
   // trains from exactly such an anomaly-free observation window.
   ics::SimulatorConfig clean_cfg;
@@ -42,47 +90,64 @@ int main(int argc, char** argv) {
   const std::string model_path = "/tmp/mlad_live_monitor.model";
   detect::save_framework_file(model_path, *fw.detector);
   const auto detector = detect::load_framework_file(model_path);
-  std::printf("[deploy] model saved and re-loaded from %s\n", model_path.c_str());
+  std::printf("[deploy] model saved and re-loaded from %s\n",
+              model_path.c_str());
 
-  // Live phase: same plant, adversary active.
+  // Live phase: two sister plants of the same design, adversaries active on
+  // both. Each plant's frames become one link of the interleaved wire.
   const double minutes = argc > 1 ? std::stod(argv[1]) : 8.0;
-  ics::SimulatorConfig live_cfg = clean_cfg;
-  live_cfg.attacks_enabled = true;
-  live_cfg.cycles = static_cast<std::size_t>(minutes * 60.0 / 0.25);
-  live_cfg.seed = 2025;
-  ics::GasPipelineSimulator live(live_cfg);
-  const ics::SimulationResult traffic = live.run();
-  const auto rows = ics::to_raw_rows(traffic.packages);
-
-  std::printf("[live] monitoring %zu packages (%.1f simulated minutes)\n\n",
-              traffic.packages.size(), traffic.duration_seconds / 60.0);
-
-  detect::CombinedDetector::Stream stream = detector->make_stream();
-  detect::Confusion confusion;
-  std::size_t alarms_printed = 0;
-  constexpr std::size_t kMaxAlarmLines = 25;
-
-  for (std::size_t i = 0; i < traffic.packages.size(); ++i) {
-    const ics::Package& p = traffic.packages[i];
-    const detect::CombinedVerdict v =
-        detector->classify_and_consume(stream, rows[i]);
-    confusion.record(p.is_attack(), v.anomaly);
-    if (v.anomaly && alarms_printed < kMaxAlarmLines) {
-      std::printf("t=%9.3fs  ALARM (%s stage)  fc=0x%02X addr=%u %s  "
-                  "pressure=%.2f  [truth: %s]\n",
-                  p.time, v.package_level ? "bloom" : "lstm ", p.function,
-                  p.address, p.command_response ? "cmd " : "resp",
-                  p.pressure_measurement,
-                  std::string(ics::attack_name(p.label)).c_str());
-      ++alarms_printed;
-      if (alarms_printed == kMaxAlarmLines) {
-        std::printf("… further alarms suppressed …\n");
-      }
+  std::vector<ics::SimulationResult> plants;
+  std::vector<ics::Capture> captures;
+  for (std::uint64_t seed : {2025ull, 2026ull}) {
+    ics::SimulatorConfig live_cfg = clean_cfg;
+    live_cfg.attacks_enabled = true;
+    live_cfg.cycles = static_cast<std::size_t>(minutes * 60.0 / 0.25);
+    live_cfg.seed = seed;
+    ics::GasPipelineSimulator live(live_cfg);
+    plants.push_back(live.run());
+    ics::Capture capture;
+    capture.reserve(plants.back().packages.size());
+    for (const auto& p : plants.back().packages) {
+      capture.push_back(ics::package_to_frame(p));
     }
+    captures.push_back(std::move(capture));
   }
 
-  std::printf("\n[live] session summary: %s  (%zu alarms over %zu packages)\n",
+  std::printf("[live] monitoring %zu + %zu packages on one wire "
+              "(%.1f simulated minutes per plant)\n\n",
+              captures[0].size(), captures[1].size(),
+              plants[0].duration_seconds / 60.0);
+
+  TruthAlarmSink sink({&plants[0], &plants[1]}, /*max_lines=*/25);
+  serve::MonitorEngine engine(*detector, &sink);
+  engine.replay(ics::merge_captures(captures));
+
+  // Score the verdict stream against the ground truth: alarms are the
+  // engine's positives, the simulators know the actual attacks.
+  const serve::EngineStats& s = engine.stats();
+  std::size_t attacks = 0;
+  for (const auto& plant : plants) {
+    for (const auto& p : plant.packages) attacks += p.is_attack() ? 1 : 0;
+  }
+  detect::Confusion confusion;
+  confusion.tp = sink.true_alarms();
+  confusion.fp = static_cast<std::size_t>(s.alarms) - sink.true_alarms();
+  confusion.fn = attacks - sink.true_alarms();
+  confusion.tn = static_cast<std::size_t>(s.packages) - attacks -
+                 confusion.fp;
+  std::printf("\n[live] session summary: %s  (%zu alarms over %zu packages, "
+              "%.1f µs/package, mean batch %.2f)\n",
               detect::to_string(confusion).c_str(),
-              confusion.tp + confusion.fp, confusion.total());
+              static_cast<std::size_t>(s.alarms),
+              static_cast<std::size_t>(s.packages), s.us_per_package(),
+              s.mean_batch());
+  for (const auto& [id, ls] : engine.link_stats()) {
+    std::printf("[live]   link %u: %zu packages, %zu alarms "
+                "(%zu bloom, %zu lstm)\n",
+                id, static_cast<std::size_t>(ls.packages),
+                static_cast<std::size_t>(ls.alarms),
+                static_cast<std::size_t>(ls.package_level_alarms),
+                static_cast<std::size_t>(ls.timeseries_level_alarms));
+  }
   return 0;
 }

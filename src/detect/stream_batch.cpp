@@ -72,4 +72,26 @@ void StreamBatch::shrink(std::size_t n) {
   active_ = n;
 }
 
+void StreamBatch::grow(std::size_t n) {
+  if (n < active_) {
+    throw std::invalid_argument("StreamBatch::grow: n below active");
+  }
+  if (n == active_) return;
+  detector_->timeseries_level().model().grow_batch_state(state_, n);
+  // has_prediction_ is deliberately NOT trimmed by shrink, so clear the
+  // reused slots here: a recycled slot must start as a fresh stream.
+  if (has_prediction_.size() < n) has_prediction_.resize(n, 0);
+  std::fill(has_prediction_.begin() + active_, has_prediction_.begin() + n, 0);
+  active_ = n;
+}
+
+void StreamBatch::swap_streams(std::size_t a, std::size_t b) {
+  if (a >= active_ || b >= active_) {
+    throw std::invalid_argument("StreamBatch::swap_streams: out of range");
+  }
+  if (a == b) return;
+  detector_->timeseries_level().model().swap_batch_streams(state_, a, b);
+  std::swap(has_prediction_[a], has_prediction_[b]);
+}
+
 }  // namespace mlad::detect

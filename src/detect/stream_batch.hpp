@@ -41,6 +41,17 @@ class StreamBatch {
   /// them longest-first (mirrors the batched trainer's window sorting).
   void shrink(std::size_t n);
 
+  /// Activate n - active() fresh streams at the back (zero LSTM state, no
+  /// prediction yet — exactly a just-constructed stream). Existing streams
+  /// are preserved bit-for-bit, and slots freed by an earlier shrink are
+  /// recycled without reallocating, so links can join/leave mid-run.
+  void grow(std::size_t n);
+
+  /// Swap streams a and b — a pure relabeling (streams are independent).
+  /// Lets a caller retire stream a mid-batch: swap it to the back, then
+  /// shrink, preserving the back-shrink contract for everyone else.
+  void swap_streams(std::size_t a, std::size_t b);
+
  private:
   const CombinedDetector* detector_;
   ThreadPool* pool_;

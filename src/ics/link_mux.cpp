@@ -1,0 +1,80 @@
+#include "ics/link_mux.hpp"
+
+#include <stdexcept>
+
+namespace mlad::ics {
+
+std::vector<LinkFrame> merge_captures(std::span<const Capture> captures) {
+  std::vector<LinkId> ids(captures.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<LinkId>(i);
+  }
+  return merge_captures(captures, ids);
+}
+
+std::vector<LinkFrame> merge_captures(std::span<const Capture> captures,
+                                      std::span<const LinkId> links) {
+  if (captures.size() != links.size()) {
+    throw std::invalid_argument("merge_captures: captures/links mismatch");
+  }
+  std::size_t total = 0;
+  for (const Capture& c : captures) total += c.size();
+
+  std::vector<LinkFrame> wire;
+  wire.reserve(total);
+  // K-way merge on head timestamps, never reordering within a capture
+  // (non-monotone local timestamps only ever delay that capture's later
+  // frames). Ties resolve to the lower link id — then to capture order
+  // when ids repeat — so the result is a pure function of the inputs.
+  std::vector<std::size_t> head(captures.size(), 0);
+  while (wire.size() < total) {
+    std::size_t best = captures.size();
+    for (std::size_t i = 0; i < captures.size(); ++i) {
+      if (head[i] >= captures[i].size()) continue;
+      if (best == captures.size()) {
+        best = i;
+        continue;
+      }
+      const double t = captures[i][head[i]].timestamp;
+      const double bt = captures[best][head[best]].timestamp;
+      if (t < bt || (t == bt && links[i] < links[best])) best = i;
+    }
+    wire.push_back({links[best], captures[best][head[best]]});
+    ++head[best];
+  }
+  return wire;
+}
+
+LinkMux::LinkMux(std::size_t crc_window) : crc_window_(crc_window) {}
+
+LinkMux::Demuxed LinkMux::push(LinkId link, const RawFrame& frame) {
+  Demuxed out;
+  out.link = link;
+  auto it = sessions_.find(link);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(link, Session(crc_window_)).first;
+    out.link_is_new = true;
+  }
+  Session& session = it->second;
+  out.decoded = session.decoder.next(frame);
+  out.interval = session.prev_time
+                     ? out.decoded.package.time - *session.prev_time
+                     : 0.0;
+  session.prev_time = out.decoded.package.time;
+  return out;
+}
+
+LinkMux::Demuxed LinkMux::push(const RawFrame& frame) {
+  const LinkId link =
+      frame.bytes.empty() ? 0 : static_cast<LinkId>(frame.bytes[0]);
+  return push(link, frame);
+}
+
+std::vector<LinkId> LinkMux::links() const {
+  std::vector<LinkId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(id);
+  return out;
+}
+
+}  // namespace mlad::ics

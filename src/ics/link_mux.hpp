@@ -1,0 +1,82 @@
+// Multi-link ingestion for the serve layer (DESIGN.md §8): one monitoring
+// process taps several PLC links at once and sees a single interleaved
+// stream of raw frames. LinkMux demultiplexes that stream into per-link
+// FrameDecoder sessions — each link keeps its own rolling CRC-error window,
+// write-command/device-state pairing, and inter-arrival clock, so a link's
+// decoded package sequence is exactly what a dedicated single-link monitor
+// would have produced.
+//
+// Link identity is the Modbus unit address (bytes[0]) by default — the
+// natural key when tapping one multi-drop serial line — or an explicit
+// caller-chosen id when the wire is assembled from several independent
+// captures (merge_captures), whose traffic may reuse the same addresses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ics/capture.hpp"
+
+namespace mlad::ics {
+
+/// Identifies one monitored PLC link within a serve process.
+using LinkId = std::uint32_t;
+
+/// One frame of an interleaved multi-link wire.
+struct LinkFrame {
+  LinkId link = 0;
+  RawFrame frame;
+};
+
+/// Interleave several captures into one time-ordered wire; capture i's
+/// frames are tagged link i (or links[i] with the second overload).
+/// Deterministic k-way merge: each capture's internal order is preserved
+/// even if its timestamps are not monotone, and timestamp ties are broken
+/// by the lower link id — so replaying the merged wire through a LinkMux
+/// reproduces each capture's isolated decode sequence exactly.
+std::vector<LinkFrame> merge_captures(std::span<const Capture> captures);
+std::vector<LinkFrame> merge_captures(std::span<const Capture> captures,
+                                      std::span<const LinkId> links);
+
+class LinkMux {
+ public:
+  /// `crc_window` is forwarded to every link's FrameDecoder (§VII).
+  explicit LinkMux(std::size_t crc_window = 50);
+
+  /// One demultiplexed frame: which link it belongs to, the decoded
+  /// package, and the link-local inter-arrival gap (0 for a link's first
+  /// frame) — the `time interval` feature of Table I.
+  struct Demuxed {
+    LinkId link = 0;
+    bool link_is_new = false;  ///< this frame opened the session
+    double interval = 0.0;
+    FrameDecoder::Decoded decoded;
+  };
+
+  /// Route a frame to an explicit link's session (merged-capture replay).
+  Demuxed push(LinkId link, const RawFrame& frame);
+
+  /// Route by the frame's unit address (bytes[0]; 0 when the frame is
+  /// empty) — the multi-drop-line key.
+  Demuxed push(const RawFrame& frame);
+
+  std::size_t session_count() const { return sessions_.size(); }
+  /// Link ids with an open session, ascending.
+  std::vector<LinkId> links() const;
+
+ private:
+  struct Session {
+    FrameDecoder decoder;
+    std::optional<double> prev_time;
+
+    explicit Session(std::size_t crc_window) : decoder(crc_window) {}
+  };
+
+  std::size_t crc_window_;
+  std::map<LinkId, Session> sessions_;
+};
+
+}  // namespace mlad::ics

@@ -54,6 +54,14 @@ struct KernelBackend {
                               const float* dc_in, float* da, float* dc_prev,
                               std::size_t H, std::size_t carry_rows,
                               std::size_t rb, std::size_t re);
+
+  /// Numerically-stabilized softmax in place over rows [rb,re) of the B×C
+  /// block `m` (subtract the row max, exponentiate, normalize). Per row the
+  /// arithmetic must be a fixed function of the row content and C alone —
+  /// never of the partition or of B — so row partitioning stays bitwise-safe
+  /// and a stream's probabilities do not depend on its batch neighbours.
+  void (*softmax_rows)(float* m, std::size_t C, std::size_t rb,
+                       std::size_t re);
 };
 
 /// The portable reference backend — always available, bit-identical to the

@@ -213,20 +213,21 @@ void add_top_rows(Matrix& dst, const Matrix& src) {
 }
 
 void softmax_rows(Matrix& m, ThreadPool* pool) {
+  if (m.cols() == 0) return;
+  const KernelBackend& be = kernel_backend();
   for_row_blocks(m.rows(), pool, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t r = rb; r < re; ++r) {
-      float* row = m.data() + r * m.cols();
-      float mx = row[0];
-      for (std::size_t j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
-      float sum = 0.0f;
-      for (std::size_t j = 0; j < m.cols(); ++j) {
-        row[j] = std::exp(row[j] - mx);
-        sum += row[j];
-      }
-      const float inv = 1.0f / sum;
-      for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= inv;
-    }
+    be.softmax_rows(m.data(), m.cols(), rb, re);
   });
+}
+
+void swap_rows(Matrix& m, std::size_t a, std::size_t b) {
+  if (a >= m.rows() || b >= m.rows()) {
+    throw std::invalid_argument("swap_rows: row out of range");
+  }
+  if (a == b) return;
+  float* ra = m.data() + a * m.cols();
+  float* rb = m.data() + b * m.cols();
+  std::swap_ranges(ra, ra + m.cols(), rb);
 }
 
 void lstm_gates_forward(const Matrix& a, const Matrix& c_prev, Matrix& i,

@@ -61,8 +61,14 @@ void copy_top_rows(const Matrix& src, std::size_t n, Matrix& dst);
 /// dst.row(r) += src.row(r) for r < src.rows(); src.rows() <= dst.rows().
 void add_top_rows(Matrix& dst, const Matrix& src);
 
-/// Numerically-stabilized softmax over every row of m, in place.
+/// Numerically-stabilized softmax over every row of m, in place. Runs on
+/// the active kernel backend (scalar reference = the historical libm loop,
+/// bit-for-bit; SIMD backends reuse their polynomial exp). Per row the
+/// result is a fixed function of the row content and m.cols() alone.
 void softmax_rows(Matrix& m, ThreadPool* pool = nullptr);
+
+/// Swap two rows of m in place (stream-slot compaction in the serve layer).
+void swap_rows(Matrix& m, std::size_t a, std::size_t b);
 
 /// Fused LSTM gate activations + cell update over a batch (DESIGN.md §2).
 ///

@@ -14,7 +14,9 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "nn/kernels_scalar_tail.hpp"
 
@@ -319,8 +321,60 @@ void gates_backward_rows(const float* i, const float* f, const float* o,
   }
 }
 
+// Row-wise softmax on the polynomial exp8. Per row: vector max (exact, so
+// the subtracted pivot matches the scalar backend bit-for-bit), exp over
+// 8-lane groups with a scalar polynomial tail, lane-grouped sum finished by
+// one horizontal add. The sum order differs from the scalar backend (allowed
+// between backends) but is a fixed function of C alone, so a row's bits
+// never depend on B or on the partition.
+
+
+void softmax_rows_(float* m, std::size_t C, std::size_t rb, std::size_t re) {
+  for (std::size_t r = rb; r < re; ++r) {
+    float* row = m + r * C;
+    float mx = row[0];
+    std::size_t j = 1;
+    if (C >= 9) {
+      __m256 vmx = _mm256_loadu_ps(row);
+      for (j = 8; j + 8 <= C; j += 8) {
+        vmx = _mm256_max_ps(vmx, _mm256_loadu_ps(row + j));
+      }
+      alignas(32) float lanes[8];
+      _mm256_store_ps(lanes, vmx);
+      mx = lanes[0];
+      for (int l = 1; l < 8; ++l) mx = std::max(mx, lanes[l]);
+    }
+    for (; j < C; ++j) mx = std::max(mx, row[j]);
+
+    const __m256 vpivot = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    for (j = 0; j + 8 <= C; j += 8) {
+      const __m256 e = exp8(_mm256_sub_ps(_mm256_loadu_ps(row + j), vpivot));
+      _mm256_storeu_ps(row + j, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vsum);
+    float sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+                ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for (; j < C; ++j) {
+      row[j] = detail::scalar_exp_poly(row[j] - mx);
+      sum += row[j];
+    }
+
+    const float inv = 1.0f / sum;
+    const __m256 vinv = _mm256_set1_ps(inv);
+    for (j = 0; j + 8 <= C; j += 8) {
+      _mm256_storeu_ps(row + j,
+                       _mm256_mul_ps(_mm256_loadu_ps(row + j), vinv));
+    }
+    for (; j < C; ++j) row[j] *= inv;
+  }
+}
+
 constexpr KernelBackend kAvx2Backend = {
     "avx2", nn_rows, tn_rows, gates_forward_rows, gates_backward_rows,
+    softmax_rows_,
 };
 
 }  // namespace

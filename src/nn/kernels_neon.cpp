@@ -10,7 +10,9 @@
 
 #include <arm_neon.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "nn/kernels_scalar_tail.hpp"
 
@@ -235,8 +237,51 @@ void gates_backward_rows(const float* i, const float* f, const float* o,
   }
 }
 
+// Row-wise softmax mirroring the AVX2 backend: exact vector max, exp4 over
+// 4-lane groups with a scalar polynomial tail, lane-grouped sum finished by
+// one horizontal add — per row a fixed function of the row content and C.
+
+
+void softmax_rows_(float* m, std::size_t C, std::size_t rb, std::size_t re) {
+  for (std::size_t r = rb; r < re; ++r) {
+    float* row = m + r * C;
+    float mx = row[0];
+    std::size_t j = 1;
+    if (C >= 5) {
+      float32x4_t vmx = vld1q_f32(row);
+      for (j = 4; j + 4 <= C; j += 4) {
+        vmx = vmaxq_f32(vmx, vld1q_f32(row + j));
+      }
+      mx = vmaxvq_f32(vmx);
+    }
+    for (; j < C; ++j) mx = std::max(mx, row[j]);
+
+    const float32x4_t vpivot = vdupq_n_f32(mx);
+    float32x4_t vsum = vdupq_n_f32(0.0f);
+    for (j = 0; j + 4 <= C; j += 4) {
+      const float32x4_t e = exp4(vsubq_f32(vld1q_f32(row + j), vpivot));
+      vst1q_f32(row + j, e);
+      vsum = vaddq_f32(vsum, e);
+    }
+    float sum = (vgetq_lane_f32(vsum, 0) + vgetq_lane_f32(vsum, 1)) +
+                (vgetq_lane_f32(vsum, 2) + vgetq_lane_f32(vsum, 3));
+    for (; j < C; ++j) {
+      row[j] = detail::scalar_exp_poly(row[j] - mx);
+      sum += row[j];
+    }
+
+    const float inv = 1.0f / sum;
+    const float32x4_t vinv = vdupq_n_f32(inv);
+    for (j = 0; j + 4 <= C; j += 4) {
+      vst1q_f32(row + j, vmulq_f32(vld1q_f32(row + j), vinv));
+    }
+    for (; j < C; ++j) row[j] *= inv;
+  }
+}
+
 constexpr KernelBackend kNeonBackend = {
     "neon", nn_rows, tn_rows, gates_forward_rows, gates_backward_rows,
+    softmax_rows_,
 };
 
 }  // namespace

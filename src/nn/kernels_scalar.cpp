@@ -2,6 +2,7 @@
 // (DESIGN.md §7). These are the pre-backend inner loops moved verbatim:
 // identical arithmetic, identical summation order, so a scalar-backend run
 // is bit-for-bit the historical result on every platform.
+#include <algorithm>
 #include <cmath>
 
 #include "nn/kernel_backend.hpp"
@@ -109,8 +110,26 @@ void gates_backward_rows(const float* i, const float* f, const float* o,
   }
 }
 
+/// The pre-backend softmax_rows loop moved verbatim from kernels.cpp:
+/// libm exp, index-order max and sum — the bitwise reference.
+void softmax_rows_(float* m, std::size_t C, std::size_t rb, std::size_t re) {
+  for (std::size_t r = rb; r < re; ++r) {
+    float* row = m + r * C;
+    float mx = row[0];
+    for (std::size_t j = 1; j < C; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < C; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < C; ++j) row[j] *= inv;
+  }
+}
+
 constexpr KernelBackend kScalarBackend = {
     "scalar", nn_rows, tn_rows, gates_forward_rows, gates_backward_rows,
+    softmax_rows_,
 };
 
 }  // namespace

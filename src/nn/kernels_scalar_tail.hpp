@@ -16,10 +16,35 @@
 // its own ISA-correct copy.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 
 namespace mlad::nn::detail {
+
+/// Scalar replica of the SIMD backends' Cephes-style polynomial exp (same
+/// constants, fmaf contraction) — the softmax ragged-tail columns use it so
+/// a row's tail stays in the same exp family as its vector lanes. The
+/// scalar BACKEND deliberately does not use it: its softmax is the
+/// historical libm loop, bit-for-bit.
+static inline float scalar_exp_poly(float x) {
+  x = std::min(std::max(x, -88.3762626647949f), 88.3762626647949f);
+  const float n = std::floor(std::fmaf(x, 1.44269504088896341f, 0.5f));
+  x = std::fmaf(n, -0.693359375f, x);
+  x = std::fmaf(n, 2.12194440e-4f, x);
+  float y = 1.9875691500e-4f;
+  y = std::fmaf(y, x, 1.3981999507e-3f);
+  y = std::fmaf(y, x, 8.3334519073e-3f);
+  y = std::fmaf(y, x, 4.1665795894e-2f);
+  y = std::fmaf(y, x, 1.6666665459e-1f);
+  y = std::fmaf(y, x, 5.0000001201e-1f);
+  y = std::fmaf(y, x * x, x + 1.0f);
+  const int pow2n = (static_cast<int>(n) + 0x7f) << 23;
+  float scale;
+  std::memcpy(&scale, &pow2n, sizeof(scale));
+  return y * scale;
+}
 
 /// Overflow-free logistic, formula-identical to activations.cpp.
 static inline float scalar_sigmoid(float x) {

@@ -55,6 +55,15 @@ class Matrix {
     cols_ = cols;
     data_.assign(rows * cols, fill);
   }
+  /// Change only the row count, PRESERVING the surviving rows (row-major
+  /// storage makes this a plain tail resize; `resize` by contrast discards
+  /// everything). New rows are filled with `fill`; shrinking keeps the
+  /// vector's capacity, so a later re-grow recycles the same allocation —
+  /// the stream-slot recycling the serve engine's link lifecycle relies on.
+  void resize_rows(std::size_t rows, float fill = 0.0f) {
+    data_.resize(rows * cols_, fill);
+    rows_ = rows;
+  }
 
   /// Element-wise in-place operations.
   Matrix& operator+=(const Matrix& other);

@@ -233,6 +233,29 @@ void SequenceModel::predict_batch(BatchState& state, const Matrix& x,
 void SequenceModel::shrink_batch_state(BatchState& state,
                                        std::size_t n) const {
   lstm_.shrink_stream_batch(n, state.lstm);
+  // Drop the retired predictions too, so a later grow cannot resurrect a
+  // dead stream's stale probability row as a fresh stream's.
+  if (state.probs.cols() == num_classes() && n < state.probs.rows()) {
+    state.probs.resize_rows(n);
+  }
+}
+
+void SequenceModel::grow_batch_state(BatchState& state, std::size_t n) const {
+  lstm_.grow_stream_batch(n, state.lstm);
+  // probs is lazily shaped by the first predict_batch; only carry existing
+  // rows forward once it exists (new rows are meaningless until that
+  // stream's first tick, which callers gate on their own has-prediction
+  // bookkeeping).
+  if (state.probs.cols() == num_classes()) state.probs.resize_rows(n);
+}
+
+void SequenceModel::swap_batch_streams(BatchState& state, std::size_t a,
+                                       std::size_t b) const {
+  lstm_.swap_stream_rows(a, b, state.lstm);
+  if (state.probs.cols() == num_classes() && a < state.probs.rows() &&
+      b < state.probs.rows()) {
+    swap_rows(state.probs, a, b);
+  }
 }
 
 std::size_t SequenceModel::param_count() const {

@@ -136,6 +136,16 @@ class SequenceModel {
   /// Keep only the first n streams of the batched state.
   void shrink_batch_state(BatchState& state, std::size_t n) const;
 
+  /// Activate fresh (zero-state) streams at the back so the state covers n
+  /// streams; existing streams' state and predictions are preserved
+  /// bit-for-bit, and capacity freed by an earlier shrink is recycled.
+  void grow_batch_state(BatchState& state, std::size_t n) const;
+
+  /// Swap two streams' rows (state + prediction) — a pure relabeling used
+  /// for leave-compaction in the serve engine's link lifecycle.
+  void swap_batch_streams(BatchState& state, std::size_t a,
+                          std::size_t b) const;
+
   // ---- Introspection ------------------------------------------------------
 
   std::size_t param_count() const;

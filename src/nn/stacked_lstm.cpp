@@ -159,6 +159,28 @@ void StackedLstm::shrink_stream_batch(std::size_t n,
   }
 }
 
+void StackedLstm::grow_stream_batch(std::size_t n,
+                                    StreamBatchState& sb) const {
+  if (sb.layers.size() != layers_.size()) {
+    throw std::invalid_argument("grow_stream_batch: uninitialized state");
+  }
+  for (LstmBatchCache& cache : sb.layers) {
+    if (n < cache.h_prev.rows()) {
+      throw std::invalid_argument("grow_stream_batch: n below active streams");
+    }
+    cache.h_prev.resize_rows(n);
+    cache.c_prev.resize_rows(n);
+  }
+}
+
+void StackedLstm::swap_stream_rows(std::size_t a, std::size_t b,
+                                   StreamBatchState& sb) const {
+  for (LstmBatchCache& cache : sb.layers) {
+    swap_rows(cache.h_prev, a, b);
+    swap_rows(cache.c_prev, a, b);
+  }
+}
+
 void StackedLstm::zero_grads() {
   for (auto& l : layers_) l.cell().zero_grads();
 }

@@ -112,6 +112,18 @@ class StackedLstm {
   /// Keep only the first n streams (rows) of the state.
   void shrink_stream_batch(std::size_t n, StreamBatchState& sb) const;
 
+  /// Activate n - current streams of fresh (all-zero) state at the back,
+  /// preserving every existing stream's rows bit-for-bit. Freed capacity
+  /// from an earlier shrink is recycled, so a join after a leave does not
+  /// reallocate. Requires begin_stream_batch to have run on `sb`.
+  void grow_stream_batch(std::size_t n, StreamBatchState& sb) const;
+
+  /// Swap the state rows of streams a and b (streams are independent, so
+  /// this is a pure relabeling — used to move a leaving stream to the back
+  /// before shrink_stream_batch).
+  void swap_stream_rows(std::size_t a, std::size_t b,
+                        StreamBatchState& sb) const;
+
   void zero_grads();
   std::size_t param_count() const;
 

@@ -1,0 +1,113 @@
+#include "serve/alarm_sink.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace mlad::serve {
+
+namespace {
+
+const char* stage_name(const detect::CombinedVerdict& v) {
+  return v.package_level ? "bloom" : "lstm";
+}
+
+}  // namespace
+
+ConsoleAlarmSink::ConsoleAlarmSink(std::FILE* out, std::size_t max_lines,
+                                   bool show_link)
+    : out_(out), max_lines_(max_lines), show_link_(show_link) {}
+
+void ConsoleAlarmSink::on_alarm(const AlarmEvent& e) {
+  ++total_;
+  if (printed_ >= max_lines_) return;
+  // The historical `mlad monitor` alarm line, verbatim — plus an optional
+  // link column when one console watches a multi-link wire.
+  if (show_link_) {
+    std::fprintf(out_, "t=%10.3f  link=%-3u  ALARM (%s)  addr=%u fc=0x%02X "
+                       "len=%u%s\n",
+                 e.time, e.link, stage_name(e.verdict),
+                 static_cast<unsigned>(e.address),
+                 static_cast<unsigned>(e.function),
+                 static_cast<unsigned>(e.length),
+                 e.decode_ok ? "" : "  [frame did not decode]");
+  } else {
+    std::fprintf(out_, "t=%10.3f  ALARM (%s)  addr=%u fc=0x%02X len=%u%s\n",
+                 e.time, stage_name(e.verdict),
+                 static_cast<unsigned>(e.address),
+                 static_cast<unsigned>(e.function),
+                 static_cast<unsigned>(e.length),
+                 e.decode_ok ? "" : "  [frame did not decode]");
+  }
+  ++printed_;
+}
+
+void ConsoleAlarmSink::flush() { std::fflush(out_); }
+
+JsonlAlarmSink::JsonlAlarmSink(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("JsonlAlarmSink: cannot open " + path);
+  }
+}
+
+void JsonlAlarmSink::on_alarm(const AlarmEvent& e) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"link\": %u, \"seq\": %llu, \"time\": %.6f, "
+                "\"stage\": \"%s\", \"address\": %u, \"function\": %u, "
+                "\"length\": %u, \"decode_ok\": %s}",
+                e.link, static_cast<unsigned long long>(e.seq), e.time,
+                stage_name(e.verdict), static_cast<unsigned>(e.address),
+                static_cast<unsigned>(e.function),
+                static_cast<unsigned>(e.length),
+                e.decode_ok ? "true" : "false");
+  out_ << line << '\n';
+  ++written_;
+}
+
+void JsonlAlarmSink::flush() { out_.flush(); }
+
+CsvAlarmSink::CsvAlarmSink(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvAlarmSink: cannot open " + path);
+  }
+  out_ << "link,seq,time,stage,address,function,length,decode_ok\n";
+}
+
+void CsvAlarmSink::on_alarm(const AlarmEvent& e) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%u,%llu,%.6f,%s,%u,%u,%u,%d", e.link,
+                static_cast<unsigned long long>(e.seq), e.time,
+                stage_name(e.verdict), static_cast<unsigned>(e.address),
+                static_cast<unsigned>(e.function),
+                static_cast<unsigned>(e.length), e.decode_ok ? 1 : 0);
+  out_ << line << '\n';
+  ++written_;
+}
+
+void CsvAlarmSink::flush() { out_.flush(); }
+
+TeeAlarmSink::TeeAlarmSink(std::vector<AlarmSink*> sinks)
+    : sinks_(std::move(sinks)) {}
+
+void TeeAlarmSink::on_alarm(const AlarmEvent& e) {
+  for (AlarmSink* s : sinks_) {
+    if (s != nullptr) s->on_alarm(e);
+  }
+}
+
+void TeeAlarmSink::flush() {
+  for (AlarmSink* s : sinks_) {
+    if (s != nullptr) s->flush();
+  }
+}
+
+std::unique_ptr<AlarmSink> make_file_sink(const std::string& path) {
+  if (iequals(path.size() >= 4 ? path.substr(path.size() - 4) : "", ".csv")) {
+    return std::make_unique<CsvAlarmSink>(path);
+  }
+  return std::make_unique<JsonlAlarmSink>(path);
+}
+
+}  // namespace mlad::serve

@@ -1,0 +1,118 @@
+// Pluggable alarm outputs for the serve layer (DESIGN.md §8): the monitor
+// engine classifies packages and hands every anomaly to an AlarmSink — the
+// operator console, a CSV/JSONL audit file, or a test double. Sinks see
+// alarms in classification order (tick by tick, slot order within a tick),
+// which for a fixed wire is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/combined.hpp"
+#include "ics/link_mux.hpp"
+
+namespace mlad::serve {
+
+/// One anomalous package: the Fig. 3 verdict plus the wire metadata an
+/// operator needs to act on it.
+struct AlarmEvent {
+  ics::LinkId link = 0;
+  std::uint64_t seq = 0;  ///< 0-based package index within the link
+  double time = 0.0;      ///< capture timestamp (seconds)
+  detect::CombinedVerdict verdict;
+  std::uint8_t address = 0;   ///< Modbus unit address (0 if unsalvageable)
+  std::uint8_t function = 0;  ///< function code (0 if unsalvageable)
+  std::uint16_t length = 0;   ///< raw frame length in bytes
+  bool decode_ok = true;      ///< frame passed CRC + shape checks
+};
+
+class AlarmSink {
+ public:
+  virtual ~AlarmSink() = default;
+  virtual void on_alarm(const AlarmEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Operator console: prints `mlad monitor`'s historical alarm line for the
+/// first `max_lines` alarms (with an optional `link=N` column for
+/// multi-link wires), then stays silent but keeps counting.
+class ConsoleAlarmSink final : public AlarmSink {
+ public:
+  explicit ConsoleAlarmSink(std::FILE* out = stdout,
+                            std::size_t max_lines = 20,
+                            bool show_link = false);
+  void on_alarm(const AlarmEvent& event) override;
+  void flush() override;
+
+  std::size_t printed() const { return printed_; }
+  std::size_t total() const { return total_; }
+
+ private:
+  std::FILE* out_;
+  std::size_t max_lines_;
+  bool show_link_;
+  std::size_t printed_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// One JSON object per alarm per line — the machine-readable audit trail.
+class JsonlAlarmSink final : public AlarmSink {
+ public:
+  explicit JsonlAlarmSink(const std::string& path);
+  void on_alarm(const AlarmEvent& event) override;
+  void flush() override;
+
+  std::size_t written() const { return written_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t written_ = 0;
+};
+
+/// Header + one row per alarm.
+class CsvAlarmSink final : public AlarmSink {
+ public:
+  explicit CsvAlarmSink(const std::string& path);
+  void on_alarm(const AlarmEvent& event) override;
+  void flush() override;
+
+  std::size_t written() const { return written_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t written_ = 0;
+};
+
+/// Test double: records every event in arrival order.
+class CountingAlarmSink final : public AlarmSink {
+ public:
+  void on_alarm(const AlarmEvent& event) override {
+    events_.push_back(event);
+  }
+  const std::vector<AlarmEvent>& events() const { return events_; }
+  std::size_t count() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<AlarmEvent> events_;
+};
+
+/// Fan one alarm stream out to several sinks (console + audit file).
+class TeeAlarmSink final : public AlarmSink {
+ public:
+  explicit TeeAlarmSink(std::vector<AlarmSink*> sinks);
+  void on_alarm(const AlarmEvent& event) override;
+  void flush() override;
+
+ private:
+  std::vector<AlarmSink*> sinks_;
+};
+
+/// File sink by extension: ".csv" → CSV, anything else → JSONL.
+std::unique_ptr<AlarmSink> make_file_sink(const std::string& path);
+
+}  // namespace mlad::serve

@@ -1,0 +1,195 @@
+#include "serve/monitor_engine.hpp"
+
+#include <algorithm>
+
+#include "common/stopwatch.hpp"
+#include "ics/features.hpp"
+
+namespace mlad::serve {
+
+MonitorEngine::MonitorEngine(const detect::CombinedDetector& detector,
+                             AlarmSink* sink,
+                             const MonitorEngineConfig& config)
+    : detector_(&detector),
+      sink_(sink),
+      config_(config),
+      pool_(config.threads),
+      mux_(config.crc_window),
+      batch_(detector, /*streams=*/0, pool_.get()) {}
+
+void MonitorEngine::push(ics::LinkId link, const ics::RawFrame& frame) {
+  ingest(mux_.push(link, frame), frame.bytes.size());
+}
+
+void MonitorEngine::push(const ics::RawFrame& frame) {
+  ingest(mux_.push(frame), frame.bytes.size());
+}
+
+void MonitorEngine::replay(std::span<const ics::LinkFrame> wire) {
+  for (const ics::LinkFrame& lf : wire) push(lf.link, lf.frame);
+  finish();
+}
+
+void MonitorEngine::ingest(const ics::LinkMux::Demuxed& demuxed,
+                           std::size_t frame_len) {
+  ++stats_.frames;
+  Link& link = links_[demuxed.link];
+  if (link.slot == kNoSlot) {
+    join(demuxed.link, link);
+  } else {
+    // A frame arriving while the link is still draining a premature close
+    // cancels it: the stream continues. Only a link that actually LEFT
+    // rejoins as a fresh stream (slot == kNoSlot above).
+    link.closed = false;
+  }
+
+  const ics::Package& p = demuxed.decoded.package;
+  Pending pending;
+  pending.row = ics::to_raw_row(p, demuxed.interval);
+  pending.time = p.time;
+  pending.address = p.address;
+  pending.function = p.function;
+  pending.length = static_cast<std::uint16_t>(frame_len);
+  pending.decode_ok = demuxed.decoded.decode_ok;
+  link.queue.push_back(std::move(pending));
+  stats_.peak_pending =
+      std::max<std::uint64_t>(stats_.peak_pending, link.queue.size());
+  maybe_tick();
+}
+
+void MonitorEngine::join(ics::LinkId id, Link& link) {
+  link.slot = slots_.size();
+  slots_.push_back(id);
+  slot_links_.push_back(&link);
+  link.closed = false;
+  if (config_.batched) {
+    batch_.grow(slots_.size());
+  } else {
+    link.stream = detector_->make_stream();
+  }
+  ++stats_.links_seen;
+  stats_.peak_links = std::max<std::uint64_t>(stats_.peak_links, slots_.size());
+}
+
+void MonitorEngine::close(ics::LinkId id) {
+  const auto it = links_.find(id);
+  if (it == links_.end() || it->second.slot == kNoSlot) return;
+  it->second.closed = true;
+  maybe_tick();
+}
+
+void MonitorEngine::finish() {
+  for (auto& [id, link] : links_) {
+    if (link.slot != kNoSlot) link.closed = true;
+  }
+  maybe_tick();
+}
+
+void MonitorEngine::retire_drained() {
+  // Walk slots from the back so one pass can retire several links; each
+  // retirement swaps the victim to the last slot and shrinks — streams are
+  // independent, so the relabeling never changes anyone's verdicts.
+  for (std::size_t s = slots_.size(); s-- > 0;) {
+    Link& link = *slot_links_[s];
+    if (!link.closed || !link.queue.empty()) continue;
+    const std::size_t last = slots_.size() - 1;
+    if (s != last) {
+      if (config_.batched) batch_.swap_streams(s, last);
+      std::swap(slots_[s], slots_[last]);
+      std::swap(slot_links_[s], slot_links_[last]);
+      slot_links_[s]->slot = s;
+    }
+    if (config_.batched) batch_.shrink(last);
+    link.slot = kNoSlot;
+    link.stream = {};
+    slots_.pop_back();
+    slot_links_.pop_back();
+    ++stats_.links_retired;
+  }
+}
+
+void MonitorEngine::maybe_tick() {
+  for (;;) {
+    retire_drained();
+    if (slots_.empty()) return;
+    // Lockstep gate: a tick advances EVERY active stream, so it fires only
+    // once each active link has its next package decoded. On a time-ordered
+    // wire links take turns, so queues stay O(1); a link that stops
+    // producing must be close()d for the others to keep flowing.
+    const std::size_t n = slots_.size();
+    bool ready = true;
+    for (std::size_t s = 0; s < n && ready; ++s) {
+      ready = !slot_links_[s]->queue.empty();
+    }
+    if (!ready) return;
+
+    tick_rows_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      tick_rows_[s] = slot_links_[s]->queue.front().row;
+    }
+    Stopwatch sw;
+    if (config_.batched) {
+      batch_.step(tick_rows_, verdicts_);
+    } else {
+      verdicts_.assign(n, {});
+      for (std::size_t s = 0; s < n; ++s) {
+        verdicts_[s] = detector_->classify_and_consume(slot_links_[s]->stream,
+                                                       tick_rows_[s]);
+      }
+    }
+    stats_.classify_us += sw.elapsed_us();
+    ++stats_.ticks;
+
+    for (std::size_t s = 0; s < n; ++s) {
+      Link& link = *slot_links_[s];
+      dispatch(slots_[s], link, link.queue.front(), verdicts_[s]);
+      link.queue.pop_front();
+    }
+  }
+}
+
+void MonitorEngine::dispatch(ics::LinkId id, Link& link,
+                             const Pending& pending,
+                             const detect::CombinedVerdict& verdict) {
+  LinkStats& ls = link.stats;
+  if (ls.packages == 0) ls.first_time = pending.time;
+  ls.last_time = pending.time;
+  const std::uint64_t seq = ls.packages++;
+  ++stats_.packages;
+  if (!pending.decode_ok) {
+    ++ls.decode_failures;
+    ++stats_.decode_failures;
+  }
+  if (!verdict.anomaly) return;
+  ++ls.alarms;
+  ++stats_.alarms;
+  if (verdict.package_level) {
+    ++ls.package_level_alarms;
+    ++stats_.package_level_alarms;
+  }
+  if (verdict.timeseries_level) {
+    ++ls.timeseries_level_alarms;
+    ++stats_.timeseries_level_alarms;
+  }
+  if (sink_ == nullptr) return;
+  AlarmEvent event;
+  event.link = id;
+  event.seq = seq;
+  event.time = pending.time;
+  event.verdict = verdict;
+  event.address = pending.address;
+  event.function = pending.function;
+  event.length = pending.length;
+  event.decode_ok = pending.decode_ok;
+  sink_->on_alarm(event);
+}
+
+std::vector<std::pair<ics::LinkId, LinkStats>> MonitorEngine::link_stats()
+    const {
+  std::vector<std::pair<ics::LinkId, LinkStats>> out;
+  out.reserve(links_.size());
+  for (const auto& [id, link] : links_) out.emplace_back(id, link.stats);
+  return out;
+}
+
+}  // namespace mlad::serve

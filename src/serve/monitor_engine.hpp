@@ -1,0 +1,160 @@
+// Multi-link online monitoring engine (DESIGN.md §8) — the serve-layer
+// data path:
+//
+//   raw frames → LinkMux (per-link decode sessions) → per-link pending
+//   queues → tick scheduler → StreamBatch (one (L×dim) LSTM step per tick)
+//   → AlarmSink + per-link/aggregate stats
+//
+// One engine instance is one long-running monitoring process: links join
+// when their first frame arrives (StreamBatch::grow recycles freed slots),
+// tick in lockstep while live, and leave once closed and drained
+// (swap-to-back + shrink, so the batch stays dense). Because every stream's
+// arithmetic is a fixed per-row function (DESIGN.md §5/§7), a link's
+// verdict sequence is bit-identical whether it is monitored alone or
+// alongside any number of other links — the batched engine is a pure
+// throughput optimization.
+//
+// `batched = false` selects the reference path instead: one
+// classify_and_consume per package on a per-link Stream — bit-identical to
+// the historical single-link `mlad monitor` loop, and the baseline the
+// serve benchmarks compare against ("N sequential monitors").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "detect/combined.hpp"
+#include "detect/stream_batch.hpp"
+#include "ics/link_mux.hpp"
+#include "serve/alarm_sink.hpp"
+#include "signature/discretizer.hpp"
+
+namespace mlad::serve {
+
+struct MonitorEngineConfig {
+  /// Kernel-row partitioning only (0 = all cores, 1 = sequential); never
+  /// changes any verdict or stat (DESIGN.md §5).
+  std::size_t threads = 1;
+  /// true: StreamBatch lockstep ticks (the serve hot path). false: the
+  /// per-package reference loop, bit-identical to the pre-engine
+  /// `mlad monitor`.
+  bool batched = true;
+  std::size_t crc_window = 50;  ///< per-link rolling CRC window (§VII)
+};
+
+struct LinkStats {
+  std::uint64_t packages = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t package_level_alarms = 0;     ///< Bloom stage
+  std::uint64_t timeseries_level_alarms = 0;  ///< LSTM stage
+  std::uint64_t decode_failures = 0;
+  double first_time = 0.0;
+  double last_time = 0.0;
+};
+
+struct EngineStats {
+  std::uint64_t frames = 0;    ///< frames pushed
+  std::uint64_t packages = 0;  ///< packages classified (= frames once drained)
+  std::uint64_t ticks = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t package_level_alarms = 0;
+  std::uint64_t timeseries_level_alarms = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t links_seen = 0;
+  std::uint64_t links_retired = 0;
+  std::uint64_t peak_links = 0;    ///< max concurrently-active links
+  std::uint64_t peak_pending = 0;  ///< max queued packages on one link
+  double classify_us = 0.0;        ///< wall time inside classification ticks
+
+  double us_per_package() const {
+    return packages > 0 ? classify_us / static_cast<double>(packages) : 0.0;
+  }
+  double mean_batch() const {
+    return ticks > 0
+               ? static_cast<double>(packages) / static_cast<double>(ticks)
+               : 0.0;
+  }
+};
+
+class MonitorEngine {
+ public:
+  /// `detector` and `sink` must outlive the engine; `sink` may be null
+  /// (classify + count, no alarm delivery).
+  MonitorEngine(const detect::CombinedDetector& detector, AlarmSink* sink,
+                const MonitorEngineConfig& config = {});
+
+  /// Feed the next frame of link `link` (frames per link must arrive in
+  /// capture order). Unknown links join automatically; classification runs
+  /// as soon as every active link has a package pending.
+  void push(ics::LinkId link, const ics::RawFrame& frame);
+
+  /// Feed a frame keyed by its Modbus unit address (multi-drop-line tap).
+  void push(const ics::RawFrame& frame);
+
+  /// Replay a pre-merged wire (see ics::merge_captures) and finish().
+  void replay(std::span<const ics::LinkFrame> wire);
+
+  /// No more frames will arrive on `link`: it keeps ticking until its
+  /// queue drains, then leaves the batch (its slot is recycled). Unknown
+  /// or already-closed links are a no-op. A push BEFORE the link has
+  /// fully drained cancels the close (same stream continues); a push
+  /// after it left opens a fresh zero-state stream.
+  void close(ics::LinkId link);
+
+  /// Close every link and drain all pending packages.
+  void finish();
+
+  std::size_t active_links() const { return slots_.size(); }
+  const EngineStats& stats() const { return stats_; }
+  /// Per-link stats (every link ever seen), ascending by link id.
+  std::vector<std::pair<ics::LinkId, LinkStats>> link_stats() const;
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// One decoded package waiting for its tick.
+  struct Pending {
+    sig::RawRow row;  ///< Table-I feature vector (classifier input)
+    double time = 0.0;
+    std::uint8_t address = 0;
+    std::uint8_t function = 0;
+    std::uint16_t length = 0;
+    bool decode_ok = false;
+  };
+
+  struct Link {
+    std::size_t slot = kNoSlot;  ///< batch row while active
+    std::deque<Pending> queue;
+    bool closed = false;
+    LinkStats stats;
+    detect::CombinedDetector::Stream stream;  ///< reference mode only
+  };
+
+  void ingest(const ics::LinkMux::Demuxed& demuxed, std::size_t frame_len);
+  void join(ics::LinkId id, Link& link);
+  void retire_drained();
+  void maybe_tick();
+  void dispatch(ics::LinkId id, Link& link, const Pending& pending,
+                const detect::CombinedVerdict& verdict);
+
+  const detect::CombinedDetector* detector_;
+  AlarmSink* sink_;
+  MonitorEngineConfig config_;
+  PoolHandle pool_;
+  ics::LinkMux mux_;
+  detect::StreamBatch batch_;
+  std::map<ics::LinkId, Link> links_;
+  std::vector<ics::LinkId> slots_;  ///< slot → link id, dense
+  std::vector<Link*> slot_links_;   ///< slot → session (map nodes are stable)
+  EngineStats stats_;
+
+  // Per-tick scratch, reused so the steady state is allocation-free.
+  std::vector<std::span<const double>> tick_rows_;
+  std::vector<detect::CombinedVerdict> verdicts_;
+};
+
+}  // namespace mlad::serve

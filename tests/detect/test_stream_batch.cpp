@@ -135,6 +135,150 @@ TEST(StreamBatch, PerStreamVerdictsMatchIndependentStreams) {
                                "single-stream reference beyond rounding";
 }
 
+TEST(StreamBatch, GrownStreamIsBitIdenticalToALoneStream) {
+  // The serve-layer contract: per-row kernels make every stream's bits a
+  // function of its own inputs alone, so (a) a stream joining mid-run via
+  // grow() behaves exactly like a brand-new 1-stream batch, and (b) the
+  // incumbent streams don't notice the join.
+  const auto& f = fixture();
+  const CombinedDetector& det = *f.framework.detector;
+  const std::vector<sig::RawRow> rows =
+      ics::to_raw_rows(f.framework.split.test);
+  ASSERT_GE(rows.size(), 360u);
+
+  // Reference A: two streams for 120 ticks, no join.
+  StreamBatch two(det, 2);
+  std::vector<std::span<const double>> tick;
+  std::vector<CombinedVerdict> verdicts;
+  std::vector<bool> ref0, ref1;
+  for (std::size_t t = 0; t < 120; ++t) {
+    tick = {rows[t], rows[120 + t]};
+    two.step(tick, verdicts);
+    ref0.push_back(verdicts[0].anomaly);
+    ref1.push_back(verdicts[1].anomaly);
+  }
+  // Reference B: a lone stream over the joiner's packages.
+  StreamBatch lone(det, 1);
+  std::vector<bool> ref2;
+  for (std::size_t t = 60; t < 120; ++t) {
+    tick = {rows[240 + t]};
+    lone.step(tick, verdicts);
+    ref2.push_back(verdicts[0].anomaly);
+  }
+
+  // Joined run: stream 2 joins at tick 60.
+  StreamBatch batch(det, 2);
+  std::vector<bool> got0, got1, got2;
+  for (std::size_t t = 0; t < 120; ++t) {
+    if (t == 60) batch.grow(3);
+    if (t < 60) {
+      tick = {rows[t], rows[120 + t]};
+    } else {
+      tick = {rows[t], rows[120 + t], rows[240 + t]};
+    }
+    batch.step(tick, verdicts);
+    got0.push_back(verdicts[0].anomaly);
+    got1.push_back(verdicts[1].anomaly);
+    if (t >= 60) got2.push_back(verdicts[2].anomaly);
+  }
+  EXPECT_EQ(got0, ref0) << "join disturbed an incumbent stream";
+  EXPECT_EQ(got1, ref1) << "join disturbed an incumbent stream";
+  EXPECT_EQ(got2, ref2) << "joined stream differs from a lone stream";
+}
+
+TEST(StreamBatch, SwapThenShrinkRetiresAMiddleStream) {
+  const auto& f = fixture();
+  const CombinedDetector& det = *f.framework.detector;
+  const std::vector<sig::RawRow> rows =
+      ics::to_raw_rows(f.framework.split.test);
+  ASSERT_GE(rows.size(), 300u);
+
+  // Reference: streams 0 and 2 run all 100 ticks; stream 1 only the first
+  // 50 (three independent lanes).
+  std::vector<std::vector<bool>> ref(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    StreamBatch one(det, 1);
+    std::vector<std::span<const double>> tick(1);
+    std::vector<CombinedVerdict> verdicts;
+    const std::size_t len = s == 1 ? 50 : 100;
+    for (std::size_t t = 0; t < len; ++t) {
+      tick[0] = rows[s * 100 + t];
+      one.step(tick, verdicts);
+      ref[s].push_back(verdicts[0].anomaly);
+    }
+  }
+
+  // Batched: retire stream 1 at tick 50 via swap-to-back + shrink; stream 2
+  // carries on from slot 1.
+  StreamBatch batch(det, 3);
+  std::vector<std::span<const double>> tick;
+  std::vector<CombinedVerdict> verdicts;
+  std::vector<std::vector<bool>> got(3);
+  for (std::size_t t = 0; t < 100; ++t) {
+    if (t == 50) {
+      batch.swap_streams(1, 2);
+      batch.shrink(2);
+      EXPECT_EQ(batch.active(), 2u);
+    }
+    if (t < 50) {
+      tick = {rows[t], rows[100 + t], rows[200 + t]};
+      batch.step(tick, verdicts);
+      got[0].push_back(verdicts[0].anomaly);
+      got[1].push_back(verdicts[1].anomaly);
+      got[2].push_back(verdicts[2].anomaly);
+    } else {
+      tick = {rows[t], rows[200 + t]};
+      batch.step(tick, verdicts);
+      got[0].push_back(verdicts[0].anomaly);
+      got[2].push_back(verdicts[1].anomaly);
+    }
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(got[s], ref[s]) << "stream " << s;
+  }
+}
+
+TEST(StreamBatch, GrowRecyclesRetiredSlotsAsFreshStreams) {
+  const auto& f = fixture();
+  const CombinedDetector& det = *f.framework.detector;
+  const std::vector<sig::RawRow> rows =
+      ics::to_raw_rows(f.framework.split.test);
+  ASSERT_GE(rows.size(), 120u);
+
+  StreamBatch batch(det, 2);
+  std::vector<std::span<const double>> tick;
+  std::vector<CombinedVerdict> verdicts;
+  for (std::size_t t = 0; t < 30; ++t) {
+    tick = {rows[t], rows[60 + t]};
+    batch.step(tick, verdicts);
+  }
+  batch.shrink(1);
+  batch.grow(2);  // recycled slot 1 must be a FRESH stream…
+
+  StreamBatch lone(det, 1);
+  std::vector<bool> want, got;
+  for (std::size_t t = 30; t < 60; ++t) {
+    tick = {rows[60 + t]};
+    lone.step(tick, verdicts);
+    want.push_back(verdicts[0].anomaly);
+    tick = {rows[t], rows[60 + t]};
+    batch.step(tick, verdicts);
+    got.push_back(verdicts[1].anomaly);
+  }
+  EXPECT_EQ(got, want) << "…but it inherited the retired stream's state";
+}
+
+TEST(StreamBatch, GrowAndSwapValidateArguments) {
+  const auto& f = fixture();
+  StreamBatch batch(*f.framework.detector, 3);
+  EXPECT_THROW(batch.grow(2), std::invalid_argument);
+  EXPECT_THROW(batch.swap_streams(0, 3), std::invalid_argument);
+  EXPECT_THROW(batch.swap_streams(3, 0), std::invalid_argument);
+  batch.grow(3);             // no-op
+  batch.swap_streams(1, 1);  // no-op
+  EXPECT_EQ(batch.active(), 3u);
+}
+
 TEST(StreamBatch, ShrinkKeepsPrefixStreamsStepping) {
   const auto& f = fixture();
   const CombinedDetector& det = *f.framework.detector;

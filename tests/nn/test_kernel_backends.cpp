@@ -170,6 +170,102 @@ TEST(KernelBackends, LstmGateParityVsScalar) {
   }
 }
 
+/// The pre-backend softmax_rows loop (libm exp, index order) — the scalar
+/// backend must reproduce it bit-for-bit.
+Matrix reference_softmax(const Matrix& logits) {
+  Matrix m = logits;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    float mx = row[0];
+    for (std::size_t j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= inv;
+  }
+  return m;
+}
+
+TEST(KernelBackends, SoftmaxScalarIsBitIdenticalToReference) {
+  BackendGuard restore;
+  Rng rng(11);
+  ASSERT_TRUE(select_kernel_backend("scalar"));
+  for (const std::size_t C : {1u, 5u, 8u, 9u, 16u, 33u, 100u}) {
+    const Matrix logits = random_matrix(7, C, rng);
+    const Matrix want = reference_softmax(logits);
+    Matrix got = logits;
+    softmax_rows(got);
+    expect_bitwise(got, want, "scalar softmax C=" + std::to_string(C));
+  }
+}
+
+TEST(KernelBackends, SoftmaxParityVsScalar) {
+  BackendGuard restore;
+  Rng rng(12);
+  for (const std::string& name : simd_backends()) {
+    // Ragged widths exercise the vector/tail split; ±20 logits exercise the
+    // polynomial exp's range reduction.
+    for (const std::size_t C : {1u, 5u, 8u, 9u, 16u, 33u, 100u}) {
+      Matrix logits = random_matrix(9, C, rng);
+      for (std::size_t i = 0; i < logits.size(); ++i) {
+        logits.data()[i] *= 10.0f;
+      }
+      const Matrix want = reference_softmax(logits);
+      Matrix got = logits;
+      ASSERT_TRUE(select_kernel_backend(name));
+      softmax_rows(got);
+      expect_close(got, want, 1e-5,
+                   name + " softmax C=" + std::to_string(C));
+      for (std::size_t r = 0; r < got.rows(); ++r) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < C; ++j) sum += got(r, j);
+        EXPECT_NEAR(sum, 1.0, 1e-4) << name << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(KernelBackends, SoftmaxRowBitsIndependentOfBatch) {
+  // The serve engine's bitwise multi-link guarantee rests on this: a row's
+  // softmax (and matmul) bits depend on that row and the shared operands
+  // alone, never on how many other rows share the batch.
+  BackendGuard restore;
+  Rng rng(13);
+  for (const std::string& name : available_kernel_backends()) {
+    ASSERT_TRUE(select_kernel_backend(name));
+    const Matrix big = random_matrix(8, 37, rng);
+    Matrix big_sm = big;
+    softmax_rows(big_sm);
+    for (std::size_t r = 0; r < big.rows(); ++r) {
+      Matrix one(1, big.cols());
+      std::copy(big.data() + r * big.cols(),
+                big.data() + (r + 1) * big.cols(), one.data());
+      softmax_rows(one);
+      for (std::size_t j = 0; j < big.cols(); ++j) {
+        ASSERT_EQ(one(0, j), big_sm(r, j))
+            << name << " row " << r << " col " << j;
+      }
+    }
+
+    const Matrix b = random_matrix(37, 19, rng);
+    Matrix big_mm, one_mm;
+    matmul_nn(big, b, big_mm);
+    for (std::size_t r = 0; r < big.rows(); ++r) {
+      Matrix one(1, big.cols());
+      std::copy(big.data() + r * big.cols(),
+                big.data() + (r + 1) * big.cols(), one.data());
+      matmul_nn(one, b, one_mm);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        ASSERT_EQ(one_mm(0, j), big_mm(r, j))
+            << name << " matmul row " << r << " col " << j;
+      }
+    }
+  }
+}
+
 TEST(KernelBackends, BitIdenticalAcrossThreadCountsPerBackend) {
   BackendGuard restore;
   Rng rng(123);
@@ -191,6 +287,14 @@ TEST(KernelBackends, BitIdenticalAcrossThreadCountsPerBackend) {
     lstm_gates_forward(ga, gc, i2, f2, o2, g2, c2, t2, h2, &pool);
     expect_bitwise(h1, h2, name + " gates thread invariance");
     expect_bitwise(c1, c2, name + " cell thread invariance");
+
+    const Matrix logits = random_matrix(29, 41, rng);
+    Matrix sm_serial = logits;
+    Matrix sm_threaded = logits;
+    softmax_rows(sm_serial, nullptr);
+    softmax_rows(sm_threaded, &pool);
+    expect_bitwise(sm_serial, sm_threaded,
+                   name + " softmax thread invariance");
   }
 }
 

@@ -1,0 +1,161 @@
+// Alarm sinks (serve/alarm_sink.hpp): console line format + cap, JSONL /
+// CSV audit files, the counting test double, tee fan-out, and extension-
+// based file-sink selection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/alarm_sink.hpp"
+
+namespace mlad::serve {
+namespace {
+
+AlarmEvent event(std::uint64_t seq, bool bloom_stage) {
+  AlarmEvent e;
+  e.link = 3;
+  e.seq = seq;
+  e.time = 12.5 + static_cast<double>(seq);
+  e.verdict.anomaly = true;
+  e.verdict.package_level = bloom_stage;
+  e.verdict.timeseries_level = !bloom_stage;
+  e.address = 4;
+  e.function = 0x10;
+  e.length = 19;
+  e.decode_ok = seq % 2 == 0;
+  return e;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+TEST(ConsoleAlarmSink, PrintsMonitorFormatAndRespectsCap) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  ConsoleAlarmSink sink(tmp, /*max_lines=*/2);
+  for (std::uint64_t i = 0; i < 5; ++i) sink.on_alarm(event(i, i == 0));
+  sink.flush();
+  EXPECT_EQ(sink.printed(), 2u);
+  EXPECT_EQ(sink.total(), 5u);
+
+  std::rewind(tmp);
+  char buf[512] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+  const std::string text(buf, n);
+  std::fclose(tmp);
+  EXPECT_EQ(count_lines(text), 2u);
+  // The historical `mlad monitor` alarm line, stage-attributed.
+  EXPECT_NE(text.find("t=    12.500  ALARM (bloom)  addr=4 fc=0x10 len=19"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ALARM (lstm)"), std::string::npos) << text;
+  EXPECT_NE(text.find("[frame did not decode]"), std::string::npos) << text;
+}
+
+TEST(ConsoleAlarmSink, ShowsLinkColumnWhenAsked) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  ConsoleAlarmSink sink(tmp, 10, /*show_link=*/true);
+  sink.on_alarm(event(0, true));
+  sink.flush();
+  std::rewind(tmp);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+  std::fclose(tmp);
+  EXPECT_NE(std::string(buf, n).find("link=3"), std::string::npos);
+}
+
+TEST(JsonlAlarmSink, OneObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "alarms_test.jsonl";
+  {
+    JsonlAlarmSink sink(path);
+    sink.on_alarm(event(0, true));
+    sink.on_alarm(event(1, false));
+    sink.flush();
+    EXPECT_EQ(sink.written(), 2u);
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(count_lines(text), 2u);
+  EXPECT_NE(text.find("{\"link\": 3, \"seq\": 0, \"time\": 12.500000, "
+                      "\"stage\": \"bloom\", \"address\": 4, \"function\": 16, "
+                      "\"length\": 19, \"decode_ok\": true}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"stage\": \"lstm\""), std::string::npos);
+  EXPECT_NE(text.find("\"decode_ok\": false"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvAlarmSink, HeaderPlusRows) {
+  const std::string path = ::testing::TempDir() + "alarms_test.csv";
+  {
+    CsvAlarmSink sink(path);
+    sink.on_alarm(event(0, true));
+    sink.flush();
+    EXPECT_EQ(sink.written(), 1u);
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(count_lines(text), 2u);
+  EXPECT_EQ(text.rfind("link,seq,time,stage,address,function,length,decode_ok",
+                       0),
+            0u)
+      << text;
+  EXPECT_NE(text.find("3,0,12.500000,bloom,4,16,19,1"), std::string::npos)
+      << text;
+  std::remove(path.c_str());
+}
+
+TEST(CountingAlarmSink, RecordsArrivalOrder) {
+  CountingAlarmSink sink;
+  for (std::uint64_t i = 0; i < 4; ++i) sink.on_alarm(event(i, false));
+  ASSERT_EQ(sink.count(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sink.events()[i].seq, i);
+    EXPECT_EQ(sink.events()[i].link, 3u);
+  }
+  sink.clear();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(TeeAlarmSink, FansOutToEverySink) {
+  CountingAlarmSink a, b;
+  TeeAlarmSink tee({&a, nullptr, &b});
+  tee.on_alarm(event(0, true));
+  tee.on_alarm(event(1, false));
+  tee.flush();  // must tolerate the null entry
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(MakeFileSink, PicksFormatByExtension) {
+  const std::string csv_path = ::testing::TempDir() + "sink_pick.CSV";
+  const std::string jsonl_path = ::testing::TempDir() + "sink_pick.jsonl";
+  {
+    auto csv = make_file_sink(csv_path);
+    auto jsonl = make_file_sink(jsonl_path);
+    csv->on_alarm(event(0, true));
+    jsonl->on_alarm(event(0, true));
+    csv->flush();
+    jsonl->flush();
+  }
+  EXPECT_EQ(read_file(csv_path).rfind("link,seq", 0), 0u);
+  EXPECT_EQ(read_file(jsonl_path).rfind("{\"link\"", 0), 0u);
+  std::remove(csv_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+}  // namespace
+}  // namespace mlad::serve

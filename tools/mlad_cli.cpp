@@ -4,24 +4,31 @@
 //   mlad train    --arff capture.arff --model ids.model [--epochs 15]
 //   mlad evaluate --arff capture.arff --model ids.model
 //   mlad monitor  --capture wire.cap --model ids.model [--max-alarms 20]
+//   mlad serve    --captures a.cap,b.cap --model ids.model [--sink out.jsonl]
 //
 // `simulate` produces labeled traffic (ARFF package log and/or raw-frame
 // capture); `train` builds and persists the two-level detector from the
 // anomaly-free portion of a log; `evaluate` scores a labeled log;
-// `monitor` replays a raw byte capture through the Modbus decoder and the
-// detector, printing alarms — the deployed data path.
+// `monitor` replays one raw byte capture through the Modbus decoder and
+// the detector, printing alarms; `serve` interleaves several captures into
+// one wire and monitors every link concurrently through the batched serve
+// engine (DESIGN.md §8) — the deployed multi-link data path.
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <optional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/arff.hpp"
+#include "common/strings.hpp"
 #include "common/table.hpp"
 #include "detect/pipeline.hpp"
 #include "detect/serialize.hpp"
 #include "ics/capture.hpp"
+#include "ics/link_mux.hpp"
 #include "ics/simulator.hpp"
+#include "serve/monitor_engine.hpp"
 
 namespace {
 
@@ -154,51 +161,113 @@ int cmd_monitor(const std::map<std::string, std::string>& flags) {
   const std::size_t max_alarms =
       std::stoul(get_or(flags, "max-alarms", "20"));
 
-  ics::FrameDecoder decoder;
-  auto stream = detector->make_stream();
-  std::size_t alarms = 0;
-  std::size_t printed = 0;
-  std::optional<double> prev_time;
-  for (const ics::RawFrame& frame : capture) {
-    const auto decoded = decoder.next(frame);
-    const double interval =
-        prev_time ? decoded.package.time - *prev_time : 0.0;
-    prev_time = decoded.package.time;
-    const auto row = ics::to_raw_row(decoded.package, interval);
-    const auto verdict = detector->classify_and_consume(stream, row);
-    if (verdict.anomaly) {
-      ++alarms;
-      if (printed < max_alarms) {
-        std::printf("t=%10.3f  ALARM (%s)  addr=%u fc=0x%02X len=%u%s\n",
-                    decoded.package.time,
-                    verdict.package_level ? "bloom" : "lstm", frame.bytes[0],
-                    frame.bytes.size() > 1 ? frame.bytes[1] : 0,
-                    static_cast<unsigned>(frame.bytes.size()),
-                    decoded.decode_ok ? "" : "  [frame did not decode]");
-        ++printed;
-      }
-    }
-  }
-  std::printf("%zu alarms over %zu frames (%.2f%%)\n", alarms, capture.size(),
-              capture.empty()
+  // The single-link case of the serve engine, in reference mode: one
+  // classify_and_consume per package on one stream — bit-identical verdicts
+  // (and alarm lines) to the historical hand-rolled loop, which this
+  // replaces. (It also fixes that loop reading frame.bytes[0] without a
+  // size check: the sink prints the decoder-salvaged header fields.)
+  serve::MonitorEngineConfig cfg;
+  cfg.batched = false;
+  serve::ConsoleAlarmSink sink(stdout, max_alarms);
+  serve::MonitorEngine engine(*detector, &sink, cfg);
+  for (const ics::RawFrame& frame : capture) engine.push(0, frame);
+  engine.finish();
+  sink.flush();
+
+  const serve::EngineStats& stats = engine.stats();
+  std::printf("%zu alarms over %zu frames (%.2f%%)\n",
+              static_cast<std::size_t>(stats.alarms),
+              static_cast<std::size_t>(stats.frames),
+              stats.frames == 0
                   ? 0.0
-                  : 100.0 * static_cast<double>(alarms) /
-                        static_cast<double>(capture.size()));
+                  : 100.0 * static_cast<double>(stats.alarms) /
+                        static_cast<double>(stats.frames));
+  return 0;
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const std::vector<std::string> paths =
+      split(need(flags, "captures"), ',');
+  if (paths.empty()) throw std::runtime_error("serve: no captures given");
+  std::vector<ics::Capture> captures;
+  captures.reserve(paths.size());
+  for (const std::string& p : paths) {
+    captures.push_back(ics::read_capture_file(std::string(trim(p))));
+  }
+  const auto detector = detect::load_framework_file(need(flags, "model"));
+  const std::size_t max_alarms =
+      std::stoul(get_or(flags, "max-alarms", "20"));
+
+  serve::MonitorEngineConfig cfg;
+  cfg.threads = std::stoul(get_or(flags, "threads", "1"));
+  // --engine reference: N independent per-package monitors (the batched
+  // engine's baseline; same verdicts up to float rounding, much slower).
+  const std::string engine_mode = get_or(flags, "engine", "batched");
+  if (engine_mode != "batched" && engine_mode != "reference") {
+    throw std::runtime_error("serve: --engine must be batched or reference");
+  }
+  cfg.batched = engine_mode == "batched";
+
+  // Console unless --sink names a file (.csv → CSV, else JSONL); the
+  // console then only shows the closing stats.
+  std::unique_ptr<serve::AlarmSink> file_sink;
+  serve::ConsoleAlarmSink console(stdout, max_alarms, /*show_link=*/true);
+  serve::AlarmSink* sink = &console;
+  if (const auto it = flags.find("sink"); it != flags.end()) {
+    file_sink = serve::make_file_sink(it->second);
+    sink = file_sink.get();
+  }
+
+  // Each capture replays as one PLC link on a time-ordered interleaved wire.
+  serve::MonitorEngine engine(*detector, sink, cfg);
+  engine.replay(ics::merge_captures(captures));
+  sink->flush();
+
+  const serve::EngineStats& s = engine.stats();
+  std::printf(
+      "serve[%s]: %zu links, %zu packages, %zu alarms (%.2f%%), "
+      "%.2f µs/package, %zu ticks (mean batch %.2f)\n",
+      cfg.batched ? "batched" : "reference",
+      static_cast<std::size_t>(s.links_seen),
+      static_cast<std::size_t>(s.packages),
+      static_cast<std::size_t>(s.alarms),
+      s.packages == 0 ? 0.0
+                      : 100.0 * static_cast<double>(s.alarms) /
+                            static_cast<double>(s.packages),
+      s.us_per_package(), static_cast<std::size_t>(s.ticks), s.mean_batch());
+  TablePrinter table(
+      {"link", "packages", "alarms", "bloom", "lstm", "decode-fail"});
+  for (const auto& [id, ls] : engine.link_stats()) {
+    table.add_row({std::to_string(id), std::to_string(ls.packages),
+                   std::to_string(ls.alarms),
+                   std::to_string(ls.package_level_alarms),
+                   std::to_string(ls.timeseries_level_alarms),
+                   std::to_string(ls.decode_failures)});
+  }
+  std::printf("%s", table.str().c_str());
   return 0;
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: mlad <simulate|train|evaluate|monitor> [--flag value]…\n"
-               "  simulate --cycles N --seed S [--arff f] [--capture f] [--attacks on|off]\n"
-               "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
-               "           [--batch B] [--threads N]   (batch>1 = parallel minibatch\n"
-               "           engine; threads 0 = all cores, never changes results)\n"
-               "  evaluate --arff f --model f [--threads N] [--streams S]\n"
-               "           (--threads: sharded parallel scoring; --streams S>1:\n"
-               "           batched multi-stream inference, one (S×dim) LSTM step\n"
-               "           per tick; both identical for any thread count)\n"
-               "  monitor  --capture f --model f [--max-alarms N]\n");
+  std::fprintf(
+      stderr,
+      "usage: mlad <simulate|train|evaluate|monitor|serve> [--flag value]…\n"
+      "  simulate --cycles N --seed S [--arff f] [--capture f]\n"
+      "           [--attacks on|off]\n"
+      "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
+      "           [--batch B] [--threads N]   (batch>1 = parallel minibatch\n"
+      "           engine; threads 0 = all cores, never changes results)\n"
+      "  evaluate --arff f --model f [--threads N] [--streams S]\n"
+      "           (--threads: sharded parallel scoring; --streams S>1:\n"
+      "           batched multi-stream inference, one (S×dim) LSTM step\n"
+      "           per tick; both identical for any thread count)\n"
+      "  monitor  --capture f --model f [--max-alarms N]\n"
+      "  serve    --captures a.cap,b.cap,… --model f [--threads N]\n"
+      "           [--sink out.jsonl|out.csv] [--max-alarms N]\n"
+      "           [--engine batched|reference]   (each capture replays\n"
+      "           as one PLC link; one batched LSTM step per tick\n"
+      "           advances every link — per-link verdicts are\n"
+      "           bit-identical to monitoring that link alone)\n");
   return 2;
 }
 
@@ -213,6 +282,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(flags);
     if (cmd == "evaluate") return cmd_evaluate(flags);
     if (cmd == "monitor") return cmd_monitor(flags);
+    if (cmd == "serve") return cmd_serve(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mlad %s: %s\n", cmd.c_str(), e.what());
     return 1;
