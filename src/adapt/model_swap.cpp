@@ -1,0 +1,38 @@
+#include "adapt/model_swap.hpp"
+
+namespace mlad::adapt {
+
+void ModelSwap::publish(std::shared_ptr<const nn::SequenceModel> model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latest_ = std::move(model);
+  ++version_;
+}
+
+void ModelSwap::complete_round() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rounds_completed_;
+  round_done_.notify_all();
+}
+
+void ModelSwap::wait_rounds(std::uint64_t rounds) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  round_done_.wait(lock, [&] { return rounds_completed_ >= rounds; });
+}
+
+ModelSwap::Fetched ModelSwap::fetch_newer(std::uint64_t have) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version_ <= have) return {nullptr, have};
+  return {latest_, version_};
+}
+
+std::uint64_t ModelSwap::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+std::uint64_t ModelSwap::rounds_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rounds_completed_;
+}
+
+}  // namespace mlad::adapt

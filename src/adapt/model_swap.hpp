@@ -1,0 +1,55 @@
+// Versioned weight publication point between the background adaptation
+// trainer and the serve engine (DESIGN.md §9). Double-buffered by
+// construction: the trainer trains its own working model (buffer one) and
+// publishes an immutable copy (buffer two); the engine fetches the latest
+// copy between ticks and copies its parameters into the serving model.
+//
+// The swap also carries the ROUND protocol that makes adaptation
+// deterministic: the engine requests rounds at fixed tick boundaries and,
+// at the next boundary, WAITS until the requested round has completed
+// (published or skipped) before ticking on — so which tick a weight
+// version lands on is a pure function of the wire, never of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "nn/sequence_model.hpp"
+
+namespace mlad::adapt {
+
+class ModelSwap {
+ public:
+  struct Fetched {
+    std::shared_ptr<const nn::SequenceModel> model;  ///< null if none newer
+    std::uint64_t version = 0;
+  };
+
+  // ---- trainer side -------------------------------------------------------
+
+  /// Publish a freshly trained model; bumps the version.
+  void publish(std::shared_ptr<const nn::SequenceModel> model);
+  /// Mark one requested round finished (with or without a publication).
+  void complete_round();
+
+  // ---- engine side --------------------------------------------------------
+
+  /// Block until at least `rounds` rounds have completed.
+  void wait_rounds(std::uint64_t rounds) const;
+  /// Latest published model if its version exceeds `have`, else {null, have}.
+  Fetched fetch_newer(std::uint64_t have) const;
+
+  std::uint64_t version() const;
+  std::uint64_t rounds_completed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable round_done_;
+  std::shared_ptr<const nn::SequenceModel> latest_;
+  std::uint64_t version_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+};
+
+}  // namespace mlad::adapt

@@ -1,0 +1,76 @@
+#include "adapt/replay_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlad::adapt {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity, std::size_t per_link_quota,
+                           std::uint64_t seed)
+    : capacity_(capacity),
+      per_link_quota_(per_link_quota == 0 ? capacity : per_link_quota),
+      rng_(seed) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ReplayBuffer: capacity must be > 0");
+  }
+}
+
+std::size_t ReplayBuffer::quota(ics::LinkId link) const {
+  (void)link;
+  const std::size_t fair = std::max<std::size_t>(
+      1, capacity_ / std::max<std::size_t>(1, links_.size()));
+  return std::min(per_link_quota_, fair);
+}
+
+std::size_t ReplayBuffer::own_slot(ics::LinkId link, std::size_t j) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].link != link) continue;
+    if (j == 0) return i;
+    --j;
+  }
+  throw std::logic_error("ReplayBuffer: own_slot out of range");
+}
+
+std::size_t ReplayBuffer::held(ics::LinkId link) const {
+  const auto it = links_.find(link);
+  return it == links_.end() ? 0 : it->second.held;
+}
+
+void ReplayBuffer::push(ics::LinkId link, nn::Fragment window) {
+  LinkState& ls = links_[link];
+  ++ls.offered;
+  ++offered_;
+  const std::size_t q = quota(link);
+
+  if (ls.held >= q) {
+    // At (or, after a quota shrink, above) quota: Algorithm R within the
+    // link's own slots — the i-th offered window survives with prob q/i.
+    if (rng_.index(ls.offered) < q) {
+      const std::size_t j = rng_.index(ls.held);
+      entries_[own_slot(link, j)].window = std::move(window);
+    }
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back({link, std::move(window)});
+    ++ls.held;
+    return;
+  }
+  // Full, but this link is under quota: rebalance by evicting a random
+  // window of the largest holder (ties → lower link id).
+  ics::LinkId victim = link;
+  std::size_t victim_held = ls.held;
+  for (const auto& [id, state] : links_) {
+    if (state.held > victim_held) {
+      victim = id;
+      victim_held = state.held;
+    }
+  }
+  const std::size_t j = rng_.index(victim_held);
+  const std::size_t slot = own_slot(victim, j);
+  entries_[slot] = {link, std::move(window)};
+  --links_[victim].held;
+  ++ls.held;
+}
+
+}  // namespace mlad::adapt

@@ -1,0 +1,84 @@
+// Bounded, seeded-reservoir replay buffer of verdict-clean training windows
+// harvested from live serve traffic (DESIGN.md §9). The buffer answers one
+// question for the online trainer: "what does recent normal traffic look
+// like, per link, in bounded memory?"
+//
+// Sampling discipline:
+//  * Per-link quota. Each link's effective quota is
+//    min(per_link_quota, capacity / links_seen) — recomputed as links
+//    appear — so one chatty PLC can never crowd the others out of the
+//    buffer. Within its quota a link keeps a classic reservoir (Algorithm
+//    R): once full, the i-th offered window replaces a uniformly random
+//    held one with probability quota/i, so the held set approximates a
+//    uniform sample of the link's whole history.
+//  * Global capacity. When the buffer is full but the pushing link is
+//    under quota, the eviction victim comes from the link holding the MOST
+//    windows (ties → lower link id) — shares rebalance toward equality as
+//    new links join.
+//  * Determinism. All randomness draws from one Rng seeded at construction,
+//    so buffer contents (and their storage order) are a pure function of
+//    (seed, push sequence) — the root of the adaptation subsystem's
+//    replayable-runs guarantee.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ics/link_mux.hpp"
+#include "nn/trainer.hpp"
+
+namespace mlad::adapt {
+
+class ReplayBuffer {
+ public:
+  /// `per_link_quota` = 0 means "capacity" (fairness then comes only from
+  /// the evict-from-largest rule). Throws if capacity is 0.
+  ReplayBuffer(std::size_t capacity, std::size_t per_link_quota,
+               std::uint64_t seed);
+
+  /// Offer one encoded window harvested from `link`. May store it, replace
+  /// one of the link's own windows, evict the largest holder's window, or
+  /// drop it — per the discipline above.
+  void push(ics::LinkId link, nn::Fragment window);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Total windows ever offered.
+  std::uint64_t offered() const { return offered_; }
+  /// Windows currently held for `link`.
+  std::size_t held(ics::LinkId link) const;
+  /// Links that have ever offered a window.
+  std::size_t links_seen() const { return links_.size(); }
+
+  const nn::Fragment& window(std::size_t i) const {
+    return entries_[i].window;
+  }
+  ics::LinkId window_link(std::size_t i) const { return entries_[i].link; }
+
+ private:
+  struct Entry {
+    ics::LinkId link = 0;
+    nn::Fragment window;
+  };
+  struct LinkState {
+    std::uint64_t offered = 0;  ///< windows this link ever pushed
+    std::size_t held = 0;       ///< windows currently in the buffer
+  };
+
+  std::size_t quota(ics::LinkId link) const;
+  /// Replace the j-th held window of `link` (0-based among its slots).
+  std::size_t own_slot(ics::LinkId link, std::size_t j) const;
+
+  const std::size_t capacity_;
+  const std::size_t per_link_quota_;
+  Rng rng_;
+  std::vector<Entry> entries_;
+  std::map<ics::LinkId, LinkState> links_;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace mlad::adapt

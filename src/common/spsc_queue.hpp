@@ -1,0 +1,78 @@
+// Bounded single-producer/single-consumer handoff queue — the engine →
+// adaptation-trainer channel (DESIGN.md §9). The producer (the serve tick
+// loop) pushes harvested windows and round markers; the consumer (the
+// trainer thread) drains them in FIFO order, which is what makes the replay
+// buffer's contents at a round marker a pure function of the wire.
+//
+// Deliberately a mutex + condvar ring rather than a lock-free one: pushes
+// happen once per harvested window (every ~window_len packages per link),
+// so the lock is nowhere near the tick path's critical chain, and the
+// simple form is trivially ThreadSanitizer-clean. A full queue BLOCKS the
+// producer (bounded memory, nothing is ever dropped — dropping would break
+// the determinism contract of the adaptation subsystem).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace mlad {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscQueue: capacity must be > 0");
+    }
+  }
+
+  /// Enqueue, blocking while the queue is full. After close(), pushes are
+  /// silently dropped (the consumer is gone; there is nothing to hand off).
+  void push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  /// Dequeue into `out`, blocking until an item arrives or the queue is
+  /// closed AND drained. Returns false only in the closed-and-drained case.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No more pushes; pending items stay poppable. Idempotent.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mlad

@@ -16,12 +16,14 @@ StreamBatch::StreamBatch(const CombinedDetector& detector, std::size_t streams,
       active_(streams) {}
 
 void StreamBatch::step(std::span<const std::span<const double>> rows,
-                       std::vector<CombinedVerdict>& verdicts) {
+                       std::vector<CombinedVerdict>& verdicts,
+                       std::vector<PackageVerdict>* packages) {
   const std::size_t n = rows.size();
   if (n != active_) {
     throw std::invalid_argument("StreamBatch::step: rows != active streams");
   }
   verdicts.assign(n, {});
+  if (packages != nullptr) packages->resize(n);
   if (n == 0) return;
 
   const TimeSeriesDetector& ts = detector_->timeseries_level();
@@ -39,7 +41,7 @@ void StreamBatch::step(std::span<const std::span<const double>> rows,
     x_.resize(n, model.input_dim());
   }
   for (std::size_t s = 0; s < n; ++s) {
-    const PackageVerdict pv = pkg.classify(rows[s]);
+    PackageVerdict pv = pkg.classify(rows[s]);
     CombinedVerdict& v = verdicts[s];
     if (pv.anomaly) {
       v.package_level = true;
@@ -55,6 +57,7 @@ void StreamBatch::step(std::span<const std::span<const double>> rows,
     if (v.anomaly) encode_scratch_.back() = 1.0f;
     std::copy(encode_scratch_.begin(), encode_scratch_.end(),
               x_.data() + s * x_.cols());
+    if (packages != nullptr) (*packages)[s] = std::move(pv);
   }
 
   // One batched LSTM step per layer + batched softmax; row s of state_.probs
@@ -92,6 +95,32 @@ void StreamBatch::swap_streams(std::size_t a, std::size_t b) {
   if (a == b) return;
   detector_->timeseries_level().model().swap_batch_streams(state_, a, b);
   std::swap(has_prediction_[a], has_prediction_[b]);
+}
+
+void StreamBatch::refresh_weights() {
+  detector_->timeseries_level().model().refresh_batch_state(state_);
+}
+
+StreamBatch::StreamSnapshot StreamBatch::extract_stream(std::size_t s) const {
+  if (s >= active_) {
+    throw std::invalid_argument("StreamBatch::extract_stream: out of range");
+  }
+  StreamSnapshot snap;
+  snap.has_prediction = has_prediction_[s] != 0;
+  snap.model =
+      detector_->timeseries_level().model().extract_batch_stream(state_, s);
+  if (!snap.has_prediction) snap.model.probs.clear();
+  return snap;
+}
+
+void StreamBatch::restore_stream(std::size_t s,
+                                 const StreamSnapshot& snapshot) {
+  if (s >= active_) {
+    throw std::invalid_argument("StreamBatch::restore_stream: out of range");
+  }
+  detector_->timeseries_level().model().restore_batch_stream(state_, s,
+                                                             snapshot.model);
+  has_prediction_[s] = snapshot.has_prediction ? 1 : 0;
 }
 
 }  // namespace mlad::detect

@@ -33,9 +33,13 @@ class StreamBatch {
 
   /// One tick: rows[s] is the next raw package of stream s. rows.size()
   /// must equal active(). verdicts is resized; verdicts[s] is stream s's
-  /// classification, already absorbed into its history.
+  /// classification, already absorbed into its history. When `packages` is
+  /// non-null it is resized and receives each stream's package-level
+  /// verdict (discretized row + signature id) — the online-adaptation
+  /// harvest reads these without re-running the Bloom stage.
   void step(std::span<const std::span<const double>> rows,
-            std::vector<CombinedVerdict>& verdicts);
+            std::vector<CombinedVerdict>& verdicts,
+            std::vector<PackageVerdict>* packages = nullptr);
 
   /// Keep only streams [0, n): streams end from the back, so callers order
   /// them longest-first (mirrors the batched trainer's window sorting).
@@ -51,6 +55,24 @@ class StreamBatch {
   /// Lets a caller retire stream a mid-batch: swap it to the back, then
   /// shrink, preserving the back-shrink contract for everyone else.
   void swap_streams(std::size_t a, std::size_t b);
+
+  /// Rebuild the cached transposed weights from the detector's CURRENT
+  /// model parameters, keeping every stream's LSTM state and last
+  /// prediction — the weight hot-swap hook (the engine calls this between
+  /// ticks after publishing new weights into the model).
+  void refresh_weights();
+
+  /// One stream's full rolling state (LSTM rows + last prediction + the
+  /// has-prediction bit), detachable and re-attachable across grow/shrink
+  /// cycles — the serve engine's straggler policy parks a silent link by
+  /// extracting its stream and restores it on rejoin.
+  struct StreamSnapshot {
+    nn::SequenceModel::StreamSnapshot model;
+    bool has_prediction = false;
+  };
+
+  StreamSnapshot extract_stream(std::size_t s) const;
+  void restore_stream(std::size_t s, const StreamSnapshot& snapshot);
 
  private:
   const CombinedDetector* detector_;

@@ -99,10 +99,27 @@ nn::Fragment TimeSeriesDetector::encode_fragment(const DiscreteFragment& frag,
   return out;
 }
 
+void TimeSeriesDetector::set_train_config(const TimeSeriesConfig& config) {
+  if (config.hidden_dims != config_.hidden_dims) {
+    throw std::invalid_argument(
+        "set_train_config: hidden_dims cannot change on a built model");
+  }
+  config_ = config;
+}
+
 std::vector<double> TimeSeriesDetector::train(
     std::span<const DiscreteFragment> fragments, Rng& rng) {
   nn::Adam opt(config_.learning_rate);
   const auto slots = model_.param_slots();
+  if (warm_start_) {
+    if (!nn::adam_state_matches(*warm_start_, slots)) {
+      throw std::invalid_argument(
+          "TimeSeriesDetector: Adam warm-start state does not match the "
+          "model (refusing mismatched sidecar)");
+    }
+    opt.restore(std::move(*warm_start_));
+    warm_start_.reset();
+  }
   const bool batched = config_.batch_size > 1;
   std::optional<nn::MinibatchTrainer> engine;
   if (batched) {
@@ -195,6 +212,7 @@ std::vector<double> TimeSeriesDetector::train(
     }
     epoch_losses.push_back(steps ? loss_sum / static_cast<double>(steps) : 0.0);
   }
+  adam_state_ = opt.state();
   return epoch_losses;
 }
 

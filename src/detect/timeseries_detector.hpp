@@ -66,8 +66,26 @@ class TimeSeriesDetector {
   TimeSeriesDetector(TimeSeriesDetector&&) = default;
 
   /// Train on anomaly-free fragments; returns mean per-step loss by epoch.
+  /// Uses a fresh Adam unless a warm start was installed (below); the final
+  /// optimizer moments are captured and readable via adam_state().
   std::vector<double> train(std::span<const DiscreteFragment> fragments,
                             Rng& rng);
+
+  /// Install Adam moments for the NEXT train() call (offline resume from a
+  /// persisted sidecar, nn/serialize.hpp). train() refuses a state whose
+  /// shape does not match the model (throws std::invalid_argument).
+  void set_warm_start(nn::AdamState state) { warm_start_ = std::move(state); }
+
+  /// The optimizer state captured by the last train() (nullopt before any
+  /// training) — what `mlad train` persists as the model's sidecar.
+  const std::optional<nn::AdamState>& adam_state() const {
+    return adam_state_;
+  }
+
+  /// Replace the training hyper-parameters (epochs, batch, noise, …) for
+  /// subsequent train() calls — the offline-resume path, where the detector
+  /// was deserialized with defaults. hidden_dims must match the model.
+  void set_train_config(const TimeSeriesConfig& config);
 
   /// Paper §V-B top-k error on (anomaly-free) fragments.
   double top_k_error(std::span<const DiscreteFragment> fragments,
@@ -141,6 +159,8 @@ class TimeSeriesDetector {
   TimeSeriesConfig config_;
   nn::SequenceModel model_;
   std::size_t k_ = 1;
+  std::optional<nn::AdamState> warm_start_;  ///< consumed by the next train()
+  std::optional<nn::AdamState> adam_state_;  ///< captured by the last train()
 };
 
 }  // namespace mlad::detect

@@ -5,8 +5,29 @@
 
 namespace mlad::nn {
 
+bool adam_state_matches(const AdamState& state,
+                        std::span<const ParamSlot> slots) {
+  if (state.m.size() != slots.size() || state.v.size() != slots.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (state.m[i].size() != slots[i].param->size() ||
+        state.v[i].size() != slots[i].param->size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Adam::step(std::span<const ParamSlot> slots) {
   if (m_.size() != slots.size()) {
+    if (!m_.empty()) {
+      // Moments exist (restored or from earlier steps) but don't cover
+      // these slots: refuse rather than silently zero-reinitializing —
+      // that would discard a warm start without a trace. Switching an
+      // optimizer between models is what reset() is for.
+      throw std::invalid_argument("Adam: moment state does not match params");
+    }
     m_.assign(slots.size(), {});
     v_.assign(slots.size(), {});
     for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -24,6 +45,11 @@ void Adam::step(std::span<const ParamSlot> slots) {
     if (p.size() != g.size()) throw std::invalid_argument("Adam: slot size mismatch");
     auto& m = m_[i];
     auto& v = v_[i];
+    if (m.size() != p.size() || v.size() != p.size()) {
+      // A restored state whose slot count matches but whose tensors don't —
+      // refuse rather than silently indexing out of range.
+      throw std::invalid_argument("Adam: moment state does not match params");
+    }
     for (std::size_t j = 0; j < p.size(); ++j) {
       const double gj = g.data()[j];
       m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * gj);

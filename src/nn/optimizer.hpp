@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,22 @@ struct ParamSlot {
   Matrix* param = nullptr;
   Matrix* grad = nullptr;
 };
+
+/// Snapshot of Adam's moment estimates and step counter, so training can
+/// resume (offline `mlad train --resume`, or the online-adaptation warm
+/// start) from a real optimizer state instead of zeroed moments. Persisted
+/// as a sidecar next to the model (nn/serialize.hpp).
+struct AdamState {
+  std::uint64_t t = 0;
+  std::vector<std::vector<float>> m;  ///< first moments, one vector per slot
+  std::vector<std::vector<float>> v;  ///< second moments
+};
+
+/// Does `state` have exactly one (m, v) pair per slot, each sized like the
+/// slot's parameter tensor? Callers restoring a persisted state must check
+/// (and refuse on mismatch) before handing it to Adam::restore.
+bool adam_state_matches(const AdamState& state,
+                        std::span<const ParamSlot> slots);
 
 /// Scale all gradients so the global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm. No-op (returns norm) when under the bound.
@@ -63,12 +80,23 @@ class Adam final : public Optimizer {
   double learning_rate() const { return lr_; }
   void set_learning_rate(double lr) { lr_ = lr; }
 
+  /// Copy out the moment state (for the sidecar / warm handoff).
+  AdamState state() const { return {t_, m_, v_}; }
+  /// Adopt a previously captured state. The caller is responsible for shape
+  /// validation against the slots it will step (adam_state_matches); step()
+  /// still throws if a restored moment vector disagrees with its parameter.
+  void restore(AdamState state) {
+    t_ = state.t;
+    m_ = std::move(state.m);
+    v_ = std::move(state.v);
+  }
+
  private:
   double lr_;
   double beta1_;
   double beta2_;
   double eps_;
-  std::size_t t_ = 0;
+  std::uint64_t t_ = 0;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
 };

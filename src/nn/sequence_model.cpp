@@ -258,6 +258,60 @@ void SequenceModel::swap_batch_streams(BatchState& state, std::size_t a,
   }
 }
 
+void SequenceModel::refresh_batch_state(BatchState& state) const {
+  lstm_.refresh_stream_batch(state.lstm);
+  transpose(softmax_.w(), state.softmax_wT);
+}
+
+SequenceModel::StreamSnapshot SequenceModel::extract_batch_stream(
+    const BatchState& state, std::size_t s) const {
+  StreamSnapshot snap;
+  lstm_.extract_stream_state(state.lstm, s, snap.lstm);
+  if (state.probs.cols() == num_classes() && s < state.probs.rows()) {
+    const auto row = state.probs.row(s);
+    snap.probs.assign(row.begin(), row.end());
+  }
+  return snap;
+}
+
+void SequenceModel::restore_batch_stream(BatchState& state, std::size_t s,
+                                         const StreamSnapshot& snapshot) const {
+  lstm_.restore_stream_state(state.lstm, s, snapshot.lstm);
+  if (snapshot.probs.empty()) return;
+  if (snapshot.probs.size() != num_classes()) {
+    throw std::invalid_argument("restore_batch_stream: probs size mismatch");
+  }
+  // probs is lazily shaped by the first predict_batch; a restore before the
+  // batch ever ticked must materialize it so the prediction survives.
+  if (state.probs.cols() != num_classes()) {
+    state.probs.resize(state.lstm.layers.front().h_prev.rows(), num_classes());
+  } else if (s >= state.probs.rows()) {
+    state.probs.resize_rows(state.lstm.layers.front().h_prev.rows());
+  }
+  std::copy(snapshot.probs.begin(), snapshot.probs.end(),
+            state.probs.row(s).data());
+}
+
+void SequenceModel::copy_params_from(const SequenceModel& other) {
+  if (other.config_.input_dim != config_.input_dim ||
+      other.config_.num_classes != config_.num_classes ||
+      other.config_.hidden_dims != config_.hidden_dims) {
+    throw std::invalid_argument("copy_params_from: model shape mismatch");
+  }
+  const auto copy_matrix = [](const Matrix& from, Matrix& to) {
+    std::copy(from.data(), from.data() + from.size(), to.data());
+  };
+  for (std::size_t li = 0; li < lstm_.num_layers(); ++li) {
+    const LstmCell& src = other.lstm_.layer(li).cell();
+    LstmCell& dst = lstm_.layer(li).cell();
+    copy_matrix(src.w(), dst.w());
+    copy_matrix(src.u(), dst.u());
+    copy_matrix(src.b(), dst.b());
+  }
+  copy_matrix(other.softmax_.w(), softmax_.w());
+  copy_matrix(other.softmax_.b(), softmax_.b());
+}
+
 std::size_t SequenceModel::param_count() const {
   return lstm_.param_count() + softmax_.param_count();
 }

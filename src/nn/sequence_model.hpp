@@ -146,6 +146,40 @@ class SequenceModel {
   void swap_batch_streams(BatchState& state, std::size_t a,
                           std::size_t b) const;
 
+  /// Re-derive the cached weight transposes in `state` from the CURRENT
+  /// parameters, leaving every stream's recurrent state and prediction rows
+  /// untouched — the hot-swap hook: after copy_params_from publishes new
+  /// weights, the serve engine refreshes its batch caches between ticks and
+  /// all live streams carry their histories across the swap.
+  void refresh_batch_state(BatchState& state) const;
+
+  /// One stream's rows lifted out of a BatchState — the park/unpark
+  /// currency of the serve engine's straggler policy.
+  struct StreamSnapshot {
+    StackedLstmState lstm;
+    std::vector<float> probs;  ///< empty if the stream never ticked
+  };
+
+  StreamSnapshot extract_batch_stream(const BatchState& state,
+                                      std::size_t s) const;
+  /// Overwrite stream `s` (which must be active) with a snapshot taken by
+  /// extract_batch_stream — possibly in a different BatchState or after
+  /// grow/shrink cycles, as long as the model shape is unchanged.
+  void restore_batch_stream(BatchState& state, std::size_t s,
+                            const StreamSnapshot& snapshot) const;
+
+  // ---- Cloning / parameter adoption ---------------------------------------
+
+  /// Deep copy (the type is a plain value; this spells out the intent): the
+  /// online-adaptation trainer clones the serving model once and trains the
+  /// clone, so training never touches the weights the engine is serving.
+  SequenceModel clone() const { return *this; }
+
+  /// Copy ONLY the parameter tensors from `other` (shapes must match;
+  /// throws std::invalid_argument otherwise). Allocation-free after the
+  /// first call — the swap-in path the serve engine runs between ticks.
+  void copy_params_from(const SequenceModel& other);
+
   // ---- Introspection ------------------------------------------------------
 
   std::size_t param_count() const;

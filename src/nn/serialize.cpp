@@ -11,6 +11,7 @@ namespace mlad::nn {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'L', 'A', 'D', 'N', 'N', '0', '1'};
+constexpr char kAdamMagic[8] = {'M', 'L', 'A', 'D', 'A', 'D', '0', '1'};
 
 void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -98,6 +99,66 @@ SequenceModel load_model_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
   return load_model(in);
+}
+
+void save_adam_state(std::ostream& out, const AdamState& state) {
+  if (state.m.size() != state.v.size()) {
+    throw std::invalid_argument("save_adam_state: m/v slot count mismatch");
+  }
+  out.write(kAdamMagic, sizeof(kAdamMagic));
+  write_u64(out, state.t);
+  write_u64(out, state.m.size());
+  for (std::size_t i = 0; i < state.m.size(); ++i) {
+    if (state.m[i].size() != state.v[i].size()) {
+      throw std::invalid_argument("save_adam_state: m/v size mismatch");
+    }
+    write_u64(out, state.m[i].size());
+    out.write(reinterpret_cast<const char*>(state.m[i].data()),
+              static_cast<std::streamsize>(state.m[i].size() * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(state.v[i].data()),
+              static_cast<std::streamsize>(state.v[i].size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_adam_state: write failure");
+}
+
+void save_adam_state_file(const std::string& path, const AdamState& state) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_adam_state_file: cannot open " + path);
+  }
+  save_adam_state(out, state);
+}
+
+AdamState load_adam_state(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kAdamMagic, sizeof(kAdamMagic)) != 0) {
+    throw std::runtime_error("load_adam_state: bad magic");
+  }
+  AdamState state;
+  state.t = read_u64(in);
+  const std::uint64_t slots = read_u64(in);
+  state.m.resize(slots);
+  state.v.resize(slots);
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    const std::uint64_t n = read_u64(in);
+    state.m[i].resize(n);
+    state.v[i].resize(n);
+    in.read(reinterpret_cast<char*>(state.m[i].data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    in.read(reinterpret_cast<char*>(state.v[i].data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) throw std::runtime_error("load_adam_state: truncated stream");
+  }
+  return state;
+}
+
+AdamState load_adam_state_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_adam_state_file: cannot open " + path);
+  }
+  return load_adam_state(in);
 }
 
 }  // namespace mlad::nn

@@ -19,4 +19,16 @@ void save_model_file(const std::string& path, const SequenceModel& model);
 SequenceModel load_model(std::istream& in);
 SequenceModel load_model_file(const std::string& path);
 
+/// Adam moment-state sidecar (versioned magic), written next to a model so
+/// both offline resume (`mlad train --resume`) and the online-adaptation
+/// warm start (`mlad serve --adapt --adam-state`) continue from real
+/// optimizer moments instead of zeros. The payload records per-slot sizes;
+/// loading validates internal consistency, and callers must additionally
+/// check the state against their model (nn::adam_state_matches) and refuse
+/// on mismatch.
+void save_adam_state(std::ostream& out, const AdamState& state);
+void save_adam_state_file(const std::string& path, const AdamState& state);
+AdamState load_adam_state(std::istream& in);
+AdamState load_adam_state_file(const std::string& path);
+
 }  // namespace mlad::nn

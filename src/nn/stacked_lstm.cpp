@@ -1,5 +1,6 @@
 #include "nn/stacked_lstm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/kernels.hpp"
@@ -178,6 +179,57 @@ void StackedLstm::swap_stream_rows(std::size_t a, std::size_t b,
   for (LstmBatchCache& cache : sb.layers) {
     swap_rows(cache.h_prev, a, b);
     swap_rows(cache.c_prev, a, b);
+  }
+}
+
+void StackedLstm::refresh_stream_batch(StreamBatchState& sb) const {
+  if (sb.layers.size() != layers_.size()) {
+    throw std::invalid_argument("refresh_stream_batch: uninitialized state");
+  }
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const LstmCell& cell = layers_[li].cell();
+    transpose(cell.w(), sb.wT[li]);
+    transpose(cell.u(), sb.uT[li]);
+  }
+}
+
+void StackedLstm::extract_stream_state(const StreamBatchState& sb,
+                                       std::size_t s,
+                                       StackedLstmState& out) const {
+  if (sb.layers.size() != layers_.size()) {
+    throw std::invalid_argument("extract_stream_state: uninitialized state");
+  }
+  out.h.resize(layers_.size());
+  out.c.resize(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const LstmBatchCache& cache = sb.layers[li];
+    if (s >= cache.h_prev.rows()) {
+      throw std::invalid_argument("extract_stream_state: stream out of range");
+    }
+    const auto h = cache.h_prev.row(s);
+    const auto c = cache.c_prev.row(s);
+    out.h[li].assign(h.begin(), h.end());
+    out.c[li].assign(c.begin(), c.end());
+  }
+}
+
+void StackedLstm::restore_stream_state(StreamBatchState& sb, std::size_t s,
+                                       const StackedLstmState& state) const {
+  if (sb.layers.size() != layers_.size() ||
+      state.h.size() != layers_.size() || state.c.size() != layers_.size()) {
+    throw std::invalid_argument("restore_stream_state: layer mismatch");
+  }
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    LstmBatchCache& cache = sb.layers[li];
+    if (s >= cache.h_prev.rows() ||
+        state.h[li].size() != cache.h_prev.cols() ||
+        state.c[li].size() != cache.c_prev.cols()) {
+      throw std::invalid_argument("restore_stream_state: shape mismatch");
+    }
+    std::copy(state.h[li].begin(), state.h[li].end(),
+              cache.h_prev.row(s).data());
+    std::copy(state.c[li].begin(), state.c[li].end(),
+              cache.c_prev.row(s).data());
   }
 }
 

@@ -124,6 +124,19 @@ class StackedLstm {
   void swap_stream_rows(std::size_t a, std::size_t b,
                         StreamBatchState& sb) const;
 
+  /// Re-transpose the cached wT/uT from the CURRENT parameters without
+  /// touching any stream's h_prev/c_prev rows — call after an optimizer
+  /// step or a weight hot-swap so the next step_stream_batch uses the new
+  /// weights while every live stream keeps its state.
+  void refresh_stream_batch(StreamBatchState& sb) const;
+
+  /// Copy stream s's per-layer recurrent state out of / back into the
+  /// batched state (park/unpark in the serve engine's straggler policy).
+  void extract_stream_state(const StreamBatchState& sb, std::size_t s,
+                            StackedLstmState& out) const;
+  void restore_stream_state(StreamBatchState& sb, std::size_t s,
+                            const StackedLstmState& state) const;
+
   void zero_grads();
   std::size_t param_count() const;
 

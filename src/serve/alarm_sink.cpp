@@ -43,6 +43,13 @@ void ConsoleAlarmSink::on_alarm(const AlarmEvent& e) {
   ++printed_;
 }
 
+void ConsoleAlarmSink::on_model_swap(std::uint64_t version,
+                                     std::uint64_t tick) {
+  std::fprintf(out_, "[adapt] weights v%llu hot-swapped at tick %llu\n",
+               static_cast<unsigned long long>(version),
+               static_cast<unsigned long long>(tick));
+}
+
 void ConsoleAlarmSink::flush() { std::fflush(out_); }
 
 JsonlAlarmSink::JsonlAlarmSink(const std::string& path) : out_(path) {
@@ -64,6 +71,15 @@ void JsonlAlarmSink::on_alarm(const AlarmEvent& e) {
                 e.decode_ok ? "true" : "false");
   out_ << line << '\n';
   ++written_;
+}
+
+void JsonlAlarmSink::on_model_swap(std::uint64_t version, std::uint64_t tick) {
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "{\"type\": \"swap\", \"version\": %llu, \"tick\": %llu}",
+                static_cast<unsigned long long>(version),
+                static_cast<unsigned long long>(tick));
+  out_ << line << '\n';
 }
 
 void JsonlAlarmSink::flush() { out_.flush(); }
@@ -94,6 +110,12 @@ TeeAlarmSink::TeeAlarmSink(std::vector<AlarmSink*> sinks)
 void TeeAlarmSink::on_alarm(const AlarmEvent& e) {
   for (AlarmSink* s : sinks_) {
     if (s != nullptr) s->on_alarm(e);
+  }
+}
+
+void TeeAlarmSink::on_model_swap(std::uint64_t version, std::uint64_t tick) {
+  for (AlarmSink* s : sinks_) {
+    if (s != nullptr) s->on_model_swap(version, tick);
   }
 }
 

@@ -34,6 +34,13 @@ class AlarmSink {
  public:
   virtual ~AlarmSink() = default;
   virtual void on_alarm(const AlarmEvent& event) = 0;
+  /// The engine hot-swapped adapted weights (version v) between ticks; every
+  /// alarm after this call was classified by the new model. Default: ignore
+  /// (only audit-trail sinks need the provenance record).
+  virtual void on_model_swap(std::uint64_t version, std::uint64_t tick) {
+    (void)version;
+    (void)tick;
+  }
   virtual void flush() {}
 };
 
@@ -46,6 +53,7 @@ class ConsoleAlarmSink final : public AlarmSink {
                             std::size_t max_lines = 20,
                             bool show_link = false);
   void on_alarm(const AlarmEvent& event) override;
+  void on_model_swap(std::uint64_t version, std::uint64_t tick) override;
   void flush() override;
 
   std::size_t printed() const { return printed_; }
@@ -64,6 +72,9 @@ class JsonlAlarmSink final : public AlarmSink {
  public:
   explicit JsonlAlarmSink(const std::string& path);
   void on_alarm(const AlarmEvent& event) override;
+  /// Emits `{"type": "swap", "version": v, "tick": t}` so the audit trail
+  /// records which model produced every subsequent alarm.
+  void on_model_swap(std::uint64_t version, std::uint64_t tick) override;
   void flush() override;
 
   std::size_t written() const { return written_; }
@@ -87,18 +98,34 @@ class CsvAlarmSink final : public AlarmSink {
   std::size_t written_ = 0;
 };
 
-/// Test double: records every event in arrival order.
+/// Test double: records every event (and model swap) in arrival order.
 class CountingAlarmSink final : public AlarmSink {
  public:
+  struct SwapRecord {
+    std::uint64_t version = 0;
+    std::uint64_t tick = 0;
+    std::size_t alarms_before = 0;  ///< alarms emitted before the swap
+
+    bool operator==(const SwapRecord&) const = default;
+  };
+
   void on_alarm(const AlarmEvent& event) override {
     events_.push_back(event);
   }
+  void on_model_swap(std::uint64_t version, std::uint64_t tick) override {
+    swaps_.push_back({version, tick, events_.size()});
+  }
   const std::vector<AlarmEvent>& events() const { return events_; }
+  const std::vector<SwapRecord>& swaps() const { return swaps_; }
   std::size_t count() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    swaps_.clear();
+  }
 
  private:
   std::vector<AlarmEvent> events_;
+  std::vector<SwapRecord> swaps_;
 };
 
 /// Fan one alarm stream out to several sinks (console + audit file).
@@ -106,6 +133,7 @@ class TeeAlarmSink final : public AlarmSink {
  public:
   explicit TeeAlarmSink(std::vector<AlarmSink*> sinks);
   void on_alarm(const AlarmEvent& event) override;
+  void on_model_swap(std::uint64_t version, std::uint64_t tick) override;
   void flush() override;
 
  private:

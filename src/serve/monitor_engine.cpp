@@ -1,7 +1,9 @@
 #include "serve/monitor_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "adapt/online_trainer.hpp"
 #include "common/stopwatch.hpp"
 #include "ics/features.hpp"
 
@@ -15,7 +17,22 @@ MonitorEngine::MonitorEngine(const detect::CombinedDetector& detector,
       config_(config),
       pool_(config.threads),
       mux_(config.crc_window),
-      batch_(detector, /*streams=*/0, pool_.get()) {}
+      batch_(detector, /*streams=*/0, pool_.get()) {
+  if (config_.adapter != nullptr) {
+    if (!config_.batched) {
+      throw std::invalid_argument(
+          "MonitorEngine: adaptation requires the batched engine");
+    }
+    if (config_.adapt_interval == 0) {
+      throw std::invalid_argument(
+          "MonitorEngine: adapt_interval must be > 0");
+    }
+    if (&config_.adapter->detector() != detector_) {
+      throw std::invalid_argument(
+          "MonitorEngine: the adapter must wrap this engine's detector");
+    }
+  }
+}
 
 void MonitorEngine::push(ics::LinkId link, const ics::RawFrame& frame) {
   ingest(mux_.push(link, frame), frame.bytes.size());
@@ -58,22 +75,44 @@ void MonitorEngine::ingest(const ics::LinkMux::Demuxed& demuxed,
 }
 
 void MonitorEngine::join(ics::LinkId id, Link& link) {
+  // A parked link re-enters through the same grow path but with its saved
+  // stream state restored, so its verdict sequence continues as if the
+  // silent gap never happened. Everyone else starts a fresh zero stream.
+  const bool resuming = link.parked;
   link.slot = slots_.size();
   slots_.push_back(id);
   slot_links_.push_back(&link);
   link.closed = false;
   if (config_.batched) {
     batch_.grow(slots_.size());
-  } else {
+    if (resuming) {
+      batch_.restore_stream(link.slot, *link.parked_state);
+      link.parked_state.reset();
+    }
+  } else if (!resuming) {
     link.stream = detector_->make_stream();
   }
-  ++stats_.links_seen;
+  link.parked = false;
+  if (resuming) --parked_count_;
+  if (!resuming) {
+    ++stats_.links_seen;
+    // A fresh stream breaks any partial harvest window of a previous
+    // incarnation of this link id.
+    if (config_.adapter != nullptr) config_.adapter->stream_break(id);
+  }
   stats_.peak_links = std::max<std::uint64_t>(stats_.peak_links, slots_.size());
 }
 
 void MonitorEngine::close(ics::LinkId id) {
   const auto it = links_.find(id);
-  if (it == links_.end() || it->second.slot == kNoSlot) return;
+  if (it == links_.end()) return;
+  if (it->second.parked) {
+    // A parked link has no queue and no slot: closing it is an immediate
+    // retirement (its saved stream state will never be resumed).
+    retire_parked(id, it->second);
+    return;
+  }
+  if (it->second.slot == kNoSlot) return;
   it->second.closed = true;
   maybe_tick();
 }
@@ -81,8 +120,15 @@ void MonitorEngine::close(ics::LinkId id) {
 void MonitorEngine::finish() {
   for (auto& [id, link] : links_) {
     if (link.slot != kNoSlot) link.closed = true;
+    // Nothing more will arrive; a parked link can't drain through the
+    // gate, so retire it here.
+    if (link.parked) retire_parked(id, link);
   }
   maybe_tick();
+  // Collect an outstanding adaptation round so its publication shows up in
+  // the closing stats (no tick follows to adopt it otherwise). Idempotent:
+  // with nothing outstanding this is a no-op.
+  if (config_.adapter != nullptr) adapt_boundary(/*request_next=*/false);
 }
 
 void MonitorEngine::retire_drained() {
@@ -92,6 +138,7 @@ void MonitorEngine::retire_drained() {
   for (std::size_t s = slots_.size(); s-- > 0;) {
     Link& link = *slot_links_[s];
     if (!link.closed || !link.queue.empty()) continue;
+    const ics::LinkId id = slots_[s];
     const std::size_t last = slots_.size() - 1;
     if (s != last) {
       if (config_.batched) batch_.swap_streams(s, last);
@@ -105,7 +152,89 @@ void MonitorEngine::retire_drained() {
     slots_.pop_back();
     slot_links_.pop_back();
     ++stats_.links_retired;
+    if (config_.adapter != nullptr) config_.adapter->stream_break(id);
   }
+}
+
+void MonitorEngine::park(std::size_t s) {
+  Link& link = *slot_links_[s];
+  if (config_.batched) link.parked_state = batch_.extract_stream(s);
+  const std::size_t last = slots_.size() - 1;
+  if (s != last) {
+    if (config_.batched) batch_.swap_streams(s, last);
+    std::swap(slots_[s], slots_[last]);
+    std::swap(slot_links_[s], slot_links_[last]);
+    slot_links_[s]->slot = s;
+  }
+  if (config_.batched) batch_.shrink(last);
+  link.slot = kNoSlot;
+  link.parked = true;
+  link.parked_since = stats_.ticks;
+  // In reference mode link.stream simply stays put until the rejoin.
+  slots_.pop_back();
+  slot_links_.pop_back();
+  ++parked_count_;
+  ++link.stats.parks;
+  ++stats_.links_parked;
+}
+
+void MonitorEngine::retire_parked(ics::LinkId id, Link& link) {
+  link.parked = false;
+  link.parked_state.reset();
+  link.stream = {};
+  --parked_count_;
+  ++stats_.links_retired;
+  if (config_.adapter != nullptr) config_.adapter->stream_break(id);
+}
+
+void MonitorEngine::escalate_parked() {
+  if (parked_count_ == 0 || config_.close_after == 0 ||
+      config_.park_after == 0 || config_.close_after <= config_.park_after) {
+    return;
+  }
+  // The wire keeps ticking while a link is parked, so the tick counter is
+  // a real clock for its silence: parked at park_after ticks of it,
+  // retired once the total reaches close_after.
+  const std::uint64_t grace = config_.close_after - config_.park_after;
+  for (auto& [id, link] : links_) {
+    if (link.parked && stats_.ticks - link.parked_since >= grace) {
+      retire_parked(id, link);
+    }
+  }
+}
+
+bool MonitorEngine::apply_straggler_policy() {
+  const bool park_enabled = config_.park_after != 0;
+  const bool close_enabled = config_.close_after != 0;
+  if (!park_enabled && !close_enabled) return false;
+  // "Silent for T ticks" in gate terms: on a time-ordered wire the links
+  // take turns, so a healthy gate keeps every queue O(1); when one link has
+  // T packages queued while another has none, the empty link has been
+  // silent for T ticks' worth of wire. The lower threshold acts first
+  // (park, the gentler policy, wins a tie).
+  std::size_t max_pending = 0;
+  for (const Link* link : slot_links_) {
+    max_pending = std::max(max_pending, link->queue.size());
+  }
+  const bool park_first =
+      park_enabled &&
+      (!close_enabled || config_.park_after <= config_.close_after);
+  const std::size_t threshold =
+      park_first ? config_.park_after : config_.close_after;
+  if (max_pending < threshold) return false;
+
+  bool changed = false;
+  for (std::size_t s = slots_.size(); s-- > 0;) {
+    Link& link = *slot_links_[s];
+    if (!link.queue.empty() || link.closed) continue;
+    if (park_first) {
+      park(s);
+    } else {
+      link.closed = true;  // retire_drained drops it on the next pass
+    }
+    changed = true;
+  }
+  return changed;
 }
 
 void MonitorEngine::maybe_tick() {
@@ -121,7 +250,12 @@ void MonitorEngine::maybe_tick() {
     for (std::size_t s = 0; s < n && ready; ++s) {
       ready = !slot_links_[s]->queue.empty();
     }
-    if (!ready) return;
+    if (!ready) {
+      // A silent link is blocking everyone: the straggler policy may take
+      // it out of the gate, after which the tick can be retried.
+      if (apply_straggler_policy()) continue;
+      return;
+    }
 
     tick_rows_.resize(n);
     for (std::size_t s = 0; s < n; ++s) {
@@ -129,7 +263,8 @@ void MonitorEngine::maybe_tick() {
     }
     Stopwatch sw;
     if (config_.batched) {
-      batch_.step(tick_rows_, verdicts_);
+      batch_.step(tick_rows_, verdicts_,
+                  config_.adapter != nullptr ? &package_verdicts_ : nullptr);
     } else {
       verdicts_.assign(n, {});
       for (std::size_t s = 0; s < n; ++s) {
@@ -139,13 +274,40 @@ void MonitorEngine::maybe_tick() {
     }
     stats_.classify_us += sw.elapsed_us();
     ++stats_.ticks;
+    escalate_parked();
 
     for (std::size_t s = 0; s < n; ++s) {
       Link& link = *slot_links_[s];
-      dispatch(slots_[s], link, link.queue.front(), verdicts_[s]);
+      const Pending& pending = link.queue.front();
+      dispatch(slots_[s], link, pending, verdicts_[s]);
+      if (config_.adapter != nullptr) {
+        config_.adapter->observe(slots_[s], package_verdicts_[s],
+                                 verdicts_[s].anomaly, pending.decode_ok);
+      }
       link.queue.pop_front();
     }
+    if (config_.adapter != nullptr &&
+        stats_.ticks % config_.adapt_interval == 0) {
+      adapt_boundary();
+    }
   }
+}
+
+void MonitorEngine::adapt_boundary(bool request_next) {
+  Stopwatch sw;
+  if (const std::uint64_t version = config_.adapter->poll_and_apply();
+      version != 0) {
+    // New weights are live in the detector's model; rebuild the batch's
+    // transposed-weight caches. Stream states (and each stream's standing
+    // prediction) carry over — the first post-swap verdict of every link
+    // still uses its pre-swap prediction, every later one the new model.
+    batch_.refresh_weights();
+    stats_.model_version = version;
+    ++stats_.model_swaps;
+    if (sink_ != nullptr) sink_->on_model_swap(version, stats_.ticks);
+  }
+  if (request_next) config_.adapter->request_round();
+  stats_.adapt_us += sw.elapsed_us();
 }
 
 void MonitorEngine::dispatch(ics::LinkId id, Link& link,

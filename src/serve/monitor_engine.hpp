@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,10 @@
 #include "ics/link_mux.hpp"
 #include "serve/alarm_sink.hpp"
 #include "signature/discretizer.hpp"
+
+namespace mlad::adapt {
+class OnlineTrainer;
+}  // namespace mlad::adapt
 
 namespace mlad::serve {
 
@@ -44,6 +49,34 @@ struct MonitorEngineConfig {
   /// `mlad monitor`.
   bool batched = true;
   std::size_t crc_window = 50;  ///< per-link rolling CRC window (§VII)
+
+  // ---- straggler policy (DESIGN.md §9) ------------------------------------
+  // The lockstep gate fires only when EVERY active link has a package
+  // pending, so one silent PLC stalls the whole wire. With these set, a
+  // link that is the only thing blocking the gate while some other link has
+  // accumulated >= T packages — on a time-ordered wire, T ticks' worth of
+  // silence — is taken out of the gate:
+  /// Park: the link leaves the batch but its stream state is snapshotted;
+  /// the next frame re-admits it with its history intact (same verdict
+  /// sequence as if the gap never happened). 0 = off.
+  std::size_t park_after = 0;
+  /// Close: the link is retired as if close()d; a later frame opens a
+  /// fresh zero-state stream. 0 = off. When both are set, whichever
+  /// threshold is lower acts first (park wins a tie); with
+  /// park_after < close_after a parked link is retired — its saved state
+  /// dropped — once its total silence reaches close_after ticks.
+  std::size_t close_after = 0;
+
+  // ---- online adaptation (DESIGN.md §9) -----------------------------------
+  /// Background adaptation subsystem; must wrap the SAME detector object
+  /// this engine serves, and requires `batched` mode. The engine harvests
+  /// verdict-clean windows into it and hot-swaps the weights it publishes.
+  /// Null = adaptation off (the default; the tick path is untouched).
+  adapt::OnlineTrainer* adapter = nullptr;
+  /// Ticks between adaptation rounds: at every multiple the engine adopts
+  /// the previous round's weights (waiting for it if still training) and
+  /// requests the next — so swaps land on deterministic ticks.
+  std::size_t adapt_interval = 512;
 };
 
 struct LinkStats {
@@ -52,6 +85,7 @@ struct LinkStats {
   std::uint64_t package_level_alarms = 0;     ///< Bloom stage
   std::uint64_t timeseries_level_alarms = 0;  ///< LSTM stage
   std::uint64_t decode_failures = 0;
+  std::uint64_t parks = 0;  ///< times the straggler policy parked this link
   double first_time = 0.0;
   double last_time = 0.0;
 };
@@ -66,9 +100,16 @@ struct EngineStats {
   std::uint64_t decode_failures = 0;
   std::uint64_t links_seen = 0;
   std::uint64_t links_retired = 0;
+  std::uint64_t links_parked = 0;  ///< straggler parks (links may repeat)
   std::uint64_t peak_links = 0;    ///< max concurrently-active links
   std::uint64_t peak_pending = 0;  ///< max queued packages on one link
+  std::uint64_t model_version = 0;  ///< serving weight version (0 = shipped)
+  std::uint64_t model_swaps = 0;    ///< adapted-weight hot swaps applied
   double classify_us = 0.0;        ///< wall time inside classification ticks
+  /// Wall time inside adapt boundaries: waiting out an unfinished round
+  /// plus adopting its weights (copy + cache re-transpose). NOT part of
+  /// classify_us — reported separately so slow rounds can't hide.
+  double adapt_us = 0.0;
 
   double us_per_package() const {
     return packages > 0 ? classify_us / static_cast<double>(packages) : 0.0;
@@ -130,14 +171,32 @@ class MonitorEngine {
     std::size_t slot = kNoSlot;  ///< batch row while active
     std::deque<Pending> queue;
     bool closed = false;
+    bool parked = false;  ///< out of the gate, state preserved for rejoin
+    std::uint64_t parked_since = 0;  ///< tick count at park time
     LinkStats stats;
     detect::CombinedDetector::Stream stream;  ///< reference mode only
+    /// Batched-mode stream state saved across a park (nullopt otherwise).
+    std::optional<detect::StreamBatch::StreamSnapshot> parked_state;
   };
 
   void ingest(const ics::LinkMux::Demuxed& demuxed, std::size_t frame_len);
   void join(ics::LinkId id, Link& link);
   void retire_drained();
+  /// Take every link currently blocking the gate out of it (park or close)
+  /// once the straggler thresholds trip. Returns true if anything changed.
+  bool apply_straggler_policy();
+  void park(std::size_t slot);
+  /// Drop a parked link's saved state and retire it (explicit close(),
+  /// the park→close escalation, or finish()).
+  void retire_parked(ics::LinkId id, Link& link);
+  /// With both thresholds set (park < close), retire parked links whose
+  /// total silence has reached close_after ticks.
+  void escalate_parked();
   void maybe_tick();
+  /// Adaptation-interval boundary: adopt the outstanding round's weights
+  /// (waiting for it if still training) and, unless `request_next` is
+  /// false (final collection in finish()), request the next round.
+  void adapt_boundary(bool request_next = true);
   void dispatch(ics::LinkId id, Link& link, const Pending& pending,
                 const detect::CombinedVerdict& verdict);
 
@@ -150,11 +209,13 @@ class MonitorEngine {
   std::map<ics::LinkId, Link> links_;
   std::vector<ics::LinkId> slots_;  ///< slot → link id, dense
   std::vector<Link*> slot_links_;   ///< slot → session (map nodes are stable)
+  std::size_t parked_count_ = 0;    ///< links currently parked
   EngineStats stats_;
 
   // Per-tick scratch, reused so the steady state is allocation-free.
   std::vector<std::span<const double>> tick_rows_;
   std::vector<detect::CombinedVerdict> verdicts_;
+  std::vector<detect::PackageVerdict> package_verdicts_;  ///< harvest only
 };
 
 }  // namespace mlad::serve

@@ -17,32 +17,58 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "adapt/online_trainer.hpp"
 #include "common/arff.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "detect/pipeline.hpp"
 #include "detect/serialize.hpp"
 #include "ics/capture.hpp"
+#include "ics/features.hpp"
 #include "ics/link_mux.hpp"
 #include "ics/simulator.hpp"
+#include "nn/serialize.hpp"
 #include "serve/monitor_engine.hpp"
 
 namespace {
 
 using namespace mlad;
 
-/// "--flag value" pairs after the subcommand.
+/// "--flag value" pairs after the subcommand. A flag in kBareSwitches may
+/// appear without a value and stores "on" (e.g. `mlad serve --adapt
+/// --adapt-interval 256`); any other flag with its value missing is still
+/// a hard error, not a silent "on".
+constexpr const char* kBareSwitches[] = {"adapt"};
+
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int start) {
+  const auto is_bare = [](const char* key) {
+    for (const char* s : kBareSwitches) {
+      if (std::strcmp(key, s) == 0) return true;
+    }
+    return false;
+  };
   std::map<std::string, std::string> flags;
-  for (int i = start; i + 1 < argc; i += 2) {
+  for (int i = start; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       throw std::runtime_error(std::string("expected --flag, got ") + argv[i]);
     }
-    flags[argv[i] + 2] = argv[i + 1];
+    const char* key = argv[i] + 2;
+    const bool has_value =
+        i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0;
+    if (has_value) {
+      flags[key] = argv[i + 1];
+      i += 2;
+    } else if (is_bare(key)) {
+      flags[key] = "on";
+      i += 1;
+    } else {
+      throw std::runtime_error(std::string("missing value for --") + key);
+    }
   }
   return flags;
 }
@@ -89,6 +115,50 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
 
 int cmd_train(const std::map<std::string, std::string>& flags) {
   const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
+  const std::string model_path = need(flags, "model");
+  const auto adam_it = flags.find("adam-state");
+
+  if (const auto resume_it = flags.find("resume"); resume_it != flags.end()) {
+    // Offline resume: continue training a saved framework on this log with
+    // its own discretizer / signature database, warm-starting Adam from the
+    // sidecar when one is given (refused if it doesn't match the model).
+    auto detector = detect::load_framework_file(resume_it->second);
+    detect::TimeSeriesDetector& ts = detector->timeseries_level();
+    detect::TimeSeriesConfig ts_cfg = ts.config();
+    ts_cfg.epochs = std::stoul(get_or(flags, "epochs", "15"));
+    ts_cfg.batch_size = std::stoul(get_or(flags, "batch", "1"));
+    ts_cfg.threads = std::stoul(get_or(flags, "threads", "0"));
+    ts.set_train_config(ts_cfg);
+    if (adam_it != flags.end()) {
+      ts.set_warm_start(nn::load_adam_state_file(adam_it->second));
+    }
+
+    const ics::DatasetSplit split = ics::split_dataset(packages);
+    const auto discretize =
+        [&](std::span<const ics::PackageFragment> fragments) {
+          std::vector<detect::DiscreteFragment> out;
+          out.reserve(fragments.size());
+          for (const auto& f : fragments) {
+            out.push_back(detector->package_level().discretizer().transform_all(
+                ics::fragment_rows(f)));
+          }
+          return out;
+        };
+    Rng rng(std::stoull(get_or(flags, "seed", "5")));
+    const auto losses = ts.train(discretize(split.train_fragments), rng);
+    ts.choose_k(discretize(split.validation_fragments));
+    std::printf("resumed %s for %zu epochs: final loss %.6f, k=%zu\n",
+                resume_it->second.c_str(), losses.size(),
+                losses.empty() ? 0.0 : losses.back(), ts.k());
+    detect::save_framework_file(model_path, *detector);
+    std::printf("model saved: %s\n", model_path.c_str());
+    if (adam_it != flags.end()) {
+      nn::save_adam_state_file(adam_it->second, *ts.adam_state());
+      std::printf("optimizer state saved: %s\n", adam_it->second.c_str());
+    }
+    return 0;
+  }
+
   detect::PipelineConfig cfg;
   cfg.combined.timeseries.epochs = std::stoul(get_or(flags, "epochs", "15"));
   cfg.combined.timeseries.hidden_dims = {
@@ -106,10 +176,15 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
               fw.detector->package_level().database().size(),
               fw.detector->chosen_k(),
               fw.detector->package_validation_error());
-  const std::string model = need(flags, "model");
-  detect::save_framework_file(model, *fw.detector);
-  std::printf("model saved: %s (%zu KB)\n", model.c_str(),
+  detect::save_framework_file(model_path, *fw.detector);
+  std::printf("model saved: %s (%zu KB)\n", model_path.c_str(),
               fw.detector->memory_bytes() / 1024);
+  if (adam_it != flags.end()) {
+    // Sidecar for offline resume / `serve --adapt` warm start.
+    nn::save_adam_state_file(
+        adam_it->second, *fw.detector->timeseries_level().adam_state());
+    std::printf("optimizer state saved: %s\n", adam_it->second.c_str());
+  }
   return 0;
 }
 
@@ -207,6 +282,34 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     throw std::runtime_error("serve: --engine must be batched or reference");
   }
   cfg.batched = engine_mode == "batched";
+  // Straggler policy: take a silent link out of the lockstep gate once some
+  // other link has T packages queued behind it (DESIGN.md §9).
+  cfg.park_after = std::stoul(get_or(flags, "park-after", "0"));
+  cfg.close_after = std::stoul(get_or(flags, "close-after", "0"));
+
+  // --adapt: background incremental re-training with hot-swapped weights
+  // (DESIGN.md §9). Default off — without it the serve data path is
+  // bit-identical to previous releases.
+  std::unique_ptr<adapt::OnlineTrainer> adapter;
+  if (get_or(flags, "adapt", "off") != "off") {
+    adapt::AdaptConfig acfg;
+    acfg.replay_capacity = std::stoul(get_or(flags, "replay-cap", "256"));
+    acfg.window_len = std::stoul(get_or(flags, "adapt-window", "48"));
+    acfg.min_windows = std::stoul(get_or(flags, "adapt-min-windows", "8"));
+    acfg.epochs_per_round = std::stoul(get_or(flags, "adapt-epochs", "1"));
+    acfg.max_steps_per_round =
+        std::stoul(get_or(flags, "adapt-max-steps", "0"));
+    acfg.threads = std::stoul(get_or(flags, "adapt-threads", "1"));
+    acfg.seed = std::stoull(get_or(flags, "adapt-seed", "1"));
+    std::optional<nn::AdamState> warm;
+    if (const auto it = flags.find("adam-state"); it != flags.end()) {
+      warm = nn::load_adam_state_file(it->second);
+    }
+    adapter = std::make_unique<adapt::OnlineTrainer>(
+        *detector, acfg, warm ? &*warm : nullptr);
+    cfg.adapter = adapter.get();
+    cfg.adapt_interval = std::stoul(get_or(flags, "adapt-interval", "512"));
+  }
 
   // Console unless --sink names a file (.csv → CSV, else JSONL); the
   // console then only shows the closing stats.
@@ -235,6 +338,21 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                       : 100.0 * static_cast<double>(s.alarms) /
                             static_cast<double>(s.packages),
       s.us_per_package(), static_cast<std::size_t>(s.ticks), s.mean_batch());
+  if (s.links_parked > 0) {
+    std::printf("straggler policy: %zu parks\n",
+                static_cast<std::size_t>(s.links_parked));
+  }
+  if (adapter) {
+    const adapt::AdaptStats as = adapter->stats();
+    std::printf(
+        "adapt: %zu windows harvested (replay %zu), %zu rounds trained "
+        "(%zu skipped), serving weights v%zu, %.2f s training off the "
+        "tick path\n",
+        static_cast<std::size_t>(as.windows_harvested), as.replay_size,
+        static_cast<std::size_t>(as.rounds_completed),
+        static_cast<std::size_t>(as.rounds_skipped),
+        static_cast<std::size_t>(as.applied_version), as.train_seconds);
+  }
   TablePrinter table(
       {"link", "packages", "alarms", "bloom", "lstm", "decode-fail"});
   for (const auto& [id, ls] : engine.link_stats()) {
@@ -257,6 +375,10 @@ int usage() {
       "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
       "           [--batch B] [--threads N]   (batch>1 = parallel minibatch\n"
       "           engine; threads 0 = all cores, never changes results)\n"
+      "           [--adam-state f]  write the Adam sidecar next to the model\n"
+      "           [--resume old.model]  continue training a saved framework\n"
+      "           on this log (with --adam-state: warm-start from, then\n"
+      "           rewrite, the sidecar; refused if it mismatches the model)\n"
       "  evaluate --arff f --model f [--threads N] [--streams S]\n"
       "           (--threads: sharded parallel scoring; --streams S>1:\n"
       "           batched multi-stream inference, one (S×dim) LSTM step\n"
@@ -267,7 +389,18 @@ int usage() {
       "           [--engine batched|reference]   (each capture replays\n"
       "           as one PLC link; one batched LSTM step per tick\n"
       "           advances every link — per-link verdicts are\n"
-      "           bit-identical to monitoring that link alone)\n");
+      "           bit-identical to monitoring that link alone)\n"
+      "           [--park-after T] [--close-after T]   straggler policy:\n"
+      "           park (state kept across rejoin) or close a link that\n"
+      "           stalls the gate for T ticks' worth of wire\n"
+      "           [--adapt] [--adapt-interval N] [--replay-cap M]\n"
+      "           [--adapt-threads K] [--adapt-window L] [--adapt-epochs E]\n"
+      "           [--adapt-min-windows W] [--adapt-max-steps S]\n"
+      "           [--adapt-seed S] [--adam-state f]\n"
+      "           online adaptation: harvest verdict-clean windows into a\n"
+      "           seeded replay buffer, re-train on a background thread\n"
+      "           (warm-start Adam), hot-swap weights every N ticks; a\n"
+      "           round below W buffered windows is skipped (no swap)\n");
   return 2;
 }
 
