@@ -1,0 +1,47 @@
+// Ingestion front ends for the serve layer (DESIGN.md §10): a
+// PackageSource produces the interleaved multi-link wire the sharded
+// engine consumes — one (link, raw frame) pair at a time, in wire order.
+//
+// Sources are pull-based: the ingest pump calls next() on its own thread
+// and routes each frame to an engine shard by link hash. Blocking inside
+// next() (a paced replay sleeping out an inter-arrival gap, a socket
+// waiting for a datagram) therefore back-pressures the pump, never an
+// engine. The frame SEQUENCE a source yields — not its timing — is what
+// determines every verdict downstream, so a paced and an unpaced replay of
+// the same wire are bit-identical end to end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ics/link_mux.hpp"
+
+namespace mlad::ingest {
+
+class PackageSource {
+ public:
+  virtual ~PackageSource() = default;
+
+  /// Produce the next frame of the wire into `out`. Returns false once the
+  /// source is exhausted (and keeps returning false — callers may poll a
+  /// finished source harmlessly). May block while waiting for input.
+  virtual bool next(ics::LinkFrame& out) = 0;
+};
+
+/// A pre-merged wire held in memory — the `mlad serve --source capture`
+/// path: captures are read from disk, interleaved with
+/// ics::merge_captures, and drained at full speed.
+class CaptureSource final : public PackageSource {
+ public:
+  explicit CaptureSource(std::vector<ics::LinkFrame> wire);
+
+  bool next(ics::LinkFrame& out) override;
+
+  std::size_t remaining() const { return wire_.size() - pos_; }
+
+ private:
+  std::vector<ics::LinkFrame> wire_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mlad::ingest

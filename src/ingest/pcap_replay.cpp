@@ -1,0 +1,41 @@
+#include "ingest/pcap_replay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace mlad::ingest {
+
+PcapReplaySource::PcapReplaySource(std::vector<ics::LinkFrame> wire,
+                                   double speed)
+    : wire_(std::move(wire)), speed_(speed) {
+  if (std::isnan(speed_) || speed_ < 0.0) {
+    throw std::invalid_argument("PcapReplaySource: speed must be >= 0");
+  }
+}
+
+bool PcapReplaySource::next(ics::LinkFrame& out) {
+  if (pos_ >= wire_.size()) return false;
+  const ics::LinkFrame& lf = wire_[pos_];
+  if (speed_ > 0.0) {
+    if (!started_) {
+      start_ = std::chrono::steady_clock::now();
+      first_timestamp_ = lf.frame.timestamp;
+      started_ = true;
+    }
+    // Captures are time-merged, so timestamps are non-decreasing; clamp
+    // anyway so a rogue out-of-order timestamp can only release early,
+    // never wedge the replay.
+    const double offset =
+        std::max(0.0, lf.frame.timestamp - first_timestamp_) / speed_;
+    std::this_thread::sleep_until(
+        start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(offset)));
+  }
+  out = lf;
+  ++pos_;
+  return true;
+}
+
+}  // namespace mlad::ingest

@@ -1,0 +1,42 @@
+// Paced capture replay (DESIGN.md §10): re-emits a recorded wire with its
+// original inter-arrival timing, so a serve process can be exercised
+// against realistic load instead of an infinitely fast file drain — the
+// pcap-replay idiom, applied to our `.cap` capture format.
+//
+// Pacing is wall-clock-anchored: frame i is released no earlier than
+// `start + (t_i - t_0) / speed`, where the t's are capture timestamps.
+// Anchoring to the start (rather than sleeping per-gap) means scheduling
+// jitter never accumulates. Pacing changes WHEN frames are handed out,
+// never their order or content, so verdicts are bit-identical to an
+// unpaced CaptureSource drain of the same wire at any speed.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "ingest/package_source.hpp"
+
+namespace mlad::ingest {
+
+class PcapReplaySource final : public PackageSource {
+ public:
+  /// `speed` is a time-compression factor: 1.0 replays at the original
+  /// rate, 10.0 ten times faster. 0 disables pacing entirely (identical to
+  /// CaptureSource). Negative or NaN speeds are invalid.
+  explicit PcapReplaySource(std::vector<ics::LinkFrame> wire,
+                            double speed = 1.0);
+
+  bool next(ics::LinkFrame& out) override;
+
+  double speed() const { return speed_; }
+
+ private:
+  std::vector<ics::LinkFrame> wire_;
+  std::size_t pos_ = 0;
+  double speed_;
+  double first_timestamp_ = 0.0;
+  std::chrono::steady_clock::time_point start_{};
+  bool started_ = false;
+};
+
+}  // namespace mlad::ingest

@@ -1,0 +1,15 @@
+#include "ingest/shard_router.hpp"
+
+#include <stdexcept>
+
+namespace mlad::ingest {
+
+std::size_t shard_of(ics::LinkId link, std::size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("shard_of: shards must be > 0");
+  }
+  if (shards == 1) return 0;
+  return static_cast<std::size_t>(splitmix64(link) % shards);
+}
+
+}  // namespace mlad::ingest

@@ -1,0 +1,33 @@
+// Link→shard assignment for the sharded serve path (DESIGN.md §10). Every
+// frame of a link must reach the same shard — the shard owns the link's
+// decode session and LSTM stream — so the assignment is a pure function of
+// (link id, shard count): a splitmix64 bit-mix of the id, reduced mod N.
+//
+// The mix matters: plants often number links densely (0..L-1) or with a
+// shared stride, and a bare `link % N` would then put correlated traffic
+// on one shard. splitmix64 spreads any id scheme ~uniformly while staying
+// deterministic across runs, processes, and machines — restart a serve
+// fleet and every link lands where it did before.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ics/link_mux.hpp"
+
+namespace mlad::ingest {
+
+/// Fixed 64-bit finalizing mix (Steele et al.'s SplitMix64 — the same
+/// constants everywhere, so shard placement is a portable contract).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The shard (in [0, shards)) that owns `link`. shards == 0 is invalid;
+/// shards == 1 trivially returns 0.
+std::size_t shard_of(ics::LinkId link, std::size_t shards);
+
+}  // namespace mlad::ingest

@@ -1,0 +1,241 @@
+#include "ingest/socket_source.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace mlad::ingest {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'M', 'L', 'F', '1'};
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) bits = (bits << 8) | p[i];
+  return std::bit_cast<double>(bits);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_record(const ics::LinkFrame& lf) {
+  if (lf.frame.bytes.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("encode_record: frame exceeds 64 KiB");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kRecordHeaderSize + lf.frame.bytes.size());
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u32(out, lf.link);
+  out.push_back(lf.frame.is_response ? kRecordFlagResponse : 0);
+  out.push_back(0);  // reserved
+  put_u16(out, static_cast<std::uint16_t>(lf.frame.bytes.size()));
+  put_f64(out, lf.frame.timestamp);
+  out.insert(out.end(), lf.frame.bytes.begin(), lf.frame.bytes.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_fin() {
+  std::vector<std::uint8_t> out;
+  out.reserve(kRecordHeaderSize);
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u32(out, 0);
+  out.push_back(kRecordFlagFin);
+  out.push_back(0);
+  put_u16(out, 0);
+  put_f64(out, 0.0);
+  return out;
+}
+
+bool decode_record(std::span<const std::uint8_t> data, ics::LinkFrame& out,
+                   bool& fin) {
+  fin = false;
+  if (data.size() < kRecordHeaderSize) return false;
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) return false;
+  const std::uint8_t flags = data[8];
+  const std::uint16_t len = get_u16(data.data() + 10);
+  if (flags & kRecordFlagFin) {
+    fin = true;
+    return len == 0 && data.size() == kRecordHeaderSize;
+  }
+  if (data.size() != kRecordHeaderSize + len) return false;
+  out.link = get_u32(data.data() + 4);
+  out.frame.is_response = (flags & kRecordFlagResponse) != 0;
+  out.frame.timestamp = get_f64(data.data() + 12);
+  out.frame.bytes.assign(data.begin() + kRecordHeaderSize, data.end());
+  return true;
+}
+
+// ---- SocketSource -----------------------------------------------------------
+
+SocketSource::~SocketSource() { close_fd(); }
+
+void SocketSource::open(int type, const std::string& bind_addr,
+                        std::uint16_t port) {
+  fd_ = ::socket(AF_INET, type, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    close_fd();
+    throw std::runtime_error("SocketSource: bad bind address " + bind_addr);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    close_fd();
+    throw_errno("bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    close_fd();
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+void SocketSource::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---- UdpSource --------------------------------------------------------------
+
+UdpSource::UdpSource(std::uint16_t port, const std::string& bind_addr) {
+  open(SOCK_DGRAM, bind_addr, port);
+  // Largest possible record: header + 64 KiB payload fits any datagram.
+  buf_.resize(kRecordHeaderSize + std::numeric_limits<std::uint16_t>::max());
+}
+
+bool UdpSource::next(ics::LinkFrame& out) {
+  while (!done_) {
+    const ssize_t n = ::recv(fd_, buf_.data(), buf_.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    bool fin = false;
+    if (decode_record({buf_.data(), static_cast<std::size_t>(n)}, out, fin)) {
+      if (!fin) return true;
+      done_ = true;
+      close_fd();
+      return false;
+    }
+    ++malformed_;
+  }
+  return false;
+}
+
+// ---- TcpSource --------------------------------------------------------------
+
+TcpSource::TcpSource(std::uint16_t port, const std::string& bind_addr) {
+  open(SOCK_STREAM, bind_addr, port);
+  if (::listen(fd_, 1) < 0) {
+    close_fd();
+    throw_errno("listen");
+  }
+}
+
+TcpSource::~TcpSource() {
+  if (conn_fd_ >= 0) {
+    ::close(conn_fd_);
+    conn_fd_ = -1;
+  }
+}
+
+bool TcpSource::read_exact(std::uint8_t* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(conn_fd_, dst + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (r == 0) return false;  // peer EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool TcpSource::next(ics::LinkFrame& out) {
+  if (done_) return false;
+  if (conn_fd_ < 0) {
+    conn_fd_ = ::accept(fd_, nullptr, nullptr);
+    if (conn_fd_ < 0) throw_errno("accept");
+  }
+  std::uint8_t header[kRecordHeaderSize];
+  for (;;) {
+    // Clean end points: peer EOF at a record boundary, or a FIN record.
+    if (!read_exact(header, kRecordHeaderSize)) break;
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+      // A framing error on a stream cannot be resynchronized reliably;
+      // count it and end the stream rather than classify garbage.
+      ++malformed_;
+      break;
+    }
+    const std::uint8_t flags = header[8];
+    const std::uint16_t len = get_u16(header + 10);
+    if (flags & kRecordFlagFin) break;
+    out.link = get_u32(header + 4);
+    out.frame.is_response = (flags & kRecordFlagResponse) != 0;
+    out.frame.timestamp = get_f64(header + 12);
+    out.frame.bytes.resize(len);
+    if (len > 0 && !read_exact(out.frame.bytes.data(), len)) {
+      ++malformed_;  // truncated mid-record
+      break;
+    }
+    return true;
+  }
+  done_ = true;
+  if (conn_fd_ >= 0) {
+    ::close(conn_fd_);
+    conn_fd_ = -1;
+  }
+  close_fd();
+  return false;
+}
+
+}  // namespace mlad::ingest

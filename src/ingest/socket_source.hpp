@@ -1,0 +1,108 @@
+// Live socket front ends (DESIGN.md §10): a remote tap forwards raw
+// captured frames to the serve process over UDP or TCP, framed as MLF1
+// records:
+//
+//   offset  size  field
+//   0       4     magic "MLF1"
+//   4       4     link id        u32 LE
+//   8       1     flags          bit0 = is_response, bit1 = FIN
+//   9       1     reserved (0)
+//   10      2     frame length   u16 LE
+//   12      8     capture time   f64 LE (seconds)
+//   20      len   raw frame bytes
+//
+// UDP carries one record per datagram (malformed datagrams are counted and
+// skipped — lossy transport, lossy policy); TCP carries a record stream
+// (a framing error poisons the stream, so it ends it). Either transport
+// ends cleanly on a FIN record; TCP also ends on peer EOF. Per-link frame
+// order is the sender's order — which UDP does not guarantee across a real
+// network; deployments that need the determinism contract end to end
+// should prefer TCP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ingest/package_source.hpp"
+
+namespace mlad::ingest {
+
+inline constexpr std::size_t kRecordHeaderSize = 20;
+inline constexpr std::uint8_t kRecordFlagResponse = 0x01;
+inline constexpr std::uint8_t kRecordFlagFin = 0x02;
+
+/// Serialize one wire frame as an MLF1 record.
+std::vector<std::uint8_t> encode_record(const ics::LinkFrame& lf);
+/// The end-of-stream record (no payload).
+std::vector<std::uint8_t> encode_fin();
+
+/// Parse exactly one record occupying the whole buffer (the UDP datagram
+/// case). Returns false on any framing violation; sets `fin` on the
+/// end-of-stream record (out is untouched then).
+bool decode_record(std::span<const std::uint8_t> data, ics::LinkFrame& out,
+                   bool& fin);
+
+/// Shared socket plumbing: bind address, learned port, malformed counter.
+class SocketSource : public PackageSource {
+ public:
+  ~SocketSource() override;
+
+  /// The bound port — useful when constructed with port 0 (ephemeral).
+  std::uint16_t port() const { return port_; }
+  /// Records that failed framing checks and were dropped.
+  std::uint64_t malformed() const { return malformed_; }
+
+ protected:
+  SocketSource() = default;
+  SocketSource(const SocketSource&) = delete;
+  SocketSource& operator=(const SocketSource&) = delete;
+
+  /// socket() + bind() + getsockname(); throws std::runtime_error with the
+  /// errno text on failure.
+  void open(int type, const std::string& bind_addr, std::uint16_t port);
+  void close_fd();
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+/// One MLF1 record per datagram. next() blocks in recvfrom until a valid
+/// record arrives; a FIN datagram ends the source.
+class UdpSource final : public SocketSource {
+ public:
+  /// Binds immediately; port 0 picks an ephemeral port (see port()).
+  /// The default loopback bind keeps a test/demo listener private; pass
+  /// "0.0.0.0" to accept a remote tap.
+  explicit UdpSource(std::uint16_t port,
+                     const std::string& bind_addr = "127.0.0.1");
+
+  bool next(ics::LinkFrame& out) override;
+
+ private:
+  bool done_ = false;
+  std::vector<std::uint8_t> buf_;
+};
+
+/// A stream of MLF1 records over one TCP connection. next() accepts the
+/// first connection lazily, then reads records until FIN or peer EOF.
+class TcpSource final : public SocketSource {
+ public:
+  explicit TcpSource(std::uint16_t port,
+                     const std::string& bind_addr = "127.0.0.1");
+  ~TcpSource() override;
+
+  bool next(ics::LinkFrame& out) override;
+
+ private:
+  /// Read exactly n bytes from the connection; false on EOF/error.
+  bool read_exact(std::uint8_t* dst, std::size_t n);
+
+  int conn_fd_ = -1;
+  bool done_ = false;
+};
+
+}  // namespace mlad::ingest

@@ -104,6 +104,28 @@ void CsvAlarmSink::on_alarm(const AlarmEvent& e) {
 
 void CsvAlarmSink::flush() { out_.flush(); }
 
+SerializedAlarmSink::SerializedAlarmSink(AlarmSink* inner) : inner_(inner) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("SerializedAlarmSink: inner sink is null");
+  }
+}
+
+void SerializedAlarmSink::on_alarm(const AlarmEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inner_->on_alarm(event);
+}
+
+void SerializedAlarmSink::on_model_swap(std::uint64_t version,
+                                        std::uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inner_->on_model_swap(version, tick);
+}
+
+void SerializedAlarmSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inner_->flush();
+}
+
 TeeAlarmSink::TeeAlarmSink(std::vector<AlarmSink*> sinks)
     : sinks_(std::move(sinks)) {}
 

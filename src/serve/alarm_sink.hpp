@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,24 @@ class CountingAlarmSink final : public AlarmSink {
  private:
   std::vector<AlarmEvent> events_;
   std::vector<SwapRecord> swaps_;
+};
+
+/// Thread-safe serializing wrapper (DESIGN.md §10): N shard engines share
+/// one downstream sink, and a mutex serializes every delivery into it.
+/// Each shard calls the sink in its own classification order and a link
+/// lives on exactly one shard, so per-link alarm order is preserved
+/// exactly; only the cross-link interleaving depends on scheduling (which
+/// is why the sharded CI smoke sorts before diffing).
+class SerializedAlarmSink final : public AlarmSink {
+ public:
+  explicit SerializedAlarmSink(AlarmSink* inner);
+  void on_alarm(const AlarmEvent& event) override;
+  void on_model_swap(std::uint64_t version, std::uint64_t tick) override;
+  void flush() override;
+
+ private:
+  AlarmSink* inner_;
+  std::mutex mutex_;
 };
 
 /// Fan one alarm stream out to several sinks (console + audit file).

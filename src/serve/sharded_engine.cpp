@@ -1,0 +1,149 @@
+#include "serve/sharded_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "ingest/shard_router.hpp"
+
+namespace mlad::serve {
+
+EngineStats aggregate_stats(std::span<const EngineStats> shards) {
+  EngineStats out;
+  for (const EngineStats& s : shards) {
+    out.frames += s.frames;
+    out.packages += s.packages;
+    out.ticks += s.ticks;
+    out.alarms += s.alarms;
+    out.package_level_alarms += s.package_level_alarms;
+    out.timeseries_level_alarms += s.timeseries_level_alarms;
+    out.decode_failures += s.decode_failures;
+    out.links_seen += s.links_seen;
+    out.links_retired += s.links_retired;
+    out.links_parked += s.links_parked;
+    out.peak_links += s.peak_links;
+    out.peak_pending = std::max(out.peak_pending, s.peak_pending);
+    out.model_version = std::max(out.model_version, s.model_version);
+    out.model_swaps += s.model_swaps;
+    out.classify_us += s.classify_us;
+    out.adapt_us += s.adapt_us;
+  }
+  return out;
+}
+
+ShardedEngine::ShardedEngine(const detect::CombinedDetector& detector,
+                             AlarmSink* sink,
+                             const ShardedEngineConfig& config) {
+  if (config.shards == 0) {
+    throw std::invalid_argument("ShardedEngine: shards must be > 0");
+  }
+  if (config.engine.adapter != nullptr) {
+    throw std::invalid_argument(
+        "ShardedEngine: online adaptation requires the unsharded engine "
+        "(shards share the detector read-only)");
+  }
+  if (sink != nullptr) serialized_.emplace(sink);
+  AlarmSink* shard_sink = serialized_ ? &*serialized_ : nullptr;
+
+  shards_.resize(config.shards);
+  for (Shard& shard : shards_) {
+    shard.queue =
+        std::make_unique<SpscQueue<ics::LinkFrame>>(config.queue_capacity);
+    shard.engine = std::make_unique<MonitorEngine>(detector, shard_sink,
+                                                   config.engine);
+    shard.thread = std::thread([q = shard.queue.get(),
+                                engine = shard.engine.get()] {
+      ics::LinkFrame lf;
+      while (q->pop(lf)) engine->push(lf.link, lf.frame);
+      engine->finish();
+    });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  try {
+    finish();
+  } catch (...) {
+    // Destruction must not throw; shard threads are joined regardless.
+  }
+}
+
+void ShardedEngine::push(const ics::LinkFrame& lf) {
+  if (finished_) {
+    throw std::logic_error("ShardedEngine: push after finish");
+  }
+  ++ingest_.frames_routed;
+  shards_[ingest::shard_of(lf.link, shards_.size())].queue->push(lf);
+}
+
+void ShardedEngine::push(ics::LinkId link, const ics::RawFrame& frame) {
+  push(ics::LinkFrame{link, frame});
+}
+
+std::uint64_t ShardedEngine::run(ingest::PackageSource& source) {
+  std::uint64_t n = 0;
+  ics::LinkFrame lf;
+  while (source.next(lf)) {
+    push(lf);
+    ++n;
+  }
+  finish();
+  return n;
+}
+
+void ShardedEngine::finish() {
+  if (finished_) return;
+  for (Shard& shard : shards_) shard.queue->close();
+  for (Shard& shard : shards_) {
+    if (shard.thread.joinable()) shard.thread.join();
+  }
+  for (const Shard& shard : shards_) {
+    const auto qs = shard.queue->stats();
+    ingest_.producer_blocks += qs.producer_blocks;
+    ingest_.peak_queue_depth =
+        std::max(ingest_.peak_queue_depth, qs.peak_depth);
+  }
+  finished_ = true;
+}
+
+void ShardedEngine::require_finished(const char* what) const {
+  if (!finished_) {
+    throw std::logic_error(std::string("ShardedEngine: ") + what +
+                           " before finish() — shard threads still own "
+                           "their engines");
+  }
+}
+
+EngineStats ShardedEngine::stats() const {
+  const std::vector<EngineStats> per_shard = shard_stats();
+  return aggregate_stats(per_shard);
+}
+
+std::vector<EngineStats> ShardedEngine::shard_stats() const {
+  require_finished("stats()");
+  std::vector<EngineStats> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) out.push_back(shard.engine->stats());
+  return out;
+}
+
+std::vector<std::pair<ics::LinkId, LinkStats>> ShardedEngine::link_stats()
+    const {
+  require_finished("link_stats()");
+  std::vector<std::pair<ics::LinkId, LinkStats>> out;
+  for (const Shard& shard : shards_) {
+    const auto ls = shard.engine->link_stats();
+    out.insert(out.end(), ls.begin(), ls.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+IngestStats ShardedEngine::ingest_stats() const {
+  require_finished("ingest_stats()");
+  return ingest_;
+}
+
+}  // namespace mlad::serve

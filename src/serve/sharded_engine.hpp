@@ -1,0 +1,111 @@
+// Sharded async serve path (DESIGN.md §10): one ingest pump thread (the
+// caller of push()/run()) routes wire frames by consistent link hashing
+// into N bounded SPSC queues; each queue feeds a dedicated shard thread
+// running its own lockstep MonitorEngine over the links it owns.
+//
+//   PackageSource → pump (shard_of) → SpscQueue×N → MonitorEngine×N
+//                                                       ↓
+//                                        SerializedAlarmSink → user sink
+//
+// Determinism: a link's complete frame sequence reaches exactly one shard,
+// in wire order (SPSC FIFO), so that shard's LinkMux session and LSTM
+// stream see precisely what the single-shard engine would have — per-link
+// verdicts are bit-identical for ANY shard count (per-row kernels make a
+// stream's math independent of its batch neighbours, DESIGN.md §5/§8).
+// Only the cross-link interleaving of sink deliveries depends on thread
+// scheduling; per-link delivery order is preserved by the serializing
+// sink. A full shard queue blocks the pump (lossless backpressure),
+// counted in IngestStats.
+//
+// Online adaptation is mutually exclusive with sharding: shards share the
+// detector read-only, and the adapter hot-swaps its weights. Serve with
+// --adapt runs the single unsharded engine instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.hpp"
+#include "ingest/package_source.hpp"
+#include "serve/monitor_engine.hpp"
+
+namespace mlad::serve {
+
+struct ShardedEngineConfig {
+  std::size_t shards = 1;
+  /// Frames buffered per shard queue before the pump blocks.
+  std::size_t queue_capacity = 4096;
+  /// Per-shard engine configuration. `adapter` must stay null (see above);
+  /// `threads` applies per shard (leave at 1 unless cores >> shards).
+  MonitorEngineConfig engine;
+};
+
+/// Pump-side counters, aggregated over the shard queues after finish().
+struct IngestStats {
+  std::uint64_t frames_routed = 0;
+  std::uint64_t producer_blocks = 0;   ///< pushes that hit a full queue
+  std::uint64_t peak_queue_depth = 0;  ///< high-water mark over all queues
+};
+
+/// Element-wise aggregation of per-shard stats: counters and timings sum
+/// (classify_us becomes total CPU time inside ticks, so us_per_package()
+/// stays a per-package CPU cost); peak_pending and model_version take the
+/// max; peak_links sums the per-shard peaks (an upper bound on the
+/// instantaneous box-wide concurrent-link peak).
+EngineStats aggregate_stats(std::span<const EngineStats> shards);
+
+class ShardedEngine {
+ public:
+  /// `detector` and `sink` must outlive the engine; `sink` may be null.
+  /// Shard threads start immediately. Throws if config.engine.adapter is
+  /// set or config.shards is 0.
+  ShardedEngine(const detect::CombinedDetector& detector, AlarmSink* sink,
+                const ShardedEngineConfig& config = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Route one wire frame to its shard (blocks while that queue is full).
+  void push(const ics::LinkFrame& lf);
+  void push(ics::LinkId link, const ics::RawFrame& frame);
+
+  /// Drain `source` to completion, then finish(). Returns frames routed.
+  std::uint64_t run(ingest::PackageSource& source);
+
+  /// Close every queue, let the shards drain their engines, join. After
+  /// this the stats accessors are safe. Idempotent.
+  void finish();
+
+  std::size_t shards() const { return shards_.size(); }
+
+  // The accessors below require finish() — shard threads mutate their
+  // engines until then. They throw std::logic_error when called early.
+  EngineStats stats() const;                        ///< aggregate
+  std::vector<EngineStats> shard_stats() const;     ///< per shard
+  /// Per-link stats over every shard, ascending by link id.
+  std::vector<std::pair<ics::LinkId, LinkStats>> link_stats() const;
+  IngestStats ingest_stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<SpscQueue<ics::LinkFrame>> queue;
+    std::unique_ptr<MonitorEngine> engine;
+    std::thread thread;
+  };
+
+  void require_finished(const char* what) const;
+
+  /// Engaged only when a sink is given (null sink ⇒ shards count alarms
+  /// without delivery, nothing to serialize).
+  std::optional<SerializedAlarmSink> serialized_;
+  std::vector<Shard> shards_;
+  IngestStats ingest_;
+  bool finished_ = false;
+};
+
+}  // namespace mlad::serve

@@ -1,0 +1,160 @@
+// SpscQueue (common/spsc_queue.hpp): the bounded handoff channel under the
+// adaptation trainer and the sharded ingest pump. Contracts under test:
+// strict FIFO, bounded memory (a full queue blocks the producer, counted),
+// close() semantics (pending items stay poppable, blocked threads wake,
+// late pushes drop), try_push backpressure accounting, and a
+// producer/consumer stress loop that TSan exercises in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.hpp"
+
+namespace mlad {
+namespace {
+
+TEST(SpscQueue, ZeroCapacityIsRejected) {
+  EXPECT_THROW(SpscQueue<int>(0), std::invalid_argument);
+}
+
+TEST(SpscQueue, FifoWithinCapacity) {
+  SpscQueue<int> q(8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  EXPECT_EQ(q.size(), 5u);
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, TryPushRejectsWhenFullAndCounts) {
+  SpscQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));
+  const auto stats = q.stats();
+  EXPECT_EQ(stats.pushes, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.peak_depth, 2u);
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(5));  // room again
+}
+
+TEST(SpscQueue, FullQueueBlocksProducerUntilPop) {
+  SpscQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> second_accepted{false};
+  std::thread producer([&] {
+    q.push(2);  // blocks until the consumer pops
+    second_accepted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_accepted);
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(second_accepted);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_GE(q.stats().producer_blocks, 1u);
+}
+
+TEST(SpscQueue, PopBlocksUntilPush) {
+  SpscQueue<std::string> q(4);
+  std::string out;
+  std::thread consumer([&] { ASSERT_TRUE(q.pop(out)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.push("hello");
+  consumer.join();
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(SpscQueue, CloseWakesBlockedConsumer) {
+  SpscQueue<int> q(4);
+  std::atomic<bool> returned_false{false};
+  std::thread consumer([&] {
+    int out = 0;
+    returned_false = !q.pop(out);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned_false);
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(returned_false);
+}
+
+TEST(SpscQueue, CloseWakesBlockedProducerAndDropsItsItem) {
+  SpscQueue<int> q(1);
+  q.push(1);
+  std::thread producer([&] { q.push(2); });  // blocked: queue is full
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();  // woke without enqueueing
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));  // pending item survives close
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+  EXPECT_EQ(q.stats().pushes, 1u);
+}
+
+TEST(SpscQueue, CloseIsIdempotentAndRejectsLatePushes) {
+  SpscQueue<int> q(4);
+  q.push(7);
+  q.close();
+  q.close();
+  q.push(8);                  // silently dropped
+  EXPECT_FALSE(q.try_push(9));
+  EXPECT_TRUE(q.closed());
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_FALSE(q.pop(out));  // stays false once drained
+  const auto stats = q.stats();
+  EXPECT_EQ(stats.pushes, 1u);
+  EXPECT_EQ(stats.pops, 1u);
+}
+
+// The CI TSan job runs this suite: a tight producer/consumer loop through
+// a tiny queue maximizes handoff and blocking transitions.
+TEST(SpscQueue, StressPreservesOrderAndLosesNothing) {
+  constexpr int kItems = 50000;
+  SpscQueue<int> q(8);
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    int out = 0;
+    while (q.pop(out)) received.push_back(out);
+  });
+  for (int i = 0; i < kItems; ++i) q.push(i);
+  q.close();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[static_cast<std::size_t>(i)], i) << "order broken";
+  }
+  const auto stats = q.stats();
+  EXPECT_EQ(stats.pushes, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(stats.pops, static_cast<std::uint64_t>(kItems));
+  EXPECT_LE(stats.peak_depth, 8u);
+  // With capacity 8 and a consumer that also does vector work, the
+  // producer must have hit the full queue at least once.
+  EXPECT_GE(stats.producer_blocks, 1u);
+}
+
+}  // namespace
+}  // namespace mlad

@@ -1,0 +1,251 @@
+// Ingestion front ends (ingest/, DESIGN.md §10): every source must yield
+// the same wire SEQUENCE — order and content — regardless of its delivery
+// mechanics, because the sequence alone determines every verdict
+// downstream. Covers the in-memory capture drain, the paced pcap-style
+// replay (order invariance across speeds + pacing actually paces), the
+// MLF1 record codec, and the UDP/TCP loopback listeners.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "ingest/package_source.hpp"
+#include "ingest/pcap_replay.hpp"
+#include "ingest/socket_source.hpp"
+
+namespace mlad::ingest {
+namespace {
+
+/// A small synthetic wire: varied links, payload sizes (incl. empty),
+/// directions, and non-uniform timestamps.
+std::vector<ics::LinkFrame> test_wire() {
+  std::vector<ics::LinkFrame> wire;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    ics::LinkFrame lf;
+    lf.link = i % 5;
+    lf.frame.timestamp = 0.25 + 0.01 * static_cast<double>(i * i % 7) +
+                         0.05 * static_cast<double>(i);
+    lf.frame.is_response = (i % 3) == 0;
+    lf.frame.bytes.assign(i % 9, static_cast<std::uint8_t>(0xA0 + i));
+    wire.push_back(std::move(lf));
+  }
+  return wire;
+}
+
+std::vector<ics::LinkFrame> drain(PackageSource& source) {
+  std::vector<ics::LinkFrame> out;
+  ics::LinkFrame lf;
+  while (source.next(lf)) out.push_back(lf);
+  return out;
+}
+
+void expect_same_wire(const std::vector<ics::LinkFrame>& got,
+                      const std::vector<ics::LinkFrame>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].link, want[i].link) << "frame " << i;
+    EXPECT_EQ(got[i].frame, want[i].frame) << "frame " << i;
+  }
+}
+
+TEST(CaptureSource, YieldsWireInOrderThenStaysExhausted) {
+  const auto wire = test_wire();
+  CaptureSource source(wire);
+  EXPECT_EQ(source.remaining(), wire.size());
+  expect_same_wire(drain(source), wire);
+  ics::LinkFrame lf;
+  EXPECT_FALSE(source.next(lf));
+  EXPECT_FALSE(source.next(lf));  // polling a finished source is harmless
+  EXPECT_EQ(source.remaining(), 0u);
+}
+
+TEST(PcapReplaySource, OrderIsSpeedInvariant) {
+  const auto wire = test_wire();
+  for (const double speed : {0.0, 1e6, 1e9}) {
+    PcapReplaySource source(wire, speed);
+    expect_same_wire(drain(source), wire);
+  }
+}
+
+TEST(PcapReplaySource, RejectsInvalidSpeed) {
+  EXPECT_THROW(PcapReplaySource(test_wire(), -1.0), std::invalid_argument);
+  EXPECT_THROW(PcapReplaySource(test_wire(), std::nan("")),
+               std::invalid_argument);
+}
+
+TEST(PcapReplaySource, PacingStretchesDelivery) {
+  // Two frames 2 s apart, replayed 50× fast ⇒ the drain must take ≥ ~40 ms
+  // (loose lower bound: sleep_until can only overshoot).
+  std::vector<ics::LinkFrame> wire(2);
+  wire[0].frame.timestamp = 10.0;
+  wire[1].frame.timestamp = 12.0;
+  PcapReplaySource source(wire, 50.0);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(drain(source).size(), 2u);
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 35.0);
+}
+
+// ---- MLF1 record codec ------------------------------------------------------
+
+TEST(RecordCodec, RoundTripsEveryField) {
+  for (const ics::LinkFrame& lf : test_wire()) {
+    const auto bytes = encode_record(lf);
+    ASSERT_EQ(bytes.size(), kRecordHeaderSize + lf.frame.bytes.size());
+    ics::LinkFrame out;
+    bool fin = true;
+    ASSERT_TRUE(decode_record(bytes, out, fin));
+    EXPECT_FALSE(fin);
+    EXPECT_EQ(out.link, lf.link);
+    EXPECT_EQ(out.frame, lf.frame);
+  }
+}
+
+TEST(RecordCodec, FinRecord) {
+  const auto bytes = encode_fin();
+  ASSERT_EQ(bytes.size(), kRecordHeaderSize);
+  ics::LinkFrame out;
+  bool fin = false;
+  EXPECT_TRUE(decode_record(bytes, out, fin));
+  EXPECT_TRUE(fin);
+}
+
+TEST(RecordCodec, RejectsMalformedBuffers) {
+  ics::LinkFrame lf;
+  lf.link = 9;
+  lf.frame.bytes = {1, 2, 3};
+  auto good = encode_record(lf);
+  ics::LinkFrame out;
+  bool fin = false;
+
+  // Truncated header.
+  EXPECT_FALSE(decode_record(
+      std::span<const std::uint8_t>(good.data(), kRecordHeaderSize - 1), out,
+      fin));
+  // Bad magic.
+  auto bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(decode_record(bad_magic, out, fin));
+  // Declared length disagrees with the buffer (truncated payload).
+  EXPECT_FALSE(decode_record(
+      std::span<const std::uint8_t>(good.data(), good.size() - 1), out, fin));
+  // Trailing garbage after the payload.
+  auto padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_record(padded, out, fin));
+}
+
+// ---- socket listeners (loopback) -------------------------------------------
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  return addr;
+}
+
+TEST(UdpSource, ReceivesWireAndSkipsMalformedDatagrams) {
+  const auto wire = test_wire();
+  UdpSource source(/*port=*/0);  // ephemeral
+  ASSERT_GT(source.port(), 0);
+
+  std::thread sender([&, port = source.port()] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    ASSERT_GE(fd, 0);
+    const sockaddr_in dst = loopback(port);
+    const auto send_bytes = [&](const std::vector<std::uint8_t>& bytes) {
+      ASSERT_EQ(::sendto(fd, bytes.data(), bytes.size(), 0,
+                         reinterpret_cast<const sockaddr*>(&dst),
+                         sizeof(dst)),
+                static_cast<ssize_t>(bytes.size()));
+    };
+    for (const ics::LinkFrame& lf : wire) send_bytes(encode_record(lf));
+    send_bytes({0xDE, 0xAD, 0xBE, 0xEF});  // malformed: skipped, counted
+    send_bytes(encode_fin());
+    ::close(fd);
+  });
+
+  const auto got = drain(source);
+  sender.join();
+  expect_same_wire(got, wire);
+  EXPECT_EQ(source.malformed(), 1u);
+  ics::LinkFrame lf;
+  EXPECT_FALSE(source.next(lf));  // FIN is terminal
+}
+
+TEST(TcpSource, ReassemblesDribbledStreamUntilFin) {
+  const auto wire = test_wire();
+  TcpSource source(/*port=*/0);
+  ASSERT_GT(source.port(), 0);
+
+  std::thread sender([&, port = source.port()] {
+    // One byte stream holding every record then FIN, written in 7-byte
+    // chunks so records straddle reads and the reassembly path is real.
+    std::vector<std::uint8_t> stream;
+    for (const ics::LinkFrame& lf : wire) {
+      const auto r = encode_record(lf);
+      stream.insert(stream.end(), r.begin(), r.end());
+    }
+    const auto fin = encode_fin();
+    stream.insert(stream.end(), fin.begin(), fin.end());
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    const sockaddr_in dst = loopback(port);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&dst),
+                        sizeof(dst)),
+              0);
+    for (std::size_t off = 0; off < stream.size(); off += 7) {
+      const std::size_t n = std::min<std::size_t>(7, stream.size() - off);
+      ASSERT_EQ(::send(fd, stream.data() + off, n, 0),
+                static_cast<ssize_t>(n));
+    }
+    ::close(fd);
+  });
+
+  const auto got = drain(source);
+  sender.join();
+  expect_same_wire(got, wire);
+  EXPECT_EQ(source.malformed(), 0u);
+}
+
+TEST(TcpSource, PeerEofAtRecordBoundaryEndsStreamCleanly) {
+  const auto wire = test_wire();
+  TcpSource source(/*port=*/0);
+
+  std::thread sender([&, port = source.port()] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    const sockaddr_in dst = loopback(port);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&dst),
+                        sizeof(dst)),
+              0);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto r = encode_record(wire[i]);
+      ASSERT_EQ(::send(fd, r.data(), r.size(), 0),
+                static_cast<ssize_t>(r.size()));
+    }
+    ::close(fd);  // EOF without FIN
+  });
+
+  const auto got = drain(source);
+  sender.join();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(source.malformed(), 0u);  // boundary EOF is a clean end
+}
+
+}  // namespace
+}  // namespace mlad::ingest

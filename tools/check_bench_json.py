@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Guard for the committed BENCH_*.json artifacts.
+
+Every benchmark binary that takes `--json` writes a machine-readable result
+file that is committed at the repo root (BENCH_nn.json, BENCH_ingest.json,
+...). These artifacts are load-bearing: README and DESIGN.md cite them, and
+the ingest artifact carries this PR's acceptance criterion. This script is
+the CI gate that keeps them honest:
+
+  * every BENCH_*.json must parse as strict JSON (no NaN/Infinity — a
+    printf'd NaN is how a silently-broken bench usually manifests);
+  * the shared header fields (`bench`, `scale`, `hardware_threads`) must be
+    present and sane, and `bench` must name the producing binary;
+  * per-bench criteria: BENCH_ingest.json must record
+    `per_link_verdicts_match_isolated: true` (sharding may never change a
+    verdict) and a met speedup criterion.
+
+Usage: check_bench_json.py [repo_root|file.json ...]
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import sys
+
+KNOWN_SCALES = {"default", "big", "paper"}
+
+
+def _reject_constant(token: str) -> float:
+    raise ValueError(f"non-finite JSON constant {token!r}")
+
+
+def _walk_numbers(node, path, errors):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _walk_numbers(value, f"{path}.{key}", errors)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            _walk_numbers(value, f"{path}[{i}]", errors)
+    elif isinstance(node, float) and not math.isfinite(node):
+        errors.append(f"{path}: non-finite number")
+
+
+def check_common(doc: dict, errors: list) -> None:
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench.startswith("bench_"):
+        errors.append("'bench' must name the producing bench_* binary")
+    scale = doc.get("scale")
+    if scale not in KNOWN_SCALES:
+        errors.append(f"'scale' must be one of {sorted(KNOWN_SCALES)}, "
+                      f"got {scale!r}")
+    hw = doc.get("hardware_threads")
+    if not isinstance(hw, int) or isinstance(hw, bool) or hw < 1:
+        errors.append("'hardware_threads' must be a positive integer")
+
+
+def check_ingest(doc: dict, errors: list) -> None:
+    if doc.get("per_link_verdicts_match_isolated") is not True:
+        errors.append("'per_link_verdicts_match_isolated' must be true: "
+                      "sharding is only allowed as a verdict-preserving "
+                      "optimization (DESIGN.md §10)")
+
+    criterion = doc.get("criterion")
+    if not isinstance(criterion, dict):
+        errors.append("'criterion' object missing")
+    else:
+        required = criterion.get("required_speedup_4shards_vs_1")
+        measured = criterion.get("measured_speedup_4shards_vs_1_64links")
+        for name, value in (("required_speedup_4shards_vs_1", required),
+                            ("measured_speedup_4shards_vs_1_64links",
+                             measured)):
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"criterion.{name} must be a positive number")
+        if criterion.get("met") is not True:
+            errors.append("criterion.met must be true")
+        elif (isinstance(required, (int, float))
+              and isinstance(measured, (int, float))
+              and measured < required):
+            errors.append(f"criterion.met claims true but measured "
+                          f"{measured} < required {required}")
+
+    links = doc.get("links")
+    if not isinstance(links, dict) or not links:
+        errors.append("'links' table missing or empty")
+        return
+    for link_count, entry in links.items():
+        shards = entry.get("shards") if isinstance(entry, dict) else None
+        if not isinstance(shards, dict) or not shards:
+            errors.append(f"links.{link_count}.shards missing or empty")
+            continue
+        for shard_count, run in shards.items():
+            where = f"links.{link_count}.shards.{shard_count}"
+            for field in ("critical_path_s", "wall_s"):
+                value = run.get(field) if isinstance(run, dict) else None
+                if not isinstance(value, (int, float)) or value <= 0:
+                    errors.append(f"{where}.{field} must be positive")
+
+
+PER_BENCH_CHECKS = {
+    "bench_ingest_shards": check_ingest,
+}
+
+
+def check_file(path: pathlib.Path) -> list:
+    errors: list = []
+    try:
+        doc = json.loads(path.read_text(),
+                         parse_constant=_reject_constant)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+
+    _walk_numbers(doc, "$", errors)
+    check_common(doc, errors)
+    extra = PER_BENCH_CHECKS.get(doc.get("bench"))
+    if extra is not None:
+        extra(doc, errors)
+    return errors
+
+
+def main(argv: list) -> int:
+    targets = []
+    for arg in argv or ["."]:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            found = sorted(p.glob("BENCH_*.json"))
+            if not found:
+                print(f"{p}: no BENCH_*.json artifacts found",
+                      file=sys.stderr)
+                return 1
+            targets.extend(found)
+        else:
+            targets.append(p)
+
+    failed = False
+    for path in targets:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

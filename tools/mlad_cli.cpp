@@ -13,6 +13,7 @@
 // the detector, printing alarms; `serve` interleaves several captures into
 // one wire and monitors every link concurrently through the batched serve
 // engine (DESIGN.md §8) — the deployed multi-link data path.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -31,8 +32,12 @@
 #include "ics/features.hpp"
 #include "ics/link_mux.hpp"
 #include "ics/simulator.hpp"
+#include "ingest/package_source.hpp"
+#include "ingest/pcap_replay.hpp"
+#include "ingest/socket_source.hpp"
 #include "nn/serialize.hpp"
 #include "serve/monitor_engine.hpp"
+#include "serve/sharded_engine.hpp"
 
 namespace {
 
@@ -260,7 +265,8 @@ int cmd_monitor(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_serve(const std::map<std::string, std::string>& flags) {
+std::vector<ics::Capture> load_captures(
+    const std::map<std::string, std::string>& flags) {
   const std::vector<std::string> paths =
       split(need(flags, "captures"), ',');
   if (paths.empty()) throw std::runtime_error("serve: no captures given");
@@ -269,6 +275,131 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   for (const std::string& p : paths) {
     captures.push_back(ics::read_capture_file(std::string(trim(p))));
   }
+  return captures;
+}
+
+void print_link_table(
+    const std::vector<std::pair<ics::LinkId, serve::LinkStats>>& links) {
+  TablePrinter table(
+      {"link", "packages", "alarms", "bloom", "lstm", "decode-fail"});
+  for (const auto& [id, ls] : links) {
+    table.add_row({std::to_string(id), std::to_string(ls.packages),
+                   std::to_string(ls.alarms),
+                   std::to_string(ls.package_level_alarms),
+                   std::to_string(ls.timeseries_level_alarms),
+                   std::to_string(ls.decode_failures)});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+/// The sharded async path (DESIGN.md §10): --shards and/or --source select
+/// it. A pluggable front end feeds an ingest pump that hashes links onto N
+/// independent engine shards; per-link verdicts stay bit-identical to the
+/// unsharded lockstep engine for any shard count.
+int cmd_serve_sharded(const std::map<std::string, std::string>& flags) {
+  const auto detector = detect::load_framework_file(need(flags, "model"));
+  if (get_or(flags, "adapt", "off") != "off") {
+    throw std::runtime_error(
+        "serve: --adapt requires the unsharded engine (omit --shards and "
+        "--source)");
+  }
+
+  serve::ShardedEngineConfig cfg;
+  cfg.shards = std::stoul(get_or(flags, "shards", "1"));
+  cfg.queue_capacity = std::stoul(get_or(flags, "queue-cap", "4096"));
+  cfg.engine.threads = std::stoul(get_or(flags, "threads", "1"));
+  const std::string engine_mode = get_or(flags, "engine", "batched");
+  if (engine_mode != "batched" && engine_mode != "reference") {
+    throw std::runtime_error("serve: --engine must be batched or reference");
+  }
+  cfg.engine.batched = engine_mode == "batched";
+  cfg.engine.park_after = std::stoul(get_or(flags, "park-after", "0"));
+  cfg.engine.close_after = std::stoul(get_or(flags, "close-after", "0"));
+
+  // Front end: an in-memory capture drain, a paced pcap-style replay, or a
+  // live UDP/TCP socket listener receiving MLF1 records.
+  const std::string source_kind = get_or(flags, "source", "capture");
+  std::unique_ptr<ingest::PackageSource> source;
+  if (source_kind == "capture") {
+    source = std::make_unique<ingest::CaptureSource>(
+        ics::merge_captures(load_captures(flags)));
+  } else if (source_kind == "replay") {
+    const double speed = std::stod(get_or(flags, "speed", "1"));
+    source = std::make_unique<ingest::PcapReplaySource>(
+        ics::merge_captures(load_captures(flags)), speed);
+  } else if (source_kind == "udp" || source_kind == "tcp") {
+    const auto port = static_cast<std::uint16_t>(
+        std::stoul(get_or(flags, "listen", "5502")));
+    const std::string bind_addr = get_or(flags, "bind", "127.0.0.1");
+    std::unique_ptr<ingest::SocketSource> sock;
+    if (source_kind == "udp") {
+      sock = std::make_unique<ingest::UdpSource>(port, bind_addr);
+    } else {
+      sock = std::make_unique<ingest::TcpSource>(port, bind_addr);
+    }
+    std::printf("listening on %s %s:%u (MLF1 records; FIN record ends the "
+                "stream)\n",
+                source_kind.c_str(), bind_addr.c_str(), sock->port());
+    source = std::move(sock);
+  } else {
+    throw std::runtime_error(
+        "serve: --source must be capture, replay, udp or tcp");
+  }
+
+  const std::size_t max_alarms =
+      std::stoul(get_or(flags, "max-alarms", "20"));
+  std::unique_ptr<serve::AlarmSink> file_sink;
+  serve::ConsoleAlarmSink console(stdout, max_alarms, /*show_link=*/true);
+  serve::AlarmSink* sink = &console;
+  if (const auto it = flags.find("sink"); it != flags.end()) {
+    file_sink = serve::make_file_sink(it->second);
+    sink = file_sink.get();
+  }
+
+  serve::ShardedEngine engine(*detector, sink, cfg);
+  engine.run(*source);
+  sink->flush();
+
+  const serve::EngineStats s = engine.stats();
+  const serve::IngestStats in = engine.ingest_stats();
+  std::printf(
+      "serve[%s ×%zu shards, source=%s]: %zu links, %zu packages, "
+      "%zu alarms (%.2f%%), %.2f µs/package (CPU), %zu ticks\n",
+      cfg.engine.batched ? "batched" : "reference", engine.shards(),
+      source_kind.c_str(), static_cast<std::size_t>(s.links_seen),
+      static_cast<std::size_t>(s.packages),
+      static_cast<std::size_t>(s.alarms),
+      s.packages == 0 ? 0.0
+                      : 100.0 * static_cast<double>(s.alarms) /
+                            static_cast<double>(s.packages),
+      s.us_per_package(), static_cast<std::size_t>(s.ticks));
+  std::printf(
+      "ingest: %zu frames routed, %zu producer stalls, peak queue depth "
+      "%zu/%zu\n",
+      static_cast<std::size_t>(in.frames_routed),
+      static_cast<std::size_t>(in.producer_blocks),
+      static_cast<std::size_t>(in.peak_queue_depth), cfg.queue_capacity);
+  const std::vector<serve::EngineStats> per_shard = engine.shard_stats();
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    const serve::EngineStats& ss = per_shard[i];
+    std::printf("  shard %zu: %zu links, %zu packages, %zu alarms, "
+                "%.2f µs/package\n",
+                i, static_cast<std::size_t>(ss.links_seen),
+                static_cast<std::size_t>(ss.packages),
+                static_cast<std::size_t>(ss.alarms), ss.us_per_package());
+  }
+  print_link_table(engine.link_stats());
+  return 0;
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  // --shards / --source select the sharded async ingestion path; without
+  // them serve stays the single lockstep engine (bit-identical to previous
+  // releases, and the only mode supporting --adapt).
+  if (flags.count("shards") != 0 || flags.count("source") != 0) {
+    return cmd_serve_sharded(flags);
+  }
+  const std::vector<ics::Capture> captures = load_captures(flags);
   const auto detector = detect::load_framework_file(need(flags, "model"));
   const std::size_t max_alarms =
       std::stoul(get_or(flags, "max-alarms", "20"));
@@ -353,16 +484,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         static_cast<std::size_t>(as.rounds_skipped),
         static_cast<std::size_t>(as.applied_version), as.train_seconds);
   }
-  TablePrinter table(
-      {"link", "packages", "alarms", "bloom", "lstm", "decode-fail"});
-  for (const auto& [id, ls] : engine.link_stats()) {
-    table.add_row({std::to_string(id), std::to_string(ls.packages),
-                   std::to_string(ls.alarms),
-                   std::to_string(ls.package_level_alarms),
-                   std::to_string(ls.timeseries_level_alarms),
-                   std::to_string(ls.decode_failures)});
-  }
-  std::printf("%s", table.str().c_str());
+  print_link_table(engine.link_stats());
   return 0;
 }
 
@@ -393,6 +515,19 @@ int usage() {
       "           [--park-after T] [--close-after T]   straggler policy:\n"
       "           park (state kept across rejoin) or close a link that\n"
       "           stalls the gate for T ticks' worth of wire\n"
+      "           [--shards N] [--queue-cap Q]   sharded async ingestion:\n"
+      "           links hash onto N engine shards, each fed by a bounded\n"
+      "           SPSC queue (Q frames; a full queue back-pressures the\n"
+      "           pump); per-link verdicts are bit-identical to --shards 1\n"
+      "           [--source capture|replay|udp|tcp]   front end (default\n"
+      "           capture = drain --captures at full speed):\n"
+      "             replay  paced pcap-style replay of --captures with\n"
+      "                     original inter-arrival timing [--speed X]\n"
+      "                     (X times faster than recorded; 0 = unpaced)\n"
+      "             udp|tcp live socket listener for MLF1 frame records\n"
+      "                     [--listen PORT] [--bind ADDR]  (default\n"
+      "                     127.0.0.1:5502; a FIN record or TCP EOF ends\n"
+      "                     the stream)\n"
       "           [--adapt] [--adapt-interval N] [--replay-cap M]\n"
       "           [--adapt-threads K] [--adapt-window L] [--adapt-epochs E]\n"
       "           [--adapt-min-windows W] [--adapt-max-steps S]\n"
