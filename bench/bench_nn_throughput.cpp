@@ -171,6 +171,262 @@ bool same_confusion(const detect::Confusion& a, const detect::Confusion& b) {
   return a.tp == b.tp && a.tn == b.tn && a.fp == b.fp && a.fn == b.fn;
 }
 
+// ---- multi-capture train consolidation (DESIGN.md §11) ---------------------
+
+struct BackendConsistency {
+  std::string backend;
+  bool bit_identical = true;  ///< losses across thread counts AND orders
+};
+
+struct ConsolidationRun {
+  std::vector<BackendConsistency> backends;
+  bool all_backends_identical = true;
+  std::size_t captures = 4;
+  std::size_t lanes = 4;
+  std::size_t rounds = 0;
+  std::size_t windows_per_capture = 0;
+  std::size_t bptt_steps = 0;
+  double sequential_s = 0.0;      ///< 4 per-capture engine.step per round
+  double sharded_wall_s = 0.0;    ///< one step_grouped per round, 1 thread
+  double sharded_critical_path_s = 0.0;  ///< per-lane isolated timing
+  double speedup = 0.0;           ///< sequential / critical path
+  double required_speedup = 2.0;
+  bool met = false;
+  std::uint64_t transpose_calls_per_round_sequential = 0;
+  std::uint64_t transpose_calls_per_round_sharded = 0;
+  double transpose_reduction = 0.0;
+};
+
+nn::Fragment consolidation_fragment(std::size_t classes, std::size_t steps,
+                                    std::size_t phase) {
+  nn::Fragment f;
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<float> x(classes, 0.0f);
+    x[(t + phase) % classes] = 1.0f;
+    f.inputs.push_back(std::move(x));
+    f.targets.push_back((t + phase + 1) % classes);
+  }
+  return f;
+}
+
+/// Sharded multi-capture training vs the per-capture-sequential baseline.
+///
+/// Consistency: for every available kernel backend, detect-level
+/// train_sharded (noise on, so the per-capture Rng streams are exercised)
+/// must produce bit-identical epoch losses for threads {1, 2} and for a
+/// reversed capture listing order.
+///
+/// Timing: 4 equal captures, each exactly one gradient lane. The sequential
+/// baseline takes 4 engine.step calls per round (each re-transposing, since
+/// every step invalidates the cache); the sharded engine takes ONE
+/// step_grouped per round (one shared transpose refresh, 4 lanes). Lanes
+/// run serially on this host but are timed in isolation (lane_seconds), so
+/// `critical path = wall − Σ lanes + Σ_rounds max(lane)` is the epoch time
+/// on a box with one core per lane.
+ConsolidationRun bench_train_consolidation(
+    const detect::PackageLevelDetector& pkg, const Workload& wl,
+    const bench::Scale& scale) {
+  ConsolidationRun out;
+
+  // ---- per-backend bitwise consistency ----------------------------------
+  const std::size_t nshards = 4;
+  const std::size_t per_shard =
+      std::min<std::size_t>(8, wl.train_frags.size() / nshards);
+  const auto run_sharded = [&](std::size_t threads, bool reversed) {
+    detect::TimeSeriesConfig cfg;
+    cfg.hidden_dims = {32};
+    cfg.epochs = 2;
+    cfg.truncate_steps = 48;
+    cfg.batch_size = 4;
+    cfg.micro_batch = 2;
+    cfg.threads = threads;
+    cfg.noise.enabled = true;
+    Rng rng(31);
+    detect::TimeSeriesDetector ts(pkg.database(),
+                                  pkg.discretizer().cardinalities(), cfg, rng);
+    const char* keys[] = {"link-a", "link-b", "link-c", "link-d"};
+    std::vector<detect::CaptureShard> caps;
+    for (std::size_t s = 0; s < nshards; ++s) {
+      const std::size_t i = reversed ? nshards - 1 - s : s;
+      caps.push_back({keys[i], std::span(wl.train_frags)
+                                   .subspan(i * per_shard, per_shard)});
+    }
+    return ts.train_sharded(caps, /*base_seed=*/123);
+  };
+  for (const std::string& name : nn::available_kernel_backends()) {
+    if (!nn::select_kernel_backend(name)) continue;
+    BackendConsistency bc;
+    bc.backend = name;
+    const std::vector<double> base = run_sharded(1, false);
+    bc.bit_identical = base == run_sharded(2, false) &&
+                       base == run_sharded(1, true);  // bitwise
+    out.all_backends_identical &= bc.bit_identical;
+    std::printf("  consolidation %-8s losses bit-identical across "
+                "threads+orders: %s\n",
+                bc.backend.c_str(),
+                bc.bit_identical ? "yes" : "NO — DETERMINISM BUG");
+    out.backends.push_back(std::move(bc));
+  }
+  nn::select_kernel_backend_from_env();
+
+  // ---- sharded vs per-capture-sequential epoch timing -------------------
+  out.windows_per_capture = 8;
+  out.bptt_steps = 48;
+  out.rounds = 20;
+  const std::size_t classes = 8;
+  std::vector<std::vector<nn::Fragment>> cap_frags(out.captures);
+  std::vector<std::vector<nn::WindowRef>> cap_windows(out.captures);
+  for (std::size_t c = 0; c < out.captures; ++c) {
+    for (std::size_t w = 0; w < out.windows_per_capture; ++w) {
+      cap_frags[c].push_back(
+          consolidation_fragment(classes, out.bptt_steps, 3 * c + w));
+    }
+    for (const nn::Fragment& f : cap_frags[c]) {
+      cap_windows[c].push_back({std::span(f.inputs), std::span(f.targets)});
+    }
+  }
+  nn::SequenceModelConfig mcfg;
+  mcfg.input_dim = classes;
+  mcfg.num_classes = classes;
+  mcfg.hidden_dims = scale.hidden;
+  const auto make_model = [&mcfg] {
+    nn::SequenceModel model(mcfg);
+    Rng rng(17);
+    model.init_params(rng);
+    return model;
+  };
+
+  {  // sequential: each capture is its own optimizer step, re-transposing
+    nn::SequenceModel model = make_model();
+    nn::MinibatchTrainer engine(model, out.windows_per_capture, 1);
+    nn::Adam opt(3e-3);
+    const auto slots = model.param_slots();
+    for (std::size_t c = 0; c < out.captures; ++c) {
+      engine.step(cap_windows[c], slots, 5.0, opt);  // warm-up round
+    }
+    nn::reset_transpose_stats();
+    Stopwatch sw;
+    for (std::size_t r = 0; r < out.rounds; ++r) {
+      for (std::size_t c = 0; c < out.captures; ++c) {
+        engine.step(cap_windows[c], slots, 5.0, opt);
+      }
+    }
+    out.sequential_s = sw.elapsed_seconds();
+    out.transpose_calls_per_round_sequential =
+        nn::transpose_stats().calls / out.rounds;
+  }
+  {  // sharded: one grouped step per round, one transpose refresh, 4 lanes
+    nn::SequenceModel model = make_model();
+    nn::MinibatchTrainer engine(model, out.windows_per_capture, 1);
+    nn::Adam opt(3e-3);
+    const auto slots = model.param_slots();
+    std::vector<std::span<const nn::WindowRef>> groups;
+    for (const auto& w : cap_windows) groups.push_back(w);
+    engine.step_grouped(groups, slots, 5.0, opt);  // warm-up round
+    nn::reset_transpose_stats();
+    for (std::size_t r = 0; r < out.rounds; ++r) {
+      Stopwatch sw;
+      engine.step_grouped(groups, slots, 5.0, opt);
+      const double wall = sw.elapsed_seconds();
+      double lane_sum = 0.0, lane_max = 0.0;
+      for (const double s : engine.lane_seconds()) {
+        lane_sum += s;
+        lane_max = std::max(lane_max, s);
+      }
+      out.sharded_wall_s += wall;
+      out.sharded_critical_path_s += wall - lane_sum + lane_max;
+    }
+    out.transpose_calls_per_round_sharded =
+        nn::transpose_stats().calls / out.rounds;
+  }
+  out.speedup = out.sharded_critical_path_s > 0
+                    ? out.sequential_s / out.sharded_critical_path_s
+                    : 0.0;
+  out.transpose_reduction =
+      out.transpose_calls_per_round_sharded > 0
+          ? static_cast<double>(out.transpose_calls_per_round_sequential) /
+                static_cast<double>(out.transpose_calls_per_round_sharded)
+          : 0.0;
+  out.met = out.speedup >= out.required_speedup && out.all_backends_identical;
+
+  std::printf("  consolidation %zu captures x %zu windows x %zu steps, "
+              "%zu rounds:\n",
+              out.captures, out.windows_per_capture, out.bptt_steps,
+              out.rounds);
+  std::printf("    sequential per-capture   %7.3f s   (%llu transposes/round)\n",
+              out.sequential_s,
+              static_cast<unsigned long long>(
+                  out.transpose_calls_per_round_sequential));
+  std::printf("    sharded wall (1 core)    %7.3f s   (%llu transposes/round, "
+              "%.1fx fewer)\n",
+              out.sharded_wall_s,
+              static_cast<unsigned long long>(
+                  out.transpose_calls_per_round_sharded),
+              out.transpose_reduction);
+  std::printf("    sharded critical path    %7.3f s   (%zu-lane box)   "
+              "%5.2fx vs sequential (required %.1fx: %s)\n",
+              out.sharded_critical_path_s, out.lanes, out.speedup,
+              out.required_speedup, out.met ? "met" : "NOT MET");
+  return out;
+}
+
+void write_train_json(const char* path, const bench::Scale& scale,
+                      std::size_t hw_threads, const ConsolidationRun& run) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_nn_throughput\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", scale.name);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw_threads);
+  std::fprintf(f, "  \"cpu\": \"%s\",\n", cpu_feature_summary().c_str());
+  std::fprintf(f, "  \"default_kernel_backend\": \"%s\",\n",
+               nn::kernel_backend().name);
+  std::fprintf(f, "  \"train_consolidation\": {\n");
+  std::fprintf(f, "    \"captures\": %zu,\n", run.captures);
+  std::fprintf(f, "    \"lanes\": %zu,\n", run.lanes);
+  std::fprintf(f, "    \"rounds\": %zu,\n", run.rounds);
+  std::fprintf(f, "    \"windows_per_capture\": %zu,\n",
+               run.windows_per_capture);
+  std::fprintf(f, "    \"bptt_steps\": %zu,\n", run.bptt_steps);
+  std::fprintf(f, "    \"backends\": {\n");
+  for (std::size_t i = 0; i < run.backends.size(); ++i) {
+    std::fprintf(f,
+                 "      \"%s\": {\"losses_bit_identical_across_threads_"
+                 "and_orders\": %s}%s\n",
+                 run.backends[i].backend.c_str(),
+                 run.backends[i].bit_identical ? "true" : "false",
+                 i + 1 < run.backends.size() ? "," : "");
+  }
+  std::fprintf(f, "    },\n");
+  std::fprintf(f, "    \"all_backends_bit_identical\": %s,\n",
+               run.all_backends_identical ? "true" : "false");
+  std::fprintf(f, "    \"sequential_per_capture_s\": %.4f,\n",
+               run.sequential_s);
+  std::fprintf(f, "    \"sharded_wall_s\": %.4f,\n", run.sharded_wall_s);
+  std::fprintf(f, "    \"sharded_critical_path_s\": %.4f,\n",
+               run.sharded_critical_path_s);
+  std::fprintf(f, "    \"transpose_calls_per_round_sequential\": %llu,\n",
+               static_cast<unsigned long long>(
+                   run.transpose_calls_per_round_sequential));
+  std::fprintf(f, "    \"transpose_calls_per_round_sharded\": %llu,\n",
+               static_cast<unsigned long long>(
+                   run.transpose_calls_per_round_sharded));
+  std::fprintf(f, "    \"transpose_calls_reduction\": %.2f,\n",
+               run.transpose_reduction);
+  std::fprintf(f, "    \"criterion\": {\n");
+  std::fprintf(f, "      \"required_speedup_4lanes\": %.2f,\n",
+               run.required_speedup);
+  std::fprintf(f, "      \"measured_speedup_4lanes\": %.3f,\n", run.speedup);
+  std::fprintf(f, "      \"met\": %s\n", run.met ? "true" : "false");
+  std::fprintf(f, "    }\n");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 // ---- multi-link serve engine (DESIGN.md §8) --------------------------------
 
 struct ServeRun {
@@ -566,9 +822,12 @@ void write_json(const char* path, const bench::Scale& scale,
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  const char* train_json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--train-json") == 0 && i + 1 < argc) {
+      train_json_path = argv[++i];
     }
   }
 
@@ -627,6 +886,11 @@ int main(int argc, char** argv) {
               trains[1].seconds > 0 ? trains[0].seconds / trains[1].seconds : 0,
               trains[2].seconds > 0 ? trains[0].seconds / trains[2].seconds : 0,
               hw);
+
+  // ---- multi-capture train consolidation ----------------------------------
+  std::printf("train consolidation (sharded multi-capture vs sequential):\n");
+  const ConsolidationRun consolidation =
+      bench_train_consolidation(*pkg, wl, scale);
 
   // ---- evaluation: single stream vs sharded pool ---------------------------
   auto cfg_eval = ts_config(scale, 16, 0);
@@ -698,8 +962,11 @@ int main(int argc, char** argv) {
                adapt_run, losses_identical, confusion_identical,
                streams_identical);
   }
+  if (train_json_path != nullptr) {
+    write_train_json(train_json_path, scale, hw, consolidation);
+  }
   return (losses_identical && confusion_identical && streams_identical &&
-          serve_isolated && adapt_not_worse)
+          serve_isolated && adapt_not_worse && consolidation.met)
              ? 0
              : 1;
 }

@@ -33,8 +33,14 @@ CpuFeatures detect() {
   const bool ymm_enabled = osxsave && (read_xcr0() & 0x6) == 0x6;
   f.avx = avx_bit && ymm_enabled;
   f.fma = fma_bit && ymm_enabled;
+  // AVX-512 additionally needs the OS to save opmask, ZMM_Hi256 and
+  // Hi16_ZMM state (XCR0 bits 5..7) on top of XMM+YMM.
+  const bool zmm_enabled = osxsave && (read_xcr0() & 0xE6) == 0xE6;
   if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
     f.avx2 = f.avx && (ebx & (1u << 5)) != 0;
+    f.avx512f = zmm_enabled && (ebx & (1u << 16)) != 0;
+    f.avx512bw = f.avx512f && (ebx & (1u << 30)) != 0;
+    f.avx512vl = f.avx512f && (ebx & (1u << 31)) != 0;
   }
   return f;
 }
@@ -70,6 +76,9 @@ std::string cpu_feature_summary() {
   if (f.avx) add("avx");
   if (f.avx2) add("avx2");
   if (f.fma) add("fma");
+  if (f.avx512f) add("avx512f");
+  if (f.avx512bw) add("avx512bw");
+  if (f.avx512vl) add("avx512vl");
   if (f.neon) add("neon");
   if (s.empty()) s = "baseline";
   return s;

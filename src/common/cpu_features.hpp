@@ -10,10 +10,13 @@
 namespace mlad {
 
 struct CpuFeatures {
-  bool avx = false;   ///< AVX usable (cpuid bit + OS XSAVE of YMM state)
-  bool avx2 = false;  ///< AVX2 usable (implies avx)
-  bool fma = false;   ///< FMA3 usable
-  bool neon = false;  ///< ARM Advanced SIMD (always true on aarch64)
+  bool avx = false;       ///< AVX usable (cpuid bit + OS XSAVE of YMM state)
+  bool avx2 = false;      ///< AVX2 usable (implies avx)
+  bool fma = false;       ///< FMA3 usable
+  bool avx512f = false;   ///< AVX-512 Foundation (cpuid + OS ZMM/opmask state)
+  bool avx512bw = false;  ///< AVX-512 Byte/Word (implies avx512f here)
+  bool avx512vl = false;  ///< AVX-512 Vector Length (implies avx512f here)
+  bool neon = false;      ///< ARM Advanced SIMD (always true on aarch64)
 };
 
 /// Detected once on first call, then cached for the process lifetime.

@@ -1,5 +1,8 @@
 #include "detect/combined.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace mlad::detect {
 namespace {
 
@@ -52,6 +55,83 @@ CombinedDetector::CombinedDetector(
       package_->database(), package_->discretizer().cardinalities(),
       config.timeseries, rng);
   training_losses_ = timeseries_->train(train_disc, rng);
+  timeseries_->choose_k(val_disc);
+}
+
+CombinedDetector::CombinedDetector(std::span<const CaptureFragments> captures,
+                                   std::span<const sig::FeatureSpec> specs,
+                                   const CombinedConfig& config, Rng& rng,
+                                   std::uint64_t shard_seed) {
+  // Canonical key order for every pooled structure: the database, Bloom
+  // filter, discretizer, and validation sets see the same row sequence no
+  // matter how the caller ordered the captures.
+  std::vector<std::size_t> order(captures.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return captures[a].key < captures[b].key;
+  });
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (captures[order[i]].key == captures[order[i + 1]].key) {
+      throw std::invalid_argument("CombinedDetector: duplicate capture key '" +
+                                  captures[order[i]].key + "'");
+    }
+  }
+
+  std::vector<sig::RawRow> train_rows;
+  for (std::size_t ci : order) {
+    const std::vector<sig::RawRow> rows =
+        flatten(captures[ci].train_fragments);
+    train_rows.insert(train_rows.end(), rows.begin(), rows.end());
+  }
+  for (std::size_t ci : order) {
+    const std::vector<sig::RawRow> extra =
+        flatten(captures[ci].signature_only_train);
+    train_rows.insert(train_rows.end(), extra.begin(), extra.end());
+  }
+  package_ = std::make_unique<PackageLevelDetector>(train_rows, specs, rng,
+                                                    config.package);
+
+  std::vector<sig::RawRow> validation_rows;
+  for (std::size_t ci : order) {
+    const std::vector<sig::RawRow> rows =
+        flatten(captures[ci].validation_fragments);
+    validation_rows.insert(validation_rows.end(), rows.begin(), rows.end());
+  }
+  for (std::size_t ci : order) {
+    const std::vector<sig::RawRow> extra =
+        flatten(captures[ci].signature_only_validation);
+    validation_rows.insert(validation_rows.end(), extra.begin(), extra.end());
+  }
+  package_validation_error_ = package_->validation_error(validation_rows);
+
+  auto discretize = [&](std::span<const std::vector<sig::RawRow>> frags) {
+    std::vector<DiscreteFragment> out;
+    out.reserve(frags.size());
+    for (const auto& f : frags) {
+      out.push_back(package_->discretizer().transform_all(f));
+    }
+    return out;
+  };
+
+  // Per-capture discretized training fragments back the shards; pooled
+  // validation fragments (canonical order) drive the choice of k.
+  std::vector<std::vector<DiscreteFragment>> train_disc(captures.size());
+  std::vector<CaptureShard> shards;
+  shards.reserve(captures.size());
+  std::vector<DiscreteFragment> val_disc;
+  for (std::size_t ci : order) {
+    train_disc[ci] = discretize(captures[ci].train_fragments);
+    shards.push_back({captures[ci].key, train_disc[ci]});
+    std::vector<DiscreteFragment> v =
+        discretize(captures[ci].validation_fragments);
+    val_disc.insert(val_disc.end(), std::make_move_iterator(v.begin()),
+                    std::make_move_iterator(v.end()));
+  }
+
+  timeseries_ = std::make_unique<TimeSeriesDetector>(
+      package_->database(), package_->discretizer().cardinalities(),
+      config.timeseries, rng);
+  training_losses_ = timeseries_->train_sharded(shards, shard_seed);
   timeseries_->choose_k(val_disc);
 }
 

@@ -23,6 +23,18 @@ struct CombinedConfig {
   TimeSeriesConfig timeseries;
 };
 
+/// One capture's raw-feature fragment sets for multi-capture training.
+/// `key` is the capture's stable identity (e.g. its file path); all pooling
+/// and sharding happens in ascending key order, so the trained framework is
+/// independent of the order the captures are listed in.
+struct CaptureFragments {
+  std::string key;
+  std::span<const std::vector<sig::RawRow>> train_fragments;
+  std::span<const std::vector<sig::RawRow>> validation_fragments;
+  std::span<const std::vector<sig::RawRow>> signature_only_train = {};
+  std::span<const std::vector<sig::RawRow>> signature_only_validation = {};
+};
+
 /// Per-package classification outcome with level attribution.
 struct CombinedVerdict {
   bool anomaly = false;
@@ -45,6 +57,19 @@ class CombinedDetector {
       Rng& rng,
       std::span<const std::vector<sig::RawRow>> signature_only_train = {},
       std::span<const std::vector<sig::RawRow>> signature_only_validation = {});
+
+  /// Multi-capture training (DESIGN.md §11): one signature database /
+  /// discretizer / Bloom filter over ALL captures' pooled training rows,
+  /// then LSTM training sharded across the captures — each optimizer step
+  /// consumes one round of per-capture gradient lanes
+  /// (TimeSeriesDetector::train_sharded, seeded from `shard_seed`). k is
+  /// chosen on the pooled validation fragments. Results are bit-identical
+  /// for any thread count and any capture listing order; duplicate keys
+  /// throw std::invalid_argument.
+  CombinedDetector(std::span<const CaptureFragments> captures,
+                   std::span<const sig::FeatureSpec> specs,
+                   const CombinedConfig& config, Rng& rng,
+                   std::uint64_t shard_seed);
 
   /// Reassemble from persisted components (see detect/serialize.hpp). The
   /// time-series detector must reference `package->database()`.

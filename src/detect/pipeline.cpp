@@ -110,6 +110,42 @@ TrainedFramework train_framework(std::span<const ics::Package> capture,
   return tf;
 }
 
+MultiTrainedFramework train_framework(std::span<const CaptureInput> captures,
+                                      const PipelineConfig& config) {
+  MultiTrainedFramework tf;
+  tf.splits.reserve(captures.size());
+  const std::vector<sig::FeatureSpec> specs =
+      config.specs.empty() ? ics::default_feature_specs() : config.specs;
+
+  // Per-capture fragment storage must outlive the detector constructor,
+  // which only holds spans over it.
+  struct CaptureRows {
+    std::vector<std::vector<sig::RawRow>> train, val, train_short, val_short;
+  };
+  std::vector<CaptureRows> rows(captures.size());
+  std::vector<CaptureFragments> frags;
+  frags.reserve(captures.size());
+  for (std::size_t ci = 0; ci < captures.size(); ++ci) {
+    tf.splits.push_back(ics::split_dataset(captures[ci].packages,
+                                           config.split));
+    const ics::DatasetSplit& split = tf.splits.back();
+    CaptureRows& r = rows[ci];
+    r.train = fragment_raw_rows(split.train_fragments);
+    r.val = fragment_raw_rows(split.validation_fragments);
+    r.train_short = fragment_raw_rows(split.train_short_fragments);
+    r.val_short = fragment_raw_rows(split.validation_short_fragments);
+    frags.push_back(
+        {captures[ci].key, r.train, r.val, r.train_short, r.val_short});
+  }
+
+  Rng rng(config.seed);
+  Stopwatch sw;
+  tf.detector = std::make_unique<CombinedDetector>(
+      frags, specs, config.combined, rng, /*shard_seed=*/config.seed);
+  tf.train_seconds = sw.elapsed_seconds();
+  return tf;
+}
+
 EvaluationResult evaluate_framework(const CombinedDetector& detector,
                                     std::span<const ics::Package> test) {
   EvaluationResult result;

@@ -43,6 +43,31 @@ struct EvaluationResult {
 TrainedFramework train_framework(std::span<const ics::Package> capture,
                                  const PipelineConfig& config);
 
+/// One named capture for multi-capture training. `key` must be unique (e.g.
+/// the capture's file path); it fixes the canonical shard order and seeds
+/// the capture's private Rng stream, so training is independent of listing
+/// order (DESIGN.md §11).
+struct CaptureInput {
+  std::string key;
+  std::span<const ics::Package> packages;
+};
+
+/// Everything produced by multi-capture training: one shared detector plus
+/// every capture's own 6:2:2 split (same order as the inputs).
+struct MultiTrainedFramework {
+  std::unique_ptr<CombinedDetector> detector;
+  std::vector<ics::DatasetSplit> splits;
+  double train_seconds = 0.0;
+};
+
+/// Split every capture with the same SplitConfig and train ONE framework
+/// over all of them: pooled signature database / Bloom / discretizer, LSTM
+/// epochs sharded across the captures with per-capture gradient lanes
+/// (CombinedDetector's multi-capture constructor). Bit-identical for any
+/// thread count and capture order; throws on duplicate keys.
+MultiTrainedFramework train_framework(std::span<const CaptureInput> captures,
+                                      const PipelineConfig& config);
+
 /// Stream the test split through the detector and score it (one sequential
 /// stream end-to-end — the reference semantics).
 EvaluationResult evaluate_framework(const CombinedDetector& detector,

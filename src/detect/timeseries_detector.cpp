@@ -216,6 +216,145 @@ std::vector<double> TimeSeriesDetector::train(
   return epoch_losses;
 }
 
+std::vector<double> TimeSeriesDetector::train_sharded(
+    std::span<const CaptureShard> captures, std::uint64_t base_seed) {
+  // Canonical capture order: ascending key, independent of listing order.
+  std::vector<std::size_t> cap_order(captures.size());
+  std::iota(cap_order.begin(), cap_order.end(), 0);
+  std::sort(cap_order.begin(), cap_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return captures[a].key < captures[b].key;
+            });
+  for (std::size_t i = 0; i + 1 < cap_order.size(); ++i) {
+    if (captures[cap_order[i]].key == captures[cap_order[i + 1]].key) {
+      throw std::invalid_argument(
+          "train_sharded: duplicate capture key '" +
+          captures[cap_order[i]].key + "'");
+    }
+  }
+
+  nn::Adam opt(config_.learning_rate);
+  const auto slots = model_.param_slots();
+  if (warm_start_) {
+    if (!nn::adam_state_matches(*warm_start_, slots)) {
+      throw std::invalid_argument(
+          "TimeSeriesDetector: Adam warm-start state does not match the "
+          "model (refusing mismatched sidecar)");
+    }
+    opt.restore(std::move(*warm_start_));
+    warm_start_.reset();
+  }
+  nn::MinibatchTrainer engine(model_, config_.micro_batch, config_.threads);
+
+  // One independent Rng stream per capture, derived from (base_seed, key)
+  // via FNV-1a: a capture's shuffle and noise draws are a pure function of
+  // its own key and data, never of its shard neighbours.
+  std::vector<Rng> rngs;
+  rngs.reserve(captures.size());
+  for (const CaptureShard& cap : captures) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (int b = 0; b < 8; ++b) {
+      h ^= (base_seed >> (8 * b)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+    for (unsigned char ch : cap.key) {
+      h ^= ch;
+      h *= 1099511628211ULL;
+    }
+    rngs.emplace_back(h);
+  }
+
+  // Per-capture streaming encoder state: like train()'s batched path, a
+  // fragment stays live only while one of its windows is still pending, so
+  // peak memory is ~one round of one-hot floats per capture.
+  struct Feed {
+    std::vector<std::size_t> order;        ///< shuffled fragment indices
+    std::size_t next = 0;                  ///< next order[] entry to encode
+    std::deque<nn::Fragment> live;         ///< encoded, still referenced
+    std::deque<std::size_t> live_windows;  ///< pending windows per fragment
+    std::vector<nn::WindowRef> pending;    ///< windows not yet consumed
+  };
+  std::vector<Feed> feeds(captures.size());
+  for (std::size_t ci = 0; ci < captures.size(); ++ci) {
+    feeds[ci].order.resize(captures[ci].fragments.size());
+    std::iota(feeds[ci].order.begin(), feeds[ci].order.end(), 0);
+  }
+
+  const std::size_t group_size = std::max<std::size_t>(1, config_.batch_size);
+  std::vector<double> epoch_losses;
+  std::vector<std::span<const nn::WindowRef>> groups;
+  std::vector<std::size_t> took(captures.size());
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t ci = 0; ci < captures.size(); ++ci) {
+      feeds[ci].next = 0;
+      rngs[ci].shuffle(feeds[ci].order);
+    }
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+    while (true) {
+      // Build this round's groups: up to group_size windows from every
+      // capture, in canonical order. The partition is a function of the
+      // data and group_size alone — never of threads or listing order.
+      groups.clear();
+      for (std::size_t ci : cap_order) {
+        Feed& fd = feeds[ci];
+        while (fd.pending.size() < group_size &&
+               fd.next < fd.order.size()) {
+          nn::Fragment frag =
+              encode_fragment(captures[ci].fragments[fd.order[fd.next++]],
+                              config_.noise.enabled, &rngs[ci]);
+          if (frag.steps() == 0) continue;
+          fd.live.push_back(std::move(frag));
+          const nn::Fragment& f = fd.live.back();
+          const std::size_t truncate = config_.truncate_steps == 0
+                                           ? f.steps()
+                                           : config_.truncate_steps;
+          std::size_t windows = 0;
+          for (std::size_t start = 0; start < f.steps(); start += truncate) {
+            const std::size_t end = std::min(f.steps(), start + truncate);
+            fd.pending.push_back(
+                {std::span(f.inputs.data() + start, end - start),
+                 std::span(f.targets.data() + start, end - start)});
+            steps += end - start;
+            ++windows;
+          }
+          fd.live_windows.push_back(windows);
+        }
+        took[ci] = std::min(group_size, fd.pending.size());
+        if (took[ci] > 0) {
+          groups.push_back(std::span(fd.pending).first(took[ci]));
+        }
+      }
+      if (groups.empty()) break;  // epoch exhausted every capture
+      loss_sum += engine.step_grouped(groups, slots, config_.grad_clip, opt);
+      // Retire the consumed window prefix (and any fragment whose windows
+      // are all done) of each capture.
+      for (std::size_t ci : cap_order) {
+        Feed& fd = feeds[ci];
+        std::size_t consumed = took[ci];
+        fd.pending.erase(
+            fd.pending.begin(),
+            fd.pending.begin() + static_cast<std::ptrdiff_t>(consumed));
+        while (consumed > 0) {
+          if (fd.live_windows.front() <= consumed) {
+            consumed -= fd.live_windows.front();
+            fd.live_windows.pop_front();
+            fd.live.pop_front();
+          } else {
+            fd.live_windows.front() -= consumed;
+            consumed = 0;
+          }
+        }
+      }
+    }
+    epoch_losses.push_back(steps ? loss_sum / static_cast<double>(steps)
+                                 : 0.0);
+  }
+  adam_state_ = opt.state();
+  return epoch_losses;
+}
+
 double TimeSeriesDetector::top_k_error(
     std::span<const DiscreteFragment> fragments, std::size_t k) const {
   // Streamed evaluation rather than encode_fragment: validation fragments

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -27,6 +29,15 @@ namespace mlad::detect {
 
 /// One anomaly-free fragment in discretized form.
 using DiscreteFragment = std::vector<sig::DiscreteRow>;
+
+/// One capture's fragments for multi-capture sharded training. `key` is the
+/// capture's stable identity (e.g. its file path): shards are processed in
+/// ascending key order and seed per-capture Rng streams, so training results
+/// are independent of the order the caller discovered the captures in.
+struct CaptureShard {
+  std::string key;
+  std::span<const DiscreteFragment> fragments;
+};
 
 struct TimeSeriesConfig {
   /// Stacked layer widths. Paper: {256, 256}; benches default smaller so the
@@ -70,6 +81,19 @@ class TimeSeriesDetector {
   /// optimizer moments are captured and readable via adam_state().
   std::vector<double> train(std::span<const DiscreteFragment> fragments,
                             Rng& rng);
+
+  /// Multi-capture sharded training (DESIGN.md §11): every round draws up
+  /// to batch_size BPTT windows from EACH capture and runs them as that
+  /// capture's own gradient lanes through the grouped minibatch engine
+  /// (nn::MinibatchTrainer::step_grouped) — one optimizer step per round.
+  /// Each capture consumes an independent Rng stream derived from
+  /// (base_seed, key), so its shuffle and noise draws never depend on which
+  /// other captures train alongside it; combined with the canonical key
+  /// order, losses and final weights are bit-identical for any thread count
+  /// AND any capture listing order. Throws on duplicate keys. Returns the
+  /// mean per-step loss by epoch (all captures pooled), like train().
+  std::vector<double> train_sharded(std::span<const CaptureShard> captures,
+                                    std::uint64_t base_seed);
 
   /// Install Adam moments for the NEXT train() call (offline resume from a
   /// persisted sidecar, nn/serialize.hpp). train() refuses a state whose

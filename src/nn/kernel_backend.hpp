@@ -73,15 +73,21 @@ const KernelBackend& scalar_kernel_backend();
 /// dispatcher's job (cpu_features()).
 const KernelBackend* avx2_kernel_backend();
 
+/// AVX-512 (F+BW+VL) backend, or nullptr when not compiled in. Runtime
+/// usability — including the OS saving ZMM/opmask state — is the
+/// dispatcher's job (cpu_features()).
+const KernelBackend* avx512_kernel_backend();
+
 /// NEON backend, or nullptr when not compiled for an ARM target.
 const KernelBackend* neon_kernel_backend();
 
 /// The active backend. First use selects from MLAD_KERNEL_BACKEND
-/// (scalar|avx2|neon) when set and usable, otherwise the best backend both
-/// compiled in and supported by the host CPU.
+/// (scalar|avx2|avx512|neon) when set and usable, otherwise the best backend
+/// both compiled in and supported by the host CPU.
 const KernelBackend& kernel_backend();
 
-/// Names of the backends compiled in AND usable on this CPU ("scalar" first).
+/// Names of the backends compiled in AND usable on this CPU, ordered worst
+/// to best ("scalar" first, the dispatcher's preferred backend last).
 std::vector<std::string> available_kernel_backends();
 
 /// Select the active backend by name; returns false (and leaves the active

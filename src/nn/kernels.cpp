@@ -25,6 +25,15 @@ const KernelBackend* usable_avx2() {
   return (f.avx2 && f.fma) ? b : nullptr;
 }
 
+const KernelBackend* usable_avx512() {
+  const KernelBackend* b = avx512_kernel_backend();
+  if (b == nullptr) return nullptr;
+  const CpuFeatures& f = cpu_features();
+  // avx512f already implies the OS saves ZMM/opmask state (cpu_features
+  // folds the XCR0 check in); BW+VL are what the TU is compiled with.
+  return (f.avx512f && f.avx512bw && f.avx512vl) ? b : nullptr;
+}
+
 const KernelBackend* usable_neon() {
   const KernelBackend* b = neon_kernel_backend();
   if (b == nullptr) return nullptr;
@@ -32,6 +41,7 @@ const KernelBackend* usable_neon() {
 }
 
 const KernelBackend* best_backend() {
+  if (const KernelBackend* b = usable_avx512()) return b;
   if (const KernelBackend* b = usable_avx2()) return b;
   if (const KernelBackend* b = usable_neon()) return b;
   return &scalar_kernel_backend();
@@ -40,6 +50,7 @@ const KernelBackend* best_backend() {
 const KernelBackend* backend_by_name(const std::string& name) {
   if (name == "scalar") return &scalar_kernel_backend();
   if (name == "avx2") return usable_avx2();
+  if (name == "avx512") return usable_avx512();
   if (name == "neon") return usable_neon();
   return nullptr;
 }
@@ -51,9 +62,12 @@ std::atomic<const KernelBackend*> g_backend{nullptr};
 }  // namespace
 
 std::vector<std::string> available_kernel_backends() {
+  // Worst to best: tests rely on names.front() being the scalar reference
+  // and names.back() being what best_backend() falls back to.
   std::vector<std::string> names = {"scalar"};
-  if (usable_avx2() != nullptr) names.emplace_back("avx2");
   if (usable_neon() != nullptr) names.emplace_back("neon");
+  if (usable_avx2() != nullptr) names.emplace_back("avx2");
+  if (usable_avx512() != nullptr) names.emplace_back("avx512");
   return names;
 }
 
@@ -151,7 +165,29 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out,
   });
 }
 
+namespace {
+
+// Process-wide transpose() counters (kernels.hpp TransposeStats). Relaxed is
+// enough: they are statistics, never used for synchronization.
+std::atomic<std::uint64_t> g_transpose_calls{0};
+std::atomic<std::uint64_t> g_transpose_elements{0};
+
+}  // namespace
+
+TransposeStats transpose_stats() {
+  return {g_transpose_calls.load(std::memory_order_relaxed),
+          g_transpose_elements.load(std::memory_order_relaxed)};
+}
+
+void reset_transpose_stats() {
+  g_transpose_calls.store(0, std::memory_order_relaxed);
+  g_transpose_elements.store(0, std::memory_order_relaxed);
+}
+
 void transpose(const Matrix& a, Matrix& out) {
+  g_transpose_calls.fetch_add(1, std::memory_order_relaxed);
+  g_transpose_elements.fetch_add(a.rows() * a.cols(),
+                                 std::memory_order_relaxed);
   out.resize(a.cols(), a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const float* a_row = a.data() + i * a.cols();

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "common/thread_pool.hpp"
@@ -44,6 +45,22 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out,
 
 /// out = aᵀ (resized). Used to cache transposed weights once per minibatch.
 void transpose(const Matrix& a, Matrix& out);
+
+/// Cumulative process-wide transpose() counters, maintained with relaxed
+/// atomics (negligible overhead; safe under concurrent lanes). Benchmarks
+/// and tests use these to measure how much re-transposition the
+/// transposed-weight cache (DESIGN.md §11) eliminates from training.
+struct TransposeStats {
+  std::uint64_t calls = 0;     ///< number of transpose() invocations
+  std::uint64_t elements = 0;  ///< total elements copied across them
+};
+
+/// Snapshot of the counters since process start / the last reset.
+TransposeStats transpose_stats();
+
+/// Zero the counters (bench/test scoping; not for concurrent use with timed
+/// sections you care about).
+void reset_transpose_stats();
 
 /// Every row of m gets bias (1×m.cols()) added. Usually fused by seeding the
 /// output with the bias instead; exposed for clarity and tests.

@@ -45,13 +45,19 @@ void LstmLayer::backward_sequence(const std::vector<LstmStepCache>& caches,
 }
 
 void LstmLayer::forward_sequence_batch(std::span<const Matrix* const> xs,
-                                       LayerBatchTape& tape,
-                                       ThreadPool* pool) const {
+                                       LayerBatchTape& tape, ThreadPool* pool,
+                                       const Matrix* wT,
+                                       const Matrix* uT) const {
   const std::size_t T = xs.size();
   const std::size_t H = cell_.hidden_dim();
   tape.steps.resize(T);
-  transpose(cell_.w(), tape.wT);
-  transpose(cell_.u(), tape.uT);
+  if (wT == nullptr || uT == nullptr) {
+    // No caller cache: transpose into the tape as before.
+    transpose(cell_.w(), tape.wT);
+    transpose(cell_.u(), tape.uT);
+    wT = &tape.wT;
+    uT = &tape.uT;
+  }
   for (std::size_t t = 0; t < T; ++t) {
     const Matrix& x = *xs[t];
     const std::size_t bt = x.rows();
@@ -69,7 +75,7 @@ void LstmLayer::forward_sequence_batch(std::span<const Matrix* const> xs,
       copy_top_rows(tape.steps[t - 1].h, bt, step.h_prev);
       copy_top_rows(tape.steps[t - 1].c, bt, step.c_prev);
     }
-    cell_.forward_batch(x, tape.wT, tape.uT, step, tape.a, pool);
+    cell_.forward_batch(x, *wT, *uT, step, tape.a, pool);
   }
 }
 

@@ -70,9 +70,16 @@ class LstmLayer {
   /// B_t non-increasing in t (windows sorted by length, longest first).
   /// State starts at zero; per-step results land in tape.steps. Const —
   /// gradients and caches are all caller-owned.
+  ///
+  /// `wT`/`uT`, when both non-null, are caller-cached transposes of the
+  /// cell's current w/u (e.g. SequenceModel::TransposeCache, DESIGN.md §11);
+  /// the per-call transpose into tape.wT/uT is then skipped. They must be
+  /// exact transposes of the current parameters — results are bit-identical
+  /// to the self-transposing path.
   void forward_sequence_batch(std::span<const Matrix* const> xs,
-                              LayerBatchTape& tape,
-                              ThreadPool* pool = nullptr) const;
+                              LayerBatchTape& tape, ThreadPool* pool = nullptr,
+                              const Matrix* wT = nullptr,
+                              const Matrix* uT = nullptr) const;
 
   /// Batched BPTT over a tape filled by forward_sequence_batch. `dh_out[t]`
   /// (B_t×H) is ∂L/∂h_t from above and is modified in place (recurrent

@@ -67,9 +67,23 @@ ModelGrads SequenceModel::make_grads() const {
   return grads;
 }
 
+void SequenceModel::refresh_transpose_cache(TransposeCache& cache) const {
+  cache.wT.resize(lstm_.num_layers());
+  cache.uT.resize(lstm_.num_layers());
+  for (std::size_t li = 0; li < lstm_.num_layers(); ++li) {
+    const LstmCell& cell = lstm_.layer(li).cell();
+    transpose(cell.w(), cache.wT[li]);
+    transpose(cell.u(), cache.uT[li]);
+  }
+  transpose(softmax_.w(), cache.softmax_wT);
+  cache.valid = true;
+}
+
 double SequenceModel::train_window_batch(std::span<const WindowRef> windows,
                                          ModelGrads& grads, BatchWorkspace& ws,
-                                         ThreadPool* pool) const {
+                                         ThreadPool* pool,
+                                         const TransposeCache* tcache) const {
+  if (tcache != nullptr && !tcache->valid) tcache = nullptr;
   const std::size_t slot_count = 3 * lstm_.num_layers() + 2;
   if (grads.g.size() != slot_count) {
     throw std::invalid_argument("train_window_batch: grads shape mismatch");
@@ -111,11 +125,18 @@ double SequenceModel::train_window_batch(std::span<const WindowRef> windows,
     }
   }
 
-  lstm_.forward_sequence_batch(ws.xs, ws.tape, pool);
+  if (tcache != nullptr) {
+    lstm_.forward_sequence_batch(ws.xs, ws.tape, pool, tcache->wT,
+                                 tcache->uT);
+  } else {
+    lstm_.forward_sequence_batch(ws.xs, ws.tape, pool);
+  }
 
   // Softmax + fused cross-entropy over each step's active rows; ws.probs
   // becomes dlogits in place (probs - onehot).
-  transpose(softmax_.w(), ws.softmax_wT);
+  if (tcache == nullptr) transpose(softmax_.w(), ws.softmax_wT);
+  const Matrix& softmax_wT =
+      tcache != nullptr ? tcache->softmax_wT : ws.softmax_wT;
   Matrix& grad_w_sm = grads.g[slot_count - 2];
   Matrix& grad_b_sm = grads.g[slot_count - 1];
   const auto& top_steps = ws.tape.layers.back().steps;
@@ -124,7 +145,7 @@ double SequenceModel::train_window_batch(std::span<const WindowRef> windows,
   for (std::size_t t = 0; t < T; ++t) {
     const Matrix& h = top_steps[t].h;
     broadcast_rows(softmax_.b(), h.rows(), ws.probs);
-    matmul_nn_acc(h, ws.softmax_wT, ws.probs, pool);
+    matmul_nn_acc(h, softmax_wT, ws.probs, pool);
     softmax_rows(ws.probs, pool);
     for (std::size_t r = 0; r < h.rows(); ++r) {
       const std::size_t target = windows[ws.order[r]].targets[t];

@@ -58,6 +58,18 @@ struct BatchWorkspace {
   std::vector<std::size_t> order; ///< windows sorted longest-first
 };
 
+/// Per-model cache of every weight transpose the batched forward needs
+/// (DESIGN.md §11). Weights only change at optimizer steps, so the trainer
+/// refreshes this once per step instead of once per lane per minibatch; the
+/// cached copies are exact transposes, so training results are bit-identical
+/// to the self-transposing path. Read-only during the parallel lane section
+/// — safe to share across concurrent micro-batches.
+struct TransposeCache {
+  std::vector<Matrix> wT, uT;  ///< [layer] input/recurrent weight transposes
+  Matrix softmax_wT;           ///< H_top × C classifier weight transpose
+  bool valid = false;          ///< false ⇒ refresh before next use
+};
+
 class SequenceModel {
  public:
   explicit SequenceModel(const SequenceModelConfig& config);
@@ -82,9 +94,19 @@ class SequenceModel {
   /// gradients accumulate into `grads` (zeroed by the caller), so several
   /// micro-batches can run concurrently. Returns the summed CE loss.
   /// Matches train_fragment's math to float-rounding (parity-tested).
+  ///
+  /// `tcache`, when non-null and valid, supplies the weight transposes
+  /// (refresh_transpose_cache) so none are recomputed here; results are
+  /// bit-identical either way (DESIGN.md §11).
   double train_window_batch(std::span<const WindowRef> windows,
                             ModelGrads& grads, BatchWorkspace& ws,
-                            ThreadPool* pool = nullptr) const;
+                            ThreadPool* pool = nullptr,
+                            const TransposeCache* tcache = nullptr) const;
+
+  /// Recompute `cache` from the CURRENT parameters and mark it valid. The
+  /// owner must invalidate after every parameter mutation (optimizer step,
+  /// copy_params_from, re-init) — train_window_batch trusts `valid`.
+  void refresh_transpose_cache(TransposeCache& cache) const;
 
   /// Zero-filled gradient buffers shaped like param_slots().
   ModelGrads make_grads() const;

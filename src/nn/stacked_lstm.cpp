@@ -79,8 +79,15 @@ void StackedLstm::backward_sequence(const StackedLstmCache& cache,
 
 void StackedLstm::forward_sequence_batch(std::span<const Matrix> xs,
                                          StackedBatchTape& tape,
-                                         ThreadPool* pool) const {
+                                         ThreadPool* pool,
+                                         std::span<const Matrix> wT,
+                                         std::span<const Matrix> uT) const {
   const std::size_t T = xs.size();
+  if ((!wT.empty() && wT.size() != layers_.size()) ||
+      (!uT.empty() && uT.size() != layers_.size())) {
+    throw std::invalid_argument(
+        "forward_sequence_batch: transpose cache size mismatch");
+  }
   tape.layers.resize(layers_.size());
   tape.inputs.resize(layers_.size());
   for (std::size_t li = 0; li < layers_.size(); ++li) {
@@ -92,7 +99,9 @@ void StackedLstm::forward_sequence_batch(std::span<const Matrix> xs,
       // hidden outputs, already sized B_t.
       in[t] = li == 0 ? &xs[t] : &tape.layers[li - 1].steps[t].h;
     }
-    layers_[li].forward_sequence_batch(in, tape.layers[li], pool);
+    layers_[li].forward_sequence_batch(in, tape.layers[li], pool,
+                                       wT.empty() ? nullptr : &wT[li],
+                                       uT.empty() ? nullptr : &uT[li]);
   }
 }
 

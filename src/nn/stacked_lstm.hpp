@@ -84,9 +84,15 @@ class StackedLstm {
   /// Batched training-time forward: xs[t] is the B_t × input_dim matrix of
   /// sequences active at step t (B_t non-increasing). Top-layer outputs are
   /// tape.layers.back().steps[t].h. Const — everything lands in the tape.
+  ///
+  /// `wT`/`uT`, when non-empty, hold one caller-cached transpose of each
+  /// layer's w/u (size == num_layers()); the per-call transposes are then
+  /// skipped (DESIGN.md §11). Must match the current parameters exactly.
   void forward_sequence_batch(std::span<const Matrix> xs,
                               StackedBatchTape& tape,
-                              ThreadPool* pool = nullptr) const;
+                              ThreadPool* pool = nullptr,
+                              std::span<const Matrix> wT = {},
+                              std::span<const Matrix> uT = {}) const;
 
   /// Batched BPTT. `dh_top[t]` (B_t×H_top) is consumed/modified in place.
   /// `grads` receives the parameter gradients, three matrices per layer in

@@ -72,11 +72,36 @@ class MinibatchTrainer {
   /// returns the summed CE loss; the caller clips and applies the optimizer.
   double process(std::span<const WindowRef> windows);
 
+  /// Grouped minibatch (multi-capture sharded training, DESIGN.md §11):
+  /// every group — e.g. one capture's windows for this step — is cut into
+  /// micro-batches separately, so no gradient lane ever straddles a group
+  /// boundary; the lane list is the concatenation of per-group lanes in
+  /// group order and merges through the same fixed-order tree reduction.
+  /// Bit-identical for any thread count; callers wanting independence from
+  /// capture arrival order must present groups in a canonical order.
+  /// process(w) ≡ process_grouped({w}) bit-for-bit.
+  double process_grouped(std::span<const std::span<const WindowRef>> groups);
+
   /// process() + global-norm clip + optimizer step in one call — the unit
   /// every batched training loop is built from. Returns the summed CE loss.
   double step(std::span<const WindowRef> windows,
               std::span<const ParamSlot> slots, double grad_clip,
               Optimizer& opt);
+
+  /// Grouped counterpart of step() (one optimizer step per grouped round).
+  double step_grouped(std::span<const std::span<const WindowRef>> groups,
+                      std::span<const ParamSlot> slots, double grad_clip,
+                      Optimizer& opt);
+
+  /// Mark the internal transposed-weight cache stale. step()/step_grouped()
+  /// do this automatically after the optimizer runs; call it yourself only
+  /// if you mutate the model's parameters between plain process() calls.
+  void invalidate_transpose_cache() { tcache_.valid = false; }
+
+  /// Wall-clock seconds each gradient lane spent in the most recent
+  /// process()/process_grouped() call (bench instrumentation: per-lane cost
+  /// on a machine whose core count can't run the lanes concurrently).
+  const std::vector<double>& lane_seconds() const { return lane_seconds_; }
 
  private:
   SequenceModel* model_;
@@ -85,6 +110,11 @@ class MinibatchTrainer {
   std::vector<ModelGrads> lanes_;       ///< per micro-batch gradient buffers
   std::vector<BatchWorkspace> ws_;      ///< per micro-batch scratch
   std::vector<double> lane_loss_;
+  std::vector<double> lane_seconds_;
+  /// Weight transposes refreshed lazily once per optimizer step instead of
+  /// once per lane per minibatch (DESIGN.md §11); shared read-only by lanes.
+  TransposeCache tcache_;
+  std::vector<std::span<const WindowRef>> lane_windows_;
 };
 
 /// Train `model` on `fragments` with `opt`. Deterministic given `rng`:

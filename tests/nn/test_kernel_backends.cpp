@@ -6,6 +6,7 @@
 // through the MLAD_KERNEL_BACKEND environment override.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -319,6 +320,25 @@ TEST(KernelBackends, EnvVarOverridesDispatch) {
   ASSERT_EQ(0, unsetenv("MLAD_KERNEL_BACKEND"));
   select_kernel_backend_from_env();
   EXPECT_EQ(names.back(), kernel_backend().name);
+}
+
+TEST(KernelBackends, Avx512DispatchMatchesCpuid) {
+  // The avx512 backend must be listed (and selectable) exactly when the
+  // host has F+BW+VL with the OS saving ZMM/opmask state — the parity and
+  // invariance tests above then cover it via available_kernel_backends().
+  BackendGuard restore;
+  const CpuFeatures& f = cpu_features();
+  const bool usable = f.avx512f && f.avx512bw && f.avx512vl;
+  const auto names = available_kernel_backends();
+  const bool listed =
+      std::find(names.begin(), names.end(), "avx512") != names.end();
+  EXPECT_EQ(usable, listed);
+  if (!usable) {
+    EXPECT_FALSE(select_kernel_backend("avx512"));
+    GTEST_SKIP() << "AVX-512 F/BW/VL not usable on this host";
+  }
+  EXPECT_TRUE(select_kernel_backend("avx512"));
+  EXPECT_STREQ(kernel_backend().name, "avx512");
 }
 
 TEST(KernelBackends, SelectUnknownBackendFails) {

@@ -99,8 +99,75 @@ def check_ingest(doc: dict, errors: list) -> None:
                     errors.append(f"{where}.{field} must be positive")
 
 
+def check_nn(doc: dict, errors: list) -> None:
+    """bench_nn_throughput writes two artifacts: BENCH_nn.json (the engine
+    throughput record, with a `train` section) and BENCH_train.json (the
+    multi-capture train-consolidation record, with a `train_consolidation`
+    section). Both carry determinism booleans that must be true."""
+    tc = doc.get("train_consolidation")
+    if tc is not None:
+        if not isinstance(tc, dict):
+            errors.append("'train_consolidation' must be an object")
+            return
+        if tc.get("all_backends_bit_identical") is not True:
+            errors.append("train_consolidation.all_backends_bit_identical "
+                          "must be true: sharded training may never depend "
+                          "on thread count or capture order (DESIGN.md §11)")
+        backends = tc.get("backends")
+        if not isinstance(backends, dict) or not backends:
+            errors.append("train_consolidation.backends missing or empty")
+        else:
+            for name, entry in backends.items():
+                key = "losses_bit_identical_across_threads_and_orders"
+                if not isinstance(entry, dict) or entry.get(key) is not True:
+                    errors.append(f"train_consolidation.backends.{name}."
+                                  f"{key} must be true")
+        for field in ("sequential_per_capture_s", "sharded_wall_s",
+                      "sharded_critical_path_s"):
+            value = tc.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"train_consolidation.{field} must be positive")
+        reduction = tc.get("transpose_calls_reduction")
+        if not isinstance(reduction, (int, float)) or reduction <= 1:
+            errors.append("train_consolidation.transpose_calls_reduction "
+                          "must exceed 1 (the cache must actually remove "
+                          "per-lane re-transposition)")
+        criterion = tc.get("criterion")
+        if not isinstance(criterion, dict):
+            errors.append("train_consolidation.criterion object missing")
+            return
+        required = criterion.get("required_speedup_4lanes")
+        measured = criterion.get("measured_speedup_4lanes")
+        for name, value in (("required_speedup_4lanes", required),
+                            ("measured_speedup_4lanes", measured)):
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"train_consolidation.criterion.{name} must "
+                              f"be a positive number")
+        if criterion.get("met") is not True:
+            errors.append("train_consolidation.criterion.met must be true")
+        elif (isinstance(required, (int, float))
+              and isinstance(measured, (int, float))
+              and measured < required):
+            errors.append(f"train_consolidation.criterion.met claims true "
+                          f"but measured {measured} < required {required}")
+        return
+
+    train = doc.get("train")
+    if not isinstance(train, dict):
+        errors.append("'train' section missing")
+    elif train.get("epoch_losses_identical_across_threads") is not True:
+        errors.append("train.epoch_losses_identical_across_threads must "
+                      "be true (DESIGN.md §5)")
+    eval_section = doc.get("eval")
+    if not isinstance(eval_section, dict):
+        errors.append("'eval' section missing")
+    elif eval_section.get("confusion_identical_across_threads") is not True:
+        errors.append("eval.confusion_identical_across_threads must be true")
+
+
 PER_BENCH_CHECKS = {
     "bench_ingest_shards": check_ingest,
+    "bench_nn_throughput": check_nn,
 }
 
 

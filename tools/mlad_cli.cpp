@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adapt/online_trainer.hpp"
@@ -35,6 +36,7 @@
 #include "ingest/package_source.hpp"
 #include "ingest/pcap_replay.hpp"
 #include "ingest/socket_source.hpp"
+#include "nn/kernel_backend.hpp"
 #include "nn/serialize.hpp"
 #include "serve/monitor_engine.hpp"
 #include "serve/sharded_engine.hpp"
@@ -91,6 +93,16 @@ std::string get_or(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Startup banner for the compute-heavy subcommands: which SIMD kernel
+/// backend the cpuid dispatch (or MLAD_KERNEL_BACKEND) picked, and how many
+/// worker threads will run. Neither changes results (DESIGN.md §5, §7) —
+/// this is for performance triage from logs.
+void print_compute_banner(std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  std::printf("compute: %s kernels, %zu thread%s\n",
+              nn::kernel_backend().name, threads, threads == 1 ? "" : "s");
+}
+
 int cmd_simulate(const std::map<std::string, std::string>& flags) {
   ics::SimulatorConfig cfg;
   cfg.cycles = std::stoul(get_or(flags, "cycles", "8000"));
@@ -119,11 +131,11 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_train(const std::map<std::string, std::string>& flags) {
-  const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
   const std::string model_path = need(flags, "model");
   const auto adam_it = flags.find("adam-state");
 
   if (const auto resume_it = flags.find("resume"); resume_it != flags.end()) {
+    const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
     // Offline resume: continue training a saved framework on this log with
     // its own discretizer / signature database, warm-starting Adam from the
     // sidecar when one is given (refused if it doesn't match the model).
@@ -134,6 +146,7 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
     ts_cfg.batch_size = std::stoul(get_or(flags, "batch", "1"));
     ts_cfg.threads = std::stoul(get_or(flags, "threads", "0"));
     ts.set_train_config(ts_cfg);
+    print_compute_banner(ts_cfg.threads);
     if (adam_it != flags.end()) {
       ts.set_warm_start(nn::load_adam_state_file(adam_it->second));
     }
@@ -175,22 +188,54 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   // results are bit-identical for any thread count (0 = all cores).
   cfg.combined.timeseries.batch_size = std::stoul(get_or(flags, "batch", "1"));
   cfg.combined.timeseries.threads = std::stoul(get_or(flags, "threads", "0"));
-  const detect::TrainedFramework fw = detect::train_framework(packages, cfg);
-  std::printf("trained in %.1fs: |S|=%zu, k=%zu, validation error=%.4f\n",
-              fw.train_seconds,
-              fw.detector->package_level().database().size(),
-              fw.detector->chosen_k(),
-              fw.detector->package_validation_error());
-  detect::save_framework_file(model_path, *fw.detector);
-  std::printf("model saved: %s (%zu KB)\n", model_path.c_str(),
-              fw.detector->memory_bytes() / 1024);
-  if (adam_it != flags.end()) {
-    // Sidecar for offline resume / `serve --adapt` warm start.
-    nn::save_adam_state_file(
-        adam_it->second, *fw.detector->timeseries_level().adam_state());
-    std::printf("optimizer state saved: %s\n", adam_it->second.c_str());
+  print_compute_banner(cfg.combined.timeseries.threads);
+
+  const auto finish = [&](const auto& fw) {
+    std::printf("trained in %.1fs: |S|=%zu, k=%zu, validation error=%.4f\n",
+                fw.train_seconds,
+                fw.detector->package_level().database().size(),
+                fw.detector->chosen_k(),
+                fw.detector->package_validation_error());
+    detect::save_framework_file(model_path, *fw.detector);
+    std::printf("model saved: %s (%zu KB)\n", model_path.c_str(),
+                fw.detector->memory_bytes() / 1024);
+    if (adam_it != flags.end()) {
+      // Sidecar for offline resume / `serve --adapt` warm start.
+      nn::save_adam_state_file(
+          adam_it->second, *fw.detector->timeseries_level().adam_state());
+      std::printf("optimizer state saved: %s\n", adam_it->second.c_str());
+    }
+    return 0;
+  };
+
+  if (const auto caps_it = flags.find("captures"); caps_it != flags.end()) {
+    // Multi-capture sharded training (DESIGN.md §11): every raw capture is
+    // decoded to packages, split 6:2:2 on its own, and trained as one shard
+    // with its own gradient lanes — one pooled model, results independent of
+    // thread count and capture listing order (keys = the file paths).
+    const std::vector<std::string> paths = split(caps_it->second, ',');
+    if (paths.empty()) throw std::runtime_error("train: no captures given");
+    std::vector<std::vector<ics::Package>> decoded;
+    decoded.reserve(paths.size());
+    for (const std::string& p : paths) {
+      ics::FrameDecoder decoder;
+      decoded.push_back(decoder.decode_all(
+          ics::read_capture_file(std::string(trim(p)))));
+    }
+    std::vector<detect::CaptureInput> inputs;
+    inputs.reserve(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      inputs.push_back({std::string(trim(paths[i])), decoded[i]});
+    }
+    const detect::MultiTrainedFramework fw =
+        detect::train_framework(inputs, cfg);
+    std::printf("sharded training over %zu captures\n", inputs.size());
+    return finish(fw);
   }
-  return 0;
+
+  const auto packages = ics::from_arff(read_arff_file(need(flags, "arff")));
+  const detect::TrainedFramework fw = detect::train_framework(packages, cfg);
+  return finish(fw);
 }
 
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
@@ -212,6 +257,7 @@ int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   if (streams_it != flags.end()) {
     opts.streams = std::stoul(streams_it->second);
   }
+  print_compute_banner(threads_it != flags.end() ? opts.threads : 1);
   // --streams 1 (or 0) means "one stream" — the exact single-stream
   // reference, not the sharded evaluator, which only --threads selects.
   if (threads_it != flags.end() || opts.streams > 1) {
@@ -497,6 +543,11 @@ int usage() {
       "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
       "           [--batch B] [--threads N]   (batch>1 = parallel minibatch\n"
       "           engine; threads 0 = all cores, never changes results)\n"
+      "           [--captures a.cap,b.cap,…]  instead of --arff: decode the\n"
+      "           raw captures (assumed anomaly-free) and train ONE model\n"
+      "           with per-capture gradient lanes — each optimizer step\n"
+      "           consumes one round of windows from every capture; results\n"
+      "           are bit-identical for any thread count or capture order\n"
       "           [--adam-state f]  write the Adam sidecar next to the model\n"
       "           [--resume old.model]  continue training a saved framework\n"
       "           on this log (with --adam-state: warm-start from, then\n"
