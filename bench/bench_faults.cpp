@@ -1,0 +1,443 @@
+// Fault-injection and recovery characterization (DESIGN.md §12): the
+// committed BENCH_faults.json is the machine-readable record that the
+// fault-tolerant serve path keeps its two core promises under measured
+// conditions:
+//
+//   · injection — the FaultySource decorator over a multi-link wire:
+//     injected fault counts at the benchmark spec, and bit-identical
+//     output across two independently-constructed instances (the fault
+//     schedule is a pure function of spec + wire, so any fault suite is
+//     replayable).
+//   · transport — the same wire streamed over loopback TCP through a tap
+//     that is killed mid-record and reconnects with a resume HELLO every
+//     `disconnect_every` records: records_lost must be 0, every delivered
+//     frame must equal the original wire, and the engine's verdicts on the
+//     delivered stream must be bit-identical to the fault-free replay.
+//     Each kill→first-fresh-record recovery is timed; p50/p90/max are
+//     reported (the recovery latency the paper's online setting cares
+//     about: how long a probe outage stays invisible to the detector).
+//
+// Output: human table on stdout; `--json out.json` writes the committed
+// BENCH_faults.json (validated in CI by tools/check_bench_json.py).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "detect/pipeline.hpp"
+#include "ics/capture.hpp"
+#include "ics/simulator.hpp"
+#include "ingest/faulty_source.hpp"
+#include "ingest/package_source.hpp"
+#include "ingest/socket_source.hpp"
+#include "serve/alarm_sink.hpp"
+#include "serve/monitor_engine.hpp"
+
+namespace {
+
+using namespace mlad;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kInjectionSpec =
+    "seed=42,drop=0.05,truncate=0.02,corrupt=0.03";
+constexpr std::size_t kDisconnectEvery = 1500;
+constexpr std::size_t kResend = 8;
+
+struct AlarmKey {
+  ics::LinkId link;
+  std::uint64_t seq;
+  double time;
+  bool bloom, lstm;
+
+  bool operator==(const AlarmKey&) const = default;
+};
+
+std::vector<AlarmKey> alarm_keys(const std::vector<serve::AlarmEvent>& events) {
+  std::vector<AlarmKey> out;
+  for (const serve::AlarmEvent& e : events) {
+    out.push_back({e.link, e.seq, e.time, e.verdict.package_level,
+                   e.verdict.timeseries_level});
+  }
+  return out;
+}
+
+/// A few distinct links' worth of simulated traffic, merged by timestamp.
+std::vector<ics::LinkFrame> make_wire(std::size_t cycles_per_link) {
+  std::vector<ics::Capture> captures;
+  std::vector<ics::LinkId> ids;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ics::SimulatorConfig cfg;
+    cfg.cycles = cycles_per_link;
+    cfg.seed = 7000 + i;
+    ics::GasPipelineSimulator sim(cfg);
+    const ics::SimulationResult result = sim.run();
+    ics::Capture capture;
+    capture.reserve(result.packages.size());
+    for (const auto& p : result.packages) {
+      capture.push_back(ics::package_to_frame(p));
+    }
+    captures.push_back(std::move(capture));
+    ids.push_back(static_cast<ics::LinkId>(i));
+  }
+  return ics::merge_captures(captures, ids);
+}
+
+std::vector<ics::LinkFrame> drain(ingest::PackageSource& source) {
+  std::vector<ics::LinkFrame> out;
+  ics::LinkFrame lf;
+  while (source.next(lf)) out.push_back(lf);
+  return out;
+}
+
+bool same_wire(const std::vector<ics::LinkFrame>& a,
+               const std::vector<ics::LinkFrame>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].link != b[i].link || !(a[i].frame == b[i].frame)) return false;
+  }
+  return true;
+}
+
+struct InjectionResult {
+  std::size_t frames_in = 0;
+  std::size_t frames_out = 0;
+  ingest::FaultStats stats;
+  bool deterministic = false;
+  std::uint64_t alarms_under_faults = 0;
+};
+
+InjectionResult bench_injection(const detect::CombinedDetector& detector,
+                                const std::vector<ics::LinkFrame>& wire) {
+  InjectionResult r;
+  r.frames_in = wire.size();
+  const ingest::FaultSpec spec = ingest::FaultSpec::parse(kInjectionSpec);
+
+  ingest::FaultySource a(std::make_unique<ingest::CaptureSource>(wire), spec);
+  ingest::FaultySource b(std::make_unique<ingest::CaptureSource>(wire), spec);
+  const auto out_a = drain(a);
+  const auto out_b = drain(b);
+  r.frames_out = out_a.size();
+  r.stats = a.fault_stats();
+  r.deterministic = same_wire(out_a, out_b) &&
+                    a.fault_stats().total() == b.fault_stats().total();
+
+  serve::CountingAlarmSink sink;
+  serve::MonitorEngine engine(detector, &sink);
+  engine.replay(out_a);
+  r.alarms_under_faults = engine.stats().alarms;
+  return r;
+}
+
+// ---- loopback transport recovery -------------------------------------------
+
+int connect_loopback(std::uint16_t port) {
+  // Bounded retries: a listener mid-accept-cycle deserves patience, a dead
+  // one must fail the bench rather than spin forever.
+  for (int attempt = 0; attempt < 5000; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in dst{};
+    dst.sin_family = AF_INET;
+    dst.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &dst.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&dst),
+                  sizeof(dst)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (err != EINTR && err != ECONNREFUSED) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::vector<std::uint8_t>& bytes,
+              std::size_t limit = 0) {
+  std::size_t off = 0;
+  const std::size_t n = limit == 0 ? bytes.size() : limit;
+  while (off < n) {
+    const ssize_t sent =
+        ::send(fd, bytes.data() + off, n - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+struct TransportResult {
+  std::size_t records = 0;
+  ingest::TapStats tap;
+  bool delivered_equals_wire = false;
+  bool verdicts_bit_identical = false;
+  std::vector<double> recovery_ms;  ///< sorted ascending
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+TransportResult bench_transport(const detect::CombinedDetector& detector,
+                                const std::vector<ics::LinkFrame>& wire) {
+  TransportResult r;
+  r.records = wire.size();
+
+  ingest::TcpSource source(/*port=*/0, "127.0.0.1", /*max_conns=*/4,
+                           /*idle_timeout_ms=*/5000);
+
+  std::mutex close_mutex;
+  std::vector<Clock::time_point> close_times;
+
+  std::thread tap([&, port = source.port()] {
+    std::vector<std::vector<std::uint8_t>> encoded;
+    encoded.reserve(wire.size());
+    for (const ics::LinkFrame& lf : wire) {
+      encoded.push_back(ingest::encode_record(lf));
+    }
+    int fd = connect_loopback(port);
+    if (fd < 0) return;
+    send_all(fd, ingest::encode_hello(0, 0));
+    std::size_t sent = 0;
+    for (std::size_t i = 0; i < encoded.size();) {
+      if (!send_all(fd, encoded[i])) break;
+      ++i;
+      ++sent;
+      // Pace the firehose a little so the drain side (and any loopback
+      // indirection the host adds) never falls a full idle-timeout behind.
+      if (sent % 512 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (sent % kDisconnectEvery == 0 && i < encoded.size()) {
+        // Die mid-record, abruptly — exactly what `mlad tap
+        // --fault-spec disconnect_every=N` does.
+        send_all(fd, encoded[i], encoded[i].size() / 2);
+        {
+          std::lock_guard<std::mutex> lock(close_mutex);
+          close_times.push_back(Clock::now());
+        }
+        ::close(fd);
+        fd = connect_loopback(port);
+        if (fd < 0) return;
+        const std::size_t resume = i - std::min(kResend, i);
+        send_all(fd, ingest::encode_hello(0, resume));
+        i = resume;
+      }
+    }
+    send_all(fd, ingest::encode_fin());
+    ::close(fd);
+  });
+
+  // Drain on the serve side, stamping every delivery for the recovery
+  // clock; classification happens offline below so the timings measure the
+  // transport alone.
+  std::vector<ics::LinkFrame> delivered;
+  std::vector<Clock::time_point> arrival;
+  delivered.reserve(wire.size());
+  arrival.reserve(wire.size());
+  {
+    ics::LinkFrame lf;
+    while (source.next(lf)) {
+      delivered.push_back(lf);
+      arrival.push_back(Clock::now());
+    }
+  }
+  tap.join();
+  r.tap = source.tap_stats();
+
+  // Recovery latency per kill: time from the abrupt close to the first
+  // record delivered after it (the resume overlap is discarded inside the
+  // source, so that first delivery is a genuinely fresh record).
+  for (const Clock::time_point& killed : close_times) {
+    for (std::size_t i = 0; i < arrival.size(); ++i) {
+      if (arrival[i] > killed) {
+        r.recovery_ms.push_back(
+            std::chrono::duration<double, std::milli>(arrival[i] - killed)
+                .count());
+        break;
+      }
+    }
+  }
+  std::sort(r.recovery_ms.begin(), r.recovery_ms.end());
+
+  r.delivered_equals_wire = same_wire(delivered, wire);
+
+  serve::CountingAlarmSink clean_sink;
+  serve::MonitorEngine clean(detector, &clean_sink);
+  clean.replay(wire);
+  serve::CountingAlarmSink faulty_sink;
+  serve::MonitorEngine faulty(detector, &faulty_sink);
+  faulty.replay(delivered);
+  r.verdicts_bit_identical =
+      alarm_keys(clean_sink.events()) == alarm_keys(faulty_sink.events()) &&
+      !clean_sink.events().empty();
+  return r;
+}
+
+void write_json(const std::string& path, const bench::Scale& scale,
+                std::size_t hw, const InjectionResult& inj,
+                const TransportResult& tr, bool met) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_faults\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", scale.name);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
+  std::fprintf(f,
+               "  \"measurement\": \"injection drives the FaultySource "
+               "decorator over a 4-link wire at the benchmark spec; "
+               "transport streams the same wire over loopback TCP through "
+               "a tap killed mid-record every disconnect_every records "
+               "(resume HELLO with %zu-record overlap) and times each "
+               "kill-to-first-fresh-record recovery\",\n",
+               kResend);
+  std::fprintf(f, "  \"injection\": {\n");
+  std::fprintf(f, "    \"spec\": \"%s\",\n", kInjectionSpec);
+  std::fprintf(f, "    \"frames_in\": %zu,\n", inj.frames_in);
+  std::fprintf(f, "    \"frames_out\": %zu,\n", inj.frames_out);
+  std::fprintf(f, "    \"drops\": %llu,\n",
+               static_cast<unsigned long long>(inj.stats.drops));
+  std::fprintf(f, "    \"truncations\": %llu,\n",
+               static_cast<unsigned long long>(inj.stats.truncations));
+  std::fprintf(f, "    \"corruptions\": %llu,\n",
+               static_cast<unsigned long long>(inj.stats.corruptions));
+  std::fprintf(f, "    \"total_faults\": %llu,\n",
+               static_cast<unsigned long long>(inj.stats.total()));
+  std::fprintf(f, "    \"alarms_under_faults\": %llu,\n",
+               static_cast<unsigned long long>(inj.alarms_under_faults));
+  std::fprintf(f, "    \"deterministic\": %s\n",
+               inj.deterministic ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"transport\": {\n");
+  std::fprintf(f, "    \"records\": %zu,\n", tr.records);
+  std::fprintf(f, "    \"disconnect_every\": %zu,\n", kDisconnectEvery);
+  std::fprintf(f, "    \"resend_overlap\": %zu,\n", kResend);
+  std::fprintf(f, "    \"reconnects\": %llu,\n",
+               static_cast<unsigned long long>(tr.tap.reconnects));
+  std::fprintf(f, "    \"truncated\": %llu,\n",
+               static_cast<unsigned long long>(tr.tap.truncated));
+  std::fprintf(f, "    \"duplicates_discarded\": %llu,\n",
+               static_cast<unsigned long long>(tr.tap.duplicates_discarded));
+  std::fprintf(f, "    \"records_lost\": %llu,\n",
+               static_cast<unsigned long long>(tr.tap.records_lost));
+  std::fprintf(f, "    \"delivered_equals_wire\": %s,\n",
+               tr.delivered_equals_wire ? "true" : "false");
+  std::fprintf(f, "    \"verdicts_bit_identical\": %s,\n",
+               tr.verdicts_bit_identical ? "true" : "false");
+  std::fprintf(f, "    \"recovery_ms\": {\"p50\": %.3f, \"p90\": %.3f, "
+               "\"max\": %.3f, \"samples\": %zu}\n",
+               percentile(tr.recovery_ms, 0.50),
+               percentile(tr.recovery_ms, 0.90),
+               tr.recovery_ms.empty() ? 0.0 : tr.recovery_ms.back(),
+               tr.recovery_ms.size());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"criterion\": {\n");
+  std::fprintf(f, "    \"injection_deterministic\": %s,\n",
+               inj.deterministic ? "true" : "false");
+  std::fprintf(f, "    \"records_lost\": %llu,\n",
+               static_cast<unsigned long long>(tr.tap.records_lost));
+  std::fprintf(f, "    \"verdict_equivalence\": %s,\n",
+               tr.verdicts_bit_identical ? "true" : "false");
+  std::fprintf(f, "    \"met\": %s\n", met ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // progress visible when piped
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const bench::Scale scale = bench::scale_from_env();
+  bench::print_header("bench_faults — fault injection & recovery", scale);
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %zu\n", hw);
+
+  // A quick converged detector: the workload under test is the fault
+  // machinery, not training.
+  ics::SimulatorConfig sim_cfg;
+  sim_cfg.cycles = std::min<std::size_t>(scale.cycles, 3000);
+  sim_cfg.seed = 1234;
+  ics::GasPipelineSimulator sim(sim_cfg);
+  detect::PipelineConfig pipe_cfg = bench::pipeline_config(scale);
+  pipe_cfg.combined.timeseries.epochs = std::min<std::size_t>(scale.epochs, 3);
+  pipe_cfg.combined.timeseries.batch_size = 8;
+  const detect::TrainedFramework fw =
+      detect::train_framework(sim.run().packages, pipe_cfg);
+  const detect::CombinedDetector& detector = *fw.detector;
+
+  const std::vector<ics::LinkFrame> wire =
+      make_wire(std::min<std::size_t>(scale.cycles / 8, 500));
+  std::printf("wire: %zu records over 4 links\n", wire.size());
+
+  std::printf("fault injection (%s):\n", kInjectionSpec);
+  const InjectionResult inj = bench_injection(detector, wire);
+  std::printf(
+      "  %zu -> %zu frames  drops %llu  truncations %llu  corruptions %llu  "
+      "deterministic: %s\n",
+      inj.frames_in, inj.frames_out,
+      static_cast<unsigned long long>(inj.stats.drops),
+      static_cast<unsigned long long>(inj.stats.truncations),
+      static_cast<unsigned long long>(inj.stats.corruptions),
+      inj.deterministic ? "yes" : "NO");
+
+  std::printf("transport recovery (kill every %zu records, resend %zu):\n",
+              kDisconnectEvery, kResend);
+  const TransportResult tr = bench_transport(detector, wire);
+  std::printf(
+      "  reconnects %llu  truncated %llu  duplicates discarded %llu  "
+      "lost %llu\n",
+      static_cast<unsigned long long>(tr.tap.reconnects),
+      static_cast<unsigned long long>(tr.tap.truncated),
+      static_cast<unsigned long long>(tr.tap.duplicates_discarded),
+      static_cast<unsigned long long>(tr.tap.records_lost));
+  std::printf("  delivered == wire: %s   verdicts bit-identical: %s\n",
+              tr.delivered_equals_wire ? "yes" : "NO",
+              tr.verdicts_bit_identical ? "yes" : "NO");
+  std::printf("  recovery latency: p50 %.3f ms  p90 %.3f ms  max %.3f ms  "
+              "(%zu kills)\n",
+              percentile(tr.recovery_ms, 0.50),
+              percentile(tr.recovery_ms, 0.90),
+              tr.recovery_ms.empty() ? 0.0 : tr.recovery_ms.back(),
+              tr.recovery_ms.size());
+
+  const bool met = inj.deterministic && inj.stats.total() > 0 &&
+                   tr.tap.reconnects >= 1 && tr.tap.records_lost == 0 &&
+                   tr.delivered_equals_wire && tr.verdicts_bit_identical;
+  std::printf("criterion: deterministic injection, >=1 reconnect, 0 lost, "
+              "bit-identical verdicts — %s\n", met ? "MET" : "NOT MET");
+
+  if (!json_path.empty()) {
+    write_json(json_path, scale, hw, inj, tr, met);
+  }
+  return met ? 0 : 1;
+}

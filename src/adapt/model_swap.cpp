@@ -2,10 +2,29 @@
 
 namespace mlad::adapt {
 
+ModelSwap::ModelSwap(std::size_t history) : history_(history) {}
+
 void ModelSwap::publish(std::shared_ptr<const nn::SequenceModel> model) {
   std::lock_guard<std::mutex> lock(mutex_);
   latest_ = std::move(model);
   ++version_;
+  if (history_ > 0) {
+    ring_.emplace_back(version_, latest_);
+    if (ring_.size() > history_) ring_.pop_front();
+  }
+}
+
+void ModelSwap::set_baseline(std::shared_ptr<const nn::SequenceModel> model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  baseline_ = std::move(model);
+}
+
+ModelSwap::Fetched ModelSwap::previous_to(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->first < version) return {it->second, it->first};
+  }
+  return {baseline_, 0};
 }
 
 void ModelSwap::complete_round() {

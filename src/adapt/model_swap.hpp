@@ -9,12 +9,21 @@
 // at the next boundary, WAITS until the requested round has completed
 // (published or skipped) before ticking on — so which tick a weight
 // version lands on is a pure function of the wire, never of scheduling.
+//
+// For auto-rollback (DESIGN.md §12) the swap keeps a ring of the last
+// `history` published versions plus the v0 baseline (the weights that were
+// serving before any adaptation), so the engine can restore a previous
+// version's parameters bitwise when a publication turns out to spike the
+// alarm rate.
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "nn/sequence_model.hpp"
 
@@ -27,6 +36,10 @@ class ModelSwap {
     std::uint64_t version = 0;
   };
 
+  /// `history` bounds the rollback ring (how many PUBLISHED versions stay
+  /// fetchable); the v0 baseline is held separately and never evicted.
+  explicit ModelSwap(std::size_t history = 4);
+
   // ---- trainer side -------------------------------------------------------
 
   /// Publish a freshly trained model; bumps the version.
@@ -36,10 +49,18 @@ class ModelSwap {
 
   // ---- engine side --------------------------------------------------------
 
+  /// Record the pre-adaptation serving weights as version 0, the rollback
+  /// target of the first swap. Call once, before any publish.
+  void set_baseline(std::shared_ptr<const nn::SequenceModel> model);
+
   /// Block until at least `rounds` rounds have completed.
   void wait_rounds(std::uint64_t rounds) const;
   /// Latest published model if its version exceeds `have`, else {null, have}.
   Fetched fetch_newer(std::uint64_t have) const;
+  /// The newest retained version strictly below `version` (rollback
+  /// target). Falls through to the v0 baseline; {null, 0} if no baseline
+  /// was recorded.
+  Fetched previous_to(std::uint64_t version) const;
 
   std::uint64_t version() const;
   std::uint64_t rounds_completed() const;
@@ -48,6 +69,12 @@ class ModelSwap {
   mutable std::mutex mutex_;
   mutable std::condition_variable round_done_;
   std::shared_ptr<const nn::SequenceModel> latest_;
+  std::shared_ptr<const nn::SequenceModel> baseline_;
+  /// (version, model), ascending by version; at most history_ entries.
+  std::deque<std::pair<std::uint64_t,
+                       std::shared_ptr<const nn::SequenceModel>>>
+      ring_;
+  std::size_t history_;
   std::uint64_t version_ = 0;
   std::uint64_t rounds_completed_ = 0;
 };

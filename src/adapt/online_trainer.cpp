@@ -20,6 +20,7 @@ OnlineTrainer::OnlineTrainer(detect::CombinedDetector& detector,
     : detector_(&detector),
       config_(config),
       queue_(config.queue_capacity),
+      swap_(config.swap_history),
       cardinalities_(detector.timeseries_level().cardinalities()),
       model_(detector.timeseries_level().model().clone()),
       optimizer_(config.learning_rate),
@@ -41,6 +42,9 @@ OnlineTrainer::OnlineTrainer(detect::CombinedDetector& detector,
     }
     optimizer_.restore(*warm_start);
   }
+  // The pre-adaptation weights are version 0: the rollback target when the
+  // FIRST published round turns out bad.
+  swap_.set_baseline(std::make_shared<const nn::SequenceModel>(model_));
   thread_ = std::thread([this] { thread_main(); });
 }
 
@@ -101,6 +105,19 @@ std::uint64_t OnlineTrainer::poll_and_apply() {
   return fetched.version;
 }
 
+bool OnlineTrainer::rollback_to(std::uint64_t version) {
+  const ModelSwap::Fetched target = swap_.previous_to(version + 1);
+  if (!target.model || target.version != version) return false;
+  detector_->timeseries_level().model().copy_params_from(*target.model);
+  Message msg;
+  msg.kind = Message::Kind::kReset;
+  msg.reset_to = target.model;
+  queue_.push(std::move(msg));
+  // applied_version_ keeps pointing at the newest version the engine SAW:
+  // fetch_newer must not hand the rolled-back-from weights straight back.
+  return true;
+}
+
 nn::Fragment OnlineTrainer::encode_window(const Message& msg) const {
   // Same encoding the engine feeds the serving LSTM for clean packages:
   // one-hot of c(t) with the trailing noisy bit left 0 (every package in a
@@ -133,12 +150,22 @@ void OnlineTrainer::thread_main() {
   nn::MinibatchTrainer engine(model_, config_.micro_batch, config_.threads);
   const auto slots = model_.param_slots();
 
+  std::uint64_t published = 0;
   Message msg;
   while (queue_.pop(msg)) {
     if (msg.kind == Message::Kind::kWindow) {
       replay_.push(msg.link, encode_window(msg));
       std::lock_guard<std::mutex> lock(stats_mutex_);
       replay_size_ = replay_.size();
+      continue;
+    }
+    if (msg.kind == Message::Kind::kReset) {
+      // Auto-rollback: restart the working clone from the restored weights
+      // and drop the optimizer moments that walked it into the bad
+      // publication. Windows queued before the reset are already in the
+      // replay buffer — they were harvested under clean verdicts and stay.
+      model_.copy_params_from(*msg.reset_to);
+      optimizer_ = nn::Adam(config_.learning_rate);
       continue;
     }
 
@@ -180,6 +207,19 @@ void OnlineTrainer::thread_main() {
 
     // Publish an immutable copy; the working model keeps training next
     // round from exactly these weights (and the warm Adam moments).
+    ++published;
+    if (config_.poison_round != 0 && published == config_.poison_round) {
+      // Deterministic bad-publication hook (rollback suite): blow the
+      // weights up in place, so the poisoned round AND everything the clone
+      // trains afterwards is wrong — exactly the failure auto-rollback
+      // must contain.
+      for (const nn::ParamSlot& slot : slots) {
+        float* p = slot.param->data();
+        for (std::size_t i = 0; i < slot.param->size(); ++i) {
+          p[i] = static_cast<float>(p[i] * config_.poison_scale);
+        }
+      }
+    }
     swap_.publish(std::make_shared<const nn::SequenceModel>(model_));
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);

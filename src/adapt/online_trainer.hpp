@@ -65,6 +65,15 @@ struct AdaptConfig {
   /// one-core host the tick path barely notices it. The boundary wait in
   /// poll_and_apply guarantees rounds still finish.
   bool background_priority = true;
+  /// How many published versions stay restorable for auto-rollback
+  /// (DESIGN.md §12); the v0 baseline is always kept in addition.
+  std::size_t swap_history = 4;
+  /// Fault-injection hook for the rollback suite: deterministically scale
+  /// the weights of the Nth PUBLISHED round (1-based; 0 = off) by
+  /// poison_scale before publication, so an adaptation gone wrong can be
+  /// reproduced bit-exactly. Never set outside tests/benches.
+  std::uint64_t poison_round = 0;
+  double poison_scale = 8.0;
 };
 
 struct AdaptStats {
@@ -118,15 +127,28 @@ class OnlineTrainer {
   /// caller must refresh its batch caches after a non-zero return.
   std::uint64_t poll_and_apply();
 
+  /// Auto-rollback (DESIGN.md §12): restore the serving model to `version`
+  /// (bitwise, from the swap ring / v0 baseline) and queue a reset so the
+  /// trainer's working clone and optimizer moments restart from those
+  /// weights too. The reset rides the FIFO queue, so which windows a
+  /// post-rollback round trains on is still a pure function of the wire. A
+  /// round already in flight may still publish weights derived from the
+  /// bad version — the engine's rollback monitor simply fires again.
+  /// Returns false (and changes nothing) if `version` was evicted from the
+  /// ring. Engine thread, between ticks, like poll_and_apply.
+  bool rollback_to(std::uint64_t version);
+
   const detect::CombinedDetector& detector() const { return *detector_; }
   AdaptStats stats() const;
 
  private:
   struct Message {
-    enum class Kind { kWindow, kRound } kind = Kind::kWindow;
+    enum class Kind { kWindow, kRound, kReset } kind = Kind::kWindow;
     ics::LinkId link = 0;
     std::vector<sig::DiscreteRow> rows;   ///< window_len clean packages
     std::vector<std::size_t> signatures;  ///< their database ids
+    /// kReset: weights the working clone must restart from.
+    std::shared_ptr<const nn::SequenceModel> reset_to;
   };
   struct Accumulator {
     std::vector<sig::DiscreteRow> rows;

@@ -19,6 +19,7 @@
 // often that backpressure actually bit so operators can size capacities.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -84,6 +85,28 @@ class SpscQueue {
     ++stats_.pops;
     not_full_.notify_one();
     return true;
+  }
+
+  /// Outcome of a timed pop.
+  enum class PopResult { kItem, kTimeout, kClosed };
+
+  /// Dequeue like pop(), but give up after `timeout_ms` without an item.
+  /// kTimeout means "nothing yet, queue still open" — the consumer can run
+  /// housekeeping (e.g. the serve shards' wall-clock straggler sweep,
+  /// DESIGN.md §12) and come back. kClosed is pop()'s false: closed AND
+  /// drained.
+  PopResult pop_for(T& out, int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [this] { return closed_ || !items_.empty(); })) {
+      return PopResult::kTimeout;
+    }
+    if (items_.empty()) return PopResult::kClosed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.pops;
+    not_full_.notify_one();
+    return PopResult::kItem;
   }
 
   /// No more pushes; pending items stay poppable. Idempotent.

@@ -1,0 +1,125 @@
+#include "ingest/faulty_source.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace mlad::ingest {
+
+namespace {
+
+double parse_prob(const std::string& key, const std::string& value) {
+  double p = 0.0;
+  try {
+    std::size_t used = 0;
+    p = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault-spec: bad number for " + key + ": " +
+                                value);
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("fault-spec: " + key +
+                                " must be in [0,1], got " + value);
+  }
+  return p;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault-spec: bad integer for " + key + ": " +
+                                value);
+  }
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& token : split(text, ',')) {
+    const std::string pair(trim(token));
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault-spec: expected key=value, got " +
+                                  pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "seed") {
+      spec.seed = parse_u64(key, value);
+    } else if (key == "drop") {
+      spec.drop_p = parse_prob(key, value);
+    } else if (key == "truncate") {
+      spec.truncate_p = parse_prob(key, value);
+    } else if (key == "corrupt") {
+      spec.corrupt_p = parse_prob(key, value);
+    } else if (key == "stall") {
+      spec.stall_p = parse_prob(key, value);
+    } else if (key == "stall_ms") {
+      spec.stall_ms = static_cast<int>(parse_u64(key, value));
+    } else if (key == "disconnect_every") {
+      spec.disconnect_every = parse_u64(key, value);
+    } else {
+      throw std::invalid_argument("fault-spec: unknown key " + key);
+    }
+  }
+  return spec;
+}
+
+FaultySource::FaultySource(std::unique_ptr<PackageSource> inner,
+                           FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultySource: inner source is null");
+  }
+}
+
+bool FaultySource::next(ics::LinkFrame& out) {
+  for (;;) {
+    if (!inner_->next(out)) return false;
+    // Fixed draw order per frame — the schedule depends only on the spec
+    // and the frame count, never on which faults happen to fire.
+    const bool drop = spec_.drop_p > 0.0 && rng_.bernoulli(spec_.drop_p);
+    const bool truncate =
+        spec_.truncate_p > 0.0 && rng_.bernoulli(spec_.truncate_p);
+    const bool corrupt =
+        spec_.corrupt_p > 0.0 && rng_.bernoulli(spec_.corrupt_p);
+    const bool stall = spec_.stall_p > 0.0 && rng_.bernoulli(spec_.stall_p);
+    if (stall) {
+      ++stats_.stalls;
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec_.stall_ms));
+    }
+    if (drop) {
+      ++stats_.drops;
+      continue;  // the engine never sees this frame
+    }
+    if (truncate && !out.frame.bytes.empty()) {
+      ++stats_.truncations;
+      out.frame.bytes.resize(rng_.index(out.frame.bytes.size()));
+    }
+    if (corrupt && !out.frame.bytes.empty()) {
+      ++stats_.corruptions;
+      // Flip bits in the tail byte: for a Modbus frame that is half the
+      // CRC, so the level-1 detector must flag the package.
+      out.frame.bytes.back() ^= 0xa5;
+    }
+    return true;
+  }
+}
+
+SourceHealth FaultySource::health() const {
+  SourceHealth h = inner_->health();
+  h.faults_injected += stats_.total();
+  return h;
+}
+
+}  // namespace mlad::ingest

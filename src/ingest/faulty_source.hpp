@@ -1,0 +1,89 @@
+// Deterministic fault injection for the ingest layer (DESIGN.md §12): a
+// FaultySource decorates any PackageSource and perturbs the frame stream it
+// yields according to a seeded schedule, so tests, CI, and benches can
+// replay EXACT fault sequences and assert on the engine's response.
+//
+// Faults are applied per frame, in a fixed draw order (drop, truncate,
+// corrupt, stall), from one seeded Rng — the same spec over the same wire
+// always produces the same perturbed stream. The decorator is a pure frame
+// transform: the invariant the fault suite proves is
+//
+//   engine(FaultySource(wire)) == engine(CaptureSource(emitted frames))
+//
+// i.e. everything the engine does downstream of a fault is determined by
+// the frames actually delivered, never by the injection mechanics. Dropped
+// frames vanish before the engine; truncated/corrupted frames ARE delivered
+// and take the package-level CRC/decode-anomaly path by design (that is the
+// paper's level-1 detector doing its job); stalls are timing-only and
+// cannot change any verdict.
+//
+// The `disconnect_every` field is transport-level: it has no meaning for an
+// in-process frame stream, so FaultySource ignores it. The `mlad tap`
+// replayer honors it by dropping its TCP connection every N records and
+// reconnecting with a HELLO resume (see tools/).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "ingest/package_source.hpp"
+
+namespace mlad::ingest {
+
+/// A seeded fault schedule, parseable from the `--fault-spec` CLI string:
+/// comma-separated `key=value` pairs, e.g.
+///
+///   "seed=42,drop=0.01,corrupt=0.02,stall=0.001,stall_ms=40"
+///
+/// Unknown keys, malformed numbers, and probabilities outside [0,1] throw
+/// std::invalid_argument naming the offending token.
+struct FaultSpec {
+  std::uint64_t seed = 1;     ///< Rng seed for the schedule
+  double drop_p = 0.0;        ///< frame silently dropped
+  double truncate_p = 0.0;    ///< payload cut to a random proper prefix
+  double corrupt_p = 0.0;     ///< payload bit-flipped (fails Modbus CRC)
+  double stall_p = 0.0;       ///< source sleeps stall_ms before yielding
+  int stall_ms = 20;          ///< stall duration
+  std::uint64_t disconnect_every = 0;  ///< tap-only: drop conn every N records
+
+  static FaultSpec parse(const std::string& text);
+
+  bool any_frame_faults() const {
+    return drop_p > 0.0 || truncate_p > 0.0 || corrupt_p > 0.0 ||
+           stall_p > 0.0;
+  }
+};
+
+/// Counts of faults actually injected so far.
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t total() const {
+    return drops + truncations + corruptions + stalls;
+  }
+};
+
+/// Decorator applying a FaultSpec to the frames of an inner source.
+class FaultySource final : public PackageSource {
+ public:
+  FaultySource(std::unique_ptr<PackageSource> inner, FaultSpec spec);
+
+  bool next(ics::LinkFrame& out) override;
+
+  /// Inner health plus faults_injected from this decorator.
+  SourceHealth health() const override;
+
+  const FaultStats& fault_stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<PackageSource> inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace mlad::ingest

@@ -12,11 +12,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ics/link_mux.hpp"
 
 namespace mlad::ingest {
+
+/// Source-side fault/health counters (DESIGN.md §12), aggregated into
+/// IngestStats by the serve pump so a front end's degradation is visible in
+/// the closing stats. In-memory sources report all-zero.
+struct SourceHealth {
+  std::uint64_t malformed = 0;   ///< records dropped by framing checks
+  std::uint64_t truncated = 0;   ///< records cut off mid-transfer
+  std::uint64_t connections = 0; ///< transport connections accepted
+  std::uint64_t reconnects = 0;  ///< resumed sessions (reconnect/resume)
+  std::uint64_t duplicates_discarded = 0;  ///< resume-overlap records
+  std::uint64_t records_lost = 0;          ///< resume gaps
+  std::uint64_t faults_injected = 0;       ///< FaultySource decorations
+};
 
 class PackageSource {
  public:
@@ -26,6 +40,10 @@ class PackageSource {
   /// source is exhausted (and keeps returning false — callers may poll a
   /// finished source harmlessly). May block while waiting for input.
   virtual bool next(ics::LinkFrame& out) = 0;
+
+  /// Fault/health counters accumulated so far (zero for clean in-memory
+  /// sources). Safe to call at any time from the pump thread.
+  virtual SourceHealth health() const { return {}; }
 };
 
 /// A pre-merged wire held in memory — the `mlad serve --source capture`

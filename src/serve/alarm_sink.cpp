@@ -82,6 +82,18 @@ void JsonlAlarmSink::on_model_swap(std::uint64_t version, std::uint64_t tick) {
   out_ << line << '\n';
 }
 
+void JsonlAlarmSink::on_rollback(std::uint64_t from, std::uint64_t to,
+                                 std::uint64_t tick) {
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "{\"type\": \"rollback\", \"from\": %llu, \"to\": %llu, "
+                "\"tick\": %llu}",
+                static_cast<unsigned long long>(from),
+                static_cast<unsigned long long>(to),
+                static_cast<unsigned long long>(tick));
+  out_ << line << '\n';
+}
+
 void JsonlAlarmSink::flush() { out_.flush(); }
 
 CsvAlarmSink::CsvAlarmSink(const std::string& path) : out_(path) {
@@ -121,6 +133,12 @@ void SerializedAlarmSink::on_model_swap(std::uint64_t version,
   inner_->on_model_swap(version, tick);
 }
 
+void SerializedAlarmSink::on_rollback(std::uint64_t from, std::uint64_t to,
+                                      std::uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inner_->on_rollback(from, to, tick);
+}
+
 void SerializedAlarmSink::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
   inner_->flush();
@@ -138,6 +156,13 @@ void TeeAlarmSink::on_alarm(const AlarmEvent& e) {
 void TeeAlarmSink::on_model_swap(std::uint64_t version, std::uint64_t tick) {
   for (AlarmSink* s : sinks_) {
     if (s != nullptr) s->on_model_swap(version, tick);
+  }
+}
+
+void TeeAlarmSink::on_rollback(std::uint64_t from, std::uint64_t to,
+                               std::uint64_t tick) {
+  for (AlarmSink* s : sinks_) {
+    if (s != nullptr) s->on_rollback(from, to, tick);
   }
 }
 

@@ -42,6 +42,15 @@ class AlarmSink {
     (void)version;
     (void)tick;
   }
+  /// The engine rolled the serving model back from version `from` to
+  /// version `to` (DESIGN.md §12) because the post-swap alarm rate spiked.
+  /// Default: ignore, like on_model_swap.
+  virtual void on_rollback(std::uint64_t from, std::uint64_t to,
+                           std::uint64_t tick) {
+    (void)from;
+    (void)to;
+    (void)tick;
+  }
   virtual void flush() {}
 };
 
@@ -76,6 +85,9 @@ class JsonlAlarmSink final : public AlarmSink {
   /// Emits `{"type": "swap", "version": v, "tick": t}` so the audit trail
   /// records which model produced every subsequent alarm.
   void on_model_swap(std::uint64_t version, std::uint64_t tick) override;
+  /// Emits `{"type": "rollback", "from": f, "to": t, "tick": k}`.
+  void on_rollback(std::uint64_t from, std::uint64_t to,
+                   std::uint64_t tick) override;
   void flush() override;
 
   std::size_t written() const { return written_; }
@@ -109,6 +121,14 @@ class CountingAlarmSink final : public AlarmSink {
 
     bool operator==(const SwapRecord&) const = default;
   };
+  struct RollbackRecord {
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    std::uint64_t tick = 0;
+    std::size_t alarms_before = 0;
+
+    bool operator==(const RollbackRecord&) const = default;
+  };
 
   void on_alarm(const AlarmEvent& event) override {
     events_.push_back(event);
@@ -116,17 +136,24 @@ class CountingAlarmSink final : public AlarmSink {
   void on_model_swap(std::uint64_t version, std::uint64_t tick) override {
     swaps_.push_back({version, tick, events_.size()});
   }
+  void on_rollback(std::uint64_t from, std::uint64_t to,
+                   std::uint64_t tick) override {
+    rollbacks_.push_back({from, to, tick, events_.size()});
+  }
   const std::vector<AlarmEvent>& events() const { return events_; }
   const std::vector<SwapRecord>& swaps() const { return swaps_; }
+  const std::vector<RollbackRecord>& rollbacks() const { return rollbacks_; }
   std::size_t count() const { return events_.size(); }
   void clear() {
     events_.clear();
     swaps_.clear();
+    rollbacks_.clear();
   }
 
  private:
   std::vector<AlarmEvent> events_;
   std::vector<SwapRecord> swaps_;
+  std::vector<RollbackRecord> rollbacks_;
 };
 
 /// Thread-safe serializing wrapper (DESIGN.md §10): N shard engines share
@@ -140,6 +167,8 @@ class SerializedAlarmSink final : public AlarmSink {
   explicit SerializedAlarmSink(AlarmSink* inner);
   void on_alarm(const AlarmEvent& event) override;
   void on_model_swap(std::uint64_t version, std::uint64_t tick) override;
+  void on_rollback(std::uint64_t from, std::uint64_t to,
+                   std::uint64_t tick) override;
   void flush() override;
 
  private:
@@ -153,6 +182,8 @@ class TeeAlarmSink final : public AlarmSink {
   explicit TeeAlarmSink(std::vector<AlarmSink*> sinks);
   void on_alarm(const AlarmEvent& event) override;
   void on_model_swap(std::uint64_t version, std::uint64_t tick) override;
+  void on_rollback(std::uint64_t from, std::uint64_t to,
+                   std::uint64_t tick) override;
   void flush() override;
 
  private:

@@ -32,6 +32,16 @@ MonitorEngine::MonitorEngine(const detect::CombinedDetector& detector,
           "MonitorEngine: the adapter must wrap this engine's detector");
     }
   }
+  if (config_.rollback_window != 0) {
+    if (config_.adapter == nullptr) {
+      throw std::invalid_argument(
+          "MonitorEngine: rollback_window requires an adapter");
+    }
+    if (config_.rollback_ratio <= 0.0) {
+      throw std::invalid_argument(
+          "MonitorEngine: rollback_ratio must be > 0");
+    }
+  }
 }
 
 void MonitorEngine::push(ics::LinkId link, const ics::RawFrame& frame) {
@@ -93,7 +103,11 @@ void MonitorEngine::join(ics::LinkId id, Link& link) {
     link.stream = detector_->make_stream();
   }
   link.parked = false;
-  if (resuming) --parked_count_;
+  if (resuming) {
+    --parked_count_;
+    link.rejoined_at = stats_.ticks;
+    link.parked_wall_ms = 0.0;
+  }
   if (!resuming) {
     ++stats_.links_seen;
     // A fresh stream breaks any partial harvest window of a previous
@@ -170,6 +184,7 @@ void MonitorEngine::park(std::size_t s) {
   link.slot = kNoSlot;
   link.parked = true;
   link.parked_since = stats_.ticks;
+  link.parked_wall_ms = 0.0;
   // In reference mode link.stream simply stays put until the rejoin.
   slots_.pop_back();
   slot_links_.pop_back();
@@ -203,6 +218,11 @@ void MonitorEngine::escalate_parked() {
   }
 }
 
+bool MonitorEngine::in_park_hysteresis(const Link& link) const {
+  return config_.park_hysteresis != 0 && link.stats.parks > 0 &&
+         stats_.ticks - link.rejoined_at < config_.park_hysteresis;
+}
+
 bool MonitorEngine::apply_straggler_policy() {
   const bool park_enabled = config_.park_after != 0;
   const bool close_enabled = config_.close_after != 0;
@@ -227,6 +247,15 @@ bool MonitorEngine::apply_straggler_policy() {
   for (std::size_t s = slots_.size(); s-- > 0;) {
     Link& link = *slot_links_[s];
     if (!link.queue.empty() || link.closed) continue;
+    // Hysteresis: a link fresh out of a park needs park_hysteresis EXTRA
+    // pending pressure before it may re-park — a flapping tap stops
+    // churning through snapshot/restore cycles, yet liveness holds (queue
+    // depth keeps growing while it blocks, so the raised bar is met
+    // eventually).
+    if (park_first && in_park_hysteresis(link) &&
+        max_pending < threshold + config_.park_hysteresis) {
+      continue;
+    }
     if (park_first) {
       park(s);
     } else {
@@ -234,6 +263,67 @@ bool MonitorEngine::apply_straggler_policy() {
     }
     changed = true;
   }
+  return changed;
+}
+
+bool MonitorEngine::wall_clock_sweep(double elapsed_ms) {
+  if (config_.park_after_ms <= 0.0 && config_.close_after_ms <= 0.0) {
+    return false;
+  }
+  bool changed = false;
+  // Parked links age toward the close escalation on the same clock,
+  // whether they were parked by queue depth or by an earlier sweep.
+  if (config_.close_after_ms > 0.0 && parked_count_ > 0) {
+    const double grace = config_.park_after_ms > 0.0
+                             ? config_.close_after_ms - config_.park_after_ms
+                             : config_.close_after_ms;
+    for (auto& [id, link] : links_) {
+      if (!link.parked) continue;
+      link.parked_wall_ms += elapsed_ms;
+      if (link.parked_wall_ms >= grace) {
+        retire_parked(id, link);
+        ++stats_.wall_clock_closes;
+        changed = true;
+      }
+    }
+  }
+  // The block clock runs only while a straggler is actually blocking the
+  // gate: some link holds pending work, another is silent. All-idle is not
+  // a stall, and a gate that can tick will (maybe_tick already ran).
+  bool any_pending = false;
+  bool any_silent = false;
+  for (const Link* link : slot_links_) {
+    if (!link->queue.empty()) {
+      any_pending = true;
+    } else if (!link->closed) {
+      any_silent = true;
+    }
+  }
+  if (!any_pending || !any_silent) {
+    gate_blocked_ms_ = 0.0;
+    return changed;
+  }
+  gate_blocked_ms_ += elapsed_ms;
+  const bool close_now = config_.close_after_ms > 0.0 &&
+                         gate_blocked_ms_ >= config_.close_after_ms;
+  const bool park_now = config_.park_after_ms > 0.0 &&
+                        gate_blocked_ms_ >= config_.park_after_ms;
+  if (close_now || park_now) {
+    for (std::size_t s = slots_.size(); s-- > 0;) {
+      Link& link = *slot_links_[s];
+      if (!link.queue.empty() || link.closed) continue;
+      if (!close_now && in_park_hysteresis(link)) continue;  // damped
+      if (park_now && !close_now) {
+        park(s);
+        ++stats_.wall_clock_parks;
+      } else {
+        link.closed = true;
+        ++stats_.wall_clock_closes;
+      }
+      changed = true;
+    }
+  }
+  if (changed) maybe_tick();
   return changed;
 }
 
@@ -274,18 +364,26 @@ void MonitorEngine::maybe_tick() {
     }
     stats_.classify_us += sw.elapsed_us();
     ++stats_.ticks;
+    gate_blocked_ms_ = 0.0;  // the gate moved; the stall clock restarts
     escalate_parked();
 
     for (std::size_t s = 0; s < n; ++s) {
       Link& link = *slot_links_[s];
       const Pending& pending = link.queue.front();
       dispatch(slots_[s], link, pending, verdicts_[s]);
+      if (config_.rollback_window != 0) {
+        rollback_observe(verdicts_[s].anomaly);
+      }
       if (config_.adapter != nullptr) {
         config_.adapter->observe(slots_[s], package_verdicts_[s],
                                  verdicts_[s].anomaly, pending.decode_ok);
       }
       link.queue.pop_front();
     }
+    // Tick boundary: an armed-and-tripped rollback executes BEFORE the next
+    // adapt boundary, so the restored weights (not the bad ones) are what a
+    // same-tick swap would be judged against.
+    if (rollback_due_) perform_rollback();
     if (config_.adapter != nullptr &&
         stats_.ticks % config_.adapt_interval == 0) {
       adapt_boundary();
@@ -302,12 +400,69 @@ void MonitorEngine::adapt_boundary(bool request_next) {
     // prediction) carry over — the first post-swap verdict of every link
     // still uses its pre-swap prediction, every later one the new model.
     batch_.refresh_weights();
+    if (config_.rollback_window != 0) {
+      // (Re)arm the rollback monitor: score the next rollback_window
+      // packages against the same-length window that ends here. A newer
+      // swap landing mid-evaluation restarts the judgment — only the
+      // weights actually serving are worth judging.
+      rollback_armed_ = true;
+      rollback_due_ = false;
+      rollback_from_ = version;
+      rollback_to_ = stats_.model_version;
+      pre_alarms_ = recent_alarm_count_;
+      pre_window_ = recent_alarms_.size();
+      post_packages_ = 0;
+      post_alarms_ = 0;
+    }
     stats_.model_version = version;
     ++stats_.model_swaps;
     if (sink_ != nullptr) sink_->on_model_swap(version, stats_.ticks);
   }
   if (request_next) config_.adapter->request_round();
   stats_.adapt_us += sw.elapsed_us();
+}
+
+void MonitorEngine::rollback_observe(bool anomaly) {
+  if (rollback_armed_) {
+    ++post_packages_;
+    if (anomaly) ++post_alarms_;
+    if (post_packages_ >= config_.rollback_window) {
+      rollback_armed_ = false;
+      // Scale a short pre-window up to window length so early swaps are
+      // judged on rates; add-one smoothing keeps a spotless pre-window
+      // from turning any post-swap alarm into a trigger, and a spotless
+      // post-window can never trigger at all.
+      const double pre_scaled =
+          pre_window_ > 0
+              ? static_cast<double>(pre_alarms_) *
+                    (static_cast<double>(config_.rollback_window) /
+                     static_cast<double>(pre_window_))
+              : 0.0;
+      if (static_cast<double>(post_alarms_) + 1.0 >
+          config_.rollback_ratio * (pre_scaled + 1.0)) {
+        rollback_due_ = true;
+      }
+    }
+  }
+  // The rolling window feeds the NEXT swap's pre-swap baseline.
+  recent_alarms_.push_back(anomaly);
+  if (anomaly) ++recent_alarm_count_;
+  if (recent_alarms_.size() > config_.rollback_window) {
+    if (recent_alarms_.front()) --recent_alarm_count_;
+    recent_alarms_.pop_front();
+  }
+}
+
+void MonitorEngine::perform_rollback() {
+  rollback_due_ = false;
+  if (!config_.adapter->rollback_to(rollback_to_)) return;  // evicted
+  batch_.refresh_weights();
+  const std::uint64_t from = rollback_from_;
+  stats_.model_version = rollback_to_;
+  ++stats_.rollbacks;
+  if (sink_ != nullptr) {
+    sink_->on_rollback(from, rollback_to_, stats_.ticks);
+  }
 }
 
 void MonitorEngine::dispatch(ics::LinkId id, Link& link,

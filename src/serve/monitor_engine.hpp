@@ -66,6 +66,36 @@ struct MonitorEngineConfig {
   /// park_after < close_after a parked link is retired — its saved state
   /// dropped — once its total silence reaches close_after ticks.
   std::size_t close_after = 0;
+  /// Park/rejoin churn damping: a link that rejoined from a park within the
+  /// last `park_hysteresis` ticks needs `park_hysteresis` EXTRA pending
+  /// packages on some other link (queue policy) before it may re-park, and
+  /// is skipped by the wall-clock park sweep (the close escalation still
+  /// applies). 0 = off; never affects links that have not parked yet.
+  std::size_t park_hysteresis = 0;
+
+  // ---- wall-clock straggler sweep (DESIGN.md §12) -------------------------
+  // The tick-count policy above needs wire to flow: a link that is silent
+  // while the OTHERS keep sending shows up as queue depth. A live tap that
+  // goes silent when queues are shallow stalls the gate with no depth
+  // signal at all — these wall-clock thresholds let the engine's driving
+  // thread call wall_clock_sweep() to park/close the blockers by elapsed
+  // real time instead. Degradation mode: WHICH tick a wall-clock park lands
+  // on depends on real time, so verdict determinism holds per link but the
+  // park schedule does not replay bit-exactly. 0 = off (the default keeps
+  // every existing run untouched).
+  double park_after_ms = 0.0;
+  double close_after_ms = 0.0;
+
+  // ---- adaptation auto-rollback (DESIGN.md §12) ---------------------------
+  /// Packages the rollback monitor scores after each weight swap, compared
+  /// against the same-length window before it; 0 = rollback off. Requires
+  /// an adapter.
+  std::size_t rollback_window = 0;
+  /// Roll back when (post_alarms + 1) > ratio * (scaled pre_alarms + 1)
+  /// over the rollback window (add-one smoothing so a quiet pre-window
+  /// cannot make any alarm spike, and a zero-alarm post-window never
+  /// triggers).
+  double rollback_ratio = 4.0;
 
   // ---- online adaptation (DESIGN.md §9) -----------------------------------
   /// Background adaptation subsystem; must wrap the SAME detector object
@@ -105,6 +135,9 @@ struct EngineStats {
   std::uint64_t peak_pending = 0;  ///< max queued packages on one link
   std::uint64_t model_version = 0;  ///< serving weight version (0 = shipped)
   std::uint64_t model_swaps = 0;    ///< adapted-weight hot swaps applied
+  std::uint64_t rollbacks = 0;      ///< auto-rollbacks (DESIGN.md §12)
+  std::uint64_t wall_clock_parks = 0;   ///< parks by the wall-clock sweep
+  std::uint64_t wall_clock_closes = 0;  ///< closes by the wall-clock sweep
   double classify_us = 0.0;        ///< wall time inside classification ticks
   /// Wall time inside adapt boundaries: waiting out an unfinished round
   /// plus adopting its weights (copy + cache re-transpose). NOT part of
@@ -149,6 +182,16 @@ class MonitorEngine {
   /// Close every link and drain all pending packages.
   void finish();
 
+  /// Wall-clock straggler sweep (DESIGN.md §12): the engine's driving
+  /// thread reports `elapsed_ms` more milliseconds of real time. When the
+  /// gate has been blocked — some links holding pending packages, others
+  /// silent — past park_after_ms/close_after_ms of accumulated block time,
+  /// the silent links are parked/closed and the tick retried. Parked links
+  /// accumulate the same clock toward the close escalation. No-op unless a
+  /// wall-clock threshold is configured. Returns true if any link was
+  /// parked or closed.
+  bool wall_clock_sweep(double elapsed_ms);
+
   std::size_t active_links() const { return slots_.size(); }
   const EngineStats& stats() const { return stats_; }
   /// Per-link stats (every link ever seen), ascending by link id.
@@ -173,6 +216,8 @@ class MonitorEngine {
     bool closed = false;
     bool parked = false;  ///< out of the gate, state preserved for rejoin
     std::uint64_t parked_since = 0;  ///< tick count at park time
+    std::uint64_t rejoined_at = 0;   ///< tick of the last park→rejoin
+    double parked_wall_ms = 0.0;     ///< wall-clock time spent in this park
     LinkStats stats;
     detect::CombinedDetector::Stream stream;  ///< reference mode only
     /// Batched-mode stream state saved across a park (nullopt otherwise).
@@ -192,11 +237,20 @@ class MonitorEngine {
   /// With both thresholds set (park < close), retire parked links whose
   /// total silence has reached close_after ticks.
   void escalate_parked();
+  /// Is this link inside its post-rejoin hysteresis window, i.e. protected
+  /// from re-parking (queue policy: unless the pressure also exceeds the
+  /// raised threshold)?
+  bool in_park_hysteresis(const Link& link) const;
   void maybe_tick();
   /// Adaptation-interval boundary: adopt the outstanding round's weights
   /// (waiting for it if still training) and, unless `request_next` is
   /// false (final collection in finish()), request the next round.
   void adapt_boundary(bool request_next = true);
+  /// Score one package for the rollback monitor (every package, alarm or
+  /// not) and arm the rollback flag when the post-swap window closes hot.
+  void rollback_observe(bool anomaly);
+  /// Execute an armed rollback at the tick boundary.
+  void perform_rollback();
   void dispatch(ics::LinkId id, Link& link, const Pending& pending,
                 const detect::CombinedVerdict& verdict);
 
@@ -211,6 +265,21 @@ class MonitorEngine {
   std::vector<Link*> slot_links_;   ///< slot → session (map nodes are stable)
   std::size_t parked_count_ = 0;    ///< links currently parked
   EngineStats stats_;
+
+  /// Wall-clock milliseconds the gate has been blocked (reset by a tick).
+  double gate_blocked_ms_ = 0.0;
+
+  // ---- rollback monitor (DESIGN.md §12) -----------------------------------
+  std::deque<bool> recent_alarms_;     ///< last rollback_window package flags
+  std::size_t recent_alarm_count_ = 0;
+  bool rollback_armed_ = false;        ///< scoring a fresh swap
+  bool rollback_due_ = false;          ///< verdict in: roll back at boundary
+  std::uint64_t rollback_from_ = 0;    ///< the version under evaluation
+  std::uint64_t rollback_to_ = 0;      ///< version serving before the swap
+  std::size_t pre_alarms_ = 0;         ///< alarms in the pre-swap window
+  std::size_t pre_window_ = 0;         ///< its actual length (may be short)
+  std::size_t post_packages_ = 0;
+  std::size_t post_alarms_ = 0;
 
   // Per-tick scratch, reused so the steady state is allocation-free.
   std::vector<std::span<const double>> tick_rows_;

@@ -1,6 +1,7 @@
 #include "serve/sharded_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -26,6 +27,9 @@ EngineStats aggregate_stats(std::span<const EngineStats> shards) {
     out.peak_pending = std::max(out.peak_pending, s.peak_pending);
     out.model_version = std::max(out.model_version, s.model_version);
     out.model_swaps += s.model_swaps;
+    out.rollbacks += s.rollbacks;
+    out.wall_clock_parks += s.wall_clock_parks;
+    out.wall_clock_closes += s.wall_clock_closes;
     out.classify_us += s.classify_us;
     out.adapt_us += s.adapt_us;
   }
@@ -52,10 +56,33 @@ ShardedEngine::ShardedEngine(const detect::CombinedDetector& detector,
         std::make_unique<SpscQueue<ics::LinkFrame>>(config.queue_capacity);
     shard.engine = std::make_unique<MonitorEngine>(detector, shard_sink,
                                                    config.engine);
+    const bool sweeping = config.engine.park_after_ms > 0.0 ||
+                          config.engine.close_after_ms > 0.0;
+    const int sweep_ms = std::max(1, config.sweep_interval_ms);
     shard.thread = std::thread([q = shard.queue.get(),
-                                engine = shard.engine.get()] {
+                                engine = shard.engine.get(), sweeping,
+                                sweep_ms] {
       ics::LinkFrame lf;
-      while (q->pop(lf)) engine->push(lf.link, lf.frame);
+      if (!sweeping) {
+        while (q->pop(lf)) engine->push(lf.link, lf.frame);
+      } else {
+        // Timed pops so a silent tap can't park the shard thread in a
+        // blocking pop forever: every wait — frame or timeout — reports its
+        // real elapsed time to the engine's wall-clock straggler sweep.
+        using Clock = std::chrono::steady_clock;
+        auto last = Clock::now();
+        for (;;) {
+          const auto res = q->pop_for(lf, sweep_ms);
+          if (res == SpscQueue<ics::LinkFrame>::PopResult::kClosed) break;
+          if (res == SpscQueue<ics::LinkFrame>::PopResult::kItem) {
+            engine->push(lf.link, lf.frame);
+          }
+          const auto now = Clock::now();
+          engine->wall_clock_sweep(
+              std::chrono::duration<double, std::milli>(now - last).count());
+          last = now;
+        }
+      }
       engine->finish();
     });
   }
@@ -88,6 +115,9 @@ std::uint64_t ShardedEngine::run(ingest::PackageSource& source) {
     push(lf);
     ++n;
   }
+  // Capture the front end's degradation counters while the source is still
+  // alive — the caller may destroy it right after run() returns.
+  ingest_.source_health = source.health();
   finish();
   return n;
 }

@@ -39,6 +39,12 @@ struct ShardedEngineConfig {
   std::size_t shards = 1;
   /// Frames buffered per shard queue before the pump blocks.
   std::size_t queue_capacity = 4096;
+  /// Shard-thread pop timeout while a wall-clock straggler policy
+  /// (engine.park_after_ms / engine.close_after_ms) is configured: each
+  /// timeout (or slow pop) feeds elapsed real time into the engine's
+  /// wall_clock_sweep so a silent tap cannot stall a shard's gate. Ignored
+  /// (plain blocking pops) when neither threshold is set.
+  int sweep_interval_ms = 10;
   /// Per-shard engine configuration. `adapter` must stay null (see above);
   /// `threads` applies per shard (leave at 1 unless cores >> shards).
   MonitorEngineConfig engine;
@@ -49,6 +55,9 @@ struct IngestStats {
   std::uint64_t frames_routed = 0;
   std::uint64_t producer_blocks = 0;   ///< pushes that hit a full queue
   std::uint64_t peak_queue_depth = 0;  ///< high-water mark over all queues
+  /// Source-reported degradation counters (run() captures them after the
+  /// source is drained; all-zero for clean in-memory sources).
+  ingest::SourceHealth source_health;
 };
 
 /// Element-wise aggregation of per-shard stats: counters and timings sum

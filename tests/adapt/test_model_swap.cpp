@@ -1,0 +1,120 @@
+// ModelSwap (adapt/model_swap.hpp): the versioned publication point between
+// the background trainer and the serve engine, extended for auto-rollback
+// (DESIGN.md §12) with a ring of the last `history` published versions plus
+// the never-evicted v0 baseline. Contracts under test:
+//  (a) publish bumps the version and fetch_newer hands out the latest copy
+//      exactly when the caller is behind;
+//  (b) previous_to walks the ring newest-first for the first version
+//      strictly below the argument, falls through to the v0 baseline when
+//      the ring has nothing older, and reports {null, 0} with no baseline;
+//  (c) the ring evicts oldest-first at `history` entries (history 0 keeps
+//      only the baseline);
+//  (d) the ROUND protocol: wait_rounds blocks until complete_round has been
+//      called often enough, from another thread included.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adapt/model_swap.hpp"
+#include "nn/sequence_model.hpp"
+
+namespace mlad::adapt {
+namespace {
+
+std::shared_ptr<const nn::SequenceModel> tiny_model() {
+  nn::SequenceModelConfig config;
+  config.input_dim = 4;
+  config.num_classes = 4;
+  config.hidden_dims = {4};
+  return std::make_shared<const nn::SequenceModel>(config);
+}
+
+TEST(ModelSwap, PublishBumpsVersionAndFetchNewerHandsOutTheLatest) {
+  ModelSwap swap;
+  EXPECT_EQ(swap.version(), 0u);
+  EXPECT_EQ(swap.fetch_newer(0).model, nullptr);
+
+  const auto m1 = tiny_model();
+  const auto m2 = tiny_model();
+  swap.publish(m1);
+  EXPECT_EQ(swap.version(), 1u);
+  auto fetched = swap.fetch_newer(0);
+  EXPECT_EQ(fetched.model, m1);
+  EXPECT_EQ(fetched.version, 1u);
+  // Caller already at v1: nothing newer.
+  EXPECT_EQ(swap.fetch_newer(1).model, nullptr);
+  EXPECT_EQ(swap.fetch_newer(1).version, 1u);
+
+  swap.publish(m2);
+  fetched = swap.fetch_newer(1);
+  EXPECT_EQ(fetched.model, m2);
+  EXPECT_EQ(fetched.version, 2u);
+}
+
+TEST(ModelSwap, PreviousToWalksTheRingThenFallsToTheBaseline) {
+  ModelSwap swap(/*history=*/2);
+  const auto v0 = tiny_model();
+  const auto m1 = tiny_model();
+  const auto m2 = tiny_model();
+  const auto m3 = tiny_model();
+  swap.set_baseline(v0);
+  swap.publish(m1);
+  swap.publish(m2);
+  swap.publish(m3);  // ring now holds {v2, v3}; v1 evicted
+
+  auto prev = swap.previous_to(3);
+  EXPECT_EQ(prev.model, m2);
+  EXPECT_EQ(prev.version, 2u);
+  // Anything newer than the whole ring rolls back to the newest entry.
+  prev = swap.previous_to(99);
+  EXPECT_EQ(prev.model, m3);
+  EXPECT_EQ(prev.version, 3u);
+  // v1 was evicted: rolling back from v2 falls through to the baseline.
+  prev = swap.previous_to(2);
+  EXPECT_EQ(prev.model, v0);
+  EXPECT_EQ(prev.version, 0u);
+  prev = swap.previous_to(1);
+  EXPECT_EQ(prev.model, v0);
+  EXPECT_EQ(prev.version, 0u);
+}
+
+TEST(ModelSwap, PreviousToWithoutABaselineIsNull) {
+  ModelSwap swap;
+  EXPECT_EQ(swap.previous_to(1).model, nullptr);
+  EXPECT_EQ(swap.previous_to(1).version, 0u);
+  const auto m1 = tiny_model();
+  swap.publish(m1);
+  // v1 is the oldest thing retained; below it there is nothing.
+  EXPECT_EQ(swap.previous_to(1).model, nullptr);
+  EXPECT_EQ(swap.previous_to(2).model, m1);
+}
+
+TEST(ModelSwap, HistoryZeroKeepsOnlyTheBaseline) {
+  ModelSwap swap(/*history=*/0);
+  const auto v0 = tiny_model();
+  swap.set_baseline(v0);
+  swap.publish(tiny_model());
+  swap.publish(tiny_model());
+  EXPECT_EQ(swap.version(), 2u);
+  const auto prev = swap.previous_to(2);
+  EXPECT_EQ(prev.model, v0);
+  EXPECT_EQ(prev.version, 0u);
+}
+
+TEST(ModelSwap, WaitRoundsBlocksUntilCompleteRound) {
+  ModelSwap swap;
+  EXPECT_EQ(swap.rounds_completed(), 0u);
+  swap.complete_round();
+  EXPECT_EQ(swap.rounds_completed(), 1u);
+  swap.wait_rounds(1);  // already satisfied: returns immediately
+
+  std::thread trainer([&] { swap.complete_round(); });
+  swap.wait_rounds(2);  // blocks until the trainer's complete_round
+  trainer.join();
+  EXPECT_EQ(swap.rounds_completed(), 2u);
+}
+
+}  // namespace
+}  // namespace mlad::adapt

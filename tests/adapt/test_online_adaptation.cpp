@@ -115,6 +115,7 @@ struct AlarmKey {
 struct RunResult {
   std::vector<AlarmKey> alarms;
   std::vector<serve::CountingAlarmSink::SwapRecord> swaps;
+  std::vector<serve::CountingAlarmSink::RollbackRecord> rollbacks;
   serve::EngineStats stats;
   AdaptStats adapt_stats;
 };
@@ -322,6 +323,132 @@ TEST(OnlineAdaptation, AdapterRequiresBatchedEngineAndMatchingDetector) {
   const auto other = detect::load_framework(in2);
   cfg.adapt_interval = 128;
   EXPECT_THROW(serve::MonitorEngine(*other, nullptr, cfg),
+               std::invalid_argument);
+}
+
+// ---- adaptation auto-rollback (DESIGN.md §12) -------------------------------
+
+/// A serve run whose FIRST published adaptation round ships deliberately
+/// blown-up weights (AdaptConfig::poison_round), with the engine's rollback
+/// monitor on (`rollback_window` > 0) or off (== 0).
+RunResult run_poisoned_serve(std::size_t rollback_window,
+                             double rollback_ratio = 2.0) {
+  const Fixture& f = fixture();
+  std::istringstream in(f.model_bytes);
+  const auto detector = detect::load_framework(in);
+
+  AdaptConfig acfg = test_adapt_config();
+  acfg.poison_round = 1;
+  // A plain positive blow-up largely preserves the logit RANKING (scaling
+  // the output layer is rank-preserving and saturated gates keep their
+  // sign structure), which a top-k detector shrugs off; negating flips the
+  // ranking, so the published model predicts the least likely
+  // continuations — the storm auto-rollback exists to contain.
+  acfg.poison_scale = -8.0;
+  serve::CountingAlarmSink sink;
+  OnlineTrainer trainer(*detector, acfg);
+  serve::MonitorEngineConfig cfg;
+  cfg.adapter = &trainer;
+  cfg.adapt_interval = 150;
+  cfg.rollback_window = rollback_window;
+  cfg.rollback_ratio = rollback_ratio;
+  serve::MonitorEngine engine(*detector, &sink, cfg);
+  engine.replay(f.drift_wire);
+
+  RunResult result;
+  for (const serve::AlarmEvent& e : sink.events()) {
+    result.alarms.push_back(
+        {e.link, e.seq, e.verdict.package_level, e.time});
+  }
+  result.swaps = sink.swaps();
+  result.rollbacks = sink.rollbacks();
+  result.stats = engine.stats();
+  result.adapt_stats = trainer.stats();
+  return result;
+}
+
+const RunResult& poisoned_run(bool guarded) {
+  static const RunResult g = run_poisoned_serve(/*rollback_window=*/60);
+  static const RunResult u = run_poisoned_serve(/*rollback_window=*/0);
+  return guarded ? g : u;
+}
+
+TEST(OnlineAdaptation, PoisonedPublicationRollsBackToThePriorVersion) {
+  const RunResult& guarded = poisoned_run(true);
+  ASSERT_GE(guarded.rollbacks.size(), 1u)
+      << "poisoned publication never tripped the rollback monitor";
+  EXPECT_EQ(guarded.stats.rollbacks, guarded.rollbacks.size());
+  // The first (poisoned) publication is v1; the only older retained
+  // weights are the v0 pre-adaptation baseline.
+  EXPECT_EQ(guarded.rollbacks.front().from, 1u);
+  EXPECT_EQ(guarded.rollbacks.front().to, 0u);
+  // The rollback fires a judgment window AFTER the swap it judges, at a
+  // tick boundary.
+  ASSERT_GE(guarded.swaps.size(), 1u);
+  EXPECT_GT(guarded.rollbacks.front().tick, guarded.swaps.front().tick);
+}
+
+TEST(OnlineAdaptation, RollbackContainsThePoisonedAlarmStorm) {
+  const RunResult& unguarded = poisoned_run(false);
+  const RunResult& guarded = poisoned_run(true);
+  EXPECT_EQ(unguarded.rollbacks.size(), 0u);
+  EXPECT_EQ(unguarded.stats.rollbacks, 0u);
+  // Same wire, same poisoned round: restoring the prior version must cut
+  // the false-alarm bill relative to serving the bad weights to the end.
+  EXPECT_GT(unguarded.alarms.size(), guarded.alarms.size())
+      << "rollback did not reduce the poisoned run's false alarms";
+}
+
+TEST(OnlineAdaptation, RollbackIsDeterministic) {
+  const RunResult& first = poisoned_run(true);
+  const RunResult second = run_poisoned_serve(/*rollback_window=*/60);
+  EXPECT_EQ(first.rollbacks, second.rollbacks);
+  EXPECT_EQ(first.swaps, second.swaps);
+  EXPECT_EQ(first.alarms, second.alarms);
+  EXPECT_EQ(first.stats.rollbacks, second.stats.rollbacks);
+  EXPECT_EQ(first.stats.model_version, second.stats.model_version);
+}
+
+TEST(OnlineAdaptation, RollbackToRestoresTheBaselineBitwise) {
+  const Fixture& f = fixture();
+  std::istringstream in(f.model_bytes);
+  const auto detector = detect::load_framework(in);
+  OnlineTrainer trainer(*detector, test_adapt_config());
+
+  std::ostringstream before;
+  detect::save_framework(before, *detector);
+
+  // Perturb the serving weights the way a bad swap would.
+  detector->timeseries_level().model().output_layer().b().apply(
+      [](float v) { return v + 1.0f; });
+  std::ostringstream perturbed;
+  detect::save_framework(perturbed, *detector);
+  ASSERT_NE(before.str(), perturbed.str());
+
+  ASSERT_TRUE(trainer.rollback_to(0));
+  std::ostringstream after;
+  detect::save_framework(after, *detector);
+  EXPECT_EQ(before.str(), after.str()) << "v0 restore is not bitwise";
+
+  // A version that was never retained cannot be restored.
+  EXPECT_FALSE(trainer.rollback_to(7));
+}
+
+TEST(OnlineAdaptation, RollbackConfigIsValidated) {
+  const Fixture& f = fixture();
+  std::istringstream in(f.model_bytes);
+  const auto detector = detect::load_framework(in);
+
+  serve::MonitorEngineConfig cfg;
+  cfg.rollback_window = 32;  // monitor on, but nothing to roll back with
+  EXPECT_THROW(serve::MonitorEngine(*detector, nullptr, cfg),
+               std::invalid_argument);
+
+  OnlineTrainer trainer(*detector, test_adapt_config());
+  cfg.adapter = &trainer;
+  cfg.adapt_interval = 150;
+  cfg.rollback_ratio = 0.0;
+  EXPECT_THROW(serve::MonitorEngine(*detector, nullptr, cfg),
                std::invalid_argument);
 }
 

@@ -99,6 +99,26 @@ TEST(JsonlAlarmSink, OneObjectPerLine) {
   std::remove(path.c_str());
 }
 
+TEST(JsonlAlarmSink, RecordsSwapAndRollbackEvents) {
+  const std::string path = ::testing::TempDir() + "alarms_audit.jsonl";
+  {
+    JsonlAlarmSink sink(path);
+    sink.on_model_swap(/*version=*/2, /*tick=*/300);
+    sink.on_rollback(/*from=*/2, /*to=*/1, /*tick=*/360);
+    sink.flush();
+  }
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("{\"type\": \"swap\", \"version\": 2, \"tick\": 300}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("{\"type\": \"rollback\", \"from\": 2, \"to\": 1, "
+                "\"tick\": 360}"),
+      std::string::npos)
+      << text;
+  std::remove(path.c_str());
+}
+
 TEST(CsvAlarmSink, HeaderPlusRows) {
   const std::string path = ::testing::TempDir() + "alarms_test.csv";
   {

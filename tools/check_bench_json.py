@@ -165,7 +165,68 @@ def check_nn(doc: dict, errors: list) -> None:
         errors.append("eval.confusion_identical_across_threads must be true")
 
 
+def check_faults(doc: dict, errors: list) -> None:
+    """BENCH_faults.json (DESIGN.md §12): deterministic fault injection and
+    lossless transport recovery are contracts, not aspirations."""
+    inj = doc.get("injection")
+    if not isinstance(inj, dict):
+        errors.append("'injection' section missing")
+    else:
+        if inj.get("deterministic") is not True:
+            errors.append("injection.deterministic must be true: the fault "
+                          "schedule is a pure function of spec + wire")
+        total = inj.get("total_faults")
+        if not isinstance(total, int) or isinstance(total, bool) or total < 1:
+            errors.append("injection.total_faults must be a positive integer "
+                          "(a fault bench that injected nothing proves "
+                          "nothing)")
+        for field in ("frames_in", "frames_out"):
+            value = inj.get(field)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                errors.append(f"injection.{field} must be a positive integer")
+
+    tr = doc.get("transport")
+    if not isinstance(tr, dict):
+        errors.append("'transport' section missing")
+    else:
+        if tr.get("records_lost") != 0:
+            errors.append("transport.records_lost must be 0: resume with "
+                          "overlap may never drop a record")
+        if tr.get("verdicts_bit_identical") is not True:
+            errors.append("transport.verdicts_bit_identical must be true: "
+                          "delivered well-formed packages must verdict "
+                          "identically to the fault-free run")
+        if tr.get("delivered_equals_wire") is not True:
+            errors.append("transport.delivered_equals_wire must be true")
+        reconnects = tr.get("reconnects")
+        if not isinstance(reconnects, int) or isinstance(reconnects, bool) \
+                or reconnects < 1:
+            errors.append("transport.reconnects must be >= 1 (no reconnect "
+                          "means the kill schedule never ran)")
+        rec = tr.get("recovery_ms")
+        if not isinstance(rec, dict):
+            errors.append("transport.recovery_ms missing")
+        else:
+            for field in ("p50", "p90", "max"):
+                value = rec.get(field)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    errors.append(f"transport.recovery_ms.{field} must be a "
+                                  f"positive number")
+            samples = rec.get("samples")
+            if not isinstance(samples, int) or isinstance(samples, bool) \
+                    or samples < 1:
+                errors.append("transport.recovery_ms.samples must be >= 1")
+
+    criterion = doc.get("criterion")
+    if not isinstance(criterion, dict):
+        errors.append("'criterion' object missing")
+    elif criterion.get("met") is not True:
+        errors.append("criterion.met must be true")
+
+
 PER_BENCH_CHECKS = {
+    "bench_faults": check_faults,
     "bench_ingest_shards": check_ingest,
     "bench_nn_throughput": check_nn,
 }

@@ -13,12 +13,20 @@
 // the detector, printing alarms; `serve` interleaves several captures into
 // one wire and monitors every link concurrently through the batched serve
 // engine (DESIGN.md §8) — the deployed multi-link data path.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +41,7 @@
 #include "ics/features.hpp"
 #include "ics/link_mux.hpp"
 #include "ics/simulator.hpp"
+#include "ingest/faulty_source.hpp"
 #include "ingest/package_source.hpp"
 #include "ingest/pcap_replay.hpp"
 #include "ingest/socket_source.hpp"
@@ -49,7 +58,7 @@ using namespace mlad;
 /// appear without a value and stores "on" (e.g. `mlad serve --adapt
 /// --adapt-interval 256`); any other flag with its value missing is still
 /// a hard error, not a silent "on".
-constexpr const char* kBareSwitches[] = {"adapt"};
+constexpr const char* kBareSwitches[] = {"adapt", "no-fin"};
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int start) {
@@ -361,6 +370,14 @@ int cmd_serve_sharded(const std::map<std::string, std::string>& flags) {
   cfg.engine.batched = engine_mode == "batched";
   cfg.engine.park_after = std::stoul(get_or(flags, "park-after", "0"));
   cfg.engine.close_after = std::stoul(get_or(flags, "close-after", "0"));
+  cfg.engine.park_hysteresis =
+      std::stoul(get_or(flags, "park-hysteresis", "0"));
+  // Wall-clock straggler sweep (DESIGN.md §12): takes a live tap that goes
+  // silent out of the gate by elapsed real time, not queue depth.
+  cfg.engine.park_after_ms = std::stod(get_or(flags, "park-after-ms", "0"));
+  cfg.engine.close_after_ms = std::stod(get_or(flags, "close-after-ms", "0"));
+  cfg.sweep_interval_ms =
+      static_cast<int>(std::stoul(get_or(flags, "sweep-interval-ms", "10")));
 
   // Front end: an in-memory capture drain, a paced pcap-style replay, or a
   // live UDP/TCP socket listener receiving MLF1 records.
@@ -381,15 +398,24 @@ int cmd_serve_sharded(const std::map<std::string, std::string>& flags) {
     if (source_kind == "udp") {
       sock = std::make_unique<ingest::UdpSource>(port, bind_addr);
     } else {
-      sock = std::make_unique<ingest::TcpSource>(port, bind_addr);
+      sock = std::make_unique<ingest::TcpSource>(
+          port, bind_addr, std::stoul(get_or(flags, "max-conns", "16")),
+          static_cast<int>(std::stoul(get_or(flags, "idle-timeout-ms", "0"))));
     }
     std::printf("listening on %s %s:%u (MLF1 records; FIN record ends the "
                 "stream)\n",
                 source_kind.c_str(), bind_addr.c_str(), sock->port());
+    std::fflush(stdout);  // smoke drivers parse the port before connecting
     source = std::move(sock);
   } else {
     throw std::runtime_error(
         "serve: --source must be capture, replay, udp or tcp");
+  }
+  // --fault-spec decorates ANY front end with a seeded fault schedule
+  // (DESIGN.md §12), so CI and benches replay exact fault sequences.
+  if (const auto it = flags.find("fault-spec"); it != flags.end()) {
+    source = std::make_unique<ingest::FaultySource>(
+        std::move(source), ingest::FaultSpec::parse(it->second));
   }
 
   const std::size_t max_alarms =
@@ -425,6 +451,30 @@ int cmd_serve_sharded(const std::map<std::string, std::string>& flags) {
       static_cast<std::size_t>(in.frames_routed),
       static_cast<std::size_t>(in.producer_blocks),
       static_cast<std::size_t>(in.peak_queue_depth), cfg.queue_capacity);
+  const ingest::SourceHealth& h = in.source_health;
+  if (h.connections + h.malformed + h.truncated + h.duplicates_discarded +
+          h.records_lost + h.faults_injected >
+      0) {
+    std::printf(
+        "tap: %zu connections (%zu reconnects), %zu malformed, "
+        "%zu truncated, %zu duplicates discarded, %zu records lost, "
+        "%zu faults injected\n",
+        static_cast<std::size_t>(h.connections),
+        static_cast<std::size_t>(h.reconnects),
+        static_cast<std::size_t>(h.malformed),
+        static_cast<std::size_t>(h.truncated),
+        static_cast<std::size_t>(h.duplicates_discarded),
+        static_cast<std::size_t>(h.records_lost),
+        static_cast<std::size_t>(h.faults_injected));
+  }
+  if (s.links_parked + s.wall_clock_parks + s.wall_clock_closes > 0) {
+    std::printf(
+        "straggler policy: %zu parks (%zu wall-clock), %zu wall-clock "
+        "closes\n",
+        static_cast<std::size_t>(s.links_parked),
+        static_cast<std::size_t>(s.wall_clock_parks),
+        static_cast<std::size_t>(s.wall_clock_closes));
+  }
   const std::vector<serve::EngineStats> per_shard = engine.shard_stats();
   for (std::size_t i = 0; i < per_shard.size(); ++i) {
     const serve::EngineStats& ss = per_shard[i];
@@ -463,6 +513,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   // other link has T packages queued behind it (DESIGN.md §9).
   cfg.park_after = std::stoul(get_or(flags, "park-after", "0"));
   cfg.close_after = std::stoul(get_or(flags, "close-after", "0"));
+  cfg.park_hysteresis = std::stoul(get_or(flags, "park-hysteresis", "0"));
 
   // --adapt: background incremental re-training with hot-swapped weights
   // (DESIGN.md §9). Default off — without it the serve data path is
@@ -478,6 +529,11 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         std::stoul(get_or(flags, "adapt-max-steps", "0"));
     acfg.threads = std::stoul(get_or(flags, "adapt-threads", "1"));
     acfg.seed = std::stoull(get_or(flags, "adapt-seed", "1"));
+    acfg.swap_history = std::stoul(get_or(flags, "adapt-history", "4"));
+    // Rollback-suite fault hook: corrupt the Nth published round's weights.
+    acfg.poison_round =
+        std::stoull(get_or(flags, "adapt-poison-round", "0"));
+    acfg.poison_scale = std::stod(get_or(flags, "adapt-poison-scale", "8"));
     std::optional<nn::AdamState> warm;
     if (const auto it = flags.find("adam-state"); it != flags.end()) {
       warm = nn::load_adam_state_file(it->second);
@@ -486,6 +542,10 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         *detector, acfg, warm ? &*warm : nullptr);
     cfg.adapter = adapter.get();
     cfg.adapt_interval = std::stoul(get_or(flags, "adapt-interval", "512"));
+    // Auto-rollback (DESIGN.md §12): score each swap's first N packages
+    // against the N before it; roll back on an alarm-rate spike.
+    cfg.rollback_window = std::stoul(get_or(flags, "rollback-window", "0"));
+    cfg.rollback_ratio = std::stod(get_or(flags, "rollback-ratio", "4"));
   }
 
   // Console unless --sink names a file (.csv → CSV, else JSONL); the
@@ -500,7 +560,20 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 
   // Each capture replays as one PLC link on a time-ordered interleaved wire.
   serve::MonitorEngine engine(*detector, sink, cfg);
-  engine.replay(ics::merge_captures(captures));
+  std::optional<ingest::FaultStats> fault_stats;
+  if (const auto it = flags.find("fault-spec"); it != flags.end()) {
+    // Same seeded fault decoration the sharded path offers, over the
+    // merged capture wire.
+    ingest::FaultySource faulty(std::make_unique<ingest::CaptureSource>(
+                                    ics::merge_captures(captures)),
+                                ingest::FaultSpec::parse(it->second));
+    ics::LinkFrame lf;
+    while (faulty.next(lf)) engine.push(lf.link, lf.frame);
+    engine.finish();
+    fault_stats = faulty.fault_stats();
+  } else {
+    engine.replay(ics::merge_captures(captures));
+  }
   sink->flush();
 
   const serve::EngineStats& s = engine.stats();
@@ -519,6 +592,15 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     std::printf("straggler policy: %zu parks\n",
                 static_cast<std::size_t>(s.links_parked));
   }
+  if (fault_stats) {
+    std::printf(
+        "faults injected: %zu drops, %zu truncations, %zu corruptions, "
+        "%zu stalls\n",
+        static_cast<std::size_t>(fault_stats->drops),
+        static_cast<std::size_t>(fault_stats->truncations),
+        static_cast<std::size_t>(fault_stats->corruptions),
+        static_cast<std::size_t>(fault_stats->stalls));
+  }
   if (adapter) {
     const adapt::AdaptStats as = adapter->stats();
     std::printf(
@@ -528,16 +610,136 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         static_cast<std::size_t>(as.windows_harvested), as.replay_size,
         static_cast<std::size_t>(as.rounds_completed),
         static_cast<std::size_t>(as.rounds_skipped),
-        static_cast<std::size_t>(as.applied_version), as.train_seconds);
+        static_cast<std::size_t>(s.model_version), as.train_seconds);
+    if (s.rollbacks > 0) {
+      std::printf("rollbacks: %zu (now serving weights v%zu)\n",
+                  static_cast<std::size_t>(s.rollbacks),
+                  static_cast<std::size_t>(s.model_version));
+    }
   }
   print_link_table(engine.link_stats());
+  return 0;
+}
+
+int tap_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("tap: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tap: bad host " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    throw std::runtime_error("tap: connect to " + host + " failed: " +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+void tap_send(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("tap: send failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// `mlad tap` — MLF1 replayer client for live-serve testing (DESIGN.md
+/// §12): streams --captures as MLF1 records into a `mlad serve --source
+/// tcp` listener. --fault-spec injects the frame-level faults before
+/// encoding; its disconnect_every field is honored at the transport level —
+/// the tap kills its own connection mid-record every N records, reconnects,
+/// and resumes with a HELLO record (replaying --resend records of overlap
+/// so the listener's duplicate discard is exercised too).
+int cmd_tap(const std::map<std::string, std::string>& flags) {
+  const std::string host = get_or(flags, "host", "127.0.0.1");
+  const auto port =
+      static_cast<std::uint16_t>(std::stoul(need(flags, "port")));
+  const auto token =
+      static_cast<std::uint32_t>(std::stoul(get_or(flags, "token", "0")));
+  const std::size_t resend = std::stoul(get_or(flags, "resend", "8"));
+  // Smoke-driver knobs: --limit streams only the first N records, --no-fin
+  // leaves the stream open-ended — the listener sees a tap that went silent
+  // (straggler), not a clean end — and --pace-us spaces the records out so
+  // wall-clock park/close windows have real time to elapse against.
+  const std::size_t limit = std::stoul(get_or(flags, "limit", "0"));
+  const bool send_fin = flags.count("no-fin") == 0;
+  const auto pace_us = std::stoul(get_or(flags, "pace-us", "0"));
+  ingest::FaultSpec spec;
+  if (const auto it = flags.find("fault-spec"); it != flags.end()) {
+    spec = ingest::FaultSpec::parse(it->second);
+  }
+
+  std::unique_ptr<ingest::PackageSource> src =
+      std::make_unique<ingest::CaptureSource>(
+          ics::merge_captures(load_captures(flags)));
+  if (spec.any_frame_faults()) {
+    src = std::make_unique<ingest::FaultySource>(std::move(src), spec);
+  }
+  // Materialize the (post-fault) wire: the reconnect path rewinds to
+  // resend the overlap, which needs random access.
+  std::vector<ics::LinkFrame> wire;
+  ics::LinkFrame lf;
+  while (src->next(lf)) wire.push_back(lf);
+
+  const std::size_t end =
+      limit == 0 ? wire.size() : std::min(limit, wire.size());
+  std::uint64_t records = 0;
+  std::uint64_t reconnects = 0;
+  int fd = tap_connect(host, port);
+  tap_send(fd, ingest::encode_hello(token, 0));
+  std::size_t i = 0;
+  while (i < end) {
+    tap_send(fd, ingest::encode_record(wire[i]));
+    ++i;
+    ++records;
+    if (pace_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
+    }
+    if (spec.disconnect_every != 0 && records % spec.disconnect_every == 0 &&
+        i < end) {
+      // Die mid-record: half of the next record goes out, then the
+      // connection drops without FIN — the listener must count one
+      // truncated record and await the resume.
+      const std::vector<std::uint8_t> partial =
+          ingest::encode_record(wire[i]);
+      tap_send(fd, std::span(partial).first(partial.size() / 2));
+      ::close(fd);
+      ++reconnects;
+      const std::size_t back = std::min(resend, i);
+      i -= back;
+      fd = tap_connect(host, port);
+      tap_send(fd, ingest::encode_hello(token, i));
+    }
+  }
+  if (send_fin) tap_send(fd, ingest::encode_fin());
+  ::close(fd);
+  std::printf("tap: %zu records over %zu connection%s (%zu reconnects)\n",
+              static_cast<std::size_t>(records),
+              static_cast<std::size_t>(reconnects + 1),
+              reconnects == 0 ? "" : "s",
+              static_cast<std::size_t>(reconnects));
   return 0;
 }
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mlad <simulate|train|evaluate|monitor|serve> [--flag value]…\n"
+      "usage: mlad <simulate|train|evaluate|monitor|serve|tap> "
+      "[--flag value]…\n"
       "  simulate --cycles N --seed S [--arff f] [--capture f]\n"
       "           [--attacks on|off]\n"
       "  train    --arff f --model f [--epochs N] [--hidden H] [--seed S]\n"
@@ -578,7 +780,23 @@ int usage() {
       "             udp|tcp live socket listener for MLF1 frame records\n"
       "                     [--listen PORT] [--bind ADDR]  (default\n"
       "                     127.0.0.1:5502; a FIN record or TCP EOF ends\n"
-      "                     the stream)\n"
+      "                     the stream). tcp accepts up to [--max-conns N]\n"
+      "                     (default 16) concurrent taps, each in its own\n"
+      "                     HELLO-declared link namespace; a resumable tap\n"
+      "                     may drop and reconnect mid-stream (HELLO resume\n"
+      "                     deduplicates overlap). [--idle-timeout-ms T]\n"
+      "                     ends the stream after T ms with no open\n"
+      "                     connection\n"
+      "           [--fault-spec k=v,…]   deterministic fault injection on\n"
+      "           the source (keys: seed, drop, truncate, corrupt, stall,\n"
+      "           stall_ms, disconnect_every); delivered well-formed\n"
+      "           packages keep bit-identical verdicts\n"
+      "           [--park-after-ms T] [--close-after-ms T]   wall-clock\n"
+      "           straggler policy for live taps (sharded serve): a silent\n"
+      "           link blocking the gate for T real ms is parked / closed\n"
+      "           [--sweep-interval-ms T] [--park-hysteresis H]   sweep\n"
+      "           granularity; a recently-rejoined link needs H extra ticks\n"
+      "           of pressure before it re-parks\n"
       "           [--adapt] [--adapt-interval N] [--replay-cap M]\n"
       "           [--adapt-threads K] [--adapt-window L] [--adapt-epochs E]\n"
       "           [--adapt-min-windows W] [--adapt-max-steps S]\n"
@@ -586,7 +804,29 @@ int usage() {
       "           online adaptation: harvest verdict-clean windows into a\n"
       "           seeded replay buffer, re-train on a background thread\n"
       "           (warm-start Adam), hot-swap weights every N ticks; a\n"
-      "           round below W buffered windows is skipped (no swap)\n");
+      "           round below W buffered windows is skipped (no swap)\n"
+      "           [--rollback-window N] [--rollback-ratio R]\n"
+      "           [--adapt-history H]   adaptation auto-rollback: after a\n"
+      "           swap, compare the alarm rate over the next N packages\n"
+      "           against the pre-swap rate; if it exceeds R× the engine\n"
+      "           restores the previous weights (ring of H versions) at a\n"
+      "           tick boundary and emits a rollback JSONL record\n"
+      "           [--adapt-poison-round K] [--adapt-poison-scale X]\n"
+      "           fault-injection hook: corrupt the K-th published round's\n"
+      "           weights by X to exercise the rollback path\n"
+      "  tap      --captures a.cap,… --port P [--host H] [--token T]\n"
+      "           [--fault-spec k=v,…] [--resend N]\n"
+      "           [--limit N] [--no-fin] [--pace-us U]\n"
+      "           MLF1 replayer client for a tcp-serve listener: streams\n"
+      "           the captures as one tap (HELLO token T, default 0 =\n"
+      "           identity link namespace). disconnect_every=N in the\n"
+      "           fault spec kills the connection mid-record every N\n"
+      "           records, reconnects, and resumes with N-record overlap\n"
+      "           (default --resend 8) to exercise duplicate discard.\n"
+      "           --limit N sends only the first N records, --no-fin\n"
+      "           leaves the stream open-ended (a straggler for the\n"
+      "           listener's wall-clock park policy), --pace-us U sleeps\n"
+      "           U microseconds between records\n");
   return 2;
 }
 
@@ -602,6 +842,7 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return cmd_evaluate(flags);
     if (cmd == "monitor") return cmd_monitor(flags);
     if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "tap") return cmd_tap(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mlad %s: %s\n", cmd.c_str(), e.what());
     return 1;
