@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/cpu_features.hpp"
+
 namespace mlad::bloom {
 
 BloomParams BloomParams::optimal(std::uint64_t expected_items,
@@ -61,22 +63,51 @@ void BloomFilter::insert(std::uint64_t key) {
 }
 
 bool BloomFilter::contains(std::string_view key) const {
-  const HashPair hp = base_hashes(key);
-  for (std::uint32_t i = 0; i < hashes_; ++i) {
-    if (!get_bit(nth_hash(hp, i, bits_))) return false;
-  }
-  return true;
+  return bloom_probe_words(words_.data(), bits_, hashes_, base_hashes(key));
 }
 
 bool BloomFilter::contains(std::uint64_t key) const {
-  const HashPair hp = base_hashes(key);
-  for (std::uint32_t i = 0; i < hashes_; ++i) {
-    if (!get_bit(nth_hash(hp, i, bits_))) return false;
+  return bloom_probe_words(words_.data(), bits_, hashes_, base_hashes(key));
+}
+
+void BloomFilter::insert(const HashPair& hp) {
+  for (std::uint32_t i = 0; i < hashes_; ++i) set_bit(nth_hash(hp, i, bits_));
+  ++inserted_;
+}
+
+bool BloomFilter::contains(const HashPair& hp) const {
+  return bloom_probe_words(words_.data(), bits_, hashes_, hp);
+}
+
+void BloomFilter::contains_batch(std::span<const std::uint64_t> keys,
+                                 std::uint8_t* out) const {
+  // Chunked so the hash setup stays in registers/stack: first derive every
+  // key's HashPair and issue a prefetch for its first probe word, then run
+  // the early-exit probe loops. The probes themselves are bit-identical to
+  // contains(); only the memory schedule changes.
+  constexpr std::size_t kChunk = 32;
+  HashPair hp[kChunk];
+  for (std::size_t at = 0; at < keys.size(); at += kChunk) {
+    const std::size_t n = std::min(kChunk, keys.size() - at);
+    for (std::size_t i = 0; i < n; ++i) {
+      hp[i] = base_hashes(keys[at + i]);
+      const std::uint64_t pos = nth_hash(hp[i], 0, bits_);
+      __builtin_prefetch(&words_[pos >> 6]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out[at + i] =
+          bloom_probe_words(words_.data(), bits_, hashes_, hp[i]) ? 1 : 0;
+    }
   }
-  return true;
 }
 
 std::uint64_t BloomFilter::popcount() const {
+  // Hardware POPCNT when the host has it (runtime-dispatched: baseline
+  // x86-64 builds must not emit the instruction unconditionally), else the
+  // portable std::popcount loop.
+  if (cpu_features().popcnt) {
+    return detail::popcount_words_hw(words_.data(), words_.size());
+  }
   std::uint64_t n = 0;
   for (std::uint64_t w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
   return n;

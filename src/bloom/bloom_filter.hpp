@@ -6,12 +6,21 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "bloom/hashing.hpp"
 
 namespace mlad::bloom {
+
+namespace detail {
+/// Sum of per-word popcounts using the POPCNT instruction. Compiled in its
+/// own TU with -mpopcnt (x86); callers must gate on cpu_features().popcnt.
+/// On targets where the flag is never set the portable fallback is used and
+/// this compiles to the same std::popcount loop.
+std::uint64_t popcount_words_hw(const std::uint64_t* words, std::size_t n);
+}  // namespace detail
 
 /// Sizing for a target capacity and false-positive rate.
 struct BloomParams {
@@ -35,9 +44,26 @@ class BloomFilter {
   bool contains(std::string_view key) const;
   bool contains(std::uint64_t key) const;
 
+  /// Insert/probe by precomputed base hashes — the escape hatch for key
+  /// types the filter does not know about (e.g. 128-bit packed signatures:
+  /// bloom::base_hashes128). Identical bit positions to the typed overloads
+  /// when given the same HashPair.
+  void insert(const HashPair& hp);
+  bool contains(const HashPair& hp) const;
+
+  /// Batched membership over pre-hashed 64-bit keys: out[i] =
+  /// contains(keys[i]) exactly (parity-tested), one pass that hoists the
+  /// per-key hash setup and prefetches the first probe word of every key
+  /// before any bit is tested — the tick-path form (DESIGN.md §13) where S
+  /// links resolve per call instead of S dependent probe chains.
+  void contains_batch(std::span<const std::uint64_t> keys,
+                      std::uint8_t* out) const;
+
   std::uint64_t bit_count() const { return bits_; }
   std::uint32_t hash_count() const { return hashes_; }
   std::uint64_t inserted() const { return inserted_; }
+  /// The raw bit array — what save_compact embeds verbatim in a .sigdb.
+  std::span<const std::uint64_t> words() const { return words_; }
 
   /// Number of set bits.
   std::uint64_t popcount() const;

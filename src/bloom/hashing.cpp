@@ -11,13 +11,6 @@ std::uint64_t fnv1a64(std::string_view bytes) {
   return h;
 }
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 HashPair base_hashes(std::string_view bytes) {
   const std::uint64_t h1 = fnv1a64(bytes);
   // Derive the second hash by re-mixing; distinct constant stream ensures
@@ -26,9 +19,14 @@ HashPair base_hashes(std::string_view bytes) {
   return {h1, h2};
 }
 
-HashPair base_hashes(std::uint64_t key) {
-  const std::uint64_t h1 = splitmix64(key);
-  const std::uint64_t h2 = splitmix64(key ^ 0x9ae16a3b2f90404full);
+HashPair base_hashes128(std::uint64_t hi, std::uint64_t lo) {
+  // Fold the high word through an extra mix so {0, lo} differs from plain
+  // base_hashes(lo) only when hi != 0 — narrow keys keep their 64-bit
+  // hashes, so a database that never overflows 64 bits is unaffected.
+  if (hi == 0) return base_hashes(lo);
+  const std::uint64_t folded = splitmix64(hi) ^ lo;
+  const std::uint64_t h1 = splitmix64(folded ^ 0x2545f4914f6cdd1dull);
+  const std::uint64_t h2 = splitmix64(folded ^ 0x9ae16a3b2f90404full);
   return {h1, h2};
 }
 

@@ -16,8 +16,14 @@ namespace mlad::bloom {
 std::uint64_t fnv1a64(std::string_view bytes);
 
 /// splitmix64 finalizer — used both as the second base hash and as a cheap
-/// integer mixer for numeric signatures.
-std::uint64_t splitmix64(std::uint64_t x);
+/// integer mixer for numeric signatures. Inline: it sits on the per-key
+/// fast path of every Bloom probe and sigdb lookup.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 /// A pair of independent base hashes for double hashing.
 struct HashPair {
@@ -29,10 +35,31 @@ struct HashPair {
 HashPair base_hashes(std::string_view bytes);
 
 /// Base hashes of a pre-hashed 64-bit key (e.g. packed signatures).
-HashPair base_hashes(std::uint64_t key);
+/// NOTE h1 is exactly splitmix64(key) — the sigdb shard function reuses it
+/// as shard(key) = h1 >> (64 - shard_bits) without re-mixing.
+inline HashPair base_hashes(std::uint64_t key) {
+  const std::uint64_t h1 = splitmix64(key);
+  const std::uint64_t h2 = splitmix64(key ^ 0x9ae16a3b2f90404full);
+  return {h1, h2};
+}
+
+/// Base hashes of a 128-bit key (wide packed signatures, sig::Key128).
+HashPair base_hashes128(std::uint64_t hi, std::uint64_t lo);
 
 /// i-th derived hash, reduced mod `m`. h2 is forced odd so the probe
 /// sequence cycles through all positions when m is a power of two.
 std::uint64_t nth_hash(const HashPair& hp, std::uint64_t i, std::uint64_t m);
+
+/// Membership probe over a raw bit-array of `bits` bits stored as 64-bit
+/// words — the shared core of BloomFilter::contains and the mmap-backed
+/// sigdb prefilter blocks (src/sigdb/), which probe words they do not own.
+inline bool bloom_probe_words(const std::uint64_t* words, std::uint64_t bits,
+                              std::uint32_t hashes, const HashPair& hp) {
+  for (std::uint32_t i = 0; i < hashes; ++i) {
+    const std::uint64_t pos = nth_hash(hp, i, bits);
+    if (((words[pos >> 6] >> (pos & 63)) & 1ull) == 0) return false;
+  }
+  return true;
+}
 
 }  // namespace mlad::bloom

@@ -1,0 +1,31 @@
+// Hardware-popcount leaf for BloomFilter::popcount (DESIGN.md §13
+// satellite). This TU is the only one compiled with -mpopcnt on x86 (see
+// src/CMakeLists.txt), mirroring the per-file-ISA pattern of the SIMD
+// kernel backends: the instruction is emitted here alone, and the caller
+// dispatches on cpu_features().popcnt, so baseline binaries stay safe on
+// pre-Nehalem hosts. On non-x86 targets std::popcount already lowers to the
+// native instruction (cnt on aarch64) and the flag selects nothing.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mlad::bloom::detail {
+
+std::uint64_t popcount_words_hw(const std::uint64_t* words, std::size_t n) {
+  // 4-way unrolled so independent popcnt ops pipeline; the remainder tail
+  // keeps the sum order fixed (integer addition is associative anyway).
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a += static_cast<std::uint64_t>(std::popcount(words[i]));
+    b += static_cast<std::uint64_t>(std::popcount(words[i + 1]));
+    c += static_cast<std::uint64_t>(std::popcount(words[i + 2]));
+    d += static_cast<std::uint64_t>(std::popcount(words[i + 3]));
+  }
+  for (; i < n; ++i) {
+    a += static_cast<std::uint64_t>(std::popcount(words[i]));
+  }
+  return a + b + c + d;
+}
+
+}  // namespace mlad::bloom::detail

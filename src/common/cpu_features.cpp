@@ -25,6 +25,7 @@ CpuFeatures detect() {
   unsigned ecx = 0;
   unsigned edx = 0;
   if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.popcnt = (ecx & (1u << 23)) != 0;
   const bool osxsave = (ecx & (1u << 27)) != 0;
   const bool avx_bit = (ecx & (1u << 28)) != 0;
   const bool fma_bit = (ecx & (1u << 12)) != 0;
@@ -73,6 +74,7 @@ std::string cpu_feature_summary() {
     if (!s.empty()) s += ' ';
     s += name;
   };
+  if (f.popcnt) add("popcnt");
   if (f.avx) add("avx");
   if (f.avx2) add("avx2");
   if (f.fma) add("fma");

@@ -10,6 +10,7 @@
 namespace mlad {
 
 struct CpuFeatures {
+  bool popcnt = false;    ///< hardware POPCNT (SSE4.2-era; not baseline x86-64)
   bool avx = false;       ///< AVX usable (cpuid bit + OS XSAVE of YMM state)
   bool avx2 = false;      ///< AVX2 usable (implies avx)
   bool fma = false;       ///< FMA3 usable

@@ -100,6 +100,9 @@ class CombinedDetector {
                                        std::size_t k) const;
 
   const PackageLevelDetector& package_level() const { return *package_; }
+  /// Mutable access for serve-time wiring (attach_sigdb) — the trained
+  /// state itself is never mutated through this.
+  PackageLevelDetector& package_level() { return *package_; }
   const TimeSeriesDetector& timeseries_level() const { return *timeseries_; }
   TimeSeriesDetector& timeseries_level() { return *timeseries_; }
 

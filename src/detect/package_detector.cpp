@@ -1,5 +1,7 @@
 #include "detect/package_detector.hpp"
 
+#include "sigdb/sigdb_view.hpp"
+
 namespace mlad::detect {
 namespace {
 
@@ -32,11 +34,47 @@ PackageVerdict PackageLevelDetector::classify(
   PackageVerdict v;
   v.discrete = discretizer_.transform(raw);
   const std::uint64_t key = database_.generator().pack(v.discrete);
+  if (sigdb_ != nullptr) {
+    const std::uint32_t id = sigdb_->query(key);
+    if (id != sigdb::kNoId) v.signature_id = id;
+    v.anomaly = !sigdb_->bloom_contains(key);
+    return v;
+  }
   v.signature_id = database_.id_of_key(key);
   // The Bloom filter is the deployed membership test (F_p); the id lookup
   // above resolves the LSTM class index for packages that pass.
   v.anomaly = !bloom_.contains(key);
   return v;
+}
+
+void PackageLevelDetector::classify_batch(
+    std::span<const std::span<const double>> rows,
+    std::vector<PackageVerdict>& out, BatchScratch& scratch) const {
+  const std::size_t n = rows.size();
+  out.resize(n);
+  scratch.keys.resize(n);
+  scratch.ids.resize(n);
+  scratch.in_bloom.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].discrete = discretizer_.transform(rows[i]);
+    scratch.keys[i] = database_.generator().pack(out[i].discrete);
+  }
+  const std::span<const std::uint64_t> keys{scratch.keys};
+  if (sigdb_ != nullptr) {
+    sigdb_->query_batch(keys, scratch.ids.data());
+    sigdb_->bloom_contains_batch(keys, scratch.in_bloom.data());
+  } else {
+    database_.lookup_batch(keys, scratch.ids.data());
+    bloom_.contains_batch(keys, scratch.in_bloom.data());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scratch.ids[i] != sig::SignatureDatabase::kNoId) {
+      out[i].signature_id = scratch.ids[i];
+    } else {
+      out[i].signature_id.reset();
+    }
+    out[i].anomaly = scratch.in_bloom[i] == 0;
+  }
 }
 
 double PackageLevelDetector::validation_error(

@@ -9,10 +9,17 @@
 #include <optional>
 #include <span>
 
+#include <cstdint>
+#include <vector>
+
 #include "bloom/bloom_filter.hpp"
 #include "common/rng.hpp"
 #include "signature/discretizer.hpp"
 #include "signature/signature_db.hpp"
+
+namespace mlad::sigdb {
+class SigDbView;
+}  // namespace mlad::sigdb
 
 namespace mlad::detect {
 
@@ -45,6 +52,31 @@ class PackageLevelDetector {
   /// Classify one raw package feature vector.
   PackageVerdict classify(std::span<const double> raw) const;
 
+  /// Reusable buffers for classify_batch (member of the caller, so the
+  /// batch path allocates nothing per tick after warm-up).
+  struct BatchScratch {
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint32_t> ids;
+    std::vector<std::uint8_t> in_bloom;
+  };
+
+  /// Batched classify: out[i] == classify(rows[i]) element-for-element
+  /// (same Bloom bits, same ids), but the signature checks run as one
+  /// batched membership + id-lookup pass — through the attached SigDbView's
+  /// kernel-dispatched query_batch when present, else the in-RAM
+  /// contains_batch / lookup_batch pair.
+  void classify_batch(std::span<const std::span<const double>> rows,
+                      std::vector<PackageVerdict>& out,
+                      BatchScratch& scratch) const;
+
+  /// Route signature membership + id lookups through an mmap-backed .sigdb
+  /// view instead of the in-RAM map/filter. The view must embed the SAME
+  /// verdict Bloom filter (save_compact with options.bloom = &bloom()) for
+  /// verdicts to stay bit-identical, and must outlive this detector.
+  /// Pass nullptr to detach.
+  void attach_sigdb(const sigdb::SigDbView* view) { sigdb_ = view; }
+  const sigdb::SigDbView* attached_sigdb() const { return sigdb_; }
+
   /// Validation error = estimated package-level FPR (§IV-B): fraction of
   /// (anomaly-free) rows whose signature misses the database.
   double validation_error(std::span<const sig::RawRow> rows) const;
@@ -61,6 +93,7 @@ class PackageLevelDetector {
   sig::Discretizer discretizer_;
   sig::SignatureDatabase database_;
   bloom::BloomFilter bloom_;
+  const sigdb::SigDbView* sigdb_ = nullptr;  ///< not owned; nullable
 };
 
 }  // namespace mlad::detect

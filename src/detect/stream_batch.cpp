@@ -40,8 +40,13 @@ void StreamBatch::step(std::span<const std::span<const double>> rows,
   if (x_.rows() != n || x_.cols() != model.input_dim()) {
     x_.resize(n, model.input_dim());
   }
+  // The signature checks for the whole tick run as ONE batched membership +
+  // id-lookup pass (classify_batch: kernel-dispatched Eytzinger walk when a
+  // .sigdb view is attached, batched map/Bloom probes otherwise) — verdicts
+  // are element-for-element identical to per-stream pkg.classify calls.
+  pkg.classify_batch(rows, pkg_verdicts_, pkg_scratch_);
   for (std::size_t s = 0; s < n; ++s) {
-    PackageVerdict pv = pkg.classify(rows[s]);
+    PackageVerdict& pv = pkg_verdicts_[s];
     CombinedVerdict& v = verdicts[s];
     if (pv.anomaly) {
       v.package_level = true;

@@ -80,6 +80,8 @@ class StreamBatch {
   nn::SequenceModel::BatchState state_;
   nn::Matrix x_;                       ///< active×input_dim gathered inputs
   std::vector<float> encode_scratch_;  ///< one row's one-hot encoding
+  std::vector<PackageVerdict> pkg_verdicts_;          ///< per-tick results
+  PackageLevelDetector::BatchScratch pkg_scratch_;    ///< batched lookups
   std::vector<char> has_prediction_;   ///< per stream, false before tick 1
   std::size_t active_ = 0;
 };

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,17 @@ struct KernelBackend {
   /// and a stream's probabilities do not depend on its batch neighbours.
   void (*softmax_rows)(float* m, std::size_t C, std::size_t rb,
                        std::size_t re);
+
+  /// Batched Eytzinger key search over queries [qb,qe) for the mmap-backed
+  /// signature index (DESIGN.md §13). Query q searches the 1-indexed block
+  /// nodes[node_begin[q] .. node_begin[q]+node_count[q]] for keys[q];
+  /// out_pos[q] = the key's 1-based Eytzinger position, 0 when absent.
+  /// Exact integer search — every backend must agree bitwise.
+  void (*sigdb_lookup_rows)(const std::uint64_t* nodes,
+                            const std::uint64_t* node_begin,
+                            const std::uint64_t* node_count,
+                            const std::uint64_t* keys, std::uint32_t* out_pos,
+                            std::size_t qb, std::size_t qe);
 };
 
 /// The portable reference backend — always available, bit-identical to the

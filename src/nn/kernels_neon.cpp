@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "nn/kernels_scalar_tail.hpp"
+#include "nn/sigdb_lookup_common.hpp"
 
 namespace mlad::nn {
 namespace {
@@ -279,9 +280,21 @@ void softmax_rows_(float* m, std::size_t C, std::size_t rb, std::size_t re) {
   }
 }
 
+/// NEON has no 64-bit gather, so the Eytzinger walk keeps the shared
+/// level-synchronous form — the win there is overlapping cache misses,
+/// which needs no vector ISA at all.
+void sigdb_lookup_rows_(const std::uint64_t* nodes,
+                        const std::uint64_t* node_begin,
+                        const std::uint64_t* node_count,
+                        const std::uint64_t* keys, std::uint32_t* out_pos,
+                        std::size_t qb, std::size_t qe) {
+  detail::sigdb_lookup_levelsync(nodes, node_begin, node_count, keys,
+                                 out_pos, qb, qe);
+}
+
 constexpr KernelBackend kNeonBackend = {
     "neon", nn_rows, tn_rows, gates_forward_rows, gates_backward_rows,
-    softmax_rows_,
+    softmax_rows_, sigdb_lookup_rows_,
 };
 
 }  // namespace

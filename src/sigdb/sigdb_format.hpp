@@ -1,0 +1,129 @@
+// On-disk layout of the compact signature index (.sigdb) — DESIGN.md §13.
+//
+//   [ 64-byte header | 9-entry section table | 64-byte-aligned sections ]
+//
+// Header (little-endian, fixed 64 bytes):
+//   off  0  char[8]  magic  "MLADSGDB"
+//   off  8  u32      version (kVersion)
+//   off 12  u32      flags (reserved, 0)
+//   off 16  u64      n — number of distinct signatures
+//   off 24  u64      total_observations
+//   off 32  u32      feature_count
+//   off 36  u32      shard_bits — shard(key) = splitmix64(key) >> (64-bits)
+//   off 40  u64      payload_bytes — file size minus the 64-byte header
+//   off 48  u32      payload_crc32 — CRC of every byte after the header
+//   off 52  u32      header_crc32 — CRC of header bytes [0, 52)
+//   off 56  u64      reserved (0)
+//
+// Section table: kSectionCount {u64 offset, u64 bytes} pairs, offsets
+// absolute from file start, each section 64-byte aligned:
+//   0 cardinalities  u64[feature_count] — the generator schema
+//   1 bloom_geom     {u64 bits, u64 hashes, u64 inserted} — verdict filter
+//   2 bloom_words    u64[(bits+63)/64] — verdict Bloom bit array, embedded
+//                    VERBATIM from the trained model so mmap-served package
+//                    verdicts reproduce its false positives bit-for-bit
+//   3 shard_dir      u64[2 * 2^shard_bits] — per shard {node_begin, count};
+//                    node_begin indexes section 4 in elements and points at
+//                    the shard's slot-0 sentinel
+//   4 keys_eytz      u64[sum(count_s + 1)] — per shard: one sentinel slot,
+//                    then the shard's keys in Eytzinger (BFS heap) order,
+//                    1-indexed within the block
+//   5 ids_eytz       u32[same element count] — dense id per Eytzinger slot
+//                    (sentinel slots hold kNoId)
+//   6 keys_by_id     u64[n] — key of dense id i (forensics / reverse map)
+//   7 counts_by_id   u64[n] — training occurrences #(s) of dense id i
+//   8 shard_blooms   {u64 bits_per_shard, u64 hashes} padded to 64 bytes,
+//                    then 2^shard_bits consecutive prefilter blocks of
+//                    bits_per_shard/64 u64 each. Each shard's prefilter is
+//                    CACHE-LINE BLOCKED: an array of 512-bit (one cache
+//                    line) Bloom blocks; a key selects one block with the
+//                    high bits of h2 (multiply-shift) and sets/tests
+//                    `hashes` bits inside it from the (h1, h2) double-hash
+//                    stream — a membership probe touches exactly one line.
+//                    h1 cannot pick the block: shard(key) already consumed
+//                    its high bits, so within a shard they are constant.
+//                    The 64-byte geometry pad keeps every block line-aligned
+//                    (sections are 64-byte aligned, mmap is page-aligned).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bloom/hashing.hpp"
+
+namespace mlad::sigdb {
+
+inline constexpr char kMagic[8] = {'M', 'L', 'A', 'D', 'S', 'G', 'D', 'B'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr std::size_t kSectionAlign = 64;
+inline constexpr std::uint32_t kNoId = 0xffffffffu;
+
+enum Section : std::size_t {
+  kSecCardinalities = 0,
+  kSecBloomGeom = 1,
+  kSecBloomWords = 2,
+  kSecShardDir = 3,
+  kSecKeysEytz = 4,
+  kSecIdsEytz = 5,
+  kSecKeysById = 6,
+  kSecCountsById = 7,
+  kSecShardBlooms = 8,
+  kSectionCount = 9,
+};
+
+struct SectionEntry {
+  std::uint64_t offset = 0;  ///< absolute file offset, kSectionAlign-aligned
+  std::uint64_t bytes = 0;
+};
+static_assert(sizeof(SectionEntry) == 16);
+
+inline constexpr std::size_t kSectionTableBytes =
+    kSectionCount * sizeof(SectionEntry);
+
+/// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib/PNG one), seeded by
+/// `seed` so large buffers can be folded incrementally.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+// ---- cache-line-blocked shard prefilter (section 8) ------------------------
+
+inline constexpr std::uint64_t kPrefilterBlockBits = 512;   ///< one cache line
+inline constexpr std::uint64_t kPrefilterBlockWords = 8;
+inline constexpr std::size_t kPrefilterGeomBytes = 64;      ///< padded header
+
+/// Block index for a key within a shard's `blocks`-block prefilter.
+/// Multiply-shift on h2: h1's high bits are the shard id (constant within a
+/// shard), so only h2 has entropy left up top.
+inline std::uint64_t prefilter_block_of(const bloom::HashPair& hp,
+                                        std::uint64_t blocks) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(hp.h2) * blocks) >> 64);
+}
+
+/// The key's k-bit pattern within its 512-bit block, as 8 mask words.
+/// Shared by writer (insert = OR) and view (probe = containment) so the
+/// prefilter can never produce a false negative.
+inline void prefilter_mask_of(const bloom::HashPair& hp, std::uint64_t hashes,
+                              std::uint64_t mask[kPrefilterBlockWords]) {
+  for (std::uint64_t w = 0; w < kPrefilterBlockWords; ++w) mask[w] = 0;
+  const std::uint64_t step = hp.h2 | 1;  // odd ⇒ cycles all 512 positions
+  std::uint64_t h = hp.h1;
+  for (std::uint64_t i = 0; i < hashes; ++i) {
+    const std::uint64_t pos = h & (kPrefilterBlockBits - 1);
+    mask[pos >> 6] |= 1ull << (pos & 63);
+    h += step;
+  }
+}
+
+/// Containment probe of a mask against one resident block.
+inline bool prefilter_probe(const std::uint64_t* block,
+                            const std::uint64_t mask[kPrefilterBlockWords]) {
+  std::uint64_t miss = 0;
+  for (std::uint64_t w = 0; w < kPrefilterBlockWords; ++w) {
+    miss |= mask[w] & ~block[w];
+  }
+  return miss == 0;
+}
+
+}  // namespace mlad::sigdb

@@ -5,24 +5,48 @@
 
 namespace mlad::sig {
 
+namespace {
+
+// Key-space width of a cardinality schema: 0 = every key fits 64 bits,
+// 1 = needs 65–128 bits, 2 = overflows 128 bits. Tracks the LARGEST
+// possible key (all digits maximal) rather than the combination count, so
+// a space of exactly 2^64 combinations — max key 2^64−1 — counts as
+// narrow, not wide (checked by the boundary unit tests).
+int key_space_width(const std::vector<std::size_t>& cards) {
+  constexpr unsigned __int128 kMax128 = ~static_cast<unsigned __int128>(0);
+  unsigned __int128 max_key = 0;
+  for (std::size_t c : cards) {
+    // max_key ← max_key·c + (c−1), rejected if it would exceed 2^128−1.
+    if (max_key > (kMax128 - (c - 1)) / c) return 2;
+    max_key = max_key * c + (c - 1);
+  }
+  return max_key > std::numeric_limits<std::uint64_t>::max() ? 1 : 0;
+}
+
+}  // namespace
+
 SignatureGenerator::SignatureGenerator(std::vector<std::size_t> cardinalities)
     : cardinalities_(std::move(cardinalities)) {
   if (cardinalities_.empty()) {
     throw std::invalid_argument("SignatureGenerator: no features");
   }
-  // Verify the key space fits 64 bits (checked multiplication).
-  std::uint64_t space = 1;
   for (std::size_t c : cardinalities_) {
     if (c == 0) throw std::invalid_argument("SignatureGenerator: zero cardinality");
-    if (space > std::numeric_limits<std::uint64_t>::max() / c) {
+  }
+  switch (key_space_width(cardinalities_)) {
+    case 0: wide_ = false; break;
+    case 1: wide_ = true; break;
+    default:
       throw std::invalid_argument(
-          "SignatureGenerator: key space exceeds 64 bits");
-    }
-    space *= c;
+          "SignatureGenerator: key space exceeds 128 bits");
   }
 }
 
 std::uint64_t SignatureGenerator::pack(const DiscreteRow& row) const {
+  if (wide_) {
+    throw std::domain_error(
+        "SignatureGenerator::pack: key space exceeds 64 bits, use pack128");
+  }
   if (row.size() != cardinalities_.size()) {
     throw std::invalid_argument("SignatureGenerator::pack: arity mismatch");
   }
@@ -36,7 +60,29 @@ std::uint64_t SignatureGenerator::pack(const DiscreteRow& row) const {
   return key;
 }
 
+Key128 SignatureGenerator::pack128(const DiscreteRow& row) const {
+  if (!wide_) {
+    return Key128{0, pack(row)};
+  }
+  if (row.size() != cardinalities_.size()) {
+    throw std::invalid_argument("SignatureGenerator::pack128: arity mismatch");
+  }
+  unsigned __int128 key = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] >= cardinalities_[i]) {
+      throw std::out_of_range("SignatureGenerator::pack128: id out of range");
+    }
+    key = key * cardinalities_[i] + row[i];
+  }
+  return Key128{static_cast<std::uint64_t>(key >> 64),
+                static_cast<std::uint64_t>(key)};
+}
+
 DiscreteRow SignatureGenerator::unpack(std::uint64_t key) const {
+  if (wide_) {
+    throw std::domain_error(
+        "SignatureGenerator::unpack: key space exceeds 64 bits, use unpack128");
+  }
   DiscreteRow row(cardinalities_.size());
   for (std::size_t i = cardinalities_.size(); i-- > 0;) {
     row[i] = static_cast<std::uint16_t>(key % cardinalities_[i]);
@@ -44,6 +90,26 @@ DiscreteRow SignatureGenerator::unpack(std::uint64_t key) const {
   }
   if (key != 0) {
     throw std::out_of_range("SignatureGenerator::unpack: key out of range");
+  }
+  return row;
+}
+
+DiscreteRow SignatureGenerator::unpack128(const Key128& key) const {
+  if (!wide_) {
+    if (key.hi != 0) {
+      throw std::out_of_range("SignatureGenerator::unpack128: key out of range");
+    }
+    return unpack(key.lo);
+  }
+  unsigned __int128 k =
+      (static_cast<unsigned __int128>(key.hi) << 64) | key.lo;
+  DiscreteRow row(cardinalities_.size());
+  for (std::size_t i = cardinalities_.size(); i-- > 0;) {
+    row[i] = static_cast<std::uint16_t>(k % cardinalities_[i]);
+    k /= cardinalities_[i];
+  }
+  if (k != 0) {
+    throw std::out_of_range("SignatureGenerator::unpack128: key out of range");
   }
   return row;
 }
@@ -66,6 +132,10 @@ SignatureDatabase SignatureDatabase::from_parts(
   if (keys.size() != counts.size()) {
     throw std::invalid_argument("SignatureDatabase::from_parts: size mismatch");
   }
+  if (generator.wide()) {
+    throw std::logic_error(
+        "SignatureDatabase::from_parts: wide-key schema has no 64-bit keys");
+  }
   SignatureDatabase db(std::move(generator));
   db.key_by_id_ = std::move(keys);
   db.counts_ = std::move(counts);
@@ -81,8 +151,20 @@ SignatureDatabase SignatureDatabase::from_parts(
 }
 
 std::size_t SignatureDatabase::add(const DiscreteRow& row) {
-  const std::uint64_t key = generator_.pack(row);
   ++total_;
+  if (generator_.wide()) {
+    const Key128 key = generator_.pack128(row);
+    const auto [it, inserted] =
+        id_by_key128_.try_emplace(key, key128_by_id_.size());
+    if (inserted) {
+      key128_by_id_.push_back(key);
+      counts_.push_back(1);
+    } else {
+      ++counts_[it->second];
+    }
+    return it->second;
+  }
+  const std::uint64_t key = generator_.pack(row);
   const auto [it, inserted] = id_by_key_.try_emplace(key, key_by_id_.size());
   if (inserted) {
     key_by_id_.push_back(key);
@@ -95,20 +177,68 @@ std::size_t SignatureDatabase::add(const DiscreteRow& row) {
 
 std::optional<std::size_t> SignatureDatabase::id_of(
     const DiscreteRow& row) const {
+  if (generator_.wide()) return id_of_key128(generator_.pack128(row));
   return id_of_key(generator_.pack(row));
 }
 
 std::optional<std::size_t> SignatureDatabase::id_of_key(
     std::uint64_t key) const {
+  if (generator_.wide()) {
+    throw std::logic_error(
+        "SignatureDatabase::id_of_key: wide-key database, use id_of_key128");
+  }
   const auto it = id_by_key_.find(key);
   if (it == id_by_key_.end()) return std::nullopt;
   return it->second;
 }
 
+std::optional<std::size_t> SignatureDatabase::id_of_key128(
+    const Key128& key) const {
+  if (!generator_.wide()) {
+    if (key.hi != 0) return std::nullopt;
+    return id_of_key(key.lo);
+  }
+  const auto it = id_by_key128_.find(key);
+  if (it == id_by_key128_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SignatureDatabase::lookup_batch(std::span<const std::uint64_t> keys,
+                                     std::uint32_t* ids) const {
+  if (generator_.wide()) {
+    throw std::logic_error(
+        "SignatureDatabase::lookup_batch: wide-key database");
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto it = id_by_key_.find(keys[i]);
+    ids[i] = it == id_by_key_.end() ? kNoId
+                                    : static_cast<std::uint32_t>(it->second);
+  }
+}
+
+std::uint64_t SignatureDatabase::key_of(std::size_t id) const {
+  if (generator_.wide()) {
+    throw std::logic_error(
+        "SignatureDatabase::key_of: wide-key database, use key128_of");
+  }
+  return key_by_id_.at(id);
+}
+
+Key128 SignatureDatabase::key128_of(std::size_t id) const {
+  if (!generator_.wide()) return Key128{0, key_by_id_.at(id)};
+  return key128_by_id_.at(id);
+}
+
 bloom::BloomFilter SignatureDatabase::make_bloom(double bloom_fpr) const {
   bloom::BloomFilter bf =
       bloom::BloomFilter::with_capacity(std::max<std::size_t>(size(), 1), bloom_fpr);
-  for (std::uint64_t key : key_by_id_) bf.insert(key);
+  if (generator_.wide()) {
+    for (const Key128& key : key128_by_id_) {
+      bf.insert(bloom::base_hashes128(key.hi, key.lo));
+    }
+  } else {
+    for (std::uint64_t key : key_by_id_) bf.insert(key);
+  }
   return bf;
 }
 

@@ -5,6 +5,9 @@
 // ways, both injective:
 //   - a mixed-radix packing into uint64 (the canonical key used everywhere),
 //   - the paper's "concatenate with a separator" string form (diagnostics).
+// Schemas whose mixed-radix space exceeds 64 bits degrade gracefully to a
+// 128-bit packed key (pack128) instead of aborting; only spaces beyond 128
+// bits are rejected outright.
 // The database maps each distinct signature seen in training to a dense id
 // (the LSTM's class index) and its occurrence count #(s) (used by the
 // probabilistic-noise schedule p = λ/(λ+#(s))).
@@ -12,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,32 +25,78 @@
 
 namespace mlad::sig {
 
+/// 128-bit packed signature key — the fallback representation for wide
+/// schemas. Narrow keys embed as {hi = 0, lo = key}.
+struct Key128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Key128&) const = default;
+};
+
+struct Key128Hash {
+  std::size_t operator()(const Key128& k) const {
+    return static_cast<std::size_t>(bloom::base_hashes128(k.hi, k.lo).h1);
+  }
+};
+
+/// Options for SignatureDatabase::save_compact (implemented in
+/// src/sigdb/sigdb_writer.cpp — see DESIGN.md §13 for the format).
+struct SigDbWriteOptions {
+  /// log2 of the shard count; kAutoShardBits sizes shards to ~2k keys.
+  static constexpr std::uint32_t kAutoShardBits = 0xffffffffu;
+  std::uint32_t shard_bits = kAutoShardBits;
+  /// Target FPR of each per-shard prefilter block (not the verdict filter).
+  double prefilter_fpr = 0.01;
+  /// The package-level verdict Bloom filter to embed verbatim. Null = build
+  /// one with make_bloom(bloom_fpr); pass the trained detector's filter so
+  /// mmap-served verdicts stay bit-identical to the in-RAM run.
+  const bloom::BloomFilter* bloom = nullptr;
+  double bloom_fpr = 1e-4;
+};
+
 /// The injective generating function g(·) over discrete feature vectors.
 class SignatureGenerator {
  public:
   /// `cardinalities[i]` bounds feature i's ids (out-of-range id included).
-  /// Throws if the mixed-radix key space exceeds 64 bits — widen to a
-  /// string-keyed database before that ever triggers in practice (the gas
-  /// pipeline schema uses ≈30 bits).
+  /// Spaces up to 64 bits use the canonical uint64 pack(); wider schemas
+  /// (up to 128 bits) are accepted in wide mode, where pack128() is the
+  /// packing and pack() throws. Beyond 128 bits still throws — no plant
+  /// schema comes near that (the gas pipeline uses ≈30 bits).
   explicit SignatureGenerator(std::vector<std::size_t> cardinalities);
 
   std::size_t feature_count() const { return cardinalities_.size(); }
   const std::vector<std::size_t>& cardinalities() const { return cardinalities_; }
 
-  /// Canonical packed key; injective by construction.
+  /// Does the key space need more than 64 bits (pack128-only schema)?
+  bool wide() const { return wide_; }
+
+  /// Canonical packed key; injective by construction. Throws
+  /// std::domain_error for wide schemas — use pack128.
   std::uint64_t pack(const DiscreteRow& row) const;
+
+  /// 128-bit packed key; valid for every accepted schema. For narrow
+  /// schemas the result is {0, pack(row)}.
+  Key128 pack128(const DiscreteRow& row) const;
 
   /// Inverse of pack (used by tests and forensics output).
   DiscreteRow unpack(std::uint64_t key) const;
+
+  /// Inverse of pack128.
+  DiscreteRow unpack128(const Key128& key) const;
 
   /// Paper-style separator-joined string ("3:0:17:4:1").
   std::string to_string(const DiscreteRow& row) const;
 
  private:
   std::vector<std::size_t> cardinalities_;
+  bool wide_ = false;
 };
 
 /// Dense-id vocabulary of signatures observed in anomaly-free training data.
+/// Narrow schemas key on uint64; wide schemas key on Key128 (the uint64
+/// accessors then throw std::logic_error — persistence formats stay
+/// 64-bit-keyed until a fleet schema actually overflows).
 class SignatureDatabase {
  public:
   explicit SignatureDatabase(SignatureGenerator generator);
@@ -63,25 +113,46 @@ class SignatureDatabase {
   /// Dense id if the signature is in the database.
   std::optional<std::size_t> id_of(const DiscreteRow& row) const;
   std::optional<std::size_t> id_of_key(std::uint64_t key) const;
+  std::optional<std::size_t> id_of_key128(const Key128& key) const;
+
+  /// Batched id lookup over packed keys: ids[i] = dense id of keys[i] or
+  /// kNoId. The in-RAM counterpart of SigDbView::query_batch, so the
+  /// package-level tick path has one shape whichever store backs it.
+  static constexpr std::uint32_t kNoId = 0xffffffffu;
+  void lookup_batch(std::span<const std::uint64_t> keys,
+                    std::uint32_t* ids) const;
 
   /// Number of distinct signatures |S|.
-  std::size_t size() const { return key_by_id_.size(); }
+  std::size_t size() const { return counts_.size(); }
   /// Training occurrences of signature `id` — #(s) in the noise schedule.
   std::size_t count(std::size_t id) const { return counts_.at(id); }
   /// Total observations added.
   std::size_t total_observations() const { return total_; }
 
-  std::uint64_t key_of(std::size_t id) const { return key_by_id_.at(id); }
+  std::uint64_t key_of(std::size_t id) const;
+  Key128 key128_of(std::size_t id) const;
   const SignatureGenerator& generator() const { return generator_; }
 
   /// Build the package-level Bloom filter containing every signature
   /// (§IV-C), sized for this vocabulary at `bloom_fpr`.
   bloom::BloomFilter make_bloom(double bloom_fpr = 1e-4) const;
 
+  /// Write the compact on-disk index (.sigdb, DESIGN.md §13): versioned
+  /// magic-word header, CRC-guarded, per-shard Bloom prefilter + Eytzinger
+  /// key blocks, dense-id key/count tables — openable zero-copy via
+  /// sigdb::SigDbView. Throws std::logic_error for wide-key databases and
+  /// std::runtime_error on I/O failure.
+  void save_compact(const std::string& path,
+                    const SigDbWriteOptions& options = {}) const;
+
  private:
   SignatureGenerator generator_;
   std::unordered_map<std::uint64_t, std::size_t> id_by_key_;
   std::vector<std::uint64_t> key_by_id_;
+  // Wide-mode twins of the two members above (exactly one pair is ever
+  // populated; wide() picks which).
+  std::unordered_map<Key128, std::size_t, Key128Hash> id_by_key128_;
+  std::vector<Key128> key128_by_id_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
 };

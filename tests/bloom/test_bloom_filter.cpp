@@ -4,6 +4,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace mlad::bloom {
 namespace {
@@ -118,6 +119,68 @@ TEST(BloomFilter, RejectsZeroGeometry) {
 TEST(BloomFilter, MemoryBytesMatchesBitArray) {
   BloomFilter bf(1024, 3);
   EXPECT_EQ(bf.memory_bytes(), 1024u / 8u);
+}
+
+TEST(BloomFilter, ContainsBatchMatchesSinglesExactly) {
+  // Parity contract: contains_batch hoists the hash setup and prefetches,
+  // but every verdict byte must equal the corresponding contains() call —
+  // including false positives. Sweep sizes around the internal chunk width
+  // so full chunks, remainders, and the empty batch are all covered.
+  BloomFilter bf = BloomFilter::with_capacity(500, 0.02);
+  for (std::uint64_t k = 0; k < 500; ++k) bf.insert(k * 2654435761ull);
+  for (const std::size_t n : {0ul, 1ul, 31ul, 32ul, 33ul, 200ul}) {
+    std::vector<std::uint64_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of members and non-members.
+      keys[i] = (i % 3 == 0) ? (i / 3) * 2654435761ull : 0xdeadbeefull + i;
+    }
+    std::vector<std::uint8_t> out(n + 1, 0xCC);
+    bf.contains_batch(keys, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], bf.contains(keys[i]) ? 1 : 0) << "i=" << i;
+    }
+    EXPECT_EQ(out[n], 0xCC);  // no overwrite past the batch
+  }
+}
+
+TEST(BloomFilter, HashPairOverloadsMatchTypedOverloads) {
+  BloomFilter a(2048, 4), b(2048, 4);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    a.insert(k);
+    b.insert(base_hashes(k));
+  }
+  EXPECT_EQ(a, b);
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    EXPECT_EQ(a.contains(k), b.contains(base_hashes(k)));
+  }
+}
+
+TEST(BloomFilter, PopcountMatchesPortableReference) {
+  // popcount() may dispatch to the POPCNT TU; its sum must equal a direct
+  // per-word count of the same bit array.
+  BloomFilter bf(100000, 3);
+  for (std::uint64_t k = 0; k < 4096; ++k) bf.insert(splitmix64(k));
+  std::uint64_t expect = 0;
+  for (std::uint64_t w : bf.words()) {
+    for (int b = 0; b < 64; ++b) expect += (w >> b) & 1u;
+  }
+  EXPECT_EQ(bf.popcount(), expect);
+  EXPECT_GT(bf.popcount(), 0u);
+}
+
+TEST(BloomFilter, Base128HashOfNarrowKeyEqualsNarrowHash) {
+  // {hi = 0, lo} must hash exactly like the plain 64-bit key, so narrow
+  // databases are unaffected by the 128-bit fallback path.
+  for (std::uint64_t lo : {0ull, 1ull, 0x123456789abcdefull}) {
+    const HashPair a = base_hashes(lo);
+    const HashPair b = base_hashes128(0, lo);
+    EXPECT_EQ(a.h1, b.h1);
+    EXPECT_EQ(a.h2, b.h2);
+  }
+  // And a nonzero high word must change the hashes.
+  const HashPair c = base_hashes128(1, 42);
+  const HashPair d = base_hashes(42);
+  EXPECT_NE(c.h1, d.h1);
 }
 
 }  // namespace

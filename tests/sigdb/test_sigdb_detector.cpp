@@ -1,0 +1,108 @@
+// Detector-level .sigdb parity (DESIGN.md §13): a PackageLevelDetector with
+// an attached mmap view must produce BIT-IDENTICAL verdicts and signature
+// ids to the in-RAM map/filter path — the file embeds the trained verdict
+// Bloom filter verbatim, so even its false positives reproduce.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detect/package_detector.hpp"
+#include "sigdb/sigdb_view.hpp"
+
+namespace mlad::detect {
+namespace {
+
+struct SigDbDetectorFixture : ::testing::Test {
+  void SetUp() override {
+    Rng data_rng(11);
+    for (int i = 0; i < 400; ++i) {
+      const double cat = i % 2 ? 1.0 : 2.0;
+      const double cont = data_rng.bernoulli(0.5) ? data_rng.normal(0, 0.1)
+                                                  : data_rng.normal(10, 0.1);
+      rows.push_back({cat, cont});
+    }
+    specs = {
+        {"cat", sig::FeatureKind::kDiscrete, {0}, 0},
+        {"cont", sig::FeatureKind::kKmeans, {1}, 2},
+    };
+    Rng rng(12);
+    detector = std::make_unique<PackageLevelDetector>(rows, specs, rng);
+
+    path = ::testing::TempDir() + "detector.sigdb";
+    sig::SigDbWriteOptions opts;
+    opts.bloom = &detector->bloom();  // the bit-identical-verdicts contract
+    detector->database().save_compact(path, opts);
+    view = std::make_unique<sigdb::SigDbView>(sigdb::SigDbView::open(path));
+
+    // Probe set: training rows plus out-of-vocabulary packages.
+    probes = rows;
+    Rng probe_rng(13);
+    for (int i = 0; i < 200; ++i) {
+      probes.push_back({probe_rng.bernoulli(0.3) ? 7.0 : 1.0,
+                        probe_rng.normal(5.0, 6.0)});
+    }
+  }
+  void TearDown() override {
+    view.reset();
+    std::remove(path.c_str());
+  }
+
+  std::vector<sig::RawRow> rows;
+  std::vector<sig::FeatureSpec> specs;
+  std::unique_ptr<PackageLevelDetector> detector;
+  std::unique_ptr<sigdb::SigDbView> view;
+  std::vector<sig::RawRow> probes;
+  std::string path;
+};
+
+TEST_F(SigDbDetectorFixture, AttachedViewVerdictsAreBitIdentical) {
+  std::vector<PackageVerdict> in_ram;
+  for (const auto& row : probes) in_ram.push_back(detector->classify(row));
+
+  detector->attach_sigdb(view.get());
+  ASSERT_EQ(detector->attached_sigdb(), view.get());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const PackageVerdict v = detector->classify(probes[i]);
+    ASSERT_EQ(v.anomaly, in_ram[i].anomaly) << "row " << i;
+    ASSERT_EQ(v.signature_id, in_ram[i].signature_id) << "row " << i;
+    ASSERT_EQ(v.discrete, in_ram[i].discrete) << "row " << i;
+  }
+  detector->attach_sigdb(nullptr);  // detach restores the in-RAM path
+  ASSERT_EQ(detector->attached_sigdb(), nullptr);
+}
+
+TEST_F(SigDbDetectorFixture, ClassifyBatchMatchesSinglesBothPaths) {
+  std::vector<std::span<const double>> spans;
+  spans.reserve(probes.size());
+  for (const auto& row : probes) spans.emplace_back(row);
+
+  for (const bool attach : {false, true}) {
+    detector->attach_sigdb(attach ? view.get() : nullptr);
+    std::vector<PackageVerdict> batch;
+    PackageLevelDetector::BatchScratch scratch;
+    detector->classify_batch(spans, batch, scratch);
+    ASSERT_EQ(batch.size(), probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const PackageVerdict single = detector->classify(probes[i]);
+      ASSERT_EQ(batch[i].anomaly, single.anomaly)
+          << "attach=" << attach << " row " << i;
+      ASSERT_EQ(batch[i].signature_id, single.signature_id)
+          << "attach=" << attach << " row " << i;
+      ASSERT_EQ(batch[i].discrete, single.discrete)
+          << "attach=" << attach << " row " << i;
+    }
+  }
+}
+
+TEST_F(SigDbDetectorFixture, MismatchedViewSizeIsDetectable) {
+  // The CLI refuses a --sigdb whose signature count disagrees with the
+  // model; the size accessor is what it checks.
+  EXPECT_EQ(view->size(), detector->database().size());
+}
+
+}  // namespace
+}  // namespace mlad::detect

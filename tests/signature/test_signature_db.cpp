@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <utility>
 
 namespace mlad::sig {
 namespace {
@@ -33,10 +35,86 @@ TEST(SignatureGenerator, PackValidatesInput) {
   EXPECT_THROW(gen.unpack(9), std::out_of_range);            // 9 ≥ 3·3
 }
 
-TEST(SignatureGenerator, RejectsOversizedKeySpace) {
-  // 2^64 needs 9 features of cardinality 2^8 → exactly 2^72 overflows.
+TEST(SignatureGenerator, ExactlySixtyFourBitSpaceStaysNarrow) {
+  // 8 features of cardinality 2^8 → exactly 2^64 combinations, whose
+  // largest key is 2^64−1: still representable in uint64, so the schema
+  // must be narrow (the old combination-count check rejected it).
+  std::vector<std::size_t> cards(8, 256);
+  const SignatureGenerator gen(cards);
+  EXPECT_FALSE(gen.wide());
+  const DiscreteRow all_max(8, 255);
+  EXPECT_EQ(gen.pack(all_max), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(gen.unpack(gen.pack(all_max)), all_max);
+  // pack128 embeds narrow keys as {0, key}.
+  const Key128 k = gen.pack128(all_max);
+  EXPECT_EQ(k.hi, 0u);
+  EXPECT_EQ(k.lo, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SignatureGenerator, OversizedKeySpaceFallsBackTo128Bit) {
+  // 9 features of cardinality 2^8 → 2^72 combinations: one past the 64-bit
+  // boundary. The schema is accepted in wide mode — pack throws, pack128
+  // is the packing, and unpack128 inverts it.
   std::vector<std::size_t> cards(9, 256);
+  const SignatureGenerator gen(cards);
+  EXPECT_TRUE(gen.wide());
+  EXPECT_THROW(gen.pack(DiscreteRow(9, 0)), std::domain_error);
+  const DiscreteRow row = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Key128 k = gen.pack128(row);
+  EXPECT_EQ(gen.unpack128(k), row);
+  // The all-max key exercises the high word: 2^72−1 has hi = 0xFF.
+  const DiscreteRow all_max(9, 255);
+  const Key128 top = gen.pack128(all_max);
+  EXPECT_EQ(top.hi, 0xFFu);
+  EXPECT_EQ(top.lo, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(gen.unpack128(top), all_max);
+}
+
+TEST(SignatureGenerator, Pack128IsInjectiveAcrossTheBoundary) {
+  // Distinct rows on both sides of the 64-bit boundary get distinct keys.
+  std::vector<std::size_t> cards(9, 256);
+  const SignatureGenerator gen(cards);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> keys;
+  DiscreteRow row(9, 0);
+  for (std::uint16_t hi = 0; hi < 4; ++hi) {
+    for (std::uint16_t lo = 0; lo < 64; ++lo) {
+      row[0] = hi;  // most-significant digit → spans the 64-bit boundary
+      row[8] = lo;
+      const Key128 k = gen.pack128(row);
+      keys.insert({k.hi, k.lo});
+    }
+  }
+  EXPECT_EQ(keys.size(), 4u * 64u);
+}
+
+TEST(SignatureGenerator, RejectsKeySpaceBeyond128Bits) {
+  // 17 features of cardinality 2^8 → 2^136: beyond even the wide fallback.
+  std::vector<std::size_t> cards(17, 256);
   EXPECT_THROW(SignatureGenerator{cards}, std::invalid_argument);
+}
+
+TEST(SignatureDatabase, WideModeAssignsIdsAndBloomHasNoFalseNegatives) {
+  std::vector<std::size_t> cards(9, 256);
+  SignatureDatabase db{SignatureGenerator(cards)};
+  DiscreteRow row(9, 0);
+  for (std::uint16_t v = 0; v < 32; ++v) {
+    row[0] = v;  // high-word digit — keys differ only in bits ≥ 64
+    row[4] = static_cast<std::uint16_t>(v * 3 % 256);
+    db.add(row);
+  }
+  EXPECT_EQ(db.size(), 32u);
+  row[0] = 7;
+  row[4] = 21;
+  EXPECT_TRUE(db.id_of(row).has_value());
+  // The 64-bit accessors must refuse rather than silently truncate.
+  EXPECT_THROW(db.key_of(0), std::logic_error);
+  EXPECT_THROW((void)db.id_of_key(0), std::logic_error);
+  EXPECT_THROW(db.save_compact("/tmp/never-written.sigdb"), std::logic_error);
+  const auto bloom = db.make_bloom(1e-3);
+  for (std::size_t id = 0; id < db.size(); ++id) {
+    const Key128 k = db.key128_of(id);
+    EXPECT_TRUE(bloom.contains(bloom::base_hashes128(k.hi, k.lo)));
+  }
 }
 
 TEST(SignatureGenerator, RejectsEmptyOrZero) {

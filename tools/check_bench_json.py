@@ -225,10 +225,53 @@ def check_faults(doc: dict, errors: list) -> None:
         errors.append("criterion.met must be true")
 
 
+def check_sigdb(doc: dict, errors: list) -> None:
+    """BENCH_sigdb.json (DESIGN.md §13): the mmap-backed signature index is
+    only allowed to exist as a verdict-preserving optimization — parity with
+    the in-RAM path and the batched-speedup criterion are both gates."""
+    sigs = doc.get("signatures")
+    if not isinstance(sigs, int) or isinstance(sigs, bool) or sigs < 10**6:
+        errors.append("'signatures' must be an integer >= 1e6 (the bench "
+                      "must exercise a million-signature database)")
+    if doc.get("verdicts_match_in_ram") is not True:
+        errors.append("'verdicts_match_in_ram' must be true: the mmap index "
+                      "may never change an id or a Bloom verdict")
+    batch = doc.get("batch_size")
+    if not isinstance(batch, int) or isinstance(batch, bool) or batch < 2:
+        errors.append("'batch_size' must be an integer >= 2")
+    backends = doc.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        errors.append("'backends' table missing or empty")
+    else:
+        for name, entry in backends.items():
+            if not isinstance(entry, dict) or entry.get("ids_match") is not True:
+                errors.append(f"backends.{name}.ids_match must be true "
+                              f"(exact integer search: every backend must "
+                              f"agree bitwise)")
+
+    criterion = doc.get("criterion")
+    if not isinstance(criterion, dict):
+        errors.append("'criterion' object missing")
+        return
+    required = criterion.get("required_batch_speedup_vs_scalar")
+    achieved = criterion.get("achieved")
+    for name, value in (("required_batch_speedup_vs_scalar", required),
+                        ("achieved", achieved)):
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(f"criterion.{name} must be a positive number")
+    if criterion.get("met") is not True:
+        errors.append("criterion.met must be true")
+    elif (isinstance(required, (int, float))
+          and isinstance(achieved, (int, float)) and achieved < required):
+        errors.append(f"criterion.met claims true but achieved "
+                      f"{achieved} < required {required}")
+
+
 PER_BENCH_CHECKS = {
     "bench_faults": check_faults,
     "bench_ingest_shards": check_ingest,
     "bench_nn_throughput": check_nn,
+    "bench_sigdb": check_sigdb,
 }
 
 

@@ -49,6 +49,7 @@
 #include "nn/serialize.hpp"
 #include "serve/monitor_engine.hpp"
 #include "serve/sharded_engine.hpp"
+#include "sigdb/sigdb_view.hpp"
 
 namespace {
 
@@ -110,6 +111,31 @@ void print_compute_banner(std::size_t threads) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
   std::printf("compute: %s kernels, %zu thread%s\n",
               nn::kernel_backend().name, threads, threads == 1 ? "" : "s");
+}
+
+/// --sigdb f.sigdb: mmap the compact signature index and route the serve
+/// path's membership/id lookups through it (verdicts stay bit-identical —
+/// the file embeds the model's verdict Bloom filter verbatim). `holder`
+/// owns the mapping and must outlive the engine.
+void maybe_attach_sigdb(const std::map<std::string, std::string>& flags,
+                        detect::CombinedDetector& detector,
+                        std::optional<sigdb::SigDbView>& holder) {
+  const auto it = flags.find("sigdb");
+  if (it == flags.end()) return;
+  holder.emplace(sigdb::SigDbView::open(it->second));
+  if (holder->size() != detector.package_level().database().size()) {
+    throw std::runtime_error(
+        "--sigdb: signature count mismatch with --model (" +
+        std::to_string(holder->size()) + " vs " +
+        std::to_string(detector.package_level().database().size()) +
+        ") — rebuild with `mlad sigdb build`");
+  }
+  detector.package_level().attach_sigdb(&*holder);
+  std::printf("sigdb: %s (%llu signatures, %u shard bits, %.1f MB mmap)\n",
+              it->second.c_str(),
+              static_cast<unsigned long long>(holder->size()),
+              holder->shard_bits(),
+              static_cast<double>(holder->file_bytes()) / (1024.0 * 1024.0));
 }
 
 int cmd_simulate(const std::map<std::string, std::string>& flags) {
@@ -428,6 +454,8 @@ int cmd_serve_sharded(const std::map<std::string, std::string>& flags) {
     sink = file_sink.get();
   }
 
+  std::optional<sigdb::SigDbView> sigdb_view;
+  maybe_attach_sigdb(flags, *detector, sigdb_view);
   serve::ShardedEngine engine(*detector, sink, cfg);
   engine.run(*source);
   sink->flush();
@@ -557,6 +585,9 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     file_sink = serve::make_file_sink(it->second);
     sink = file_sink.get();
   }
+
+  std::optional<sigdb::SigDbView> sigdb_view;
+  maybe_attach_sigdb(flags, *detector, sigdb_view);
 
   // Each capture replays as one PLC link on a time-ordered interleaved wire.
   serve::MonitorEngine engine(*detector, sink, cfg);
@@ -735,10 +766,57 @@ int cmd_tap(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_sigdb_build(const std::map<std::string, std::string>& flags) {
+  const auto detector = detect::load_framework_file(need(flags, "model"));
+  const std::string out = need(flags, "out");
+  const detect::PackageLevelDetector& pkg = detector->package_level();
+
+  sig::SigDbWriteOptions opts;
+  if (const auto it = flags.find("shard-bits"); it != flags.end()) {
+    opts.shard_bits = static_cast<std::uint32_t>(std::stoul(it->second));
+  }
+  opts.prefilter_fpr = std::stod(get_or(flags, "prefilter-fpr", "0.01"));
+  // Embed the trained verdict filter verbatim — the bit-identical-verdicts
+  // contract (DESIGN.md §13) hinges on this, not on a rebuilt filter.
+  opts.bloom = &pkg.bloom();
+  pkg.database().save_compact(out, opts);
+
+  const sigdb::SigDbView view = sigdb::SigDbView::open(out);
+  std::printf(
+      "sigdb: wrote %s\n"
+      "  signatures   %llu (of %llu observations)\n"
+      "  shards       2^%u\n"
+      "  verdict bloom %llu bits, %llu hashes (embedded verbatim)\n"
+      "  file         %.2f MB (%.1f bytes/signature)\n",
+      out.c_str(), static_cast<unsigned long long>(view.size()),
+      static_cast<unsigned long long>(view.total_observations()),
+      view.shard_bits(),
+      static_cast<unsigned long long>(view.bloom_bit_count()),
+      static_cast<unsigned long long>(view.bloom_hash_count()),
+      static_cast<double>(view.file_bytes()) / (1024.0 * 1024.0),
+      view.size() > 0 ? static_cast<double>(view.file_bytes()) /
+                            static_cast<double>(view.size())
+                      : 0.0);
+  return 0;
+}
+
+int cmd_sigdb_check(const std::map<std::string, std::string>& flags) {
+  const std::string path = need(flags, "file");
+  // Full validation: header CRC, section bounds, payload CRC (reads the
+  // whole file, unlike a serve-time open).
+  sigdb::SigDbView::verify_file(path);
+  const sigdb::SigDbView view = sigdb::SigDbView::open(path);
+  std::printf("sigdb: %s OK (%llu signatures, 2^%u shards, %.2f MB)\n",
+              path.c_str(), static_cast<unsigned long long>(view.size()),
+              view.shard_bits(),
+              static_cast<double>(view.file_bytes()) / (1024.0 * 1024.0));
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mlad <simulate|train|evaluate|monitor|serve|tap> "
+      "usage: mlad <simulate|train|evaluate|monitor|serve|tap|sigdb> "
       "[--flag value]…\n"
       "  simulate --cycles N --seed S [--arff f] [--capture f]\n"
       "           [--attacks on|off]\n"
@@ -759,8 +837,17 @@ int usage() {
       "           batched multi-stream inference, one (S×dim) LSTM step\n"
       "           per tick; both identical for any thread count)\n"
       "  monitor  --capture f --model f [--max-alarms N]\n"
+      "  sigdb    build --model f --out f.sigdb [--shard-bits N]\n"
+      "           [--prefilter-fpr P]   write the compact mmap-able\n"
+      "           signature index: sharded Eytzinger key blocks with\n"
+      "           per-shard Bloom prefilters, the model's verdict Bloom\n"
+      "           filter embedded verbatim, CRC-guarded header\n"
+      "  sigdb    check --file f.sigdb   full CRC + bounds validation\n"
       "  serve    --captures a.cap,b.cap,… --model f [--threads N]\n"
       "           [--sink out.jsonl|out.csv] [--max-alarms N]\n"
+      "           [--sigdb f.sigdb]   mmap the compact signature index\n"
+      "           (mlad sigdb build) and route membership/id lookups\n"
+      "           through it — verdicts bit-identical to the in-RAM path\n"
       "           [--engine batched|reference]   (each capture replays\n"
       "           as one PLC link; one batched LSTM step per tick\n"
       "           advances every link — per-link verdicts are\n"
@@ -836,6 +923,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "sigdb") {
+      if (argc < 3) return usage();
+      const std::string sub = argv[2];
+      const auto flags = parse_flags(argc, argv, 3);
+      if (sub == "build") return cmd_sigdb_build(flags);
+      if (sub == "check") return cmd_sigdb_check(flags);
+      return usage();
+    }
     const auto flags = parse_flags(argc, argv, 2);
     if (cmd == "simulate") return cmd_simulate(flags);
     if (cmd == "train") return cmd_train(flags);
