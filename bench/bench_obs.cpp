@@ -1,0 +1,243 @@
+// Telemetry overhead harness (DESIGN.md §14): the serve engine replays an
+// 8-link wire with and without a MetricsRegistry attached, interleaving
+// the two modes across repetitions so thermal drift and frequency scaling
+// hit both equally. Two contracts are measured and committed:
+//
+//   · overhead — best-of-N µs/package with telemetry on may exceed the
+//     untelemetered best by at most 2% (the §14 budget for clock reads,
+//     relaxed increments, and the per-tick stats mirror);
+//   · transparency — the alarm stream (link, seq, stage, time) of every
+//     telemetered run must be bit-identical to the untelemetered baseline.
+//
+// Output: human table on stdout; `--json out.json` writes the committed
+// BENCH_obs.json (validated in CI by tools/check_bench_json.py).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "detect/pipeline.hpp"
+#include "ics/capture.hpp"
+#include "ics/link_mux.hpp"
+#include "ics/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "serve/alarm_sink.hpp"
+#include "serve/monitor_engine.hpp"
+
+namespace {
+
+using namespace mlad;
+
+constexpr std::size_t kLinks = 8;
+constexpr std::size_t kRepetitions = 5;
+constexpr double kRequiredOverheadPct = 2.0;
+
+struct AlarmKey {
+  ics::LinkId link;
+  std::uint64_t seq;
+  bool bloom;
+  double time;
+
+  bool operator==(const AlarmKey&) const = default;
+};
+
+std::vector<AlarmKey> keys(const std::vector<serve::AlarmEvent>& events) {
+  std::vector<AlarmKey> out;
+  out.reserve(events.size());
+  for (const serve::AlarmEvent& e : events) {
+    out.push_back({e.link, e.seq, e.verdict.package_level, e.time});
+  }
+  return out;
+}
+
+std::vector<ics::LinkFrame> make_wire() {
+  std::vector<ics::Capture> captures;
+  std::vector<ics::LinkId> ids;
+  for (std::size_t i = 0; i < kLinks; ++i) {
+    ics::SimulatorConfig cfg;
+    cfg.cycles = 600;
+    cfg.seed = 1000 + i;
+    ics::GasPipelineSimulator sim(cfg);
+    const ics::SimulationResult result = sim.run();
+    ics::Capture capture;
+    capture.reserve(result.packages.size());
+    for (const auto& p : result.packages) {
+      capture.push_back(ics::package_to_frame(p));
+    }
+    captures.push_back(std::move(capture));
+    ids.push_back(static_cast<ics::LinkId>(i));
+  }
+  return ics::merge_captures(captures, ids);
+}
+
+struct RunResult {
+  double us_per_package = 0.0;
+  std::uint64_t packages = 0;
+  std::vector<AlarmKey> alarms;
+};
+
+RunResult run_once(const detect::CombinedDetector& detector,
+                   const std::vector<ics::LinkFrame>& wire,
+                   obs::MetricsRegistry* registry,
+                   obs::MetricsSnapshot* out_snapshot) {
+  serve::CountingAlarmSink sink;
+  serve::MonitorEngineConfig cfg;
+  cfg.metrics = registry;
+  serve::MonitorEngine engine(detector, &sink, cfg);
+  Stopwatch sw;
+  engine.replay(wire);
+  const double secs = sw.elapsed_seconds();
+  RunResult run;
+  run.packages = engine.stats().packages;
+  run.us_per_package =
+      run.packages > 0 ? secs * 1e6 / static_cast<double>(run.packages)
+                       : 0.0;
+  run.alarms = keys(sink.events());
+  if (registry != nullptr && out_snapshot != nullptr) {
+    *out_snapshot = registry->snapshot();
+  }
+  return run;
+}
+
+void write_json(const std::string& path, const bench::Scale& scale,
+                std::uint64_t packages,
+                const std::vector<double>& off_runs,
+                const std::vector<double>& on_runs, double off_best,
+                double on_best, const obs::MetricsSnapshot& snap,
+                bool verdicts_match, double overhead_pct) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const auto runs_array = [f](const std::vector<double>& runs) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(f, "%.4f%s", runs[i], i + 1 < runs.size() ? ", " : "");
+    }
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_obs\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", scale.name);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"links\": %zu,\n", kLinks);
+  std::fprintf(f, "  \"packages\": %llu,\n",
+               static_cast<unsigned long long>(packages));
+  std::fprintf(f, "  \"repetitions\": %zu,\n", kRepetitions);
+  std::fprintf(f,
+               "  \"measurement\": \"us_per_package is wall time over the "
+               "full replay; modes interleave per repetition and best-of "
+               "is compared so both see the same thermal envelope\",\n");
+  std::fprintf(f, "  \"telemetry_off\": {\n");
+  std::fprintf(f, "    \"best_us_per_package\": %.4f,\n", off_best);
+  std::fprintf(f, "    \"runs\": [");
+  runs_array(off_runs);
+  std::fprintf(f, "]\n  },\n");
+  std::fprintf(f, "  \"telemetry_on\": {\n");
+  std::fprintf(f, "    \"best_us_per_package\": %.4f,\n", on_best);
+  std::fprintf(f, "    \"runs\": [");
+  runs_array(on_runs);
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "    \"stage_counts\": {");
+  bool first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", name.c_str(),
+                 static_cast<unsigned long long>(h.count));
+    first = false;
+  }
+  std::fprintf(f, "}\n  },\n");
+  std::fprintf(f, "  \"verdicts_match_untelemetered\": %s,\n",
+               verdicts_match ? "true" : "false");
+  std::fprintf(f, "  \"criterion\": {\n");
+  std::fprintf(f, "    \"required_overhead_pct\": %.1f,\n",
+               kRequiredOverheadPct);
+  std::fprintf(f, "    \"measured_overhead_pct\": %.3f,\n", overhead_pct);
+  std::fprintf(f, "    \"met\": %s\n",
+               overhead_pct < kRequiredOverheadPct && verdicts_match
+                   ? "true"
+                   : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const bench::Scale scale = bench::scale_from_env();
+  bench::print_header("Telemetry overhead (tick-path metrics, DESIGN.md "
+                      "§14)",
+                      scale);
+
+  // A quickly-trained detector: the overhead ratio is a property of the
+  // tick path, not of model quality, so training stays cheap.
+  bench::Scale quick = scale;
+  quick.cycles = std::min<std::size_t>(quick.cycles, 3000);
+  quick.epochs = std::min<std::size_t>(quick.epochs, 3);
+  const ics::SimulationResult capture = bench::make_capture(quick);
+  detect::PipelineConfig pipeline = bench::pipeline_config(quick);
+  pipeline.combined.timeseries.batch_size = 8;
+  const detect::TrainedFramework framework =
+      detect::train_framework(capture.packages, pipeline);
+  const detect::CombinedDetector& detector = *framework.detector;
+
+  const std::vector<ics::LinkFrame> wire = make_wire();
+
+  // Warm pass (kernel dispatch, page-in) + untelemetered baseline alarms.
+  const RunResult baseline = run_once(detector, wire, nullptr, nullptr);
+  std::printf("wire: %zu links, %llu packages, %zu alarms\n", kLinks,
+              static_cast<unsigned long long>(baseline.packages),
+              baseline.alarms.size());
+
+  std::vector<double> off_runs;
+  std::vector<double> on_runs;
+  bool verdicts_match = !baseline.alarms.empty();
+  obs::MetricsSnapshot snapshot;
+  for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    const RunResult off = run_once(detector, wire, nullptr, nullptr);
+    obs::MetricsRegistry registry;
+    const RunResult on = run_once(detector, wire, &registry, &snapshot);
+    off_runs.push_back(off.us_per_package);
+    on_runs.push_back(on.us_per_package);
+    verdicts_match = verdicts_match && off.alarms == baseline.alarms &&
+                     on.alarms == baseline.alarms;
+    std::printf("  rep %zu: off %6.3f us/pkg   on %6.3f us/pkg\n", rep,
+                off.us_per_package, on.us_per_package);
+  }
+
+  const double off_best = *std::min_element(off_runs.begin(),
+                                            off_runs.end());
+  const double on_best = *std::min_element(on_runs.begin(), on_runs.end());
+  const double overhead_pct =
+      off_best > 0 ? (on_best - off_best) / off_best * 100.0 : 0.0;
+
+  std::printf("best-of-%zu: off %.3f us/pkg, on %.3f us/pkg -> overhead "
+              "%+.3f%% (budget %.1f%%)\n",
+              kRepetitions, off_best, on_best, overhead_pct,
+              kRequiredOverheadPct);
+  std::printf("verdicts with telemetry: %s\n",
+              verdicts_match ? "bit-identical" : "MISMATCH");
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::printf("  %-22s %8llu samples  p50 %8.0f ns  p99 %8.0f ns\n",
+                name.c_str(), static_cast<unsigned long long>(h.count),
+                h.quantile_ns(0.50), h.quantile_ns(0.99));
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, scale, baseline.packages, off_runs, on_runs,
+               off_best, on_best, snapshot, verdicts_match, overhead_pct);
+  }
+  return verdicts_match && overhead_pct < kRequiredOverheadPct ? 0 : 1;
+}

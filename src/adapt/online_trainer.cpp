@@ -11,6 +11,7 @@
 #endif
 
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
 
 namespace mlad::adapt {
 
@@ -45,6 +46,17 @@ OnlineTrainer::OnlineTrainer(detect::CombinedDetector& detector,
   // The pre-adaptation weights are version 0: the rollback target when the
   // FIRST published round turns out bad.
   swap_.set_baseline(std::make_shared<const nn::SequenceModel>(model_));
+  if (config_.metrics != nullptr) {
+    // Registered before the trainer thread starts, so both threads see the
+    // bound pointers without synchronization.
+    obs::MetricsRegistry& reg = *config_.metrics;
+    tele_.windows_harvested = &reg.counter("adapt_windows_harvested_total");
+    tele_.rounds_completed = &reg.counter("adapt_rounds_completed_total");
+    tele_.rounds_skipped = &reg.counter("adapt_rounds_skipped_total");
+    tele_.train_steps = &reg.counter("adapt_train_steps_total");
+    tele_.train_us = &reg.counter("adapt_train_us_total");
+    tele_.replay_windows = &reg.gauge("adapt_replay_windows");
+  }
   thread_ = std::thread([this] { thread_main(); });
 }
 
@@ -69,6 +81,7 @@ void OnlineTrainer::observe(ics::LinkId link,
   if (acc.rows.size() < config_.window_len) return;
 
   ++harvested_;
+  if (tele_.on()) tele_.windows_harvested->set(harvested_);
   Message msg;
   msg.kind = Message::Kind::kWindow;
   msg.link = link;
@@ -155,6 +168,7 @@ void OnlineTrainer::thread_main() {
   while (queue_.pop(msg)) {
     if (msg.kind == Message::Kind::kWindow) {
       replay_.push(msg.link, encode_window(msg));
+      if (tele_.on()) tele_.replay_windows->set(replay_.size());
       std::lock_guard<std::mutex> lock(stats_mutex_);
       replay_size_ = replay_.size();
       continue;
@@ -175,6 +189,7 @@ void OnlineTrainer::thread_main() {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++rounds_skipped_;
+        if (tele_.on()) tele_.rounds_skipped->set(rounds_skipped_);
       }
       swap_.complete_round();
       continue;
@@ -226,6 +241,12 @@ void OnlineTrainer::thread_main() {
       ++rounds_completed_;
       train_steps_ += steps_this_round;
       train_seconds_ += sw.elapsed_seconds();
+      if (tele_.on()) {
+        tele_.rounds_completed->set(rounds_completed_);
+        tele_.train_steps->set(train_steps_);
+        tele_.train_us->set(
+            static_cast<std::uint64_t>(train_seconds_ * 1e6));
+      }
     }
     swap_.complete_round();
   }

@@ -40,6 +40,12 @@
 #include "detect/combined.hpp"
 #include "nn/trainer.hpp"
 
+namespace mlad::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace mlad::obs
+
 namespace mlad::adapt {
 
 struct AdaptConfig {
@@ -74,6 +80,11 @@ struct AdaptConfig {
   /// reproduced bit-exactly. Never set outside tests/benches.
   std::uint64_t poison_round = 0;
   double poison_scale = 8.0;
+  /// Telemetry registry (DESIGN.md §14): the trainer registers adapt_*
+  /// counters at construction — harvest counts on the engine thread,
+  /// round/step totals on the trainer thread (separate instances, so the
+  /// hot paths never share a cache line). Null = off.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct AdaptStats {
@@ -185,6 +196,18 @@ class OnlineTrainer {
   std::uint64_t train_steps_ = 0;
   std::size_t replay_size_ = 0;
   double train_seconds_ = 0.0;
+
+  /// Registry instruments (null when config.metrics is null). The engine
+  /// thread writes windows_harvested; the trainer thread writes the rest.
+  struct Telemetry {
+    obs::Counter* windows_harvested = nullptr;
+    obs::Counter* rounds_completed = nullptr;
+    obs::Counter* rounds_skipped = nullptr;
+    obs::Counter* train_steps = nullptr;
+    obs::Counter* train_us = nullptr;
+    obs::Gauge* replay_windows = nullptr;
+    bool on() const { return windows_harvested != nullptr; }
+  } tele_;
 
   std::thread thread_;  ///< last member: starts after everything above
 };

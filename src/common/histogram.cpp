@@ -35,6 +35,11 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::add(double x, std::size_t n) {
+  counts_[bin_of(x)] += n;
+  total_ += n;
+}
+
 void Histogram::add_all(std::span<const double> xs) {
   for (double x : xs) add(x);
 }

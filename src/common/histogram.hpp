@@ -22,6 +22,9 @@ class Histogram {
   static Histogram fit(std::span<const double> xs, std::size_t bins);
 
   void add(double x);
+  /// Record `n` observations of `x` at once — re-binning pre-aggregated
+  /// data (e.g. an obs::LatencyHistogram bucket) without expanding it.
+  void add(double x, std::size_t n);
   void add_all(std::span<const double> xs);
 
   std::size_t bins() const { return counts_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "signature/discretizer.hpp"
 
 namespace mlad::detect {
@@ -44,7 +45,13 @@ void StreamBatch::step(std::span<const std::span<const double>> rows,
   // id-lookup pass (classify_batch: kernel-dispatched Eytzinger walk when a
   // .sigdb view is attached, batched map/Bloom probes otherwise) — verdicts
   // are element-for-element identical to per-stream pkg.classify calls.
-  pkg.classify_batch(rows, pkg_verdicts_, pkg_scratch_);
+  if (timers_.lookup_ns != nullptr) {
+    const std::uint64_t t0 = obs::now_ns();
+    pkg.classify_batch(rows, pkg_verdicts_, pkg_scratch_);
+    timers_.lookup_ns->record(obs::now_ns() - t0);
+  } else {
+    pkg.classify_batch(rows, pkg_verdicts_, pkg_scratch_);
+  }
   for (std::size_t s = 0; s < n; ++s) {
     PackageVerdict& pv = pkg_verdicts_[s];
     CombinedVerdict& v = verdicts[s];
@@ -67,7 +74,13 @@ void StreamBatch::step(std::span<const std::span<const double>> rows,
 
   // One batched LSTM step per layer + batched softmax; row s of state_.probs
   // is stream s's prediction for its NEXT package.
-  model.predict_batch(state_, x_, pool_);
+  if (timers_.nn_ns != nullptr) {
+    const std::uint64_t t0 = obs::now_ns();
+    model.predict_batch(state_, x_, pool_);
+    timers_.nn_ns->record(obs::now_ns() - t0);
+  } else {
+    model.predict_batch(state_, x_, pool_);
+  }
   std::fill(has_prediction_.begin(), has_prediction_.begin() + n, 1);
 }
 

@@ -20,6 +20,10 @@
 #include "detect/combined.hpp"
 #include "nn/matrix.hpp"
 
+namespace mlad::obs {
+class LatencyHistogram;
+}  // namespace mlad::obs
+
 namespace mlad::detect {
 
 class StreamBatch {
@@ -74,6 +78,16 @@ class StreamBatch {
   StreamSnapshot extract_stream(std::size_t s) const;
   void restore_stream(std::size_t s, const StreamSnapshot& snapshot);
 
+  /// Per-stage telemetry hooks (DESIGN.md §14): when set, each step()
+  /// records the batched signature-lookup pass and the batched LSTM pass
+  /// into the given histograms. Null pointers (the default) keep step()
+  /// free of clock reads; timing never changes any verdict.
+  struct StageTimers {
+    obs::LatencyHistogram* lookup_ns = nullptr;
+    obs::LatencyHistogram* nn_ns = nullptr;
+  };
+  void set_stage_timers(const StageTimers& timers) { timers_ = timers; }
+
  private:
   const CombinedDetector* detector_;
   ThreadPool* pool_;
@@ -84,6 +98,7 @@ class StreamBatch {
   PackageLevelDetector::BatchScratch pkg_scratch_;    ///< batched lookups
   std::vector<char> has_prediction_;   ///< per stream, false before tick 1
   std::size_t active_ = 0;
+  StageTimers timers_;
 };
 
 }  // namespace mlad::detect

@@ -17,6 +17,11 @@
 
 #include "ics/link_mux.hpp"
 
+namespace mlad::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace mlad::obs
+
 namespace mlad::ingest {
 
 /// Source-side fault/health counters (DESIGN.md §12), aggregated into
@@ -30,6 +35,23 @@ struct SourceHealth {
   std::uint64_t duplicates_discarded = 0;  ///< resume-overlap records
   std::uint64_t records_lost = 0;          ///< resume gaps
   std::uint64_t faults_injected = 0;       ///< FaultySource decorations
+};
+
+/// Registry mirror of a SourceHealth struct (DESIGN.md §14): bind()
+/// registers one `source_*_total` counter per field, publish() stores the
+/// current totals (relaxed, callable from the pump thread at any cadence).
+/// Unbound instances ignore publish(), so callers need no telemetry guard.
+struct SourceHealthMetrics {
+  obs::Counter* malformed = nullptr;
+  obs::Counter* truncated = nullptr;
+  obs::Counter* connections = nullptr;
+  obs::Counter* reconnects = nullptr;
+  obs::Counter* duplicates_discarded = nullptr;
+  obs::Counter* records_lost = nullptr;
+  obs::Counter* faults_injected = nullptr;
+
+  void bind(obs::MetricsRegistry& registry);
+  void publish(const SourceHealth& health);
 };
 
 class PackageSource {

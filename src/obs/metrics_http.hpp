@@ -1,0 +1,50 @@
+// Minimal live /metrics endpoint (`mlad serve --metrics-port`): one
+// background thread, a nonblocking listen socket, and a 50 ms poll loop —
+// the same idioms as ingest's TcpSource. Every request gets a fresh
+// registry snapshot rendered as Prometheus text exposition; connections
+// are one-shot (`Connection: close`). This is an operator peephole, not a
+// web server: requests are served strictly one at a time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace mlad::obs {
+
+class MetricsHttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// serving thread. Throws std::runtime_error on socket failures.
+  MetricsHttpServer(const MetricsRegistry& registry, std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound port (resolved via getsockname when constructed with 0).
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop the serving thread and close the socket. Idempotent.
+  void stop();
+
+ private:
+  void run();
+  void serve_one(int fd);
+
+  const MetricsRegistry& registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace mlad::obs

@@ -1,0 +1,274 @@
+#include "obs/stats_format.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace mlad::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_key(std::string& out, std::string_view name) {
+  out += '"';
+  out += name;  // registry names are identifier-like; no escaping needed
+  out += "\": ";
+}
+
+/// Cursor-based reader for exactly the schema render_stats_line emits
+/// (whitespace-tolerant, but no escapes, floats, or nested generality).
+class LineParser {
+ public:
+  explicit LineParser(std::string_view s) : s_(s) {}
+
+  StatsRecord parse() {
+    StatsRecord rec;
+    expect('{');
+    expect_key("seq");
+    rec.seq = number();
+    expect(',');
+    expect_key("t_ns");
+    rec.t_ns = number();
+    expect(',');
+    expect_key("counters");
+    parse_u64_map(rec.counters);
+    expect(',');
+    expect_key("gauges");
+    parse_u64_map(rec.gauges);
+    expect(',');
+    expect_key("histograms");
+    parse_histograms(rec.histograms);
+    expect('}');
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing data after record");
+    return rec;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("stats line parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of line");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') out += s_[pos_++];
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  void expect_key(std::string_view name) {
+    if (string_token() != name) fail("unexpected key");
+    expect(':');
+  }
+
+  std::uint64_t number() {
+    skip_ws();
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      fail("expected number");
+    }
+    std::uint64_t v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(s_[pos_++] - '0');
+    }
+    return v;
+  }
+
+  void parse_u64_map(
+      std::vector<std::pair<std::string, std::uint64_t>>& out) {
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      std::string name = string_token();
+      expect(':');
+      out.emplace_back(std::move(name), number());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_histograms(
+      std::vector<std::pair<std::string, HistogramSnapshot>>& out) {
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      std::string name = string_token();
+      expect(':');
+      out.emplace_back(std::move(name), parse_histogram());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  HistogramSnapshot parse_histogram() {
+    HistogramSnapshot h;
+    expect('{');
+    expect_key("count");
+    h.count = number();
+    expect(',');
+    expect_key("sum_ns");
+    h.sum_ns = number();
+    expect(',');
+    expect_key("buckets");
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+    } else {
+      while (true) {
+        expect('[');
+        const std::uint64_t bucket = number();
+        expect(',');
+        const std::uint64_t count = number();
+        expect(']');
+        if (bucket >= h.buckets.size()) fail("bucket index out of range");
+        h.buckets[bucket] = count;
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+    }
+    expect('}');
+    return h;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+template <typename T>
+const T* find_named(const std::vector<std::pair<std::string, T>>& items,
+                    std::string_view name) {
+  for (const auto& [n, v] : items) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::uint64_t* StatsRecord::counter(std::string_view name) const {
+  return find_named(counters, name);
+}
+
+const std::uint64_t* StatsRecord::gauge(std::string_view name) const {
+  return find_named(gauges, name);
+}
+
+const HistogramSnapshot* StatsRecord::histogram(
+    std::string_view name) const {
+  return find_named(histograms, name);
+}
+
+std::string render_stats_line(const MetricsSnapshot& snap, std::uint64_t seq,
+                              std::uint64_t t_ns) {
+  std::string out = "{\"seq\": ";
+  append_u64(out, seq);
+  out += ", \"t_ns\": ";
+  append_u64(out, t_ns);
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ", ";
+    first = false;
+    append_key(out, name);
+    append_u64(out, value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    append_key(out, name);
+    append_u64(out, value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    append_key(out, name);
+    out += "{\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum_ns\": ";
+    append_u64(out, h.sum_ns);
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += '[';
+      append_u64(out, b);
+      out += ", ";
+      append_u64(out, h.buckets[b]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+StatsRecord parse_stats_line(std::string_view line) {
+  return LineParser(line).parse();
+}
+
+std::vector<StatsRecord> read_stats_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open stats file: " + path);
+  std::vector<StatsRecord> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out.push_back(parse_stats_line(line));
+  }
+  return out;
+}
+
+}  // namespace mlad::obs

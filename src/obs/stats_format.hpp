@@ -1,0 +1,50 @@
+// JSONL stats-stream format (DESIGN.md §14): one self-contained snapshot
+// per line, values CUMULATIVE and monotone so readers recover rates by
+// differencing consecutive lines. Field order is deterministic (names
+// sorted inside each section) so identical runs produce byte-comparable
+// streams. The renderer and parser live together here so `mlad stats`
+// and the unit tests read exactly what StatsWriter wrote.
+//
+//   {"seq": 3, "t_ns": 1200000, "counters": {"engine_frames_total": 42,
+//    ...}, "gauges": {...}, "histograms": {"stage_nn_ns": {"count": 42,
+//    "sum_ns": 9000, "buckets": [[10, 30], [11, 12]]}}}
+//
+// Histogram buckets are emitted sparsely as [index, count] pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mlad::obs {
+
+/// One parsed stats line. Lookup helpers mirror MetricsSnapshot's.
+struct StatsRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  const std::uint64_t* counter(std::string_view name) const;
+  const std::uint64_t* gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Render one snapshot as a single JSON line (no trailing newline).
+std::string render_stats_line(const MetricsSnapshot& snap, std::uint64_t seq,
+                              std::uint64_t t_ns);
+
+/// Parse one line produced by render_stats_line. Throws std::runtime_error
+/// on malformed input — this is a schema-specific reader, not a general
+/// JSON parser.
+StatsRecord parse_stats_line(std::string_view line);
+
+/// Read a whole stats stream (one record per non-empty line). Throws on
+/// unreadable files or malformed lines.
+std::vector<StatsRecord> read_stats_file(const std::string& path);
+
+}  // namespace mlad::obs

@@ -1,0 +1,70 @@
+#include "obs/stats_writer.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/stats_format.hpp"
+
+namespace mlad::obs {
+
+StatsWriter::StatsWriter(const MetricsRegistry& registry,
+                         const std::string& path, double interval_s)
+    : registry_(registry),
+      interval_s_(interval_s > 0.0 ? interval_s : 0.05) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open stats output: " + path);
+  }
+  thread_ = std::thread(&StatsWriter::run, this);
+}
+
+StatsWriter::~StatsWriter() { stop(); }
+
+void StatsWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One final line so the stream always ends with end-of-run totals.
+  write_snapshot_line();
+  std::fclose(file_);
+  file_ = nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
+std::uint64_t StatsWriter::lines_written() const {
+  return seq_.load(std::memory_order_relaxed);
+}
+
+void StatsWriter::run() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(interval_s_));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval,
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    write_snapshot_line();
+    lock.lock();
+  }
+}
+
+void StatsWriter::write_snapshot_line() {
+  const std::uint64_t t_ns = now_ns() - registry_.start_ns();
+  const std::string line =
+      render_stats_line(registry_.snapshot(),
+                        seq_.load(std::memory_order_relaxed), t_ns);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  seq_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mlad::obs

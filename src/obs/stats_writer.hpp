@@ -1,0 +1,53 @@
+// Periodic JSONL snapshot writer (`mlad serve --stats-out --stats-interval`):
+// a background thread samples the registry every interval and appends one
+// render_stats_line() per sample. All sampling cost lives on this thread —
+// the serve path never blocks on it. stop() writes one final snapshot so
+// the last line of the stream always reflects end-of-run totals.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace mlad::obs {
+
+class StatsWriter {
+ public:
+  /// Opens `path` for writing (truncates) and starts the sampler thread.
+  /// `interval_s` ≤ 0 is clamped to 50 ms. Throws on open failure.
+  StatsWriter(const MetricsRegistry& registry, const std::string& path,
+              double interval_s);
+  ~StatsWriter();
+
+  StatsWriter(const StatsWriter&) = delete;
+  StatsWriter& operator=(const StatsWriter&) = delete;
+
+  /// Stop sampling, write the final snapshot line, and close the file.
+  /// Idempotent.
+  void stop();
+
+  std::uint64_t lines_written() const;
+
+ private:
+  void run();
+  void write_snapshot_line();
+
+  const MetricsRegistry& registry_;
+  std::FILE* file_ = nullptr;
+  double interval_s_;
+  std::atomic<std::uint64_t> seq_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mlad::obs

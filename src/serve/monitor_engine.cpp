@@ -6,6 +6,7 @@
 #include "adapt/online_trainer.hpp"
 #include "common/stopwatch.hpp"
 #include "ics/features.hpp"
+#include "obs/metrics.hpp"
 
 namespace mlad::serve {
 
@@ -42,14 +43,70 @@ MonitorEngine::MonitorEngine(const detect::CombinedDetector& detector,
           "MonitorEngine: rollback_ratio must be > 0");
     }
   }
+  if (config_.metrics != nullptr) {
+    // Register this engine's own instances up front (the registry sums
+    // same-name instances across shards); after this the tick path never
+    // touches the registry, only these pointers.
+    obs::MetricsRegistry& reg = *config_.metrics;
+    tele_.registry = &reg;
+    tele_.decode_ns = &reg.histogram("stage_decode_ns");
+    tele_.queue_wait_ns = &reg.histogram("stage_queue_wait_ns");
+    tele_.dispatch_ns = &reg.histogram("stage_dispatch_ns");
+    tele_.tick_ns = &reg.histogram("stage_tick_ns");
+    tele_.adapt_ns = &reg.histogram("stage_adapt_ns");
+    tele_.frames = &reg.counter("engine_frames_total");
+    tele_.packages = &reg.counter("engine_packages_total");
+    tele_.ticks = &reg.counter("engine_ticks_total");
+    tele_.alarms = &reg.counter("engine_alarms_total");
+    tele_.package_level_alarms =
+        &reg.counter("engine_package_level_alarms_total");
+    tele_.timeseries_level_alarms =
+        &reg.counter("engine_timeseries_level_alarms_total");
+    tele_.decode_failures = &reg.counter("engine_decode_failures_total");
+    tele_.links_seen = &reg.counter("engine_links_seen_total");
+    tele_.links_retired = &reg.counter("engine_links_retired_total");
+    tele_.links_parked = &reg.counter("engine_links_parked_total");
+    tele_.model_swaps = &reg.counter("engine_model_swaps_total");
+    tele_.rollbacks = &reg.counter("engine_rollbacks_total");
+    tele_.wall_clock_parks = &reg.counter("engine_wall_clock_parks_total");
+    tele_.wall_clock_closes = &reg.counter("engine_wall_clock_closes_total");
+    tele_.classify_us = &reg.counter("engine_classify_us_total");
+    tele_.adapt_us = &reg.counter("engine_adapt_us_total");
+    tele_.peak_links = &reg.gauge("engine_peak_links");
+    tele_.peak_pending = &reg.gauge("engine_peak_pending");
+    tele_.model_version = &reg.gauge("engine_model_version");
+    if (config_.batched) {
+      batch_.set_stage_timers({&reg.histogram("stage_lookup_ns"),
+                               &reg.histogram("stage_nn_ns")});
+    }
+  }
 }
 
 void MonitorEngine::push(ics::LinkId link, const ics::RawFrame& frame) {
-  ingest(mux_.push(link, frame), frame.bytes.size());
+  // Per-frame stages are SAMPLED 1-in-kStageSampleEvery (DESIGN.md §14): a
+  // raw clock read costs ~20 ns on virtualized TSCs, which alone would
+  // blow the 2% tick-path budget if paid on every frame.
+  if (tele_.on() && stats_.frames % kStageSampleEvery == 0) {
+    const std::uint64_t t0 = obs::now_ns();
+    const ics::LinkMux::Demuxed demuxed = mux_.push(link, frame);
+    const std::uint64_t t1 = obs::now_ns();
+    tele_.decode_ns->record(t1 - t0);
+    ingest(demuxed, frame.bytes.size(), t1);
+  } else {
+    ingest(mux_.push(link, frame), frame.bytes.size(), 0);
+  }
 }
 
 void MonitorEngine::push(const ics::RawFrame& frame) {
-  ingest(mux_.push(frame), frame.bytes.size());
+  if (tele_.on() && stats_.frames % kStageSampleEvery == 0) {
+    const std::uint64_t t0 = obs::now_ns();
+    const ics::LinkMux::Demuxed demuxed = mux_.push(frame);
+    const std::uint64_t t1 = obs::now_ns();
+    tele_.decode_ns->record(t1 - t0);
+    ingest(demuxed, frame.bytes.size(), t1);
+  } else {
+    ingest(mux_.push(frame), frame.bytes.size(), 0);
+  }
 }
 
 void MonitorEngine::replay(std::span<const ics::LinkFrame> wire) {
@@ -58,7 +115,8 @@ void MonitorEngine::replay(std::span<const ics::LinkFrame> wire) {
 }
 
 void MonitorEngine::ingest(const ics::LinkMux::Demuxed& demuxed,
-                           std::size_t frame_len) {
+                           std::size_t frame_len,
+                           std::uint64_t enqueue_ns) {
   ++stats_.frames;
   Link& link = links_[demuxed.link];
   if (link.slot == kNoSlot) {
@@ -78,6 +136,7 @@ void MonitorEngine::ingest(const ics::LinkMux::Demuxed& demuxed,
   pending.function = p.function;
   pending.length = static_cast<std::uint16_t>(frame_len);
   pending.decode_ok = demuxed.decoded.decode_ok;
+  pending.enqueue_ns = enqueue_ns;
   link.queue.push_back(std::move(pending));
   stats_.peak_pending =
       std::max<std::uint64_t>(stats_.peak_pending, link.queue.size());
@@ -143,6 +202,9 @@ void MonitorEngine::finish() {
   // the closing stats (no tick follows to adopt it otherwise). Idempotent:
   // with nothing outstanding this is a no-op.
   if (config_.adapter != nullptr) adapt_boundary(/*request_next=*/false);
+  // Final mirror so exporters sampled after finish() see end-of-run totals
+  // (links retired above would otherwise wait for a tick that never comes).
+  if (tele_.on()) publish_stats();
 }
 
 void MonitorEngine::retire_drained() {
@@ -347,6 +409,20 @@ void MonitorEngine::maybe_tick() {
       return;
     }
 
+    std::uint64_t tick_start = 0;
+    if (tele_.on()) {
+      // One clock read covers the whole tick: every sampled front
+      // package's queue wait (enqueue_ns != 0 marks the 1-in-N frames the
+      // decode path stamped) is measured against the same instant.
+      tick_start = obs::now_ns();
+      for (std::size_t s = 0; s < n; ++s) {
+        const Pending& p = slot_links_[s]->queue.front();
+        if (p.enqueue_ns != 0) {
+          tele_.queue_wait_ns->record(
+              tick_start > p.enqueue_ns ? tick_start - p.enqueue_ns : 0);
+        }
+      }
+    }
     tick_rows_.resize(n);
     for (std::size_t s = 0; s < n; ++s) {
       tick_rows_[s] = slot_links_[s]->queue.front().row;
@@ -367,6 +443,7 @@ void MonitorEngine::maybe_tick() {
     gate_blocked_ms_ = 0.0;  // the gate moved; the stall clock restarts
     escalate_parked();
 
+    const std::uint64_t dispatch_start = tele_.on() ? obs::now_ns() : 0;
     for (std::size_t s = 0; s < n; ++s) {
       Link& link = *slot_links_[s];
       const Pending& pending = link.queue.front();
@@ -380,6 +457,12 @@ void MonitorEngine::maybe_tick() {
       }
       link.queue.pop_front();
     }
+    if (tele_.on()) {
+      const std::uint64_t tick_end = obs::now_ns();
+      tele_.dispatch_ns->record(tick_end - dispatch_start);
+      tele_.tick_ns->record(tick_end - tick_start);
+      publish_stats();
+    }
     // Tick boundary: an armed-and-tripped rollback executes BEFORE the next
     // adapt boundary, so the restored weights (not the bad ones) are what a
     // same-tick swap would be judged against.
@@ -392,6 +475,7 @@ void MonitorEngine::maybe_tick() {
 }
 
 void MonitorEngine::adapt_boundary(bool request_next) {
+  const std::uint64_t t0 = tele_.on() ? obs::now_ns() : 0;
   Stopwatch sw;
   if (const std::uint64_t version = config_.adapter->poll_and_apply();
       version != 0) {
@@ -420,6 +504,7 @@ void MonitorEngine::adapt_boundary(bool request_next) {
   }
   if (request_next) config_.adapter->request_round();
   stats_.adapt_us += sw.elapsed_us();
+  if (tele_.on()) tele_.adapt_ns->record(obs::now_ns() - t0);
 }
 
 void MonitorEngine::rollback_observe(bool anomaly) {
@@ -499,6 +584,29 @@ void MonitorEngine::dispatch(ics::LinkId id, Link& link,
   event.length = pending.length;
   event.decode_ok = pending.decode_ok;
   sink_->on_alarm(event);
+}
+
+void MonitorEngine::publish_stats() {
+  const EngineStats& s = stats_;
+  tele_.frames->set(s.frames);
+  tele_.packages->set(s.packages);
+  tele_.ticks->set(s.ticks);
+  tele_.alarms->set(s.alarms);
+  tele_.package_level_alarms->set(s.package_level_alarms);
+  tele_.timeseries_level_alarms->set(s.timeseries_level_alarms);
+  tele_.decode_failures->set(s.decode_failures);
+  tele_.links_seen->set(s.links_seen);
+  tele_.links_retired->set(s.links_retired);
+  tele_.links_parked->set(s.links_parked);
+  tele_.model_swaps->set(s.model_swaps);
+  tele_.rollbacks->set(s.rollbacks);
+  tele_.wall_clock_parks->set(s.wall_clock_parks);
+  tele_.wall_clock_closes->set(s.wall_clock_closes);
+  tele_.classify_us->set(static_cast<std::uint64_t>(s.classify_us));
+  tele_.adapt_us->set(static_cast<std::uint64_t>(s.adapt_us));
+  tele_.peak_links->set(s.peak_links);
+  tele_.peak_pending->set(s.peak_pending);
+  tele_.model_version->set(s.model_version);
 }
 
 std::vector<std::pair<ics::LinkId, LinkStats>> MonitorEngine::link_stats()

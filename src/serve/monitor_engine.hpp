@@ -38,6 +38,13 @@ namespace mlad::adapt {
 class OnlineTrainer;
 }  // namespace mlad::adapt
 
+namespace mlad::obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+class MetricsRegistry;
+}  // namespace mlad::obs
+
 namespace mlad::serve {
 
 struct MonitorEngineConfig {
@@ -107,6 +114,15 @@ struct MonitorEngineConfig {
   /// the previous round's weights (waiting for it if still training) and
   /// requests the next — so swaps land on deterministic ticks.
   std::size_t adapt_interval = 512;
+
+  // ---- telemetry (DESIGN.md §14) ------------------------------------------
+  /// Metrics registry; the engine registers its own per-stage histograms
+  /// and EngineStats mirrors at construction and updates them on the tick
+  /// path (a clock read and a relaxed store per sample — never a lock).
+  /// Telemetry never feeds back into classification: verdicts are
+  /// bit-identical with or without it. Null = telemetry off (the default;
+  /// the tick path pays nothing).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct LinkStats {
@@ -156,6 +172,13 @@ struct EngineStats {
 
 class MonitorEngine {
  public:
+  /// Per-FRAME telemetry stages (decode latency, queue wait) sample one
+  /// frame in this many (DESIGN.md §14): a raw clock read costs ~20 ns on
+  /// virtualized TSCs, so stamping every frame would exceed the 2%
+  /// tick-path overhead budget by itself. Per-TICK stages are always
+  /// measured — their cost amortizes over the batch.
+  static constexpr std::uint64_t kStageSampleEvery = 8;
+
   /// `detector` and `sink` must outlive the engine; `sink` may be null
   /// (classify + count, no alarm delivery).
   MonitorEngine(const detect::CombinedDetector& detector, AlarmSink* sink,
@@ -208,6 +231,10 @@ class MonitorEngine {
     std::uint8_t function = 0;
     std::uint16_t length = 0;
     bool decode_ok = false;
+    /// Decode-end timestamp (telemetry only; 0 when telemetry is off or
+    /// the frame was not sampled) — the tick start minus this is the
+    /// package's queue wait.
+    std::uint64_t enqueue_ns = 0;
   };
 
   struct Link {
@@ -224,7 +251,8 @@ class MonitorEngine {
     std::optional<detect::StreamBatch::StreamSnapshot> parked_state;
   };
 
-  void ingest(const ics::LinkMux::Demuxed& demuxed, std::size_t frame_len);
+  void ingest(const ics::LinkMux::Demuxed& demuxed, std::size_t frame_len,
+              std::uint64_t enqueue_ns);
   void join(ics::LinkId id, Link& link);
   void retire_drained();
   /// Take every link currently blocking the gate out of it (park or close)
@@ -253,6 +281,10 @@ class MonitorEngine {
   void perform_rollback();
   void dispatch(ics::LinkId id, Link& link, const Pending& pending,
                 const detect::CombinedVerdict& verdict);
+  /// Mirror every EngineStats field into the registry (relaxed stores;
+  /// called once per tick and once in finish() — the struct stays the
+  /// source of truth, the registry its exporter-visible shadow).
+  void publish_stats();
 
   const detect::CombinedDetector* detector_;
   AlarmSink* sink_;
@@ -265,6 +297,38 @@ class MonitorEngine {
   std::vector<Link*> slot_links_;   ///< slot → session (map nodes are stable)
   std::size_t parked_count_ = 0;    ///< links currently parked
   EngineStats stats_;
+
+  /// Telemetry instrument pointers, resolved once at construction from
+  /// config_.metrics (all null when telemetry is off, and every hot-path
+  /// touch is guarded by on() — a single pointer test).
+  struct Telemetry {
+    obs::MetricsRegistry* registry = nullptr;
+    obs::LatencyHistogram* decode_ns = nullptr;
+    obs::LatencyHistogram* queue_wait_ns = nullptr;
+    obs::LatencyHistogram* dispatch_ns = nullptr;
+    obs::LatencyHistogram* tick_ns = nullptr;
+    obs::LatencyHistogram* adapt_ns = nullptr;
+    obs::Counter* frames = nullptr;
+    obs::Counter* packages = nullptr;
+    obs::Counter* ticks = nullptr;
+    obs::Counter* alarms = nullptr;
+    obs::Counter* package_level_alarms = nullptr;
+    obs::Counter* timeseries_level_alarms = nullptr;
+    obs::Counter* decode_failures = nullptr;
+    obs::Counter* links_seen = nullptr;
+    obs::Counter* links_retired = nullptr;
+    obs::Counter* links_parked = nullptr;
+    obs::Counter* model_swaps = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* wall_clock_parks = nullptr;
+    obs::Counter* wall_clock_closes = nullptr;
+    obs::Counter* classify_us = nullptr;
+    obs::Counter* adapt_us = nullptr;
+    obs::Gauge* peak_links = nullptr;
+    obs::Gauge* peak_pending = nullptr;
+    obs::Gauge* model_version = nullptr;
+    bool on() const { return registry != nullptr; }
+  } tele_;
 
   /// Wall-clock milliseconds the gate has been blocked (reset by a tick).
   double gate_blocked_ms_ = 0.0;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ingest/shard_router.hpp"
+#include "obs/metrics.hpp"
 
 namespace mlad::serve {
 
@@ -23,7 +24,7 @@ EngineStats aggregate_stats(std::span<const EngineStats> shards) {
     out.links_seen += s.links_seen;
     out.links_retired += s.links_retired;
     out.links_parked += s.links_parked;
-    out.peak_links += s.peak_links;
+    out.peak_links = std::max(out.peak_links, s.peak_links);
     out.peak_pending = std::max(out.peak_pending, s.peak_pending);
     out.model_version = std::max(out.model_version, s.model_version);
     out.model_swaps += s.model_swaps;
@@ -49,6 +50,16 @@ ShardedEngine::ShardedEngine(const detect::CombinedDetector& detector,
   }
   if (sink != nullptr) serialized_.emplace(sink);
   AlarmSink* shard_sink = serialized_ ? &*serialized_ : nullptr;
+
+  if (config.engine.metrics != nullptr) {
+    // Pump-side instruments; each shard's MonitorEngine registers its own
+    // engine_*/stage_* instances below (the registry sums them by name).
+    obs::MetricsRegistry& reg = *config.engine.metrics;
+    itele_.frames_routed = &reg.counter("ingest_frames_routed_total");
+    itele_.producer_blocks = &reg.counter("ingest_producer_blocks_total");
+    itele_.peak_queue_depth = &reg.gauge("ingest_peak_queue_depth");
+    itele_.health.bind(reg);
+  }
 
   shards_.resize(config.shards);
   for (Shard& shard : shards_) {
@@ -102,6 +113,10 @@ void ShardedEngine::push(const ics::LinkFrame& lf) {
   }
   ++ingest_.frames_routed;
   shards_[ingest::shard_of(lf.link, shards_.size())].queue->push(lf);
+  if (itele_.on()) {
+    itele_.frames_routed->set(ingest_.frames_routed);
+    if (ingest_.frames_routed % 4096 == 0) sample_queue_telemetry();
+  }
 }
 
 void ShardedEngine::push(ics::LinkId link, const ics::RawFrame& frame) {
@@ -114,10 +129,14 @@ std::uint64_t ShardedEngine::run(ingest::PackageSource& source) {
   while (source.next(lf)) {
     push(lf);
     ++n;
+    // Keep the live /metrics view of front-end degradation fresh without
+    // querying the source per frame.
+    if (itele_.on() && n % 4096 == 0) itele_.health.publish(source.health());
   }
   // Capture the front end's degradation counters while the source is still
   // alive — the caller may destroy it right after run() returns.
   ingest_.source_health = source.health();
+  if (itele_.on()) itele_.health.publish(ingest_.source_health);
   finish();
   return n;
 }
@@ -134,7 +153,20 @@ void ShardedEngine::finish() {
     ingest_.peak_queue_depth =
         std::max(ingest_.peak_queue_depth, qs.peak_depth);
   }
+  if (itele_.on()) sample_queue_telemetry();
   finished_ = true;
+}
+
+void ShardedEngine::sample_queue_telemetry() {
+  std::uint64_t blocks = 0;
+  std::uint64_t peak = 0;
+  for (const Shard& shard : shards_) {
+    const auto qs = shard.queue->stats();
+    blocks += qs.producer_blocks;
+    peak = std::max(peak, qs.peak_depth);
+  }
+  itele_.producer_blocks->set(blocks);
+  itele_.peak_queue_depth->set(peak);
 }
 
 void ShardedEngine::require_finished(const char* what) const {

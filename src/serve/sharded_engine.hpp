@@ -62,9 +62,11 @@ struct IngestStats {
 
 /// Element-wise aggregation of per-shard stats: counters and timings sum
 /// (classify_us becomes total CPU time inside ticks, so us_per_package()
-/// stays a per-package CPU cost); peak_pending and model_version take the
-/// max; peak_links sums the per-shard peaks (an upper bound on the
-/// instantaneous box-wide concurrent-link peak).
+/// stays a per-package CPU cost); the peak_* gauges and model_version take
+/// the max — summing per-shard peaks would report a high-water mark no
+/// single engine ever saw. The registry's snapshot aggregation
+/// (obs::MetricsRegistry) applies the same rules, so telemetry and this
+/// struct always agree.
 EngineStats aggregate_stats(std::span<const EngineStats> shards);
 
 class ShardedEngine {
@@ -108,12 +110,27 @@ class ShardedEngine {
   };
 
   void require_finished(const char* what) const;
+  /// Poll the shard queues' lock-guarded stats into the registry (called
+  /// from the pump every few thousand frames and once at finish — never
+  /// per frame, the queue mutex is not tick-path cheap).
+  void sample_queue_telemetry();
+
+  /// Pump-side registry instruments (bound when config.engine.metrics is
+  /// set; the pump thread owns every write).
+  struct IngestTelemetry {
+    obs::Counter* frames_routed = nullptr;
+    obs::Counter* producer_blocks = nullptr;
+    obs::Gauge* peak_queue_depth = nullptr;
+    ingest::SourceHealthMetrics health;
+    bool on() const { return frames_routed != nullptr; }
+  };
 
   /// Engaged only when a sink is given (null sink ⇒ shards count alarms
   /// without delivery, nothing to serialize).
   std::optional<SerializedAlarmSink> serialized_;
   std::vector<Shard> shards_;
   IngestStats ingest_;
+  IngestTelemetry itele_;
   bool finished_ = false;
 };
 

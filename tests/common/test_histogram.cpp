@@ -76,6 +76,43 @@ TEST(Histogram, DegenerateRangeStillCounts) {
   EXPECT_EQ(h.total(), 1u);
 }
 
+TEST(Histogram, BinOfExactBoundaries) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_of(0.0), 0u);    // exact lo
+  EXPECT_EQ(h.bin_of(10.0), 9u);   // exact hi lands in the last bin
+  EXPECT_EQ(h.bin_of(1.0), 1u);    // interior bin edge belongs upward
+  EXPECT_EQ(h.bin_of(9.999), 9u);
+}
+
+TEST(Histogram, BinOfOutOfRangeClamps) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_EQ(h.bin_of(-100.0), 0u);
+  EXPECT_EQ(h.bin_of(1.999), 0u);
+  EXPECT_EQ(h.bin_of(4.001), 3u);
+  EXPECT_EQ(h.bin_of(1e18), 3u);
+}
+
+TEST(Histogram, BinOfSingleBinDegenerate) {
+  Histogram h(0.0, 10.0, 1);
+  EXPECT_EQ(h.bin_of(-1.0), 0u);
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+  EXPECT_EQ(h.bin_of(5.0), 0u);
+  EXPECT_EQ(h.bin_of(10.0), 0u);
+  EXPECT_EQ(h.bin_of(99.0), 0u);
+}
+
+TEST(Histogram, WeightedAddMatchesRepeatedAdd) {
+  Histogram a(0.0, 8.0, 8);
+  Histogram b(0.0, 8.0, 8);
+  for (int i = 0; i < 7; ++i) a.add(3.5);
+  b.add(3.5, 7);
+  EXPECT_EQ(a.count(3), b.count(3));
+  EXPECT_EQ(a.total(), b.total());
+  b.add(6.5, 0);  // zero-weight add is a no-op
+  EXPECT_EQ(b.count(6), 0u);
+  EXPECT_EQ(b.total(), 7u);
+}
+
 TEST(Histogram, AsciiRendersNonEmpty) {
   Histogram h(0.0, 1.0, 200);
   for (int i = 0; i < 100; ++i) h.add(i / 100.0);

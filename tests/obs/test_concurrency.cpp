@@ -1,0 +1,91 @@
+// Thread-safety suite for the registry (runs under TSan in CI): several
+// owner threads hammer their per-owner instruments while a reader thread
+// snapshots concurrently. Exact totals must survive — relaxed atomics lose
+// nothing, they only leave cross-instrument ordering unspecified.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mlad::obs {
+namespace {
+
+TEST(MetricsConcurrency, WritersAndSnapshotReader) {
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kOps = 50000;
+
+  MetricsRegistry reg;
+  // Per-owner registration up front, exactly like the serve path: each
+  // writer thread owns its own instances of the shared names.
+  struct Instruments {
+    Counter* counter;
+    Gauge* gauge;
+    LatencyHistogram* histogram;
+  };
+  std::vector<Instruments> owned;
+  for (int w = 0; w < kWriters; ++w) {
+    owned.push_back({&reg.counter("engine_packages_total"),
+                     &reg.gauge("engine_peak_pending"),
+                     &reg.histogram("stage_tick_ns")});
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = reg.snapshot();
+      // Monotone counters never exceed the final total mid-run.
+      const std::uint64_t* total = snap.counter("engine_packages_total");
+      ASSERT_NE(total, nullptr);
+      EXPECT_LE(*total, kWriters * kOps);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Instruments ins = owned[static_cast<std::size_t>(w)];
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        ins.counter->add();
+        ins.gauge->set(i);
+        ins.histogram->record(i & 0xFFF);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(*snap.counter("engine_packages_total"), kWriters * kOps);
+  EXPECT_EQ(*snap.gauge("engine_peak_pending"), kOps - 1);  // max of finals
+  EXPECT_EQ(snap.histogram("stage_tick_ns")->count, kWriters * kOps);
+}
+
+TEST(MetricsConcurrency, RegistrationRacesWithSnapshot) {
+  MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) (void)reg.snapshot();
+  });
+  std::vector<std::thread> registrants;
+  for (int t = 0; t < 4; ++t) {
+    registrants.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("c" + std::to_string(i % 16)).add();
+        reg.histogram("h" + std::to_string(t)).record(1);
+      }
+    });
+  }
+  for (auto& t : registrants) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(*snap.counter("c0"), 4u * 13u);  // i = 0,16,…,192 per thread
+  EXPECT_EQ(snap.histogram("h0")->count, 200u);
+}
+
+}  // namespace
+}  // namespace mlad::obs

@@ -1,0 +1,90 @@
+#include "obs/metrics_http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mlad::obs {
+namespace {
+
+/// One blocking GET against 127.0.0.1:port; returns the full response.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServer, ServesPrometheusText) {
+  MetricsRegistry reg;
+  reg.counter("engine_packages_total").add(99);
+  reg.histogram("stage_tick_ns").record(100);
+  MetricsHttpServer server(reg, /*port=*/0);  // 0 = kernel-assigned
+  ASSERT_NE(server.port(), 0u);
+
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("mlad_engine_packages_total 99"),
+            std::string::npos);
+  EXPECT_NE(response.find("mlad_stage_tick_ns_count 1"), std::string::npos);
+
+  // Values move between requests: the endpoint reads live instruments.
+  reg.counter("engine_packages_total").add(1);
+  const std::string again = http_get(server.port(), "/metrics");
+  EXPECT_NE(again.find("mlad_engine_packages_total 100"),
+            std::string::npos);
+
+  server.stop();
+  EXPECT_GE(server.requests_served(), 2u);
+  server.stop();  // idempotent
+}
+
+TEST(MetricsHttpServer, ContentLengthMatchesBody) {
+  MetricsRegistry reg;
+  reg.counter("engine_frames_total").add(7);
+  MetricsHttpServer server(reg, 0);
+  const std::string response = http_get(server.port(), "/metrics");
+  const auto header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string body = response.substr(header_end + 4);
+  const auto cl = response.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  EXPECT_EQ(std::stoul(response.substr(cl + 16)), body.size());
+}
+
+TEST(MetricsHttpServer, StopsCleanlyWithNoRequests) {
+  MetricsRegistry reg;
+  MetricsHttpServer server(reg, 0);
+  server.stop();
+  EXPECT_EQ(server.requests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace mlad::obs

@@ -1,0 +1,179 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mlad::obs {
+namespace {
+
+TEST(Counter, AddAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);  // mirrored totals may be rewritten wholesale
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, SetOverwrites) {
+  Gauge g;
+  g.set(10);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3u);
+}
+
+TEST(NowNs, MonotoneNonDecreasing) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(LatencyHistogramBucketOf, PowerOfTwoBoundaries) {
+  // Bucket b holds samples with bit_width(ns) == b+1: {0,1} land in bucket
+  // 0, [2^b, 2^(b+1)) in bucket b.
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of((1ull << 20) - 1), 19u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1ull << 20), 20u);
+  EXPECT_EQ(LatencyHistogram::bucket_of((1ull << 20) + 1), 20u);
+  EXPECT_EQ(
+      LatencyHistogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+      63u);
+}
+
+TEST(LatencyHistogramBucketOf, UpperEdges) {
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(0), 1u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(1), 3u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(9), 1023u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(63),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(LatencyHistogram, RecordCountsAndSums) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(1000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum_ns, 1001u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[9], 1u);  // 1000 has bit_width 10
+}
+
+TEST(HistogramSnapshot, QuantilesOnKnownDistribution) {
+  // 90 samples of 10 ns (bucket 3, upper edge 15) and 10 of 1000 ns
+  // (bucket 9, upper edge 1023): p50 reads the fast bucket, the tail
+  // quantiles read the slow one.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile_ns(0.50), 15.0);
+  EXPECT_DOUBLE_EQ(s.quantile_ns(0.90), 15.0);
+  EXPECT_DOUBLE_EQ(s.quantile_ns(0.95), 1023.0);
+  EXPECT_DOUBLE_EQ(s.quantile_ns(0.99), 1023.0);
+  EXPECT_DOUBLE_EQ(s.quantile_ns(1.0), 1023.0);
+  EXPECT_DOUBLE_EQ(s.quantile_ns(0.0), 15.0);  // rank clamps to 1st sample
+  EXPECT_DOUBLE_EQ(s.mean_ns(), (90.0 * 10.0 + 10.0 * 1000.0) / 100.0);
+}
+
+TEST(HistogramSnapshot, QuantileOfEmptyIsZero) {
+  const HistogramSnapshot s;
+  EXPECT_DOUBLE_EQ(s.quantile_ns(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_ns(), 0.0);
+}
+
+TEST(HistogramSnapshot, MergeSumsBuckets) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(10);
+  b.record(10);
+  b.record(5000);
+  HistogramSnapshot s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum_ns, 5020u);
+  EXPECT_EQ(s.buckets[3], 2u);
+}
+
+TEST(MetricsRegistry, AggregatesSameNameInstances) {
+  // Two owners (e.g. engine shards) each register their own instance of a
+  // name; snapshot() folds them with the cross-shard EngineStats rules:
+  // counters and histogram buckets sum, gauges take the max.
+  MetricsRegistry reg;
+  Counter& c0 = reg.counter("engine_packages_total");
+  Counter& c1 = reg.counter("engine_packages_total");
+  Gauge& g0 = reg.gauge("engine_peak_pending");
+  Gauge& g1 = reg.gauge("engine_peak_pending");
+  LatencyHistogram& h0 = reg.histogram("stage_tick_ns");
+  LatencyHistogram& h1 = reg.histogram("stage_tick_ns");
+  ASSERT_NE(&c0, &c1);  // per-owner instances, never shared
+  c0.add(10);
+  c1.add(5);
+  g0.set(100);
+  g1.set(40);
+  h0.record(8);
+  h1.record(8);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(*snap.counter("engine_packages_total"), 15u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(*snap.gauge("engine_peak_pending"), 100u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histogram("stage_tick_ns")->count, 2u);
+  EXPECT_EQ(snap.histogram("stage_tick_ns")->buckets[3], 2u);
+}
+
+TEST(MetricsRegistry, SnapshotSortsNames) {
+  MetricsRegistry reg;
+  reg.counter("zeta");
+  reg.counter("alpha");
+  reg.counter("mid");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zeta");
+}
+
+TEST(MetricsSnapshot, LookupMissReturnsNull) {
+  MetricsRegistry reg;
+  reg.counter("present");
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_NE(snap.counter("present"), nullptr);
+  EXPECT_EQ(snap.counter("absent"), nullptr);
+  EXPECT_EQ(snap.gauge("absent"), nullptr);
+  EXPECT_EQ(snap.histogram("absent"), nullptr);
+}
+
+TEST(MetricsSnapshot, PrometheusRendersAllFamilies) {
+  MetricsRegistry reg;
+  reg.counter("engine_packages_total").add(42);
+  reg.gauge("engine_peak_links").set(3);
+  reg.histogram("stage_nn_ns").record(10);
+  const std::string text = reg.snapshot().prometheus();
+  EXPECT_NE(text.find("# TYPE mlad_engine_packages_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlad_engine_packages_total 42"), std::string::npos);
+  EXPECT_NE(text.find("mlad_engine_peak_links 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mlad_stage_nn_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlad_stage_nn_ns_bucket{le=\"15\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlad_stage_nn_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlad_stage_nn_ns_sum 10"), std::string::npos);
+  EXPECT_NE(text.find("mlad_stage_nn_ns_count 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlad::obs

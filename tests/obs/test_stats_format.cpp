@@ -1,0 +1,135 @@
+#include "obs/stats_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/stats_writer.hpp"
+
+namespace mlad::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("engine_packages_total").add(14342);
+  reg.counter("engine_alarms_total").add(9248);
+  reg.gauge("engine_peak_pending").set(178);
+  LatencyHistogram& h = reg.histogram("stage_nn_ns");
+  h.record(0);
+  h.record(10);
+  h.record(10);
+  h.record(5000);
+  return reg.snapshot();
+}
+
+TEST(StatsFormat, RenderParseRoundTrip) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const std::string line = render_stats_line(snap, /*seq=*/7,
+                                             /*t_ns=*/123456789);
+  const StatsRecord rec = parse_stats_line(line);
+  EXPECT_EQ(rec.seq, 7u);
+  EXPECT_EQ(rec.t_ns, 123456789u);
+  ASSERT_NE(rec.counter("engine_packages_total"), nullptr);
+  EXPECT_EQ(*rec.counter("engine_packages_total"), 14342u);
+  EXPECT_EQ(*rec.counter("engine_alarms_total"), 9248u);
+  ASSERT_NE(rec.gauge("engine_peak_pending"), nullptr);
+  EXPECT_EQ(*rec.gauge("engine_peak_pending"), 178u);
+  const HistogramSnapshot* h = rec.histogram("stage_nn_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum_ns, 5020u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[3], 2u);
+  EXPECT_EQ(h->buckets[12], 1u);  // 5000 has bit_width 13
+  // Re-rendering the parsed record's source snapshot is byte-identical:
+  // deterministic field order is the format's contract.
+  EXPECT_EQ(render_stats_line(snap, 7, 123456789), line);
+}
+
+TEST(StatsFormat, CountersSortedInOutput) {
+  const std::string line = render_stats_line(sample_snapshot(), 0, 0);
+  const auto alarms = line.find("engine_alarms_total");
+  const auto packages = line.find("engine_packages_total");
+  ASSERT_NE(alarms, std::string::npos);
+  ASSERT_NE(packages, std::string::npos);
+  EXPECT_LT(alarms, packages);
+}
+
+TEST(StatsFormat, MalformedLinesThrow) {
+  EXPECT_THROW(parse_stats_line(""), std::runtime_error);
+  EXPECT_THROW(parse_stats_line("not json"), std::runtime_error);
+  EXPECT_THROW(parse_stats_line("{\"seq\": 1}"), std::runtime_error);
+  EXPECT_THROW(parse_stats_line("{\"seq\": 1, \"t_ns\": 2, \"counters\": "
+                                "{}, \"gauges\": {}, \"histograms\": {}} x"),
+               std::runtime_error);  // trailing garbage
+  // Bucket index beyond the fixed 64-bucket layout.
+  EXPECT_THROW(
+      parse_stats_line("{\"seq\": 1, \"t_ns\": 2, \"counters\": {}, "
+                       "\"gauges\": {}, \"histograms\": {\"h\": {\"count\": "
+                       "1, \"sum_ns\": 1, \"buckets\": [[64, 1]]}}}"),
+      std::runtime_error);
+}
+
+TEST(StatsFormat, ParsesEmptySections) {
+  const StatsRecord rec = parse_stats_line(
+      "{\"seq\": 0, \"t_ns\": 0, \"counters\": {}, \"gauges\": {}, "
+      "\"histograms\": {}}");
+  EXPECT_TRUE(rec.counters.empty());
+  EXPECT_TRUE(rec.gauges.empty());
+  EXPECT_TRUE(rec.histograms.empty());
+}
+
+TEST(StatsFormat, ReadStatsFileSkipsBlankLines) {
+  const std::string path = testing::TempDir() + "obs_stats_format.jsonl";
+  {
+    std::ofstream out(path);
+    out << render_stats_line(sample_snapshot(), 0, 100) << "\n\n";
+    out << render_stats_line(sample_snapshot(), 1, 200) << "\n";
+  }
+  const std::vector<StatsRecord> recs = read_stats_file(path);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].seq, 0u);
+  EXPECT_EQ(recs[1].seq, 1u);
+  EXPECT_EQ(recs[1].t_ns, 200u);
+  std::remove(path.c_str());
+}
+
+TEST(StatsFormat, ReadStatsFileMissingThrows) {
+  EXPECT_THROW(read_stats_file("/nonexistent/stats.jsonl"),
+               std::runtime_error);
+}
+
+TEST(StatsWriter, FinalLineCarriesEndOfRunTotals) {
+  const std::string path = testing::TempDir() + "obs_stats_writer.jsonl";
+  MetricsRegistry reg;
+  Counter& packages = reg.counter("engine_packages_total");
+  {
+    // A long interval: the run ends before the first periodic tick, so the
+    // stream is exactly the final stop() line.
+    StatsWriter writer(reg, path, /*interval_s=*/60.0);
+    packages.add(123);
+    writer.stop();
+    EXPECT_GE(writer.lines_written(), 1u);
+    writer.stop();  // idempotent
+  }
+  const std::vector<StatsRecord> recs = read_stats_file(path);
+  ASSERT_FALSE(recs.empty());
+  const StatsRecord& last = recs.back();
+  ASSERT_NE(last.counter("engine_packages_total"), nullptr);
+  EXPECT_EQ(*last.counter("engine_packages_total"), 123u);
+  EXPECT_EQ(last.seq, recs.size() - 1);  // seq numbers are dense from 0
+  std::remove(path.c_str());
+}
+
+TEST(StatsWriter, UnwritablePathThrows) {
+  MetricsRegistry reg;
+  EXPECT_THROW(StatsWriter(reg, "/nonexistent/dir/stats.jsonl", 1.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mlad::obs

@@ -1,0 +1,175 @@
+// Serve telemetry (DESIGN.md §14): attaching a MetricsRegistry must be
+// invisible to classification — per-link verdicts bit-identical with
+// telemetry on or off — while the registry's counters mirror EngineStats
+// exactly and the stage histograms count one sample per unit of work.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "detect/pipeline.hpp"
+#include "ics/capture.hpp"
+#include "ics/features.hpp"
+#include "ics/link_mux.hpp"
+#include "ics/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "serve/monitor_engine.hpp"
+#include "serve/sharded_engine.hpp"
+
+namespace mlad::serve {
+namespace {
+
+struct Fixture {
+  detect::TrainedFramework framework;
+  std::vector<ics::LinkFrame> wire;  ///< three links interleaved by time
+
+  Fixture() {
+    ics::SimulatorConfig sim_cfg;
+    sim_cfg.cycles = 1200;
+    sim_cfg.seed = 77;
+    ics::GasPipelineSimulator sim(sim_cfg);
+    const ics::SimulationResult train_capture = sim.run();
+
+    detect::PipelineConfig cfg;
+    cfg.combined.timeseries.hidden_dims = {24};
+    cfg.combined.timeseries.epochs = 2;
+    cfg.combined.timeseries.batch_size = 8;
+    cfg.seed = 3;
+    framework = detect::train_framework(train_capture.packages, cfg);
+
+    std::vector<ics::Capture> captures;
+    const std::size_t cycles[] = {350, 280, 200};
+    for (std::size_t i = 0; i < std::size(cycles); ++i) {
+      ics::SimulatorConfig live_cfg = sim_cfg;
+      live_cfg.cycles = cycles[i];
+      live_cfg.seed = 2000 + i;
+      ics::GasPipelineSimulator live(live_cfg);
+      const ics::SimulationResult result = live.run();
+      ics::Capture capture;
+      capture.reserve(result.packages.size());
+      for (const auto& p : result.packages) {
+        capture.push_back(ics::package_to_frame(p));
+      }
+      captures.push_back(std::move(capture));
+    }
+    wire = ics::merge_captures(captures);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+struct AlarmKey {
+  ics::LinkId link;
+  std::uint64_t seq;
+  bool bloom;
+  double time;
+
+  bool operator==(const AlarmKey&) const = default;
+};
+
+std::vector<AlarmKey> keys(const std::vector<AlarmEvent>& events) {
+  std::vector<AlarmKey> out;
+  for (const AlarmEvent& e : events) {
+    out.push_back({e.link, e.seq, e.verdict.package_level, e.time});
+  }
+  return out;
+}
+
+EngineStats run_engine(const Fixture& f, obs::MetricsRegistry* metrics,
+                       std::vector<AlarmKey>* alarms) {
+  CountingAlarmSink sink;
+  MonitorEngineConfig cfg;
+  cfg.metrics = metrics;
+  MonitorEngine engine(*f.framework.detector, &sink, cfg);
+  engine.replay(f.wire);
+  *alarms = keys(sink.events());
+  return engine.stats();
+}
+
+TEST(ServeTelemetry, VerdictsBitIdenticalWithRegistryAttached) {
+  const Fixture& f = fixture();
+  std::vector<AlarmKey> plain_alarms;
+  std::vector<AlarmKey> telemetered_alarms;
+  const EngineStats plain = run_engine(f, nullptr, &plain_alarms);
+  obs::MetricsRegistry reg;
+  const EngineStats telemetered =
+      run_engine(f, &reg, &telemetered_alarms);
+
+  EXPECT_EQ(plain.packages, telemetered.packages);
+  EXPECT_EQ(plain.ticks, telemetered.ticks);
+  EXPECT_EQ(plain.alarms, telemetered.alarms);
+  EXPECT_EQ(plain_alarms, telemetered_alarms)
+      << "telemetry changed a verdict";
+}
+
+TEST(ServeTelemetry, RegistryMirrorsEngineStats) {
+  const Fixture& f = fixture();
+  obs::MetricsRegistry reg;
+  std::vector<AlarmKey> alarms;
+  const EngineStats s = run_engine(f, &reg, &alarms);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+
+  EXPECT_EQ(*snap.counter("engine_frames_total"), s.frames);
+  EXPECT_EQ(*snap.counter("engine_packages_total"), s.packages);
+  EXPECT_EQ(*snap.counter("engine_ticks_total"), s.ticks);
+  EXPECT_EQ(*snap.counter("engine_alarms_total"), s.alarms);
+  EXPECT_EQ(*snap.counter("engine_package_level_alarms_total"),
+            s.package_level_alarms);
+  EXPECT_EQ(*snap.counter("engine_timeseries_level_alarms_total"),
+            s.timeseries_level_alarms);
+  EXPECT_EQ(*snap.counter("engine_decode_failures_total"),
+            s.decode_failures);
+  EXPECT_EQ(*snap.counter("engine_links_seen_total"), s.links_seen);
+  EXPECT_EQ(*snap.counter("engine_links_retired_total"), s.links_retired);
+  EXPECT_EQ(*snap.gauge("engine_peak_links"), s.peak_links);
+  EXPECT_EQ(*snap.gauge("engine_peak_pending"), s.peak_pending);
+  EXPECT_EQ(*snap.gauge("engine_model_version"), s.model_version);
+}
+
+TEST(ServeTelemetry, StageHistogramsCountUnitsOfWork) {
+  const Fixture& f = fixture();
+  obs::MetricsRegistry reg;
+  std::vector<AlarmKey> alarms;
+  const EngineStats s = run_engine(f, &reg, &alarms);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+
+  // Per-frame stages sample 1-in-kStageSampleEvery frames (indices 0, N,
+  // 2N, …); per-tick stages record once per gate release.
+  const std::uint64_t sampled =
+      (s.frames + MonitorEngine::kStageSampleEvery - 1) /
+      MonitorEngine::kStageSampleEvery;
+  EXPECT_EQ(snap.histogram("stage_decode_ns")->count, sampled);
+  EXPECT_EQ(snap.histogram("stage_queue_wait_ns")->count, sampled);
+  EXPECT_EQ(snap.histogram("stage_tick_ns")->count, s.ticks);
+  EXPECT_EQ(snap.histogram("stage_dispatch_ns")->count, s.ticks);
+  EXPECT_EQ(snap.histogram("stage_lookup_ns")->count, s.ticks);
+  EXPECT_EQ(snap.histogram("stage_nn_ns")->count, s.ticks);
+  // Latency sums are real measurements, not zero-filled placeholders.
+  EXPECT_GT(snap.histogram("stage_tick_ns")->sum_ns, 0u);
+}
+
+TEST(ServeTelemetry, ShardedRunAggregatesLikeEngineStats) {
+  const Fixture& f = fixture();
+  obs::MetricsRegistry reg;
+  CountingAlarmSink sink;
+  ShardedEngineConfig cfg;
+  cfg.shards = 2;
+  cfg.engine.metrics = &reg;
+  ShardedEngine engine(*f.framework.detector, &sink, cfg);
+  for (const ics::LinkFrame& lf : f.wire) engine.push(lf);
+  engine.finish();
+  const EngineStats s = engine.stats();
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(*snap.counter("engine_packages_total"), s.packages);
+  EXPECT_EQ(*snap.counter("engine_alarms_total"), s.alarms);
+  EXPECT_EQ(*snap.counter("engine_ticks_total"), s.ticks);
+  EXPECT_EQ(*snap.gauge("engine_peak_links"), s.peak_links);
+  EXPECT_EQ(*snap.counter("ingest_frames_routed_total"), f.wire.size());
+}
+
+}  // namespace
+}  // namespace mlad::serve

@@ -267,10 +267,64 @@ def check_sigdb(doc: dict, errors: list) -> None:
                       f"{achieved} < required {required}")
 
 
+def check_obs(doc: dict, errors: list) -> None:
+    """BENCH_obs.json (DESIGN.md §14): telemetry must be free in both
+    senses — verdicts bit-identical with a registry attached, and the
+    tick-path overhead inside the 2% budget."""
+    if doc.get("verdicts_match_untelemetered") is not True:
+        errors.append("'verdicts_match_untelemetered' must be true: "
+                      "telemetry may never change a verdict")
+
+    for mode in ("telemetry_off", "telemetry_on"):
+        entry = doc.get(mode)
+        if not isinstance(entry, dict):
+            errors.append(f"'{mode}' object missing")
+            continue
+        best = entry.get("best_us_per_package")
+        if not isinstance(best, (int, float)) or best <= 0:
+            errors.append(f"{mode}.best_us_per_package must be a positive "
+                          f"number")
+        runs = entry.get("runs")
+        if not isinstance(runs, list) or not runs:
+            errors.append(f"{mode}.runs must be a non-empty array")
+
+    on = doc.get("telemetry_on")
+    counts = on.get("stage_counts") if isinstance(on, dict) else None
+    if not isinstance(counts, dict) or not counts:
+        errors.append("telemetry_on.stage_counts table missing or empty")
+    else:
+        for stage in ("stage_decode_ns", "stage_queue_wait_ns",
+                      "stage_lookup_ns", "stage_nn_ns", "stage_tick_ns"):
+            n = counts.get(stage)
+            if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+                errors.append(f"telemetry_on.stage_counts.{stage} must be "
+                              f"a positive integer (the stage was never "
+                              f"sampled)")
+
+    criterion = doc.get("criterion")
+    if not isinstance(criterion, dict):
+        errors.append("'criterion' object missing")
+        return
+    required = criterion.get("required_overhead_pct")
+    measured = criterion.get("measured_overhead_pct")
+    if not isinstance(required, (int, float)) or required <= 0:
+        errors.append("criterion.required_overhead_pct must be a positive "
+                      "number")
+    if not isinstance(measured, (int, float)):
+        errors.append("criterion.measured_overhead_pct must be a number")
+    if criterion.get("met") is not True:
+        errors.append("criterion.met must be true")
+    elif (isinstance(required, (int, float))
+          and isinstance(measured, (int, float)) and measured >= required):
+        errors.append(f"criterion.met claims true but measured overhead "
+                      f"{measured}% >= budget {required}%")
+
+
 PER_BENCH_CHECKS = {
     "bench_faults": check_faults,
     "bench_ingest_shards": check_ingest,
     "bench_nn_throughput": check_nn,
+    "bench_obs": check_obs,
     "bench_sigdb": check_sigdb,
 }
 

@@ -28,11 +28,13 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "adapt/online_trainer.hpp"
 #include "common/arff.hpp"
+#include "common/histogram.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "detect/pipeline.hpp"
@@ -47,6 +49,10 @@
 #include "ingest/socket_source.hpp"
 #include "nn/kernel_backend.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_http.hpp"
+#include "obs/stats_format.hpp"
+#include "obs/stats_writer.hpp"
 #include "serve/monitor_engine.hpp"
 #include "serve/sharded_engine.hpp"
 #include "sigdb/sigdb_view.hpp"
@@ -59,7 +65,7 @@ using namespace mlad;
 /// appear without a value and stores "on" (e.g. `mlad serve --adapt
 /// --adapt-interval 256`); any other flag with its value missing is still
 /// a hard error, not a silent "on".
-constexpr const char* kBareSwitches[] = {"adapt", "no-fin"};
+constexpr const char* kBareSwitches[] = {"adapt", "no-fin", "ascii"};
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int start) {
@@ -373,6 +379,62 @@ void print_link_table(
   std::printf("%s", table.str().c_str());
 }
 
+/// Serve telemetry (DESIGN.md §14): --metrics-port / --stats-out attach a
+/// MetricsRegistry plus its exporters to either serve path. Declared before
+/// the engine so the registry outlives every instrument pointer.
+struct TelemetryRig {
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::MetricsHttpServer> http;
+  std::unique_ptr<obs::StatsWriter> writer;
+};
+
+TelemetryRig setup_telemetry(const std::map<std::string, std::string>& flags) {
+  TelemetryRig rig;
+  const bool want_http = flags.count("metrics-port") != 0;
+  const bool want_stats = flags.count("stats-out") != 0;
+  if (!want_http && !want_stats) return rig;
+  rig.registry = std::make_unique<obs::MetricsRegistry>();
+  if (want_http) {
+    rig.http = std::make_unique<obs::MetricsHttpServer>(
+        *rig.registry,
+        static_cast<std::uint16_t>(std::stoul(flags.at("metrics-port"))));
+    std::printf("metrics: http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(rig.http->port()));
+    std::fflush(stdout);  // smoke drivers parse the port before curling
+  }
+  if (want_stats) {
+    rig.writer = std::make_unique<obs::StatsWriter>(
+        *rig.registry, flags.at("stats-out"),
+        std::stod(get_or(flags, "stats-interval", "1")));
+  }
+  return rig;
+}
+
+/// Stop the exporters once the run is over: the writer's final line then
+/// carries end-of-run totals (the CI smoke diffs them against the engine's
+/// own summary).
+void finish_telemetry(TelemetryRig& rig) {
+  if (rig.writer) rig.writer->stop();
+  if (rig.http) rig.http->stop();
+}
+
+/// End-of-run source-health summary line, printed for EVERY source type
+/// (all-zero counters for clean in-memory sources — silence would be
+/// ambiguous between "healthy" and "not measured").
+void print_source_health(const ingest::SourceHealth& h) {
+  std::printf(
+      "source health: %zu connections (%zu reconnects), %zu malformed, "
+      "%zu truncated, %zu duplicates discarded, %zu records lost, "
+      "%zu faults injected\n",
+      static_cast<std::size_t>(h.connections),
+      static_cast<std::size_t>(h.reconnects),
+      static_cast<std::size_t>(h.malformed),
+      static_cast<std::size_t>(h.truncated),
+      static_cast<std::size_t>(h.duplicates_discarded),
+      static_cast<std::size_t>(h.records_lost),
+      static_cast<std::size_t>(h.faults_injected));
+}
+
 /// The sharded async path (DESIGN.md §10): --shards and/or --source select
 /// it. A pluggable front end feeds an ingest pump that hashes links onto N
 /// independent engine shards; per-link verdicts stay bit-identical to the
@@ -456,9 +518,12 @@ int cmd_serve_sharded(const std::map<std::string, std::string>& flags) {
 
   std::optional<sigdb::SigDbView> sigdb_view;
   maybe_attach_sigdb(flags, *detector, sigdb_view);
+  TelemetryRig rig = setup_telemetry(flags);
+  cfg.engine.metrics = rig.registry.get();
   serve::ShardedEngine engine(*detector, sink, cfg);
   engine.run(*source);
   sink->flush();
+  finish_telemetry(rig);
 
   const serve::EngineStats s = engine.stats();
   const serve::IngestStats in = engine.ingest_stats();
@@ -479,22 +544,7 @@ int cmd_serve_sharded(const std::map<std::string, std::string>& flags) {
       static_cast<std::size_t>(in.frames_routed),
       static_cast<std::size_t>(in.producer_blocks),
       static_cast<std::size_t>(in.peak_queue_depth), cfg.queue_capacity);
-  const ingest::SourceHealth& h = in.source_health;
-  if (h.connections + h.malformed + h.truncated + h.duplicates_discarded +
-          h.records_lost + h.faults_injected >
-      0) {
-    std::printf(
-        "tap: %zu connections (%zu reconnects), %zu malformed, "
-        "%zu truncated, %zu duplicates discarded, %zu records lost, "
-        "%zu faults injected\n",
-        static_cast<std::size_t>(h.connections),
-        static_cast<std::size_t>(h.reconnects),
-        static_cast<std::size_t>(h.malformed),
-        static_cast<std::size_t>(h.truncated),
-        static_cast<std::size_t>(h.duplicates_discarded),
-        static_cast<std::size_t>(h.records_lost),
-        static_cast<std::size_t>(h.faults_injected));
-  }
+  print_source_health(in.source_health);
   if (s.links_parked + s.wall_clock_parks + s.wall_clock_closes > 0) {
     std::printf(
         "straggler policy: %zu parks (%zu wall-clock), %zu wall-clock "
@@ -543,6 +593,9 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   cfg.close_after = std::stoul(get_or(flags, "close-after", "0"));
   cfg.park_hysteresis = std::stoul(get_or(flags, "park-hysteresis", "0"));
 
+  TelemetryRig rig = setup_telemetry(flags);
+  cfg.metrics = rig.registry.get();
+
   // --adapt: background incremental re-training with hot-swapped weights
   // (DESIGN.md §9). Default off — without it the serve data path is
   // bit-identical to previous releases.
@@ -562,6 +615,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     acfg.poison_round =
         std::stoull(get_or(flags, "adapt-poison-round", "0"));
     acfg.poison_scale = std::stod(get_or(flags, "adapt-poison-scale", "8"));
+    acfg.metrics = rig.registry.get();
     std::optional<nn::AdamState> warm;
     if (const auto it = flags.find("adam-state"); it != flags.end()) {
       warm = nn::load_adam_state_file(it->second);
@@ -592,6 +646,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   // Each capture replays as one PLC link on a time-ordered interleaved wire.
   serve::MonitorEngine engine(*detector, sink, cfg);
   std::optional<ingest::FaultStats> fault_stats;
+  ingest::SourceHealth health;
   if (const auto it = flags.find("fault-spec"); it != flags.end()) {
     // Same seeded fault decoration the sharded path offers, over the
     // merged capture wire.
@@ -602,10 +657,17 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     while (faulty.next(lf)) engine.push(lf.link, lf.frame);
     engine.finish();
     fault_stats = faulty.fault_stats();
+    health = faulty.health();
   } else {
     engine.replay(ics::merge_captures(captures));
   }
   sink->flush();
+  if (rig.registry) {
+    ingest::SourceHealthMetrics hm;
+    hm.bind(*rig.registry);
+    hm.publish(health);
+  }
+  finish_telemetry(rig);
 
   const serve::EngineStats& s = engine.stats();
   std::printf(
@@ -632,6 +694,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         static_cast<std::size_t>(fault_stats->corruptions),
         static_cast<std::size_t>(fault_stats->stalls));
   }
+  print_source_health(health);
   if (adapter) {
     const adapt::AdaptStats as = adapter->stats();
     std::printf(
@@ -813,10 +876,82 @@ int cmd_sigdb_check(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// `mlad stats f.jsonl` — summarize a --stats-out stream (DESIGN.md §14).
+/// Lines are cumulative, so the LAST record carries whole-run totals;
+/// rates divide by its t_ns. --ascii re-bins each latency histogram onto a
+/// log2(ns) axis and renders Histogram::ascii bars.
+int cmd_stats(const std::string& path,
+              const std::map<std::string, std::string>& flags) {
+  const std::vector<obs::StatsRecord> records = obs::read_stats_file(path);
+  if (records.empty()) {
+    std::fprintf(stderr, "stats: %s holds no records\n", path.c_str());
+    return 1;
+  }
+  const obs::StatsRecord& last = records.back();
+  const double seconds = static_cast<double>(last.t_ns) / 1e9;
+  std::printf("stats: %s — %zu snapshot%s covering %.2f s\n", path.c_str(),
+              records.size(), records.size() == 1 ? "" : "s", seconds);
+
+  auto rate = [&](std::uint64_t v) {
+    return seconds > 0.0 ? fixed(static_cast<double>(v) / seconds, 1)
+                         : std::string("-");
+  };
+
+  bool any_hist = false;
+  TablePrinter stages(
+      {"stage", "count", "p50 us", "p95 us", "p99 us", "mean us", "rate/s"});
+  for (const auto& [name, h] : last.histograms) {
+    if (h.count == 0) continue;
+    any_hist = true;
+    stages.add_row(
+        {name, std::to_string(h.count),
+         fixed(static_cast<double>(h.quantile_ns(0.50)) / 1000.0, 3),
+         fixed(static_cast<double>(h.quantile_ns(0.95)) / 1000.0, 3),
+         fixed(static_cast<double>(h.quantile_ns(0.99)) / 1000.0, 3),
+         fixed(h.mean_ns() / 1000.0, 3), rate(h.count)});
+  }
+  if (any_hist) {
+    std::printf("\nstage latencies (quantiles are bucket upper edges):\n%s",
+                stages.str().c_str());
+  }
+
+  if (!last.counters.empty()) {
+    TablePrinter counters({"counter", "total", "rate/s"});
+    for (const auto& [name, v] : last.counters) {
+      counters.add_row({name, std::to_string(v), rate(v)});
+    }
+    std::printf("\ncounters:\n%s", counters.str().c_str());
+  }
+  if (!last.gauges.empty()) {
+    TablePrinter gauges({"gauge", "value"});
+    for (const auto& [name, v] : last.gauges) {
+      gauges.add_row({name, std::to_string(v)});
+    }
+    std::printf("\ngauges:\n%s", gauges.str().c_str());
+  }
+
+  if (flags.count("ascii") != 0) {
+    for (const auto& [name, h] : last.histograms) {
+      if (h.count == 0) continue;
+      // Re-bin the power-of-2 buckets onto a log2(ns) axis: bucket b holds
+      // latencies in [2^b, 2^(b+1)), so its center is b + 0.5.
+      Histogram ascii_hist(0.0, 64.0, obs::LatencyHistogram::kBuckets);
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        if (h.buckets[b] != 0) {
+          ascii_hist.add(static_cast<double>(b) + 0.5, h.buckets[b]);
+        }
+      }
+      std::printf("\n%s (rows are log2 of nanoseconds):\n%s", name.c_str(),
+                  ascii_hist.ascii(/*rows=*/16, /*width=*/40).c_str());
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mlad <simulate|train|evaluate|monitor|serve|tap|sigdb> "
+      "usage: mlad <simulate|train|evaluate|monitor|serve|tap|sigdb|stats> "
       "[--flag value]…\n"
       "  simulate --cycles N --seed S [--arff f] [--capture f]\n"
       "           [--attacks on|off]\n"
@@ -901,6 +1036,17 @@ int usage() {
       "           [--adapt-poison-round K] [--adapt-poison-scale X]\n"
       "           fault-injection hook: corrupt the K-th published round's\n"
       "           weights by X to exercise the rollback path\n"
+      "           [--metrics-port P] [--stats-out f.jsonl]\n"
+      "           [--stats-interval S]   serve telemetry (DESIGN.md §14):\n"
+      "           --metrics-port exposes a live Prometheus /metrics\n"
+      "           endpoint on 127.0.0.1:P (0 = pick a free port, printed\n"
+      "           at startup); --stats-out appends one cumulative JSONL\n"
+      "           snapshot every S seconds (default 1) plus a final\n"
+      "           end-of-run line; verdicts stay bit-identical with\n"
+      "           telemetry on or off\n"
+      "  stats    f.jsonl [--ascii]   summarize a --stats-out stream:\n"
+      "           per-stage latency quantiles (p50/p95/p99), counter\n"
+      "           rates, gauges; --ascii adds log2-axis latency bars\n"
       "  tap      --captures a.cap,… --port P [--host H] [--token T]\n"
       "           [--fault-spec k=v,…] [--resend N]\n"
       "           [--limit N] [--no-fin] [--pace-us U]\n"
@@ -930,6 +1076,13 @@ int main(int argc, char** argv) {
       if (sub == "build") return cmd_sigdb_build(flags);
       if (sub == "check") return cmd_sigdb_check(flags);
       return usage();
+    }
+    if (cmd == "stats") {
+      if (argc < 3 || std::string_view(argv[2]).starts_with("--")) {
+        return usage();
+      }
+      const auto flags = parse_flags(argc, argv, 3);
+      return cmd_stats(argv[2], flags);
     }
     const auto flags = parse_flags(argc, argv, 2);
     if (cmd == "simulate") return cmd_simulate(flags);
